@@ -1,0 +1,259 @@
+//! An Alg3-like executor (Nehab, Maximo, Lima & Hoppe, SIGGRAPH Asia 2011:
+//! GPU-efficient recursive filtering, their "Algorithm 3").
+//!
+//! Alg3 targets 2D image filtering: the paper runs it on square inputs
+//! whose sides are multiples of 32, with vertical filtering disabled — but
+//! the code *always* filters both horizontal directions (causal +
+//! anticausal), which could not be turned off (Section 5). It is also not
+//! communication efficient: it reads the input twice (block-local pass,
+//! then a fix-up pass), which Table 3 shows as ~2× cold misses and which
+//! is why PLR overtakes it (Section 6.5).
+//!
+//! Restrictions mirrored from the paper: floating point only, at most one
+//! non-recursive coefficient, inputs up to 2 GB.
+
+use crate::executor::RecurrenceExecutor;
+use plr_core::element::Element;
+use plr_core::error::EngineError;
+use plr_core::signature::Signature;
+use plr_core::serial;
+use plr_sim::timing::Workload;
+use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
+
+/// Maximum input: 2 GB of words.
+const MAX_BYTES: u64 = 2 << 30;
+
+/// The Alg3-like executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Alg3;
+
+/// Chooses the image width: the largest multiple of 32 whose square does
+/// not exceed `n` (the paper uses square inputs of similar total size).
+pub fn image_width(n: usize) -> usize {
+    let side = (n as f64).sqrt() as usize;
+    (side / 32 * 32).max(32)
+}
+
+impl Alg3 {
+    const TILE: usize = 32 * 32;
+
+    fn check<T: Element>(signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
+        if !T::IS_FLOAT {
+            return Err(EngineError::UnsupportedSignature {
+                reason: "Alg3 is a floating-point image-filtering code".to_owned(),
+            });
+        }
+        if signature.fir_order() > 0 {
+            return Err(EngineError::UnsupportedSignature {
+                reason: "Alg3 supports at most one non-recursive coefficient".to_owned(),
+            });
+        }
+        let max = (MAX_BYTES / T::BYTES as u64) as usize;
+        if n > max {
+            return Err(EngineError::InputTooLarge { len: n, max });
+        }
+        Ok(())
+    }
+
+    /// The 2D row-filter semantics Alg3 computes on our 1D input: rows of
+    /// `image_width(n)` values, each filtered causally then anticausally
+    /// (the direction that could not be disabled).
+    pub fn reference<T: Element>(signature: &Signature<T>, input: &[T]) -> Vec<T> {
+        let w = image_width(input.len());
+        let mut out = input.to_vec();
+        for row in out.chunks_mut(w) {
+            // Causal pass.
+            let causal = serial::run(signature, row);
+            row.copy_from_slice(&causal);
+            // Anticausal pass: same filter, reversed direction.
+            row.reverse();
+            let anti = serial::run(signature, row);
+            row.copy_from_slice(&anti);
+            row.reverse();
+        }
+        out
+    }
+
+    fn account<T: Element>(k: usize, n: usize, device: &DeviceConfig) -> (GlobalMemory, Workload) {
+        let elem = T::BYTES as u64;
+        let nb = n as u64 * elem;
+        let mb = 1024 * 1024;
+        let mut mem = GlobalMemory::new(device.clone());
+        let input = mem.alloc(nb, "input image");
+        let output = mem.alloc(nb, "output image");
+        // Alg3 allocates substantial intermediates: a full-image transpose
+        // buffer plus per-block carry matrices that grow with the order;
+        // both scale with the image (Table 2 shows 274-306 MB extra at
+        // 2^26 words, +16 MB per order).
+        let reference_nb = (1u64 << 26) * 4;
+        let scale = |mbs: u64| (mbs * mb * nb / reference_nb).max(64 * 1024);
+        let inter = mem.alloc(nb, "intermediate image");
+        let carries = mem.alloc(scale(18 + 16 * (k as u64 - 1)), "block carries");
+
+        // The carry matrices are streamed in both passes; their traffic
+        // grows with the order (Table 3: +40 MB of misses per order).
+        let carry_traffic = scale(36 + 41 * (k as u64 - 1));
+        if nb <= (1 << 25) {
+            // Small enough to replay through the line-accurate cache model.
+            let carry_io = (carry_traffic / 2).min(scale(18 + 16 * (k as u64 - 1)));
+            // Pass 1: block-local causal+anticausal filters; writes the
+            // intermediate and the block carries.
+            let mut off = 0u64;
+            while off < nb {
+                let len = (Self::TILE as u64 * elem).min(nb - off);
+                mem.read(input, off, len);
+                mem.write(inter, off, len);
+                off += len;
+            }
+            mem.write(carries, 0, carry_io);
+            // Pass 2: re-reads the input and the carries, fixes up, writes
+            // out.
+            let mut off = 0u64;
+            while off < nb {
+                let len = (Self::TILE as u64 * elem).min(nb - off);
+                mem.read(input, off, len);
+                mem.write(output, off, len);
+                off += len;
+            }
+            mem.read(carries, 0, carry_io);
+        } else {
+            // Analytic streaming totals: far beyond the L2, both input
+            // passes and the carry read are cold.
+            let c = mem.counters_mut();
+            c.global_read_bytes += 2 * nb + carry_traffic;
+            c.global_write_bytes += 2 * nb + carry_traffic;
+            c.l2_read_miss_bytes += 2 * nb + carry_traffic;
+        }
+        let workload = Workload {
+            threads_per_block: 256,
+            exposed_hops: 8,
+            launches: 2,
+            bandwidth_efficiency: 0.92,
+            ..Workload::new(n as u64, 2 * (n.div_ceil(Self::TILE)) as u64)
+        };
+        (mem, workload)
+    }
+
+    fn flops<T: Element>(signature: &Signature<T>, n: usize) -> u64 {
+        // Two directions × two passes × k multiply-adds per element.
+        (4 * signature.order() * n) as u64
+    }
+}
+
+impl<T: Element> RecurrenceExecutor<T> for Alg3 {
+    fn name(&self) -> &'static str {
+        "Alg3"
+    }
+
+    fn supports(&self, signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
+        Self::check(signature, n)
+    }
+
+    fn run(
+        &self,
+        signature: &Signature<T>,
+        input: &[T],
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        self.supports(signature, input.len())?;
+        let (mut mem, workload) = Self::account::<T>(signature.order(), input.len(), device);
+        mem.counters_mut().flops += Self::flops(signature, input.len());
+        Ok(RunReport {
+            output: Self::reference(signature, input),
+            counters: *mem.counters(),
+            workload,
+            peak_bytes: mem.peak_bytes(),
+        })
+    }
+
+    fn estimate(
+        &self,
+        signature: &Signature<T>,
+        n: usize,
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        self.supports(signature, n)?;
+        let (mut mem, workload) = Self::account::<T>(signature.order(), n, device);
+        mem.counters_mut().flops += Self::flops(signature, n);
+        Ok(RunReport {
+            output: Vec::new(),
+            counters: *mem.counters(),
+            workload,
+            peak_bytes: mem.peak_bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::validate::validate;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    #[test]
+    fn image_width_is_a_multiple_of_32() {
+        assert_eq!(image_width(1024), 32);
+        assert_eq!(image_width(1 << 20), 1024);
+        assert_eq!(image_width(5000), 64);
+        assert_eq!(image_width(10), 32); // floor for tiny inputs
+    }
+
+    #[test]
+    fn output_is_row_wise_bidirectional_filter() {
+        let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let n = 64 * 64;
+        let input: Vec<f32> = (0..n).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let r = Alg3.run(&sig, &input, &device()).unwrap();
+        validate(&Alg3::reference(&sig, &input), &r.output, 1e-3).unwrap();
+        // The bidirectional row filter is NOT the plain 1D recurrence.
+        assert!(validate(&serial::run(&sig, &input), &r.output, 1e-3).is_err());
+    }
+
+    #[test]
+    fn reads_input_twice() {
+        let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let n = 1 << 22;
+        let r = Alg3.estimate(&sig, n, &device()).unwrap();
+        let nb = n as u64 * 4;
+        assert!(r.counters.global_read_bytes >= 2 * nb);
+        assert!(r.counters.global_read_bytes < 2 * nb + 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn l2_misses_match_table_3_scale() {
+        // Table 3 order 1: 550.6 MB at 2^26 words (2×256 cold + extra).
+        let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let r = Alg3.estimate(&sig, 1 << 26, &device()).unwrap();
+        let mb = r.counters.l2_read_miss_bytes as f64 / (1024.0 * 1024.0);
+        assert!(mb > 510.0 && mb < 560.0, "Alg3 misses {mb:.1} MB");
+    }
+
+    #[test]
+    fn memory_usage_matches_table_2_scale() {
+        // Table 2 order 1: 895.8 MB at 2^26 words.
+        let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let r = Alg3.estimate(&sig, 1 << 26, &device()).unwrap();
+        let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
+        assert!(mb > 870.0 && mb < 920.0, "Alg3 peak {mb:.1} MB");
+    }
+
+    #[test]
+    fn rejects_high_pass_and_ints_and_huge_inputs() {
+        let hp: Signature<f32> = "0.9,-0.9:0.8".parse().unwrap();
+        assert!(matches!(
+            Alg3.supports(&hp, 100),
+            Err(EngineError::UnsupportedSignature { .. })
+        ));
+        let int_sig: Signature<i32> = "1:1".parse().unwrap();
+        assert!(Alg3.supports(&int_sig, 100).is_err());
+        let lp: Signature<f32> = "0.2:0.8".parse().unwrap();
+        assert!(matches!(
+            Alg3.supports(&lp, 1 << 30),
+            Err(EngineError::InputTooLarge { .. })
+        ));
+        assert!(Alg3.supports(&lp, 1 << 29).is_ok());
+    }
+}

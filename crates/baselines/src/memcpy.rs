@@ -1,0 +1,89 @@
+//! The memory-copy reference: the throughput upper bound.
+//!
+//! Every figure in the paper includes the device-to-device memcpy
+//! throughput because no code that reads each input value and writes each
+//! output value can beat it.
+
+use plr_core::element::Element;
+use plr_sim::timing::Workload;
+use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
+
+/// Whether an `n`-element copy fits on the device.
+pub fn fits<T: Element>(n: usize, device: &DeviceConfig) -> bool {
+    device.fits(2 * n as u64 * T::BYTES as u64)
+}
+
+/// Copies `input` to the output on the machine model.
+pub fn run<T: Element>(input: &[T], device: &DeviceConfig) -> RunReport<T> {
+    let mut report = estimate::<T>(input.len(), device);
+    report.output = input.to_vec();
+    report
+}
+
+/// Cost-only memcpy of `n` elements.
+pub fn estimate<T: Element>(n: usize, device: &DeviceConfig) -> RunReport<T> {
+    let elem = T::BYTES as u64;
+    let mut mem = GlobalMemory::new(device.clone());
+    let src = mem.alloc(n as u64 * elem, "input");
+    let dst = mem.alloc(n as u64 * elem, "output");
+    // One streaming pass. Large copies use analytic totals (every read is
+    // cold); small ones replay through the cache model.
+    let nb = n as u64 * elem;
+    if nb <= (1 << 25) {
+        mem.read(src, 0, nb);
+        mem.write(dst, 0, nb);
+    } else {
+        let c = mem.counters_mut();
+        c.global_read_bytes += nb;
+        c.global_write_bytes += nb;
+        c.l2_read_miss_bytes += nb;
+    }
+    let workload = Workload {
+        // The copy engine is not subject to SM residency; model it as
+        // enough blocks to saturate.
+        ..Workload::new(n as u64, n.div_ceil(4096).max(1) as u64)
+    };
+    RunReport { output: Vec::new(), counters: *mem.counters(), workload, peak_bytes: mem.peak_bytes() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_sim::CostModel;
+
+    #[test]
+    fn copies_values() {
+        let device = DeviceConfig::titan_x();
+        let input = vec![1i32, 2, 3];
+        let r = run(&input, &device);
+        assert_eq!(r.output, input);
+    }
+
+    #[test]
+    fn traffic_is_exactly_2n() {
+        let device = DeviceConfig::titan_x();
+        let r = estimate::<i32>(1 << 20, &device);
+        assert_eq!(r.counters.global_read_bytes, 4 << 20);
+        assert_eq!(r.counters.global_write_bytes, 4 << 20);
+        assert_eq!(r.counters.flops, 0);
+    }
+
+    #[test]
+    fn saturates_the_bandwidth_roof_for_large_inputs() {
+        let device = DeviceConfig::titan_x();
+        let model = CostModel::new(device.clone());
+        let r = estimate::<i32>(1 << 30, &device);
+        let tput = r.throughput(&model);
+        assert!(tput > 31.0e9 && tput < 33.1e9, "memcpy throughput {tput:.3e}");
+    }
+
+    #[test]
+    fn memory_usage_matches_table_2() {
+        // Table 2: memcpy uses 621.5 MB for 2^26-word buffers:
+        // 512 MB of data + 109.5 MB context.
+        let device = DeviceConfig::titan_x();
+        let r = estimate::<i32>(1 << 26, &device);
+        let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
+        assert!((mb - 621.5).abs() < 0.6, "memcpy peak {mb:.1} MB");
+    }
+}

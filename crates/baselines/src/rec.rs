@@ -1,0 +1,253 @@
+//! A Rec-like executor (Chaurasia, Ragan-Kelley, Paris, Drettakis & Durand,
+//! HPG 2015: compiling high-performance recursive filters).
+//!
+//! Rec is a Halide-based code generator for 2D recursive filters. The paper
+//! runs it on square inputs with vertical filtering disabled and the
+//! horizontal filtering limited to one (causal) direction. Its structure,
+//! per the paper:
+//!
+//! * tiled processing with the local carries combined **serially** across
+//!   tiles (Section 4: "Chaurasia et al.'s code serially combines the
+//!   local carries"), unlike PLR's parallel Phase 1;
+//! * not communication efficient: the fix-up pass re-reads the input, so
+//!   beyond the 2 MB L2 it pays ~2× cold misses (Table 3) — which is
+//!   exactly why PLR starts outperforming Rec at one million entries, the
+//!   smallest size exceeding the L2 (Section 6.5);
+//! * floating point only, one non-recursive coefficient, inputs up to 1 GB.
+
+use crate::alg3::image_width;
+use crate::executor::RecurrenceExecutor;
+use plr_core::element::Element;
+use plr_core::error::EngineError;
+use plr_core::signature::Signature;
+use plr_core::serial;
+use plr_sim::timing::Workload;
+use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
+
+/// Maximum input: 1 GB of words.
+const MAX_BYTES: u64 = 1 << 30;
+
+/// The Rec-like executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rec;
+
+impl Rec {
+    /// 32×32 image tiles.
+    const TILE: usize = 32 * 32;
+
+    fn check<T: Element>(signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
+        if !T::IS_FLOAT {
+            return Err(EngineError::UnsupportedSignature {
+                reason: "Rec is a floating-point image-filtering code".to_owned(),
+            });
+        }
+        if signature.fir_order() > 0 {
+            return Err(EngineError::UnsupportedSignature {
+                reason: "Rec supports at most one non-recursive coefficient".to_owned(),
+            });
+        }
+        let max = (MAX_BYTES / T::BYTES as u64) as usize;
+        if n > max {
+            return Err(EngineError::InputTooLarge { len: n, max });
+        }
+        Ok(())
+    }
+
+    /// Rec's semantics on our 1D input: rows of `image_width(n)` values,
+    /// each filtered causally (one direction only).
+    pub fn reference<T: Element>(signature: &Signature<T>, input: &[T]) -> Vec<T> {
+        let w = image_width(input.len());
+        let mut out = input.to_vec();
+        for row in out.chunks_mut(w) {
+            let filtered = serial::run(signature, row);
+            row.copy_from_slice(&filtered);
+        }
+        out
+    }
+
+    fn account<T: Element>(
+        signature: &Signature<T>,
+        n: usize,
+        device: &DeviceConfig,
+    ) -> (GlobalMemory, Workload) {
+        let elem = T::BYTES as u64;
+        let k = signature.order() as u64;
+        let nb = n as u64 * elem;
+        let mut mem = GlobalMemory::new(device.clone());
+        let input = mem.alloc(nb, "input image");
+        let output = mem.alloc(nb, "output image");
+        // Tile-carry planes: Table 2 shows 17-49 MB extra, growing ~16 MB
+        // per order at 2^26 words.
+        let carry_bytes = 64 * 1024 + k * nb / 16;
+        let carries = mem.alloc(carry_bytes, "tile carries");
+
+        if nb <= (1 << 25) {
+            // Line-accurate path: the L2 model decides whether the second
+            // input read hits (it does below the 2 MB capacity, which is
+            // the paper's Rec-vs-PLR crossover).
+            // Pass 1: intra-tile filtering, emitting tile carries.
+            let mut off = 0u64;
+            while off < nb {
+                let len = (Self::TILE as u64 * elem).min(nb - off);
+                mem.read(input, off, len);
+                off += len;
+            }
+            mem.write(carries, 0, carry_bytes);
+            // Serial cross-tile carry combination (small but serial).
+            mem.read(carries, 0, carry_bytes);
+            // Pass 2: re-reads the input, applies carries, writes out.
+            let mut off = 0u64;
+            while off < nb {
+                let len = (Self::TILE as u64 * elem).min(nb - off);
+                mem.read(input, off, len);
+                mem.write(output, off, len);
+                off += len;
+            }
+        } else {
+            // Analytic streaming totals: both input reads are cold far
+            // beyond the L2.
+            let c = mem.counters_mut();
+            c.global_read_bytes += 2 * nb + carry_bytes;
+            c.global_write_bytes += nb + carry_bytes;
+            c.l2_read_miss_bytes += 2 * nb + carry_bytes;
+        }
+        let tiles = n.div_ceil(Self::TILE) as u64;
+        let workload = Workload {
+            threads_per_block: 256,
+            // The serial carry combination exposes a chain that grows with
+            // the tile count along one image dimension.
+            exposed_hops: (image_width(n) / 64) as u64,
+            launches: 2,
+            bandwidth_efficiency: 0.95,
+            ..Workload::new(n as u64, 2 * tiles)
+        };
+        (mem, workload)
+    }
+
+    fn flops<T: Element>(signature: &Signature<T>, n: usize) -> u64 {
+        // Two passes × k multiply-adds per element.
+        (2 * signature.order() * n) as u64
+    }
+}
+
+impl<T: Element> RecurrenceExecutor<T> for Rec {
+    fn name(&self) -> &'static str {
+        "Rec"
+    }
+
+    fn supports(&self, signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
+        Self::check(signature, n)
+    }
+
+    fn run(
+        &self,
+        signature: &Signature<T>,
+        input: &[T],
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        self.supports(signature, input.len())?;
+        let (mut mem, workload) = Self::account(signature, input.len(), device);
+        mem.counters_mut().flops += Self::flops(signature, input.len());
+        Ok(RunReport {
+            output: Self::reference(signature, input),
+            counters: *mem.counters(),
+            workload,
+            peak_bytes: mem.peak_bytes(),
+        })
+    }
+
+    fn estimate(
+        &self,
+        signature: &Signature<T>,
+        n: usize,
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        self.supports(signature, n)?;
+        let (mut mem, workload) = Self::account(signature, n, device);
+        mem.counters_mut().flops += Self::flops(signature, n);
+        Ok(RunReport {
+            output: Vec::new(),
+            counters: *mem.counters(),
+            workload,
+            peak_bytes: mem.peak_bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::validate::validate;
+    use plr_sim::CostModel;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    fn lp1() -> Signature<f32> {
+        "0.2:0.8".parse().unwrap()
+    }
+
+    #[test]
+    fn output_is_row_wise_causal_filter() {
+        let n = 64 * 64;
+        let input: Vec<f32> = (0..n).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let r = Rec.run(&lp1(), &input, &device()).unwrap();
+        validate(&Rec::reference(&lp1(), &input), &r.output, 1e-3).unwrap();
+    }
+
+    #[test]
+    fn second_input_read_hits_l2_for_small_images() {
+        // Below the 2 MB L2 the fix-up pass re-read is free…
+        let small = Rec.run(&lp1(), &vec![1.0f32; 1 << 17], &device()).unwrap(); // 512 KB
+        let nb = (1u64 << 17) * 4;
+        assert!(small.counters.l2_read_miss_bytes < nb + nb / 2);
+        // …beyond it, both reads miss.
+        let large = Rec.estimate(&lp1(), 1 << 22, &device()).unwrap(); // 16 MB
+        let nb = (1u64 << 22) * 4;
+        assert!(large.counters.l2_read_miss_bytes > 2 * nb - nb / 8);
+    }
+
+    #[test]
+    fn crossover_with_cache_capacity_shows_in_memory_time() {
+        // Rec's modelled *memory* time per element should degrade once the
+        // image exceeds the L2 (the fix-up re-read starts missing), which
+        // is the paper's crossover story. Fixed launch overheads are
+        // excluded — they dominate tiny runs and would mask the effect.
+        let d = device();
+        let model = CostModel::new(d.clone());
+        let small = Rec.run(&lp1(), &vec![1.0f32; 1 << 17], &d).unwrap(); // 512 KB < L2
+        let large = Rec.estimate(&lp1(), 1 << 24, &d).unwrap(); // 64 MB > L2
+        let small_mem_per_elem = small.time(&model).memory_time / (1 << 17) as f64;
+        let large_mem_per_elem = large.time(&model).memory_time / (1 << 24) as f64;
+        assert!(
+            large_mem_per_elem > 1.3 * small_mem_per_elem,
+            "expected cache-driven degradation: {small_mem_per_elem:e} vs {large_mem_per_elem:e}"
+        );
+    }
+
+    #[test]
+    fn memory_usage_matches_table_2_scale() {
+        // Table 2: 638.5 / 654.5 / 670.5 MB for orders 1-3 at 2^26 words.
+        let d = device();
+        let sigs: [Signature<f32>; 3] = [
+            "0.2:0.8".parse().unwrap(),
+            "0.04:1.6,-0.64".parse().unwrap(),
+            "0.008:2.4,-1.92,0.512".parse().unwrap(),
+        ];
+        let expect = [638.5, 654.5, 670.5];
+        for (sig, &want) in sigs.iter().zip(&expect) {
+            let r = Rec.estimate(sig, 1 << 26, &d).unwrap();
+            let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
+            assert!((mb - want).abs() < 10.0, "order {}: {mb:.1} vs {want}", sig.order());
+        }
+    }
+
+    #[test]
+    fn rejects_what_the_paper_says_it_rejects() {
+        let hp: Signature<f32> = "0.9,-0.9:0.8".parse().unwrap();
+        assert!(Rec.supports(&hp, 100).is_err());
+        assert!(Rec.supports(&lp1(), (1 << 28) + 1).is_err()); // > 1 GB of f32
+        assert!(Rec.supports(&lp1(), 1 << 28).is_ok());
+    }
+}

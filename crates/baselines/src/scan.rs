@@ -1,0 +1,345 @@
+//! The Scan baseline: Blelloch's general recurrence-as-prefix-scan method.
+//!
+//! Blelloch (1990) showed every order-`k` linear recurrence can be computed
+//! by a prefix scan whose elements are `k×k` matrices paired with
+//! `k`-vectors, combined by matrix multiplication and matrix-vector
+//! addition. The paper implements the operator and runs it through CUB's
+//! scan; this module does the same on the machine model.
+//!
+//! Consequences the paper measures and this model reproduces:
+//!
+//! * **memory**: each element is stored as `k² + k` words, and the scan
+//!   keeps an input and an output copy — `2(k²+k)·n` words total, which is
+//!   1 / 3 / 6 GB for orders 1–3 at 2^26 words (Table 2) and caps the
+//!   largest runnable input (2^29 at order 1 on the 12 GB card);
+//! * **traffic**: the scan streams the expanded representation once in and
+//!   once out — `(k²+k)·n` words of cold read misses (Table 3);
+//! * **throughput**: about half of memcpy at order 1, worse at higher
+//!   orders (Figures 1–9).
+
+use crate::executor::RecurrenceExecutor;
+use crate::stream::{account_pass, estimate_pass, PassProfile};
+use plr_core::element::Element;
+use plr_core::error::EngineError;
+use plr_core::signature::Signature;
+use plr_core::serial;
+use plr_sim::timing::Workload;
+use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
+
+/// A scan element: `k×k` matrix (row-major) and `k`-vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatState<T> {
+    k: usize,
+    mat: Vec<T>,
+    vec: Vec<T>,
+}
+
+impl<T: Element> MatState<T> {
+    /// The element representing one input value `t` for the recurrence
+    /// `(1 : feedback…)`: the companion matrix and `t·e0`.
+    pub fn from_input(t: T, feedback: &[T]) -> Self {
+        let k = feedback.len();
+        let mut mat = vec![T::zero(); k * k];
+        // Row 0: the feedback coefficients; row i > 0: shift (y[i-1]).
+        mat[..k].copy_from_slice(feedback);
+        for i in 1..k {
+            mat[i * k + (i - 1)] = T::one();
+        }
+        let mut vec = vec![T::zero(); k];
+        vec[0] = t;
+        MatState { k, mat, vec }
+    }
+
+    /// The scan combine operator: `self ⊕ next` where `self` precedes
+    /// `next` in sequence order. `(M₁,v₁) ⊕ (M₂,v₂) = (M₂M₁, M₂v₁+v₂)`.
+    pub fn combine(&self, next: &MatState<T>) -> MatState<T> {
+        let k = self.k;
+        assert_eq!(k, next.k, "operands must share the order");
+        let mut mat = vec![T::zero(); k * k];
+        for i in 0..k {
+            for j in 0..k {
+                let mut acc = T::zero();
+                for l in 0..k {
+                    acc = acc.add(next.mat[i * k + l].mul(self.mat[l * k + j]));
+                }
+                mat[i * k + j] = acc;
+            }
+        }
+        let mut vec = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut acc = next.vec[i];
+            for l in 0..k {
+                acc = acc.add(next.mat[i * k + l].mul(self.vec[l]));
+            }
+            vec.push(acc);
+        }
+        MatState { k, mat, vec }
+    }
+
+    /// The recurrence output this state encodes (`y[i]` = first vector
+    /// component of the inclusive scan at position `i`).
+    pub fn output(&self) -> T {
+        self.vec[0]
+    }
+}
+
+/// The Scan executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scan;
+
+impl Scan {
+    const TILE: usize = 1024;
+    const THREADS: usize = 256;
+
+    /// Expanded words per element.
+    fn words_per_element(k: usize) -> u64 {
+        (k * k + k) as u64
+    }
+
+    fn profile<T: Element>(k: usize) -> PassProfile {
+        let w = Self::words_per_element(k) as f64;
+        PassProfile {
+            tile: Self::TILE,
+            // ~2 operator applications per element (reduce + scan), each
+            // k³ + k² multiply-adds.
+            flops_per_element: 2.0 * ((k * k * k) as f64 + (k * k) as f64),
+            // The big elements move through shared memory for the local
+            // scan.
+            shared_per_element: 2.0 * w,
+            shuffles_per_element: 0.0,
+            carry_words: (k * k + k),
+        }
+    }
+
+    fn expanded_bytes<T: Element>(k: usize, n: usize) -> u64 {
+        Self::words_per_element(k) * n as u64 * T::BYTES as u64
+    }
+
+    fn workload<T: Element>(k: usize, n: usize) -> Workload {
+        Workload {
+            threads_per_block: Self::THREADS,
+            // Paper: Scan "suffers from correspondingly higher register
+            // pressure" — the k×k matrices live in registers.
+            registers_per_thread: (32 + 8 * k * k).min(128),
+            exposed_hops: 16,
+            launches: 1,
+            ..Workload::new(n as u64, n.div_ceil(Self::TILE) as u64)
+        }
+    }
+}
+
+impl<T: Element> RecurrenceExecutor<T> for Scan {
+    fn name(&self) -> &'static str {
+        "Scan"
+    }
+
+    fn supports(&self, signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
+        let k = signature.order();
+        let needed = 2 * Scan::expanded_bytes::<T>(k, n);
+        let device = DeviceConfig::titan_x();
+        let budget = device.global_mem_bytes as u64 - device.context_overhead_bytes;
+        if needed > budget {
+            let max = (budget / (2 * Scan::words_per_element(k) * T::BYTES as u64)) as usize;
+            return Err(EngineError::InputTooLarge { len: n, max });
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        signature: &Signature<T>,
+        input: &[T],
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        self.supports(signature, input.len())?;
+        let n = input.len();
+        let k = signature.order();
+        check_budget::<T>(k, n, device)?;
+        let elem = T::BYTES as u64;
+        let w = Scan::words_per_element(k);
+
+        let mut mem = GlobalMemory::new(device.clone());
+        let src = mem.alloc(Scan::expanded_bytes::<T>(k, n), "expanded input");
+        let dst = mem.alloc(Scan::expanded_bytes::<T>(k, n), "expanded output");
+        let carry =
+            mem.alloc(4 + 64 * (Scan::words_per_element(k) + 1) * elem + 64 * 4, "tile state");
+        let profile = Scan::profile::<T>(k);
+        // One pass over the expanded representation: n·w words each way.
+        account_pass(&mut mem, src, dst, n * w as usize, elem, carry, &profile_scaled(&profile, w));
+
+        // Functional result: the actual matrix scan (map stage first).
+        let (fir, recursive) = signature.split();
+        let t = serial::fir_map(&fir, input);
+        let mut output = Vec::with_capacity(n);
+        let mut acc: Option<MatState<T>> = None;
+        for &ti in &t {
+            let e = MatState::from_input(ti, recursive.feedback());
+            let next = match &acc {
+                None => e,
+                Some(prev) => prev.combine(&e),
+            };
+            output.push(next.output());
+            acc = Some(next);
+        }
+
+        Ok(RunReport {
+            output,
+            counters: *mem.counters(),
+            workload: Scan::workload::<T>(k, n),
+            peak_bytes: mem.peak_bytes(),
+        })
+    }
+
+    fn estimate(
+        &self,
+        signature: &Signature<T>,
+        n: usize,
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        self.supports(signature, n)?;
+        let k = signature.order();
+        check_budget::<T>(k, n, device)?;
+        let elem = T::BYTES as u64;
+        let w = Scan::words_per_element(k);
+        let profile = Scan::profile::<T>(k);
+        let mut counters = estimate_pass(n * w as usize, elem, &profile_scaled(&profile, w));
+        counters.l2_read_miss_bytes = n as u64 * w * elem;
+        let peak = {
+            let mut mem = GlobalMemory::new(device.clone());
+            mem.alloc(Scan::expanded_bytes::<T>(k, n), "expanded input");
+            mem.alloc(Scan::expanded_bytes::<T>(k, n), "expanded output");
+            mem.alloc(4 + 64 * (w + 1) * elem + 64 * 4, "tile state");
+            mem.peak_bytes()
+        };
+        Ok(RunReport {
+            output: Vec::new(),
+            counters,
+            workload: Scan::workload::<T>(k, n),
+            peak_bytes: peak,
+        })
+    }
+}
+
+/// The expanded buffers must fit on the *actual* target device (supports()
+/// checks the reference Titan X).
+fn check_budget<T: Element>(k: usize, n: usize, device: &DeviceConfig) -> Result<(), EngineError> {
+    let needed = 2 * Scan::expanded_bytes::<T>(k, n) + (1 << 20);
+    if !device.fits(needed) {
+        return Err(EngineError::InputTooLarge {
+            len: n,
+            max: device.max_elements(2 * Scan::words_per_element(k) * T::BYTES as u64),
+        });
+    }
+    Ok(())
+}
+
+/// The pass streams `w` words per logical element; per-element costs are
+/// declared per logical element, so spread them across the expanded words.
+fn profile_scaled(p: &PassProfile, w: u64) -> PassProfile {
+    PassProfile {
+        tile: p.tile * w as usize,
+        flops_per_element: p.flops_per_element / w as f64,
+        shared_per_element: p.shared_per_element / w as f64,
+        shuffles_per_element: p.shuffles_per_element / w as f64,
+        carry_words: p.carry_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::validate::validate;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    #[test]
+    fn matrix_scan_computes_any_recurrence() {
+        let input: Vec<i64> = (0..500).map(|i| (i % 9) as i64 - 4).collect();
+        for text in ["1:1", "1:2,-1", "1:1,1", "1:3,-3,1", "1:0,1"] {
+            let sig: Signature<i64> = text.parse().unwrap();
+            let r = Scan.run(&sig, &input, &device()).unwrap();
+            validate(&serial::run(&sig, &input), &r.output, 0.0)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn matrix_scan_handles_fir_signatures_and_floats() {
+        let sig: Signature<f64> = "0.81,-1.62,0.81:1.6,-0.64".parse().unwrap();
+        let input: Vec<f64> = (0..300).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let r = Scan.run(&sig, &input, &device()).unwrap();
+        validate(&serial::run(&sig, &input), &r.output, 1e-3).unwrap();
+    }
+
+    #[test]
+    fn combine_is_associative() {
+        let fb = [2i64, -1];
+        let a = MatState::from_input(3, &fb);
+        let b = MatState::from_input(-4, &fb);
+        let c = MatState::from_input(5, &fb);
+        assert_eq!(a.combine(&b).combine(&c), a.combine(&b.combine(&c)));
+    }
+
+    #[test]
+    fn wrapping_arithmetic_stays_exact() {
+        // Two's-complement wrapping is a ring, so the matrix formulation
+        // agrees with serial even under overflow.
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let input = vec![i32::MAX, 1, 2, 3];
+        let r = Scan.run(&sig, &input, &device()).unwrap();
+        assert_eq!(r.output, serial::run(&sig, &input));
+    }
+
+    #[test]
+    fn memory_usage_matches_table_2() {
+        // Table 2 at 2^26 words: 1135.5 / 3188.8 / 6278.9 MB for orders 1-3.
+        let d = device();
+        let n = 1 << 26;
+        let expect = [1135.5, 3188.8, 6278.9];
+        for (k, &want) in (1..=3).zip(&expect) {
+            let sig = plr_core::prefix::higher_order_prefix_sum::<i32>(k);
+            let r = Scan.estimate(&sig, n, &d).unwrap();
+            let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
+            assert!(
+                (mb - want).abs() / want < 0.02,
+                "order {k}: modelled {mb:.1} MB vs paper {want} MB"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_misses_match_table_3() {
+        // Table 3 at 2^26 words: 512.3 / 1537.1 / 3074.1 MB for orders 1-3.
+        let d = device();
+        let n = 1usize << 26;
+        let expect = [512.3, 1537.1, 3074.1];
+        for (k, &want) in (1..=3).zip(&expect) {
+            let sig = plr_core::prefix::higher_order_prefix_sum::<i32>(k);
+            let r = Scan.estimate(&sig, n, &d).unwrap();
+            let mb = r.counters.l2_read_miss_bytes as f64 / (1024.0 * 1024.0);
+            assert!(
+                (mb - want).abs() / want < 0.02,
+                "order {k}: modelled {mb:.1} MB vs paper {want} MB"
+            );
+        }
+    }
+
+    #[test]
+    fn input_size_cap_matches_paper() {
+        // "it only supports problem sizes up to 2^29" (order 1, 12 GB).
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        assert!(Scan.supports(&sig, 1 << 29).is_ok());
+        assert!(matches!(
+            Scan.supports(&sig, 1 << 30),
+            Err(EngineError::InputTooLarge { .. })
+        ));
+        // Higher orders cap out much sooner.
+        let third = plr_core::prefix::higher_order_prefix_sum::<i32>(3);
+        assert!(matches!(
+            Scan.supports(&third, 1 << 28),
+            Err(EngineError::InputTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared accounting for single-pass chunked streaming kernels.
+//!
+//! CUB- and SAM-style scans all share the same skeleton: tiles are claimed
+//! through an atomic counter, read once, scanned locally, stitched together
+//! with decoupled look-back carries, and written once. The codes differ in
+//! tile geometry and in how much local arithmetic / shared-memory traffic
+//! each element costs — which is exactly what [`PassProfile`] captures.
+
+use plr_sim::memory::{BufferId, GlobalMemory};
+use plr_sim::Counters;
+
+/// Per-element and per-tile cost profile of one streaming pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassProfile {
+    /// Elements per tile (thread block).
+    pub tile: usize,
+    /// Arithmetic operations per element.
+    pub flops_per_element: f64,
+    /// Shared-memory accesses per element.
+    pub shared_per_element: f64,
+    /// Warp shuffles per element.
+    pub shuffles_per_element: f64,
+    /// Carry words exchanged per tile (written once, read once by the
+    /// successor's look-back).
+    pub carry_words: usize,
+}
+
+/// Accounts one streaming pass of `n` elements of `elem_bytes` from
+/// `src` to `dst`, tile by tile, through the memory model.
+pub fn account_pass(
+    mem: &mut GlobalMemory,
+    src: BufferId,
+    dst: BufferId,
+    n: usize,
+    elem_bytes: u64,
+    carry_buf: BufferId,
+    profile: &PassProfile,
+) {
+    let tiles = n.div_ceil(profile.tile);
+    let mut fractional = FractionalCounters::default();
+    for t in 0..tiles {
+        let start = t * profile.tile;
+        let len = profile.tile.min(n - start);
+        // Claim + read.
+        mem.atomic(carry_buf, 0, 4);
+        mem.read(src, start as u64 * elem_bytes, len as u64 * elem_bytes);
+        fractional.add(len, profile);
+        // Publish the tile aggregate/carry; successor reads it.
+        let cw = profile.carry_words as u64 * elem_bytes;
+        if cw > 0 {
+            let slot = 4 + (t as u64 % 64) * cw; // ring of 64 like CUB's
+            mem.write(carry_buf, slot, cw);
+            mem.fence();
+            mem.atomic(carry_buf, 4 + 64 * cw + (t as u64 % 64) * 4, 4);
+            if t > 0 {
+                mem.read(carry_buf, 4 + ((t - 1) as u64 % 64) * cw, cw);
+                mem.counters_mut().lookback_hops += 1;
+            }
+        }
+        mem.write(dst, start as u64 * elem_bytes, len as u64 * elem_bytes);
+    }
+    fractional.commit(mem.counters_mut());
+}
+
+/// Closed-form counters for the same pass (for large-`n` estimates):
+/// identical totals to [`account_pass`] except the L2 model, which the
+/// caller sets analytically.
+pub fn estimate_pass(n: usize, elem_bytes: u64, profile: &PassProfile) -> Counters {
+    let tiles = n.div_ceil(profile.tile) as u64;
+    let mut fractional = FractionalCounters::default();
+    fractional.add_n(n, profile);
+    let mut c = Counters::new();
+    fractional.commit(&mut c);
+    let cw = profile.carry_words as u64 * elem_bytes;
+    c.global_read_bytes = n as u64 * elem_bytes + cw * tiles.saturating_sub(1);
+    c.global_write_bytes = n as u64 * elem_bytes + cw * tiles;
+    c.atomics = tiles + if cw > 0 { tiles } else { 0 };
+    c.fences = if cw > 0 { tiles } else { 0 };
+    c.lookback_hops = if cw > 0 { tiles.saturating_sub(1) } else { 0 };
+    c
+}
+
+/// Accumulates fractional per-element costs exactly, committing integer
+/// totals (so `account_pass` and `estimate_pass` agree bit-for-bit).
+#[derive(Debug, Default)]
+struct FractionalCounters {
+    flops: f64,
+    shared: f64,
+    shuffles: f64,
+}
+
+impl FractionalCounters {
+    fn add(&mut self, len: usize, p: &PassProfile) {
+        self.add_n(len, p);
+    }
+
+    fn add_n(&mut self, n: usize, p: &PassProfile) {
+        self.flops += p.flops_per_element * n as f64;
+        self.shared += p.shared_per_element * n as f64;
+        self.shuffles += p.shuffles_per_element * n as f64;
+    }
+
+    fn commit(self, c: &mut Counters) {
+        c.flops += self.flops.round() as u64;
+        c.shared_accesses += self.shared.round() as u64;
+        c.shuffles += self.shuffles.round() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_sim::DeviceConfig;
+
+    fn profile() -> PassProfile {
+        PassProfile {
+            tile: 2048,
+            flops_per_element: 3.0,
+            shared_per_element: 2.0,
+            shuffles_per_element: 1.0,
+            carry_words: 1,
+        }
+    }
+
+    #[test]
+    fn account_and_estimate_agree_on_traffic() {
+        for n in [2048usize, 5000, 100_000] {
+            let mut mem = GlobalMemory::new(DeviceConfig::titan_x());
+            let src = mem.alloc(n as u64 * 4, "in");
+            let dst = mem.alloc(n as u64 * 4, "out");
+            let cb = mem.alloc(4 + 64 * 4 + 64 * 4, "carries");
+            let p = profile();
+            account_pass(&mut mem, src, dst, n, 4, cb, &p);
+            let est = estimate_pass(n, 4, &p);
+            let real = mem.counters();
+            assert_eq!(real.global_read_bytes, est.global_read_bytes, "n={n}");
+            assert_eq!(real.global_write_bytes, est.global_write_bytes, "n={n}");
+            assert_eq!(real.flops, est.flops, "n={n}");
+            assert_eq!(real.shared_accesses, est.shared_accesses, "n={n}");
+            assert_eq!(real.atomics, est.atomics, "n={n}");
+            assert_eq!(real.lookback_hops, est.lookback_hops, "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_tile_has_no_lookback() {
+        let est = estimate_pass(1000, 4, &profile());
+        assert_eq!(est.lookback_hops, 0);
+        assert_eq!(est.global_read_bytes, 4000);
+    }
+
+    #[test]
+    fn traffic_is_2n_plus_carries() {
+        let n = 100_000;
+        let est = estimate_pass(n, 4, &profile());
+        let tiles = n.div_ceil(2048) as u64;
+        assert_eq!(est.global_read_bytes, n as u64 * 4 + (tiles - 1) * 4);
+        assert_eq!(est.global_write_bytes, n as u64 * 4 + tiles * 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the baseline executors.
+
+use plr_baselines::executor::RecurrenceExecutor;
+use plr_baselines::scan::MatState;
+use plr_baselines::{Cub, Sam, Scan};
+use plr_core::serial;
+use plr_core::signature::Signature;
+use plr_sim::DeviceConfig;
+use proptest::prelude::*;
+
+fn feedback() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-3i64..=3, 1..4)
+        .prop_filter("trailing coefficient nonzero", |fb| fb.last() != Some(&0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matstate_combine_is_associative(
+        fb in feedback(),
+        a in -50i64..50,
+        b in -50i64..50,
+        c in -50i64..50,
+    ) {
+        let ea = MatState::from_input(a, &fb);
+        let eb = MatState::from_input(b, &fb);
+        let ec = MatState::from_input(c, &fb);
+        prop_assert_eq!(ea.combine(&eb).combine(&ec), ea.combine(&eb.combine(&ec)));
+    }
+
+    #[test]
+    fn scan_executor_matches_serial_for_any_signature(
+        fb in feedback(),
+        ff_extra in proptest::collection::vec(-2i64..=2, 0..3),
+        ff_last in prop_oneof![(-2i64..=-1), (1i64..=2)],
+        input in proptest::collection::vec(-20i64..20, 1..600),
+    ) {
+        let mut ff = ff_extra;
+        ff.push(ff_last);
+        let sig = Signature::new(ff, fb).unwrap();
+        let device = DeviceConfig::titan_x();
+        let report = Scan.run(&sig, &input, &device).unwrap();
+        prop_assert_eq!(report.output, serial::run(&sig, &input), "{}", &sig);
+    }
+
+    #[test]
+    fn prefix_family_executors_match_serial(
+        which in 0usize..3,
+        param in 1usize..5,
+        input in proptest::collection::vec(-20i64..20, 1..3000),
+    ) {
+        use plr_core::prefix;
+        let sig = match which {
+            0 => prefix::prefix_sum::<i64>(),
+            1 => prefix::tuple_prefix_sum::<i64>(param),
+            _ => prefix::higher_order_prefix_sum::<i64>(param),
+        };
+        let device = DeviceConfig::titan_x();
+        for exec in [&Cub as &dyn RecurrenceExecutor<i64>, &Sam as _] {
+            let report = exec.run(&sig, &input, &device).unwrap();
+            prop_assert_eq!(&report.output, &serial::run(&sig, &input),
+                "{} on {}", exec.name(), &sig);
+        }
+    }
+}

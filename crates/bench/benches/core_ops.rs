@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the core algorithm stages: n-nacci factor
+//! precomputation (the "offline" compile-time work the paper reports at
+//! ~10 ms), Phase 1 doubling, Phase 2 propagation, and the end-to-end
+//! single-threaded engine against the serial baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plr_core::engine::{CarryPropagation, Engine, EngineConfig, LocalSolve};
+use plr_core::nacci::CorrectionTable;
+use plr_core::signature::Signature;
+use plr_core::{phase1, phase2, serial};
+use std::hint::black_box;
+
+fn input(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64).wrapping_mul(0x9E3779B9) % 41) - 20).collect()
+}
+
+fn bench_factor_precompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nacci_precompute");
+    for (name, fb) in [
+        ("order1", vec![1i64]),
+        ("order2", vec![2, -1]),
+        ("order3", vec![3, -3, 1]),
+    ] {
+        // The paper's full chunk size for integer signatures.
+        g.bench_function(BenchmarkId::new(name, 11264), |b| {
+            b.iter(|| CorrectionTable::generate(black_box(&fb), 11264));
+        });
+    }
+    g.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = input(n);
+    let fb = [2i64, -1];
+    let m = 1024;
+    let table = CorrectionTable::generate(&fb, m);
+
+    let mut g = c.benchmark_group("phases");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("phase1_doubling_to_1024", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| phase1::run(&table, &mut d, m),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    let locals = {
+        let mut d = data.clone();
+        for chunk in d.chunks_mut(m) {
+            serial::recursive_in_place(&fb, chunk);
+        }
+        d
+    };
+    g.bench_function("phase2_sequential", |b| {
+        b.iter_batched(
+            || locals.clone(),
+            |mut d| phase2::propagate_sequential(&table, &mut d, m),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("phase2_decoupled", |b| {
+        b.iter_batched(
+            || locals.clone(),
+            |mut d| phase2::propagate_decoupled(&table, &mut d, m),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_engine_vs_serial(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = input(n);
+    let mut g = c.benchmark_group("engine_vs_serial_1M");
+    g.throughput(Throughput::Elements(n as u64));
+    for text in ["1:1", "1:2,-1", "1:3,-3,1"] {
+        let sig: Signature<i64> = text.parse().unwrap();
+        g.bench_function(BenchmarkId::new("serial", text), |b| {
+            b.iter(|| serial::run(black_box(&sig), black_box(&data)));
+        });
+        let engine = Engine::with_config(
+            sig,
+            EngineConfig {
+                chunk_size: 4096,
+                local_solve: LocalSolve::Serial,
+                carry_propagation: CarryPropagation::Decoupled,
+                flush_denormals: true,
+            },
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::new("engine_decoupled", text), |b| {
+            b.iter(|| engine.run(black_box(&data)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_factor_precompute, bench_phases, bench_engine_vs_serial);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the beyond-the-paper components: streaming
+//! state carrying, segmented recurrences, the tropical semiring, the batch
+//! runner, and recurrence composition.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use plr_core::signature::Signature;
+use plr_core::tropical::MaxPlus;
+use plr_core::{compose, filters, segmented, serial, stream, Element};
+use plr_parallel::BatchRunner;
+use std::hint::black_box;
+
+fn bench_streaming(c: &mut Criterion) {
+    let n = 1 << 20;
+    let input: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) * 0.25 - 2.0).collect();
+    let sig: Signature<f32> = "0.04:1.6,-0.64".parse().unwrap();
+    let mut g = c.benchmark_group("streaming_1M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    g.bench_function("whole", |b| {
+        b.iter(|| serial::run(black_box(&sig), black_box(&input)));
+    });
+    g.bench_function("blocks_of_4096", |b| {
+        b.iter(|| {
+            let mut state = stream::StreamState::new(sig.clone());
+            let mut out = Vec::with_capacity(n);
+            for block in input.chunks(4096) {
+                out.extend(state.process(block));
+            }
+            out
+        });
+    });
+    g.finish();
+}
+
+fn bench_segmented(c: &mut Criterion) {
+    let n = 1 << 20;
+    let input: Vec<i64> = (0..n).map(|i| (i % 9) as i64 - 4).collect();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let segments = segmented::Segments::uniform(1 << 12, n);
+    let mut g = c.benchmark_group("segmented_1M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    g.bench_function("serial", |b| {
+        b.iter(|| segmented::run_serial(black_box(&sig), &segments, black_box(&input)));
+    });
+    g.bench_function("chunked", |b| {
+        b.iter(|| {
+            segmented::run_chunked(black_box(&sig), &segments, black_box(&input), 1 << 10)
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_tropical(c: &mut Criterion) {
+    let n = 1 << 20;
+    let input: Vec<MaxPlus> =
+        (0..n).map(|i| MaxPlus::new(if i % 97 == 0 { 5.0 } else { 0.0 })).collect();
+    let sig = Signature::new(vec![MaxPlus::one()], vec![MaxPlus::new(-0.01)]).unwrap();
+    let mut g = c.benchmark_group("tropical_envelope_1M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    g.bench_function("serial", |b| {
+        b.iter(|| serial::run(black_box(&sig), black_box(&input)));
+    });
+    g.finish();
+}
+
+fn bench_batch_rows(c: &mut Criterion) {
+    let width = 1024;
+    let rows = 1024;
+    let sig: Signature<f32> = filters::low_pass(0.8, 2).cast();
+    let data: Vec<f32> = (0..width * rows).map(|i| ((i % 23) as f32) - 11.0).collect();
+    let mut g = c.benchmark_group("batch_rows_1024x1024");
+    g.throughput(Throughput::Elements((width * rows) as u64));
+    g.sample_size(15);
+    g.bench_function("batch_runner", |b| {
+        let runner = BatchRunner::new(sig.clone(), 0);
+        b.iter_batched(
+            || data.clone(),
+            |mut d| runner.run_rows(&mut d, width).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compose");
+    let lp = filters::low_pass(0.8, 1);
+    g.bench_function("power_5_stages", |b| {
+        b.iter(|| compose::power(black_box(&lp), 5));
+    });
+    let lp3 = filters::low_pass(0.8, 3);
+    g.bench_function("decompose_3rd_order", |b| {
+        b.iter(|| compose::decompose_stages(black_box(&lp3)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_streaming,
+    bench_segmented,
+    bench_tropical,
+    bench_batch_rows,
+    bench_composition
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks over the machine-model executors themselves:
+//! how long the simulator takes to functionally execute and account each
+//! code (useful for tracking the reproduction's own performance), plus the
+//! figure-generation pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plr_baselines::executor::RecurrenceExecutor;
+use plr_baselines::{Cub, Sam, Scan};
+use plr_bench::figures;
+use plr_bench::PlrExecutor;
+use plr_core::prefix;
+use plr_sim::DeviceConfig;
+use std::hint::black_box;
+
+fn bench_functional_executors(c: &mut Criterion) {
+    let device = DeviceConfig::titan_x();
+    let n = 1 << 18;
+    let input: Vec<i64> = (0..n).map(|i| (i % 13) as i64 - 6).collect();
+    let sig = prefix::higher_order_prefix_sum::<i64>(2);
+
+    let mut g = c.benchmark_group("simulated_execution_256K");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("plr", |b| {
+        b.iter(|| PlrExecutor::default().run(black_box(&sig), black_box(&input), &device));
+    });
+    g.bench_function("cub", |b| {
+        b.iter(|| Cub.run(black_box(&sig), black_box(&input), &device));
+    });
+    g.bench_function("sam", |b| {
+        b.iter(|| Sam.run(black_box(&sig), black_box(&input), &device));
+    });
+    g.bench_function("scan", |b| {
+        b.iter(|| Scan.run(black_box(&sig), black_box(&input), &device));
+    });
+    g.finish();
+}
+
+fn bench_figure_generation(c: &mut Criterion) {
+    let device = DeviceConfig::titan_x();
+    let mut g = c.benchmark_group("figure_generation");
+    g.sample_size(10);
+    for fig in [1usize, 4, 6, 10] {
+        g.bench_function(BenchmarkId::new("figure", fig), |b| {
+            b.iter(|| figures::figure(black_box(fig), &device));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_functional_executors, bench_figure_generation);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benchmarks for the real multithreaded runtime: wall-clock
+//! speedup of the chunked decoupled-look-back algorithm over the serial
+//! loop, across thread counts and recurrence types. This is the
+//! reproduction's genuine (non-modelled) parallel measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plr_core::serial;
+use plr_core::signature::Signature;
+use plr_parallel::{ParallelRunner, RunnerConfig, Strategy};
+use std::hint::black_box;
+
+fn int_input(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64).wrapping_mul(0x9E3779B9) % 41) - 20).collect()
+}
+
+fn float_input(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i % 17) as f32) * 0.25 - 2.0).collect()
+}
+
+fn bench_speedup_int(c: &mut Criterion) {
+    let n = 1 << 23; // 8M elements
+    let data = int_input(n);
+    let mut g = c.benchmark_group("parallel_order2_8M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(15);
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    g.bench_function("serial", |b| {
+        b.iter(|| serial::run(black_box(&sig), black_box(&data)));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let runner = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig { chunk_size: 1 << 16, threads, strategy: Strategy::default() },
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::new("plr", threads), |b| {
+            b.iter(|| runner.run(black_box(&data)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_speedup_filter(c: &mut Criterion) {
+    let n = 1 << 23;
+    let data = float_input(n);
+    let mut g = c.benchmark_group("parallel_lowpass2_8M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(15);
+    let sig: Signature<f32> = "0.04:1.6,-0.64".parse().unwrap();
+    g.bench_function("serial", |b| {
+        b.iter(|| serial::run(black_box(&sig), black_box(&data)));
+    });
+    for threads in [2usize, 8] {
+        let runner = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig { chunk_size: 1 << 16, threads, strategy: Strategy::default() },
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::new("plr", threads), |b| {
+            b.iter(|| runner.run(black_box(&data)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let n = 1 << 24; // 16M: bandwidth-bound on a CPU too
+    let data = int_input(n);
+    let mut g = c.benchmark_group("parallel_prefix_sum_16M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(15);
+    let sig: Signature<i64> = "1:1".parse().unwrap();
+    g.bench_function("serial", |b| {
+        b.iter(|| serial::run(black_box(&sig), black_box(&data)));
+    });
+    let runner = ParallelRunner::with_config(
+        sig,
+        RunnerConfig { chunk_size: 1 << 17, threads: 0, strategy: Strategy::default() },
+    )
+    .unwrap();
+    g.bench_function("plr_all_cores", |b| {
+        b.iter(|| runner.run(black_box(&data)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    // Look-back pipeline (single pass over the data, spins on carries) vs
+    // two-pass (barrier + sequential chain, touches the data twice).
+    let n = 1 << 23;
+    let data = int_input(n);
+    let mut g = c.benchmark_group("strategy_order2_8M");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(15);
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    for (name, strategy) in
+        [("lookback", Strategy::LookbackPipeline), ("two_pass", Strategy::TwoPass)]
+    {
+        let runner = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig { chunk_size: 1 << 16, threads: 0, strategy },
+        )
+        .unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| runner.run(black_box(&data)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_speedup_int,
+    bench_speedup_filter,
+    bench_prefix_sum,
+    bench_strategies
+);
+criterion_main!(benches);

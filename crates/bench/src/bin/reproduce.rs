@@ -1,0 +1,160 @@
+//! `reproduce` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce all                 # every figure and table, text to stdout
+//! reproduce fig1 fig10 table2   # selected items
+//! reproduce ablations           # design-choice sweeps (x, shared budget,
+//!                               # look-back delay, pipeline depth, device)
+//! reproduce all --csv out/      # additionally write CSV files
+//! ```
+
+use plr_bench::{figures, render, tables};
+use plr_sim::DeviceConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" {
+        eprintln!(
+            "usage: reproduce [all | fig1..fig10 | table1..table3 | ablations | verdict]... [--csv <dir>]\n\
+             regenerates the paper's evaluation artifacts on the machine model"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut items: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            items.push(a);
+        }
+    }
+    if items.iter().any(|i| i == "all") {
+        items = (1..=10)
+            .map(|f| format!("fig{f}"))
+            .chain((1..=3).map(|t| format!("table{t}")))
+            .collect();
+    }
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let device = DeviceConfig::titan_x();
+    println!("# PLR paper reproduction — modelled device: {}\n", device.name);
+    for item in &items {
+        let ok = emit(item, &device, csv_dir.as_deref());
+        if !ok {
+            eprintln!("unknown item `{item}` (fig1..fig10, table1..table3, all)");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(item: &str, device: &DeviceConfig, csv_dir: Option<&std::path::Path>) -> bool {
+    if let Some(num) = item.strip_prefix("fig").and_then(|s| s.parse::<usize>().ok()) {
+        if !(1..=10).contains(&num) {
+            return false;
+        }
+        let fig = figures::figure(num, device);
+        print!("{}", render::figure_text(&fig));
+        if let Some(dir) = csv_dir {
+            let path = dir.join(format!("fig{num}.csv"));
+            if let Err(e) = std::fs::write(&path, render::figure_csv(&fig)) {
+                eprintln!("cannot write {}: {e}", path.display());
+            } else {
+                println!("(csv written to {})", path.display());
+            }
+        }
+        return true;
+    }
+    if item == "ablations" {
+        emit_ablations(device, csv_dir);
+        return true;
+    }
+    if item == "verdict" {
+        let vs = plr_bench::claims::verdicts(device);
+        print!("{}", plr_bench::claims::render(&vs));
+        let failed = vs.iter().filter(|v| !v.pass).count();
+        println!("\n{} of {} headline claims reproduced", vs.len() - failed, vs.len());
+        return true;
+    }
+    if let Some(num) = item.strip_prefix("table").and_then(|s| s.parse::<usize>().ok()) {
+        let table = match num {
+            1 => tables::table1(),
+            2 => tables::table2(device),
+            3 => tables::table3(device),
+            _ => return false,
+        };
+        print!("{}", render::table_text(&table));
+        if let Some(dir) = csv_dir {
+            let path = dir.join(format!("table{num}.csv"));
+            let mut csv = String::from("row");
+            for c in &table.columns {
+                csv.push(',');
+                csv.push_str(c);
+            }
+            csv.push('\n');
+            for (label, cells) in &table.rows {
+                csv.push_str(label);
+                for cell in cells {
+                    csv.push(',');
+                    csv.push_str(cell);
+                }
+                csv.push('\n');
+            }
+            if std::fs::write(&path, csv).is_ok() {
+                println!("(csv written to {})", path.display());
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn emit_ablations(device: &DeviceConfig, csv_dir: Option<&std::path::Path>) {
+    use plr_bench::ablation;
+    use plr_core::prefix;
+
+    let figs = vec![
+        ablation::ablation_x(&prefix::prefix_sum::<i32>(), 1 << 24, device),
+        ablation::ablation_x(&prefix::higher_order_prefix_sum::<i32>(2), 1 << 24, device),
+        ablation::ablation_shared_budget(
+            &prefix::higher_order_prefix_sum::<i32>(2),
+            1 << 24,
+            device,
+        ),
+        ablation::ablation_lookback(&prefix::higher_order_prefix_sum::<i64>(2), 300_000, device),
+        ablation::ablation_pipeline_depth(&prefix::prefix_sum::<i32>(), 1 << 22, device),
+        ablation::ablation_phase1_only(device),
+    ];
+    for (i, fig) in figs.iter().enumerate() {
+        print!("{}", render::figure_text(fig));
+        if let Some(dir) = csv_dir {
+            let path = dir.join(format!("ablation{}.csv", i + 1));
+            let _ = std::fs::write(&path, render::figure_csv(fig));
+        }
+        println!();
+    }
+    println!("Device sensitivity (Figure 1 series on a second GPU model):");
+    for (name, fig) in ablation::device_sensitivity() {
+        println!("--- {name} ---");
+        print!("{}", render::figure_text(&fig));
+        println!();
+    }
+}

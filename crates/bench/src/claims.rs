@@ -1,0 +1,187 @@
+//! Machine-checkable verdicts on the paper's headline claims.
+//!
+//! `reproduce verdict` evaluates each claim against the regenerated data
+//! and prints PASS/FAIL with the measured evidence — the executive summary
+//! of EXPERIMENTS.md, computed live.
+
+use crate::figures::{self, value_at, Figure};
+use crate::tables;
+use plr_sim::DeviceConfig;
+
+/// The outcome of checking one claim.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Short claim name.
+    pub claim: String,
+    /// Where the paper states it.
+    pub source: String,
+    /// `true` when the reproduction supports the claim.
+    pub pass: bool,
+    /// The measured evidence (or the discrepancy).
+    pub evidence: String,
+}
+
+fn series<'a>(fig: &'a Figure, name: &str) -> &'a figures::Series {
+    fig.series.iter().find(|s| s.name == name).expect("series present")
+}
+
+/// Evaluates every headline claim. Slow-ish (regenerates several figures);
+/// intended for the CLI, with the same checks enforced as unit tests.
+pub fn verdicts(device: &DeviceConfig) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    let n = 1usize << 30;
+
+    let fig1 = figures::figure(1, device);
+    let at = |fig: &Figure, name: &str, n: usize| value_at(series(fig, name), n);
+
+    {
+        let mc = at(&fig1, "memcpy", n).unwrap();
+        let plr = at(&fig1, "PLR", n).unwrap();
+        out.push(Verdict {
+            claim: "prefix sums reach memory-copy throughput".into(),
+            source: "abstract / §6.1.1".into(),
+            pass: plr > 0.95 * mc,
+            evidence: format!("PLR {plr:.1} vs memcpy {mc:.1} Gword/s at 2^30"),
+        });
+        let scan = at(&fig1, "Scan", 1 << 29).unwrap();
+        let mc29 = at(&fig1, "memcpy", 1 << 29).unwrap();
+        out.push(Verdict {
+            claim: "Scan delivers about half the throughput".into(),
+            source: "§6.1.1".into(),
+            pass: (0.35..0.6).contains(&(scan / mc29)),
+            evidence: format!("Scan/memcpy = {:.2} at 2^29", scan / mc29),
+        });
+    }
+
+    {
+        let fig2 = figures::figure(2, device);
+        let plr = at(&fig2, "PLR", n).unwrap();
+        let best = at(&fig2, "CUB", n).unwrap().max(at(&fig2, "SAM", n).unwrap());
+        let adv = plr / best - 1.0;
+        out.push(Verdict {
+            claim: "PLR ~30% faster on 2-tuples at long sequences".into(),
+            source: "§6.1.2".into(),
+            pass: (0.20..0.40).contains(&adv),
+            evidence: format!("advantage {:.0}%", adv * 100.0),
+        });
+    }
+
+    {
+        let fig4 = figures::figure(4, device);
+        let sam = at(&fig4, "SAM", n).unwrap();
+        let plr = at(&fig4, "PLR", n).unwrap();
+        let cub = at(&fig4, "CUB", n).unwrap();
+        out.push(Verdict {
+            claim: "order 2: SAM > PLR > CUB, SAM ~50% ahead".into(),
+            source: "§6.1.3".into(),
+            pass: sam > plr && plr > cub && (0.35..0.65).contains(&(sam / plr - 1.0)),
+            evidence: format!("SAM {sam:.1} / PLR {plr:.1} / CUB {cub:.1}"),
+        });
+    }
+
+    {
+        let fig6 = figures::figure(6, device);
+        let cross = (14..=28).find(|&p| {
+            let nn = 1usize << p;
+            match (at(&fig6, "PLR", nn), at(&fig6, "Rec", nn)) {
+                (Some(a), Some(b)) => a > b,
+                _ => false,
+            }
+        });
+        out.push(Verdict {
+            claim: "PLR overtakes Rec near the L2 capacity (~1M)".into(),
+            source: "§6.5".into(),
+            pass: matches!(cross, Some(p) if (18..=21).contains(&p)),
+            evidence: match cross {
+                Some(p) => format!("crossover at 2^{p}"),
+                None => "no crossover found".into(),
+            },
+        });
+    }
+
+    {
+        let t3 = tables::table3(device);
+        let col = |name: &str| t3.columns.iter().position(|c| c == name).unwrap();
+        let plr: f64 = t3.rows[0].1[col("PLR")].parse().unwrap();
+        let alg3: f64 = t3.rows[0].1[col("Alg3")].parse().unwrap();
+        out.push(Verdict {
+            claim: "PLR only pays cold misses; Alg3 reads the input twice".into(),
+            source: "§6.5 / Table 3".into(),
+            pass: (255.0..258.0).contains(&plr) && alg3 > 500.0,
+            evidence: format!("PLR {plr:.1} MB, Alg3 {alg3:.1} MB at 2^26 words"),
+        });
+        let t2 = tables::table2(device);
+        let col2 = |name: &str| t2.columns.iter().position(|c| c == name).unwrap();
+        let scan3: f64 = t2.rows[2].1[col2("Scan")].parse().unwrap();
+        out.push(Verdict {
+            claim: "Scan needs 6 GB at order 3 (O(nk²) memory)".into(),
+            source: "§6.4 / Table 2".into(),
+            pass: (6000.0..6400.0).contains(&scan3),
+            evidence: format!("Scan order-3 peak {scan3:.1} MB"),
+        });
+    }
+
+    {
+        let fig10 = figures::figure(10, device);
+        let on = &fig10.series[0];
+        let off = &fig10.series[1];
+        let all_help = on.points.iter().zip(&off.points).all(|(a, b)| a.1 >= b.1 * 0.999);
+        let order2_gain = {
+            let i = 3; // catalog index of order2
+            on.points[i].1 / off.points[i].1 - 1.0
+        };
+        out.push(Verdict {
+            claim: "optimizations help everywhere, only ~3% on higher orders".into(),
+            source: "§6.3 / Figure 10".into(),
+            pass: all_help && order2_gain < 0.10,
+            evidence: format!("order-2 gain {:.0}%", order2_gain * 100.0),
+        });
+    }
+
+    out
+}
+
+/// Renders verdicts as a fixed-width table.
+pub fn render(verdicts: &[Verdict]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<6} {:<55} {:<18} evidence", "", "claim", "source");
+    for v in verdicts {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<55} {:<18} {}",
+            if v.pass { "PASS" } else { "FAIL" },
+            v.claim,
+            v.source,
+            v.evidence
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_headline_claim_passes() {
+        let vs = verdicts(&DeviceConfig::titan_x());
+        assert!(vs.len() >= 7);
+        for v in &vs {
+            assert!(v.pass, "claim failed: {} ({}) — {}", v.claim, v.source, v.evidence);
+        }
+    }
+
+    #[test]
+    fn rendering_is_tabular() {
+        let vs = vec![Verdict {
+            claim: "c".into(),
+            source: "s".into(),
+            pass: true,
+            evidence: "e".into(),
+        }];
+        let text = render(&vs);
+        assert!(text.contains("PASS"));
+        assert!(text.contains("evidence"));
+    }
+}

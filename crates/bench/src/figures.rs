@@ -1,0 +1,327 @@
+//! Generation of every figure from the paper's evaluation section.
+//!
+//! Each figure is a set of throughput-vs-input-size series (Figures 1–9)
+//! or an optimization on/off bar pair per recurrence (Figure 10). Series
+//! use the executors' cost estimates on the machine model; sizes sweep
+//! `2^14 … 2^30` in powers of two, exactly as in the paper. An executor
+//! that cannot run a size (memory cap, unsupported signature) simply has
+//! no point there — visible in the paper's plots as series that end early.
+
+use crate::plr_exec::PlrExecutor;
+use plr_baselines::executor::RecurrenceExecutor;
+use plr_baselines::{memcpy, Alg3, Cub, Rec, Sam, Scan};
+use plr_core::element::Element;
+use plr_core::signature::Signature;
+use plr_core::{filters, prefix};
+use plr_sim::{CostModel, DeviceConfig};
+
+/// The paper's size sweep: 2^14 … 2^30 words.
+pub fn size_sweep() -> Vec<usize> {
+    (14..=30).map(|p| 1usize << p).collect()
+}
+
+/// One throughput series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Executor name ("memcpy", "CUB", …).
+    pub name: String,
+    /// `(n, billions of words per second)` points; unsupported sizes are
+    /// absent.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// One figure: a title and its series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// e.g. `"Figure 1. Prefix-sum throughput"`.
+    pub title: String,
+    /// Sizes swept (x-axis).
+    pub sizes: Vec<usize>,
+    /// Optional custom x-axis labels (Figure 10 labels recurrences, not
+    /// sizes); when `None`, sizes are rendered as powers of two.
+    pub xlabels: Option<Vec<String>>,
+    /// The series in the paper's legend order.
+    pub series: Vec<Series>,
+}
+
+fn throughput_series<T: Element>(
+    name: &str,
+    exec: &dyn RecurrenceExecutor<T>,
+    sig: &Signature<T>,
+    sizes: &[usize],
+    device: &DeviceConfig,
+) -> Series {
+    let model = CostModel::new(device.clone());
+    let points = sizes
+        .iter()
+        .filter_map(|&n| {
+            exec.estimate(sig, n, device).ok().map(|r| (n, r.throughput(&model) / 1e9))
+        })
+        .collect();
+    Series { name: name.to_owned(), points }
+}
+
+fn memcpy_series<T: Element>(sizes: &[usize], device: &DeviceConfig) -> Series {
+    let model = CostModel::new(device.clone());
+    let points = sizes
+        .iter()
+        .filter(|&&n| memcpy::fits::<T>(n, device))
+        .map(|&n| (n, memcpy::estimate::<T>(n, device).throughput(&model) / 1e9))
+        .collect();
+    Series { name: "memcpy".to_owned(), points }
+}
+
+/// Figures 1–5: integer prefix-sum figures (memcpy, CUB, SAM, Scan, PLR).
+fn integer_figure(title: &str, sig: Signature<i32>, device: &DeviceConfig) -> Figure {
+    let sizes = size_sweep();
+    let series = vec![
+        memcpy_series::<i32>(&sizes, device),
+        throughput_series("CUB", &Cub, &sig, &sizes, device),
+        throughput_series("SAM", &Sam, &sig, &sizes, device),
+        throughput_series("Scan", &Scan, &sig, &sizes, device),
+        throughput_series("PLR", &PlrExecutor::default(), &sig, &sizes, device),
+    ];
+    Figure { title: title.to_owned(), sizes, xlabels: None, series }
+}
+
+/// Figures 6–8: float filter figures (memcpy, Alg3, Rec, Scan, PLR).
+fn filter_figure(title: &str, sig: Signature<f64>, device: &DeviceConfig) -> Figure {
+    let sizes = size_sweep();
+    let sig32: Signature<f32> = sig.cast();
+    let series = vec![
+        memcpy_series::<f32>(&sizes, device),
+        throughput_series("Alg3", &Alg3, &sig32, &sizes, device),
+        throughput_series("Rec", &Rec, &sig32, &sizes, device),
+        throughput_series("Scan", &Scan, &sig32, &sizes, device),
+        throughput_series("PLR", &PlrExecutor::default(), &sig32, &sizes, device),
+    ];
+    Figure { title: title.to_owned(), sizes, xlabels: None, series }
+}
+
+/// Generates one of the paper's figures by number (1–10).
+///
+/// # Panics
+///
+/// Panics for figure numbers outside 1–10.
+pub fn figure(number: usize, device: &DeviceConfig) -> Figure {
+    match number {
+        1 => integer_figure("Figure 1. Prefix-sum throughput", prefix::prefix_sum(), device),
+        2 => integer_figure(
+            "Figure 2. Two-tuple prefix-sum throughput",
+            prefix::tuple_prefix_sum(2),
+            device,
+        ),
+        3 => integer_figure(
+            "Figure 3. Three-tuple prefix-sum throughput",
+            prefix::tuple_prefix_sum(3),
+            device,
+        ),
+        4 => integer_figure(
+            "Figure 4. Second-order prefix-sum throughput",
+            prefix::higher_order_prefix_sum(2),
+            device,
+        ),
+        5 => integer_figure(
+            "Figure 5. Third-order prefix-sum throughput",
+            prefix::higher_order_prefix_sum(3),
+            device,
+        ),
+        6 => filter_figure(
+            "Figure 6. 1-stage low-pass filter throughput",
+            filters::low_pass(0.8, 1),
+            device,
+        ),
+        7 => filter_figure(
+            "Figure 7. 2-stage low-pass filter throughput",
+            filters::low_pass(0.8, 2),
+            device,
+        ),
+        8 => filter_figure(
+            "Figure 8. 3-stage low-pass filter throughput",
+            filters::low_pass(0.8, 3),
+            device,
+        ),
+        9 => figure9(device),
+        10 => figure10(device),
+        other => panic!("the paper has figures 1-10, not {other}"),
+    }
+}
+
+/// Figure 9: high-pass filters — memcpy, Scan on the 1-stage filter, and
+/// PLR on all three stages.
+fn figure9(device: &DeviceConfig) -> Figure {
+    let sizes = size_sweep();
+    let hp = |stages| -> Signature<f32> { filters::high_pass(0.8, stages).cast() };
+    let series = vec![
+        memcpy_series::<f32>(&sizes, device),
+        throughput_series("Scan1", &Scan, &hp(1), &sizes, device),
+        throughput_series("PLR1", &PlrExecutor::default(), &hp(1), &sizes, device),
+        throughput_series("PLR2", &PlrExecutor::default(), &hp(2), &sizes, device),
+        throughput_series("PLR3", &PlrExecutor::default(), &hp(3), &sizes, device),
+    ];
+    Figure { title: "Figure 9. High-pass filter throughput".to_owned(), sizes, xlabels: None, series }
+}
+
+/// Figure 10: PLR throughput with and without the correction-factor
+/// optimizations, for all eleven Table 1 recurrences at the largest input.
+fn figure10(device: &DeviceConfig) -> Figure {
+    let n = 1usize << 30;
+    let model = CostModel::new(device.clone());
+    let mut on = Series { name: "optimizations on".to_owned(), points: Vec::new() };
+    let mut off = Series { name: "optimizations off".to_owned(), points: Vec::new() };
+    let mut sizes = Vec::new();
+    let mut xlabels = Vec::new();
+    for (idx, entry) in prefix::catalog().iter().enumerate() {
+        let (t_on, t_off) = if entry.integral {
+            let sig: Signature<i32> = entry.signature.cast();
+            (
+                PlrExecutor::default().estimate(&sig, n, device).unwrap().throughput(&model),
+                PlrExecutor::unoptimized().estimate(&sig, n, device).unwrap().throughput(&model),
+            )
+        } else {
+            let sig: Signature<f32> = entry.signature.cast();
+            (
+                PlrExecutor::default().estimate(&sig, n, device).unwrap().throughput(&model),
+                PlrExecutor::unoptimized().estimate(&sig, n, device).unwrap().throughput(&model),
+            )
+        };
+        // x-axis is the catalog index rather than a size sweep.
+        sizes.push(idx);
+        xlabels.push(entry.id.to_owned());
+        on.points.push((idx, t_on / 1e9));
+        off.points.push((idx, t_off / 1e9));
+    }
+    Figure {
+        title: "Figure 10. PLR throughput with and without optimizations (n = 2^30)".to_owned(),
+        sizes,
+        xlabels: Some(xlabels),
+        series: vec![on, off],
+    }
+}
+
+/// Convenience: the value of `series` at size `n`, if present.
+pub fn value_at(series: &Series, n: usize) -> Option<f64> {
+    series.points.iter().find(|(size, _)| *size == n).map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    fn series<'a>(fig: &'a Figure, name: &str) -> &'a Series {
+        fig.series.iter().find(|s| s.name == name).unwrap_or_else(|| {
+            panic!("{} has series {:?}", fig.title, fig.series.iter().map(|s| &s.name).collect::<Vec<_>>())
+        })
+    }
+
+    #[test]
+    fn fig1_everyone_reaches_memcpy_except_scan() {
+        // Paper Section 6.1.1: CUB, SAM and PLR all reach the memory-copy
+        // throughput on large prefix sums; Scan delivers about half.
+        let fig = figure(1, &device());
+        let n = 1 << 29; // largest size Scan still supports
+        let mc = value_at(series(&fig, "memcpy"), n).unwrap();
+        for name in ["CUB", "SAM", "PLR"] {
+            let v = value_at(series(&fig, name), n).unwrap();
+            assert!(v > 0.85 * mc, "{name}: {v:.1} vs memcpy {mc:.1}");
+        }
+        let scan = value_at(series(&fig, "Scan"), n).unwrap();
+        assert!(scan < 0.6 * mc && scan > 0.35 * mc, "Scan {scan:.1} vs memcpy {mc:.1}");
+    }
+
+    #[test]
+    fn fig1_scan_stops_at_2_pow_29() {
+        let fig = figure(1, &device());
+        assert!(value_at(series(&fig, "Scan"), 1 << 29).is_some());
+        assert!(value_at(series(&fig, "Scan"), 1 << 30).is_none());
+    }
+
+    #[test]
+    fn fig2_plr_beats_cub_and_sam_on_large_tuples() {
+        // Paper: on 2-tuples PLR is ~30% faster than the other two codes
+        // for long sequences.
+        let fig = figure(2, &device());
+        let n = 1 << 30;
+        let plr = value_at(series(&fig, "PLR"), n).unwrap();
+        for name in ["CUB", "SAM"] {
+            let v = value_at(series(&fig, name), n).unwrap();
+            assert!(plr > 1.1 * v, "PLR {plr:.1} should beat {name} {v:.1} clearly");
+        }
+    }
+
+    #[test]
+    fn fig4_sam_beats_plr_beats_cub_on_higher_order() {
+        // Paper Section 6.1.3: SAM highest, PLR middle, CUB lowest
+        // (ignoring Scan) on second-order prefix sums at large sizes.
+        let fig = figure(4, &device());
+        let n = 1 << 30;
+        let sam = value_at(series(&fig, "SAM"), n).unwrap();
+        let plr = value_at(series(&fig, "PLR"), n).unwrap();
+        let cub = value_at(series(&fig, "CUB"), n).unwrap();
+        assert!(sam > plr, "SAM {sam:.1} vs PLR {plr:.1}");
+        assert!(plr > cub, "PLR {plr:.1} vs CUB {cub:.1}");
+    }
+
+    #[test]
+    fn fig6_plr_overtakes_rec_beyond_the_l2() {
+        // Paper Section 6.5: PLR starts outperforming Rec at ~1M entries,
+        // the smallest size exceeding the L2 capacity.
+        let fig = figure(6, &device());
+        let big = 1 << 24;
+        let plr = value_at(series(&fig, "PLR"), big).unwrap();
+        let rec = value_at(series(&fig, "Rec"), big).unwrap();
+        assert!(plr > rec, "at 2^24: PLR {plr:.1} vs Rec {rec:.1}");
+    }
+
+    #[test]
+    fn fig6_alg3_and_rec_stop_at_their_caps() {
+        let fig = figure(6, &device());
+        assert!(value_at(series(&fig, "Alg3"), 1 << 29).is_some()); // 2 GB of f32
+        assert!(value_at(series(&fig, "Alg3"), 1 << 30).is_none());
+        assert!(value_at(series(&fig, "Rec"), 1 << 28).is_some()); // 1 GB of f32
+        assert!(value_at(series(&fig, "Rec"), 1 << 29).is_none());
+    }
+
+    #[test]
+    fn fig9_throughput_decreases_with_stages() {
+        let fig = figure(9, &device());
+        let n = 1 << 28;
+        let p1 = value_at(series(&fig, "PLR1"), n).unwrap();
+        let p2 = value_at(series(&fig, "PLR2"), n).unwrap();
+        let p3 = value_at(series(&fig, "PLR3"), n).unwrap();
+        assert!(p1 >= p2 && p2 >= p3, "stages should not speed things up: {p1:.1} {p2:.1} {p3:.1}");
+    }
+
+    #[test]
+    fn fig10_optimizations_never_hurt() {
+        let fig = figure(10, &device());
+        let on = &fig.series[0];
+        let off = &fig.series[1];
+        for (a, b) in on.points.iter().zip(&off.points) {
+            assert!(a.1 >= b.1 * 0.999, "catalog entry {}: on {:.2} vs off {:.2}", a.0, a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn every_series_ramps_up_with_size() {
+        // Throughput must grow (weakly) from the smallest to the largest
+        // supported size for every series of figures 1-9.
+        for f in 1..=9 {
+            let fig = figure(f, &device());
+            for s in &fig.series {
+                let first = s.points.first().unwrap().1;
+                let last = s.points.last().unwrap().1;
+                assert!(
+                    last > first,
+                    "{} / {}: no ramp ({first:.2} -> {last:.2})",
+                    fig.title,
+                    s.name
+                );
+            }
+        }
+    }
+}

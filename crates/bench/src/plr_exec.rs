@@ -1,0 +1,115 @@
+//! PLR wrapped in the common executor interface used by the harness.
+
+use plr_codegen::exec::{self, ExecOptions};
+use plr_codegen::lower::{lower, LowerOptions};
+use plr_codegen::plan::Optimizations;
+use plr_core::element::Element;
+use plr_core::error::EngineError;
+use plr_core::signature::Signature;
+use plr_baselines::executor::RecurrenceExecutor;
+use plr_sim::{DeviceConfig, RunReport};
+
+/// Maximum supported input: 4 GB of words (paper Section 3).
+const MAX_LEN: usize = 1 << 30;
+
+/// The PLR executor: compile (lower) per input size, then run/estimate on
+/// the machine model.
+#[derive(Debug, Clone, Copy)]
+pub struct PlrExecutor {
+    /// Optimization toggles (Figure 10 compares all-on vs all-off).
+    pub opts: Optimizations,
+}
+
+impl Default for PlrExecutor {
+    fn default() -> Self {
+        PlrExecutor { opts: Optimizations::all() }
+    }
+}
+
+impl PlrExecutor {
+    /// The all-optimizations-off variant for Figure 10.
+    pub fn unoptimized() -> Self {
+        PlrExecutor { opts: Optimizations::none() }
+    }
+
+    fn lower_options(&self) -> LowerOptions {
+        LowerOptions { opts: self.opts, ..Default::default() }
+    }
+}
+
+/// PLR needs the input and output arrays plus a few MB of factor/carry
+/// buffers; reject inputs whose buffers exceed the device memory.
+fn check_device_budget<T: Element>(n: usize, device: &DeviceConfig) -> Result<(), EngineError> {
+    let buffers = 2 * n as u64 * T::BYTES as u64 + (4 << 20);
+    if !device.fits(buffers) {
+        return Err(EngineError::InputTooLarge {
+            len: n,
+            max: device.max_elements(2 * T::BYTES as u64),
+        });
+    }
+    Ok(())
+}
+
+impl<T: Element> RecurrenceExecutor<T> for PlrExecutor {
+    fn name(&self) -> &'static str {
+        if self.opts == Optimizations::none() {
+            "PLR (no opt)"
+        } else {
+            "PLR"
+        }
+    }
+
+    fn supports(&self, _signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
+        if n > MAX_LEN {
+            return Err(EngineError::InputTooLarge { len: n, max: MAX_LEN });
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        signature: &Signature<T>,
+        input: &[T],
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        RecurrenceExecutor::<T>::supports(self, signature, input.len())?;
+        check_device_budget::<T>(input.len(), device)?;
+        let plan = lower(signature, input.len(), device, &self.lower_options());
+        Ok(exec::execute(&plan, input, device, &ExecOptions::default()))
+    }
+
+    fn estimate(
+        &self,
+        signature: &Signature<T>,
+        n: usize,
+        device: &DeviceConfig,
+    ) -> Result<RunReport<T>, EngineError> {
+        RecurrenceExecutor::<T>::supports(self, signature, n)?;
+        check_device_budget::<T>(n, device)?;
+        let plan = lower(signature, n, device, &self.lower_options());
+        Ok(exec::estimate(&plan, n, device, &ExecOptions::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::{serial, validate::validate};
+
+    #[test]
+    fn behaves_like_the_direct_codegen_path() {
+        let device = DeviceConfig::titan_x();
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let input: Vec<i64> = (0..20_000).map(|i| (i % 9) as i64 - 4).collect();
+        let r = PlrExecutor::default().run(&sig, &input, &device).unwrap();
+        validate(&serial::run(&sig, &input), &r.output, 0.0).unwrap();
+    }
+
+    #[test]
+    fn caps_at_2_pow_30() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let e = PlrExecutor::default();
+        assert!(RecurrenceExecutor::<i32>::supports(&e, &sig, 1 << 30).is_ok());
+        assert!(RecurrenceExecutor::<i32>::supports(&e, &sig, (1 << 30) + 1).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text and CSV rendering of figures and tables.
+
+use crate::figures::Figure;
+use crate::tables::Table;
+use std::fmt::Write as _;
+
+/// Renders a figure as a fixed-width text table (sizes × series).
+pub fn figure_text(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fig.title);
+    let _ = writeln!(out, "(throughput in billion words per second)");
+    let _ = write!(out, "{:>12}", "n");
+    for s in &fig.series {
+        let _ = write!(out, "{:>18}", s.name);
+    }
+    let _ = writeln!(out);
+    for (idx, &n) in fig.sizes.iter().enumerate() {
+        let label = match &fig.xlabels {
+            Some(labels) => labels[idx].clone(),
+            None => format_size(n),
+        };
+        let _ = write!(out, "{:>12}", label);
+        for s in &fig.series {
+            match s.points.iter().find(|(size, _)| *size == n) {
+                Some((_, v)) => {
+                    let _ = write!(out, "{:>18.2}", v);
+                }
+                None => {
+                    let _ = write!(out, "{:>18}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a figure as CSV (`n,series1,series2,…`).
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "n");
+    for s in &fig.series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    let _ = writeln!(out);
+    for &n in &fig.sizes {
+        let _ = write!(out, "{n}");
+        for s in &fig.series {
+            match s.points.iter().find(|(size, _)| *size == n) {
+                Some((_, v)) => {
+                    let _ = write!(out, ",{v:.4}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a table as fixed-width text.
+pub fn table_text(table: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", table.title);
+    let label_width = table
+        .rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let col_width = table
+        .columns
+        .iter()
+        .map(|c| c.len())
+        .chain(table.rows.iter().flat_map(|(_, cells)| cells.iter().map(|c| c.len())))
+        .max()
+        .unwrap_or(8)
+        + 2;
+    let _ = write!(out, "{:>label_width$}", "");
+    for c in &table.columns {
+        let _ = write!(out, "{c:>col_width$}");
+    }
+    let _ = writeln!(out);
+    for (label, cells) in &table.rows {
+        let _ = write!(out, "{label:>label_width$}");
+        for cell in cells {
+            let _ = write!(out, "{cell:>col_width$}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Formats a size as a power of two when exact (`2^20`), decimal otherwise.
+fn format_size(n: usize) -> String {
+    if n.is_power_of_two() {
+        format!("2^{}", n.trailing_zeros())
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn tiny_figure() -> Figure {
+        Figure {
+            title: "Figure T".to_owned(),
+            sizes: vec![16, 32],
+            xlabels: None,
+            series: vec![
+                Series { name: "a".into(), points: vec![(16, 1.0), (32, 2.0)] },
+                Series { name: "b".into(), points: vec![(32, 3.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_rendering_marks_missing_points() {
+        let txt = figure_text(&tiny_figure());
+        assert!(txt.contains("Figure T"));
+        assert!(txt.contains('-'), "missing point must render as -:\n{txt}");
+        assert!(txt.contains("2^4"));
+    }
+
+    #[test]
+    fn csv_has_header_and_gaps() {
+        let csv = figure_csv(&tiny_figure());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "n,a,b");
+        assert_eq!(lines.next().unwrap(), "16,1.0000,");
+        assert_eq!(lines.next().unwrap(), "32,2.0000,3.0000");
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = Table {
+            title: "T".into(),
+            columns: vec!["x".into(), "yyyy".into()],
+            rows: vec![("r1".into(), vec!["1".into(), "2".into()])],
+        };
+        let txt = table_text(&t);
+        assert!(txt.contains("yyyy"));
+        assert!(txt.contains("r1"));
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(format_size(1 << 14), "2^14");
+        assert_eq!(format_size(100), "100");
+    }
+}

@@ -1,0 +1,224 @@
+//! Generation of the paper's tables.
+//!
+//! * Table 1 — the signature catalog (plr-core's `prefix::catalog`);
+//! * Table 2 — total GPU memory usage at 67,108,864 words (2^26), orders
+//!   1–3, for PLR, CUB, SAM, Scan, Alg3, Rec, and memcpy;
+//! * Table 3 — L2 read misses (in MB) for the same runs.
+//!
+//! The paper notes both metrics depend only on the recurrence order, not
+//! the coefficients or the data type — so order-`k` prefix sums stand in
+//! for the prefix-family codes and `k`-stage low-pass filters for the
+//! image-filtering codes, exactly as the paper's table rows do.
+
+use crate::plr_exec::PlrExecutor;
+use plr_baselines::executor::RecurrenceExecutor;
+use plr_baselines::{memcpy, Alg3, Cub, Rec, Sam, Scan};
+use plr_core::signature::Signature;
+use plr_core::{filters, prefix};
+use plr_sim::DeviceConfig;
+
+/// The input size of Tables 2 and 3.
+pub const TABLE_N: usize = 1 << 26;
+
+/// One rendered table: column names plus rows of cells (first cell is the
+/// row label; `"-"` marks unsupported combinations).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row label + one cell per column.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+/// Table 1: the signature catalog.
+pub fn table1() -> Table {
+    let rows = prefix::catalog()
+        .into_iter()
+        .map(|e| {
+            // Display through f32, which rounds the exact cascade products
+            // back to the paper's tidy coefficients.
+            let display: Signature<f32> = e.signature.cast();
+            (display.to_string(), vec![e.description.to_owned()])
+        })
+        .collect();
+    Table {
+        title: "Table 1. Signatures of a Few Linear Recurrences".to_owned(),
+        columns: vec!["Computation".to_owned()],
+        rows,
+    }
+}
+
+fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// The per-order metric of one executor, or `None` if unsupported.
+type MetricFn<'a> = &'a dyn Fn(usize) -> Option<(u64, u64)>; // (peak_bytes, l2_miss_bytes)
+
+fn metric_rows(device: &DeviceConfig, which: fn((u64, u64)) -> u64) -> Vec<(String, Vec<String>)> {
+    // Order-k via the k-tuple prefix sum: the paper's CUB/SAM rows show
+    // ~256 MB of misses at every order, which is only consistent with the
+    // single-pass (tuple) variants — the iterated higher-order runs would
+    // re-stream the data once per pass.
+    let int_sig = |k: usize| -> Signature<i32> { prefix::tuple_prefix_sum(k) };
+    let flt_sig = |k: usize| -> Signature<f32> { filters::low_pass(0.8, k as u32).cast() };
+
+    let plr: MetricFn<'_> = &|k| {
+        let r = PlrExecutor::default().estimate(&int_sig(k), TABLE_N, device).ok()?;
+        Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
+    };
+    let cub: MetricFn<'_> = &|k| {
+        let r = Cub.estimate(&int_sig(k), TABLE_N, device).ok()?;
+        Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
+    };
+    let sam: MetricFn<'_> = &|k| {
+        let r = Sam.estimate(&int_sig(k), TABLE_N, device).ok()?;
+        Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
+    };
+    let scan: MetricFn<'_> = &|k| {
+        let r = Scan.estimate(&int_sig(k), TABLE_N, device).ok()?;
+        Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
+    };
+    let alg3: MetricFn<'_> = &|k| {
+        let r = Alg3.estimate(&flt_sig(k), TABLE_N, device).ok()?;
+        Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
+    };
+    let rec: MetricFn<'_> = &|k| {
+        let r = Rec.estimate(&flt_sig(k), TABLE_N, device).ok()?;
+        Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
+    };
+    let executors: [(&str, MetricFn<'_>); 6] = [
+        ("PLR", plr),
+        ("CUB", cub),
+        ("SAM", sam),
+        ("Scan", scan),
+        ("Alg3", alg3),
+        ("Rec", rec),
+    ];
+
+    (1..=3)
+        .map(|k| {
+            let cells = executors
+                .iter()
+                .map(|(_, f)| f(k).map_or_else(|| "-".to_owned(), |m| mb(which(m))))
+                .collect();
+            (format!("order {k}"), cells)
+        })
+        .collect()
+}
+
+/// Table 2: total GPU memory usage in megabytes at 2^26 words.
+pub fn table2(device: &DeviceConfig) -> Table {
+    let mut rows = metric_rows(device, |(peak, _)| peak);
+    // The memcpy column is order-independent; append it to every row.
+    let mc = memcpy::estimate::<i32>(TABLE_N, device).peak_bytes;
+    for (_, cells) in &mut rows {
+        cells.push(mb(mc));
+    }
+    Table {
+        title: format!("Table 2. Total GPU Memory Usage in Megabytes (n = {TABLE_N})"),
+        columns: ["PLR", "CUB", "SAM", "Scan", "Alg3", "Rec", "memcpy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Table 3: L2 cache read misses converted into megabytes at 2^26 words.
+pub fn table3(device: &DeviceConfig) -> Table {
+    Table {
+        title: format!("Table 3. L2 Cache Read Misses Converted into Megabytes (n = {TABLE_N})"),
+        columns: ["PLR", "CUB", "SAM", "Scan", "Alg3", "Rec"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows: metric_rows(device, |(_, l2)| l2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    fn cell(t: &Table, row: usize, col_name: &str) -> f64 {
+        let col = t.columns.iter().position(|c| c == col_name).unwrap();
+        t.rows[row].1[col].parse().unwrap()
+    }
+
+    #[test]
+    fn table1_lists_all_eleven() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 11);
+        assert_eq!(t.rows[0].0, "(1: 1)");
+    }
+
+    #[test]
+    fn table2_reproduces_the_paper_within_tolerance() {
+        // Paper values (MB): rows are orders 1-3.
+        let paper: [[(&str, f64); 7]; 3] = [
+            [("PLR", 623.5), ("CUB", 623.5), ("SAM", 622.5), ("Scan", 1135.5),
+             ("Alg3", 895.8), ("Rec", 638.5), ("memcpy", 621.5)],
+            [("PLR", 623.5), ("CUB", 623.5), ("SAM", 622.5), ("Scan", 3188.8),
+             ("Alg3", 911.8), ("Rec", 654.5), ("memcpy", 621.5)],
+            [("PLR", 624.5), ("CUB", 623.5), ("SAM", 622.5), ("Scan", 6278.9),
+             ("Alg3", 927.8), ("Rec", 670.5), ("memcpy", 621.5)],
+        ];
+        let t = table2(&device());
+        for (row, entries) in paper.iter().enumerate() {
+            for (name, want) in entries {
+                let got = cell(&t, row, name);
+                let rel = (got - want).abs() / want;
+                assert!(rel < 0.03, "order {} {name}: {got:.1} vs paper {want:.1}", row + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_reproduces_the_paper_within_tolerance() {
+        // Paper values (MB): cold input misses dominate for the
+        // communication-efficient codes; Scan and the image codes multiply.
+        let paper: [[(&str, f64); 6]; 3] = [
+            [("PLR", 256.1), ("CUB", 256.5), ("SAM", 256.2), ("Scan", 512.3),
+             ("Alg3", 550.6), ("Rec", 528.3)],
+            [("PLR", 256.2), ("CUB", 256.1), ("SAM", 256.6), ("Scan", 1537.1),
+             ("Alg3", 591.3), ("Rec", 545.3)],
+            [("PLR", 256.4), ("CUB", 256.2), ("SAM", 256.8), ("Scan", 3074.1),
+             ("Alg3", 632.0), ("Rec", 562.5)],
+        ];
+        let t = table3(&device());
+        for (row, entries) in paper.iter().enumerate() {
+            for (name, want) in entries {
+                let got = cell(&t, row, name);
+                let rel = (got - want).abs() / want;
+                // Within 10% for the image codes' fuzzier extras, 3% for
+                // the rest.
+                let tol = if *name == "Alg3" || *name == "Rec" { 0.10 } else { 0.03 };
+                assert!(rel < tol, "order {} {name}: {got:.1} vs paper {want:.1}", row + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn communication_efficient_codes_only_pay_cold_misses() {
+        // Paper Section 6.5: PLR, CUB and SAM incur less than one extra
+        // megabyte of read misses beyond the 256 MB cold input stream.
+        let t = table3(&device());
+        for row in 0..3 {
+            for name in ["PLR", "CUB", "SAM"] {
+                let got = cell(&t, row, name);
+                assert!(
+                    got >= 256.0 && got < 257.5,
+                    "order {} {name}: {got:.1} MB",
+                    row + 1
+                );
+            }
+        }
+    }
+}

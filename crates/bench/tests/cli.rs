@@ -1,0 +1,54 @@
+//! End-to-end tests of the `reproduce` harness binary.
+
+use std::process::Command;
+
+fn reproduce(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("reproduce runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn table1_prints_the_catalog() {
+    let (ok, stdout, _) = reproduce(&["table1"]);
+    assert!(ok);
+    assert!(stdout.contains("(1: 1)"));
+    assert!(stdout.contains("a 3-stage high-pass filter"));
+}
+
+#[test]
+fn figure_output_has_all_series_and_sizes() {
+    let (ok, stdout, _) = reproduce(&["fig1"]);
+    assert!(ok, "{stdout}");
+    for needle in ["memcpy", "CUB", "SAM", "Scan", "PLR", "2^14", "2^30"] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn csv_files_are_written() {
+    let dir = std::env::temp_dir().join(format!("plr-csv-{}", std::process::id()));
+    let (ok, _, _) = reproduce(&["fig1", "table2", "--csv", dir.to_str().unwrap()]);
+    assert!(ok);
+    let fig = std::fs::read_to_string(dir.join("fig1.csv")).unwrap();
+    assert!(fig.starts_with("n,memcpy,CUB,SAM,Scan,PLR"));
+    let table = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
+    assert!(table.contains("order 1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_items_fail_with_usage() {
+    let (ok, _, stderr) = reproduce(&["fig99"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown item"));
+    let (ok, _, stderr) = reproduce(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

@@ -1,0 +1,195 @@
+//! `plrc` — the PLR command-line compiler.
+//!
+//! ```text
+//! plrc "<signature>" [--n <len>] [--type int|long|float|double]
+//!      [--emit cuda|c|report|run|stats] [--no-opt] [--tune]
+//!      [--device titan-x|gtx-1080] [--lookback <d>]
+//! ```
+//!
+//! * `--emit cuda` (default): print the generated CUDA source.
+//! * `--emit c`: print the portable C/OpenMP backend output.
+//! * `--emit report`: explain which optimizations fired and the heuristics.
+//! * `--emit run`: execute on the machine model, validate against the
+//!   serial reference, and print a summary.
+//! * `--emit stats`: execute and print the event counters + modelled time.
+//! * `--tune`: auto-tune x / shared budget / pipeline depth with the cost
+//!   model before compiling (SAM-style install-time tuning).
+
+use plr_codegen::exec::{self, ExecOptions};
+use plr_codegen::lower::LowerOptions;
+use plr_codegen::plan::Optimizations;
+use plr_codegen::Plr;
+use plr_core::element::Element;
+use plr_core::signature::Signature;
+use plr_core::{serial, validate};
+use plr_sim::CostModel;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    signature: String,
+    n: usize,
+    ty: String,
+    emit: String,
+    no_opt: bool,
+    tune: bool,
+    device: String,
+    lookback: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let signature = args.next().ok_or_else(usage)?;
+    if signature == "--help" || signature == "-h" {
+        return Err(usage());
+    }
+    let mut parsed = Args {
+        signature,
+        n: 1 << 24,
+        ty: "int".to_owned(),
+        emit: "cuda".to_owned(),
+        no_opt: false,
+        tune: false,
+        device: "titan-x".to_owned(),
+        lookback: 1,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--n" => parsed.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--type" => parsed.ty = value("--type")?,
+            "--emit" => parsed.emit = value("--emit")?,
+            "--no-opt" => parsed.no_opt = true,
+            "--tune" => parsed.tune = true,
+            "--device" => parsed.device = value("--device")?,
+            "--lookback" => {
+                parsed.lookback =
+                    value("--lookback")?.parse().map_err(|e| format!("--lookback: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: plrc \"<signature>\" [--n <len>] [--type int|long|float|double] \
+     [--emit cuda|c|report|run|stats] [--no-opt] [--tune] \
+     [--device titan-x|gtx-1080] [--lookback <d>]\n\
+     example: plrc \"(1: 2, -1)\" --n 1048576 --emit run"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.ty.as_str() {
+        "int" => drive::<i32>(&args),
+        "long" => drive::<i64>(&args),
+        "float" => drive::<f32>(&args),
+        "double" => drive::<f64>(&args),
+        other => Err(format!("unknown --type `{other}` (int|long|float|double)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("plrc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn drive<T: Element>(args: &Args) -> Result<(), String> {
+    let sig: Signature<T> = args.signature.parse().map_err(|e: plr_core::error::SignatureError| e.to_string())?;
+    let device = match args.device.as_str() {
+        "titan-x" => plr_sim::DeviceConfig::titan_x(),
+        "gtx-1080" => plr_sim::DeviceConfig::gtx_1080(),
+        other => return Err(format!("unknown --device `{other}` (titan-x|gtx-1080)")),
+    };
+    let opts = if args.no_opt { Optimizations::none() } else { Optimizations::all() };
+    let mut lower_options = LowerOptions { opts, ..Default::default() };
+    if args.tune {
+        let tuned = plr_codegen::tune::tune(
+            &sig,
+            args.n,
+            &device,
+            &plr_codegen::tune::TuneSpace::default(),
+        );
+        eprintln!(
+            "tuned: x={:?} shared={} depth={} ({} configs, modelled speedup {:.2}x)",
+            tuned.options.x_override,
+            tuned.options.shared_factor_budget,
+            tuned.options.pipeline_depth,
+            tuned.evaluated,
+            tuned.speedup(),
+        );
+        lower_options = LowerOptions { opts, ..tuned.options };
+    }
+    let plr = Plr::new().with_device(device).with_options(lower_options);
+    let compilation = plr.compile(&sig, args.n);
+
+    match args.emit.as_str() {
+        "cuda" => {
+            lint_or_die(&compilation.cuda)?;
+            println!("{}", compilation.cuda);
+            Ok(())
+        }
+        "c" => {
+            let src = plr_codegen::emit_c::c_source(&compilation.plan);
+            lint_or_die(&src)?;
+            println!("{src}");
+            Ok(())
+        }
+        "report" => {
+            println!("{}", plr_codegen::report::report(&compilation.plan));
+            Ok(())
+        }
+        "run" | "stats" => {
+            let n = args.n;
+            let input: Vec<T> =
+                (0..n).map(|i| T::from_i32(((i * 37) % 25) as i32 - 12)).collect();
+            let exec_opts = ExecOptions { lookback_delay: args.lookback };
+            let run = exec::execute(&compilation.plan, &input, plr.device(), &exec_opts);
+            let expect = serial::run(&sig, &input);
+            validate::validate(&expect, &run.output, validate::PAPER_FLOAT_TOLERANCE)
+                .map_err(|e| format!("validation failed: {e}"))?;
+            println!("signature  {}", sig);
+            println!("n          {n}");
+            println!("chunk m    {} (x = {})", compilation.plan.chunk_size(), compilation.plan.x);
+            println!("blocks     {}", run.workload.blocks);
+            println!("validated  OK (vs serial reference)");
+            if args.emit == "stats" {
+                let model = CostModel::new(plr.device().clone());
+                let t = run.time(&model);
+                let c = &run.counters;
+                println!("global rd  {} B", c.global_read_bytes);
+                println!("global wr  {} B", c.global_write_bytes);
+                println!("l2 misses  {} B", c.l2_read_miss_bytes);
+                println!("shared     {}", c.shared_accesses);
+                println!("shuffles   {}", c.shuffles);
+                println!("flops      {}", c.flops);
+                println!("atomics    {}", c.atomics);
+                println!("model time {:.3} ms", t.total * 1e3);
+                println!("throughput {:.2} G elements/s", run.throughput(&model) / 1e9);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown --emit `{other}` (cuda|c|report|run|stats)")),
+    }
+}
+
+/// Refuses to print a structurally broken source.
+fn lint_or_die(source: &str) -> Result<(), String> {
+    plr_codegen::lint::lint(source).map_err(|errs| {
+        let mut msg = String::from("emitted source failed the structural lint:");
+        for e in errs.iter().take(5) {
+            msg.push_str(&format!("\n  {e}"));
+        }
+        msg
+    })
+}

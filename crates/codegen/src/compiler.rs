@@ -1,0 +1,139 @@
+//! The PLR compiler front door.
+//!
+//! Mirrors the paper's workflow: a signature (text or typed) goes in, CUDA
+//! source and an executable kernel plan come out. Code generation is fast —
+//! the paper reports ~10 ms because the correction factors are produced by
+//! the n-nacci recurrence rather than equation solving — and that property
+//! carries over here (covered by a test).
+
+use crate::emit;
+use crate::exec::{self, ExecOptions, Execution};
+use crate::lower::{lower, LowerOptions};
+use crate::plan::KernelPlan;
+use plr_core::element::Element;
+use plr_core::error::SignatureError;
+use plr_core::signature::Signature;
+use plr_sim::DeviceConfig;
+
+/// The result of compiling a signature.
+#[derive(Debug, Clone)]
+pub struct Compilation<T> {
+    /// The lowered kernel plan (heuristics applied, factors precomputed).
+    pub plan: KernelPlan<T>,
+    /// The emitted CUDA translation unit.
+    pub cuda: String,
+}
+
+impl<T: Element> Compilation<T> {
+    /// Executes the compiled kernel on the machine model.
+    pub fn execute(&self, input: &[T], device: &DeviceConfig) -> Execution<T> {
+        exec::execute(&self.plan, input, device, &ExecOptions::default())
+    }
+
+    /// Renders the CPU (C/OpenMP) backend for the same plan.
+    pub fn c_source(&self) -> String {
+        crate::emit_c::c_source(&self.plan)
+    }
+
+    /// The optimization report for the plan.
+    pub fn report(&self) -> crate::report::OptimizationReport {
+        crate::report::report(&self.plan)
+    }
+}
+
+/// The compiler: device description + lowering options.
+///
+/// # Examples
+///
+/// ```
+/// use plr_codegen::compiler::Plr;
+///
+/// let c = Plr::new().compile_str::<i64>("(1: 3, -3, 1)", 1 << 24)?;
+/// assert_eq!(c.plan.order(), 3);
+/// assert!(c.cuda.contains("plr_kernel"));
+/// # Ok::<(), plr_core::error::SignatureError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Plr {
+    device: DeviceConfig,
+    options: LowerOptions,
+}
+
+impl Plr {
+    /// A compiler targeting the paper's Titan X with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the target device.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Overrides the lowering options (optimization toggles, pipeline
+    /// depth, shared-memory factor budget).
+    pub fn with_options(mut self, options: LowerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Compiles a typed signature for inputs of length `n`.
+    pub fn compile<T: Element>(&self, signature: &Signature<T>, n: usize) -> Compilation<T> {
+        let plan = lower(signature, n, &self.device, &self.options);
+        let cuda = emit::cuda_source(&plan);
+        Compilation { plan, cuda }
+    }
+
+    /// Parses and compiles a textual signature for inputs of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SignatureError`] from parsing.
+    pub fn compile_str<T: Element>(
+        &self,
+        signature: &str,
+        n: usize,
+    ) -> Result<Compilation<T>, SignatureError> {
+        let sig: Signature<T> = signature.parse()?;
+        Ok(self.compile(&sig, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::{serial, validate::validate};
+    use std::time::Instant;
+
+    #[test]
+    fn compile_and_execute_round_trip() {
+        let plr = Plr::new();
+        let c = plr.compile_str::<i64>("1: 2, -1", 20_000).unwrap();
+        let input: Vec<i64> = (0..20_000).map(|i| (i % 17) as i64 - 8).collect();
+        let run = c.execute(&input, plr.device());
+        let expect = serial::run(&c.plan.signature, &input);
+        validate(&expect, &run.output, 0.0).unwrap();
+    }
+
+    #[test]
+    fn compilation_is_fast_like_the_paper() {
+        // Paper: "the entire code generation … takes only roughly 10 ms".
+        let plr = Plr::new();
+        let start = Instant::now();
+        let c = plr.compile_str::<f32>("0.008: 2.4, -1.92, 0.512", 1 << 30).unwrap();
+        let elapsed = start.elapsed();
+        assert!(!c.cuda.is_empty());
+        assert!(elapsed.as_millis() < 250, "codegen took {elapsed:?}");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(Plr::new().compile_str::<i32>("not a signature", 100).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Structural linting of emitted sources.
+//!
+//! The reproduction environment has no CUDA toolchain, so the emitted
+//! sources cannot be compiled here. This lint enforces the properties a
+//! compiler would catch immediately — balanced delimiters, no unterminated
+//! strings or comments, and no references to factor identifiers that were
+//! never defined (the classic specialization bug: emitting `ldfact1(...)`
+//! after suppressing list 1's array). Every emitted source is linted in
+//! tests and by `plrc` before printing.
+
+/// A structural problem found in an emitted source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// 1-based line of the problem (0 when file-level).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Lints an emitted C/CUDA source.
+///
+/// # Errors
+///
+/// Returns every structural problem found (empty means clean).
+pub fn lint(source: &str) -> Result<(), Vec<LintError>> {
+    let mut errors = Vec::new();
+    check_balance(source, &mut errors);
+    check_identifiers(source, &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Balanced `{} () []` outside strings, char literals, and comments.
+fn check_balance(source: &str, errors: &mut Vec<LintError>) {
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    let mut in_line_comment = false;
+    let mut in_block_comment = false;
+    let mut in_string = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            line += 1;
+            in_line_comment = false;
+            continue;
+        }
+        if in_line_comment {
+            continue;
+        }
+        if in_block_comment {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if in_string {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        if in_char {
+            if c == '\\' {
+                chars.next();
+            } else if c == '\'' {
+                in_char = false;
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => in_line_comment = true,
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                in_block_comment = true;
+            }
+            '"' => in_string = true,
+            '\'' => in_char = true,
+            '{' | '(' | '[' => stack.push((c, line)),
+            '}' | ')' | ']' => {
+                let expect = match c {
+                    '}' => '{',
+                    ')' => '(',
+                    _ => '[',
+                };
+                match stack.pop() {
+                    Some((open, _)) if open == expect => {}
+                    Some((open, open_line)) => errors.push(LintError {
+                        line,
+                        message: format!(
+                            "mismatched `{c}` closing `{open}` from line {open_line}"
+                        ),
+                    }),
+                    None => errors.push(LintError {
+                        line,
+                        message: format!("unmatched closing `{c}`"),
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+    for (open, open_line) in stack {
+        errors.push(LintError {
+            line: open_line,
+            message: format!("unclosed `{open}`"),
+        });
+    }
+    if in_block_comment {
+        errors.push(LintError { line, message: "unterminated block comment".to_owned() });
+    }
+    if in_string {
+        errors.push(LintError { line, message: "unterminated string literal".to_owned() });
+    }
+}
+
+/// Every referenced `FACT*` / `ldfact*` / `sfact*` identifier must be
+/// defined somewhere in the source.
+fn check_identifiers(source: &str, errors: &mut Vec<LintError>) {
+    let idents = |s: &str| -> Vec<(usize, String)> {
+        let mut found = Vec::new();
+        for (lineno, raw) in s.lines().enumerate() {
+            // Identifiers in comments are prose, not references (the
+            // emitters only use line comments).
+            let line = raw.split("//").next().unwrap_or(raw);
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let word = &line[start..i];
+                    if word.starts_with("FACT") || word.starts_with("ldfact")
+                        || word.starts_with("sfact")
+                    {
+                        found.push((lineno + 1, word.to_owned()));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        found
+    };
+    // Definitions: lines that introduce the identifier (declaration,
+    // #define, or const).
+    let mut defined: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for line in source.lines() {
+        let t = line.trim_start();
+        let is_def = t.starts_with("#define")
+            || t.starts_with("static const")
+            || t.starts_with("static __device__ const")
+            || t.starts_with("__constant__")
+            || t.starts_with("__shared__");
+        if is_def {
+            for (_, w) in idents(line) {
+                defined.insert(w);
+            }
+        }
+    }
+    for (line, word) in idents(source) {
+        if !defined.contains(&word) {
+            errors.push(LintError {
+                line,
+                message: format!("`{word}` referenced but never defined"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use crate::plan::Optimizations;
+    use crate::{emit, emit_c};
+    use plr_core::prefix;
+    use plr_core::signature::Signature;
+    use plr_sim::DeviceConfig;
+
+    #[test]
+    fn detects_unbalanced_braces() {
+        let errs = lint("int f() { if (x) { }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unclosed")));
+    }
+
+    #[test]
+    fn detects_mismatched_delimiters() {
+        let errs = lint("int f() { (a] }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("mismatched")));
+    }
+
+    #[test]
+    fn ignores_braces_in_strings_and_comments() {
+        lint("// } } }\nint f() { const char* s = \"}}}\"; /* { */ return 0; }").unwrap();
+        lint("int f() { char c = '{'; return 0; }").unwrap();
+    }
+
+    #[test]
+    fn detects_undefined_factor_identifiers() {
+        let errs = lint("int f() { return FACT7[3]; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("FACT7")));
+        lint("static const int FACT7[2] = {1, 2};\nint f() { return FACT7[1]; }").unwrap();
+    }
+
+    #[test]
+    fn every_emitted_source_is_clean() {
+        let device = DeviceConfig::titan_x();
+        let texts = ["1:1", "1:0,1", "1:0,0,1", "1:2,-1", "1:3,-3,1"];
+        for text in texts {
+            let sig: Signature<i64> = text.parse().unwrap();
+            for opts in [Optimizations::all(), Optimizations::none()] {
+                let plan =
+                    lower(&sig, 1 << 22, &device, &LowerOptions { opts, ..Default::default() });
+                lint(&emit::cuda_source(&plan)).unwrap_or_else(|e| {
+                    panic!("CUDA lint for {text} ({opts:?}): {e:?}")
+                });
+                lint(&emit_c::c_source(&plan)).unwrap_or_else(|e| {
+                    panic!("C lint for {text} ({opts:?}): {e:?}")
+                });
+            }
+        }
+        // Float filters too (decay truncation changes the emitted arrays).
+        for entry in prefix::catalog().iter().filter(|e| !e.integral) {
+            let sig: Signature<f32> = entry.signature.cast();
+            let plan = lower(&sig, 1 << 22, &device, &LowerOptions::default());
+            lint(&emit::cuda_source(&plan)).unwrap_or_else(|e| {
+                panic!("CUDA lint for {}: {e:?}", entry.id)
+            });
+            lint(&emit_c::c_source(&plan)).unwrap_or_else(|e| {
+                panic!("C lint for {}: {e:?}", entry.id)
+            });
+        }
+    }
+}

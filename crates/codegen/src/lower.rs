@@ -1,0 +1,191 @@
+//! Lowering: signature → kernel plan.
+//!
+//! Implements the paper's Section 3 parameter heuristics verbatim:
+//!
+//! * each thread block has 1024 threads and processes a chunk of
+//!   `m = 1024·x` values;
+//! * `x` is the smallest integer with `x·1024·T > n`, where `T` is the
+//!   number of blocks the device can hold concurrently; `x ≤ 9` for
+//!   floating-point signatures and `x ≤ 11` for integer signatures;
+//! * 32 registers per thread for floating-point signatures and integer
+//!   signatures containing only zeros and ones; 64 for other integer
+//!   signatures.
+
+use crate::plan::{KernelPlan, Optimizations};
+use plr_core::analysis;
+use plr_core::element::Element;
+use plr_core::nacci::CorrectionTable;
+use plr_core::signature::Signature;
+use plr_sim::DeviceConfig;
+
+/// Tunables of the lowering step (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Enabled code optimizations.
+    pub opts: Optimizations,
+    /// Maximum decoupled look-back distance (32: one warp of carries).
+    pub pipeline_depth: usize,
+    /// Shared-memory factor-buffer budget per list, in entries (1024).
+    pub shared_factor_budget: usize,
+    /// Override the values-per-thread heuristic with a fixed `x` (still
+    /// clamped to the type's cap). The paper leaves tuning `m`/`x` as
+    /// future work and notes SAM auto-tunes this; the override is the hook
+    /// for such tuning and for the ablation study in `plr-bench`.
+    pub x_override: Option<usize>,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            opts: Optimizations::all(),
+            pipeline_depth: 32,
+            shared_factor_budget: 1024,
+            x_override: None,
+        }
+    }
+}
+
+/// The paper's cap on values per thread.
+fn x_cap<T: Element>() -> usize {
+    if T::IS_FLOAT {
+        9
+    } else {
+        11
+    }
+}
+
+/// Lowers `signature` for an `n`-element input on `device`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn lower<T: Element>(
+    signature: &Signature<T>,
+    n: usize,
+    device: &DeviceConfig,
+    options: &LowerOptions,
+) -> KernelPlan<T> {
+    assert!(n > 0, "cannot lower for an empty input");
+    let threads_per_block = device.max_threads_per_block;
+    let registers_per_thread = if T::IS_FLOAT || signature.is_zero_one() { 32 } else { 64 };
+    let resident_blocks = device.resident_blocks(threads_per_block, registers_per_thread);
+
+    // x: smallest integer with x·1024·T > n, capped — unless overridden.
+    let denom = threads_per_block * resident_blocks;
+    let x = options
+        .x_override
+        .unwrap_or(n / denom + 1)
+        .min(x_cap::<T>())
+        .max(1);
+    let m = threads_per_block * x;
+
+    let (fir, recursive) = signature.split();
+    let flush = options.opts.decay_truncation && T::IS_FLOAT;
+    let table = CorrectionTable::generate_with(recursive.feedback(), m, flush);
+    let analysis = analysis::analyze_table(&table);
+
+    KernelPlan {
+        signature: signature.clone(),
+        fir,
+        x,
+        threads_per_block,
+        registers_per_thread,
+        resident_blocks,
+        pipeline_depth: options.pipeline_depth,
+        shared_factor_budget: if options.opts.shared_buffering {
+            options.shared_factor_budget
+        } else {
+            0
+        },
+        opts: options.opts,
+        table,
+        analysis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    #[test]
+    fn register_heuristic_matches_paper() {
+        let psum: Signature<i32> = "1:1".parse().unwrap();
+        let p = lower(&psum, 1 << 20, &device(), &LowerOptions::default());
+        assert_eq!(p.registers_per_thread, 32, "zero/one integer signature");
+
+        let order2: Signature<i32> = "1:2,-1".parse().unwrap();
+        let p = lower(&order2, 1 << 20, &device(), &LowerOptions::default());
+        assert_eq!(p.registers_per_thread, 64, "complex integer signature");
+
+        let filt: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let p = lower(&filt, 1 << 20, &device(), &LowerOptions::default());
+        assert_eq!(p.registers_per_thread, 32, "floating-point signature");
+    }
+
+    #[test]
+    fn x_grows_with_input_and_saturates_at_cap() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        // 32-register blocks: T = 48, so x·1024·48 > n.
+        let small = lower(&sig, 1 << 14, &device(), &LowerOptions::default());
+        assert_eq!(small.x, 1);
+        let medium = lower(&sig, 100_000, &device(), &LowerOptions::default());
+        assert_eq!(medium.x, 100_000 / (1024 * 48) + 1); // = 3
+        let huge = lower(&sig, 1 << 30, &device(), &LowerOptions::default());
+        assert_eq!(huge.x, 11, "integer cap");
+
+        let f: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let huge_f = lower(&f, 1 << 30, &device(), &LowerOptions::default());
+        assert_eq!(huge_f.x, 9, "floating-point cap");
+        assert_eq!(huge_f.chunk_size(), 9 * 1024);
+    }
+
+    #[test]
+    fn boundary_of_x_selection() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let denom = 1024 * 48;
+        // Exactly n = x·1024·T does NOT satisfy the strict inequality.
+        let p = lower(&sig, denom, &device(), &LowerOptions::default());
+        assert_eq!(p.x, 2);
+        let p = lower(&sig, denom - 1, &device(), &LowerOptions::default());
+        assert_eq!(p.x, 1);
+    }
+
+    #[test]
+    fn resident_blocks_reflect_register_budget() {
+        let psum: Signature<i32> = "1:1".parse().unwrap();
+        assert_eq!(lower(&psum, 1024, &device(), &LowerOptions::default()).resident_blocks, 48);
+        let order2: Signature<i32> = "1:2,-1".parse().unwrap();
+        assert_eq!(lower(&order2, 1024, &device(), &LowerOptions::default()).resident_blocks, 24);
+    }
+
+    #[test]
+    fn disabled_shared_buffering_zeroes_budget() {
+        let sig: Signature<i32> = "1:2,-1".parse().unwrap();
+        let o = LowerOptions { opts: Optimizations::none(), ..Default::default() };
+        let p = lower(&sig, 1 << 20, &device(), &o);
+        assert_eq!(p.shared_factor_budget, 0);
+    }
+
+    #[test]
+    fn float_tables_are_flushed_only_with_decay_truncation() {
+        let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let p_on = lower(&sig, 1 << 22, &device(), &LowerOptions::default());
+        // 0.8^n underflows f32 near n ≈ 392 < m.
+        assert!(p_on.table.list(0).iter().any(|&v| v == 0.0));
+        let o = LowerOptions { opts: Optimizations::none(), ..Default::default() };
+        let p_off = lower(&sig, 1 << 22, &device(), &o);
+        assert!(p_off.table.list(0).iter().all(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn table_length_equals_chunk_size() {
+        let sig: Signature<i64> = "1:3,-3,1".parse().unwrap();
+        let p = lower(&sig, 1 << 26, &device(), &LowerOptions::default());
+        assert_eq!(p.table.len(), p.chunk_size());
+        assert_eq!(p.table.order(), 3);
+    }
+}

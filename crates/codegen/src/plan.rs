@@ -1,0 +1,295 @@
+//! The kernel-plan intermediate representation.
+//!
+//! PLR's code generation is structurally fixed — the paper's Section 3
+//! enumerates eight code sections — so the IR is a *configuration* of that
+//! fixed structure rather than a general instruction list: the signature,
+//! the chunk-size/register heuristics, the precomputed correction table,
+//! its pattern analysis, and the enabled optimizations. The same plan
+//! drives both the CUDA source emitter and the machine-model executor.
+
+use plr_core::analysis::{self, TableAnalysis};
+use plr_core::element::Element;
+use plr_core::nacci::CorrectionTable;
+use plr_core::signature::Signature;
+
+/// Which domain-specific optimizations are enabled (paper Section 3.1).
+///
+/// `Optimizations::all()` is PLR's default; `Optimizations::none()` is the
+/// "optimizations off" configuration of the paper's Figure 10, in which the
+/// correction factors are always loaded from global memory and no special
+/// code is emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// Emit specialized code for constant / zero-one / periodic factor
+    /// lists instead of array loads.
+    pub factor_specialization: bool,
+    /// Buffer the first entries (up to 1024) of each factor list in shared
+    /// memory.
+    pub shared_buffering: bool,
+    /// Flush denormal factors to zero and skip correction code past the
+    /// decay point (stable IIR filters).
+    pub decay_truncation: bool,
+    /// Suppress the distance-k factor array when it is a shifted/scaled
+    /// copy of the distance-1 array (paper future work, implemented here).
+    pub suppress_shifted_duplicate: bool,
+}
+
+impl Optimizations {
+    /// Every optimization enabled (PLR's default behaviour).
+    pub fn all() -> Self {
+        Optimizations {
+            factor_specialization: true,
+            shared_buffering: true,
+            decay_truncation: true,
+            suppress_shifted_duplicate: true,
+        }
+    }
+
+    /// Every optimization disabled (Figure 10's "optimizations off").
+    pub fn none() -> Self {
+        Optimizations {
+            factor_specialization: false,
+            shared_buffering: false,
+            decay_truncation: false,
+            suppress_shifted_duplicate: false,
+        }
+    }
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// A lowered, ready-to-emit/execute kernel configuration.
+#[derive(Debug, Clone)]
+pub struct KernelPlan<T> {
+    /// The full input signature.
+    pub signature: Signature<T>,
+    /// The feed-forward (FIR/map) coefficients from the two-stage split.
+    pub fir: Vec<T>,
+    /// Values per thread (`x`); the chunk size is `threads_per_block · x`.
+    pub x: usize,
+    /// Threads per block (1024 on the paper's hardware).
+    pub threads_per_block: usize,
+    /// Register budget per thread (32, or 64 for complex integer
+    /// signatures), which limits block residency.
+    pub registers_per_thread: usize,
+    /// Resident blocks `T` used by the chunk-size heuristic.
+    pub resident_blocks: usize,
+    /// Maximum decoupled look-back window (the paper uses 32 so one warp
+    /// can handle the carries).
+    pub pipeline_depth: usize,
+    /// Shared-memory factor-buffer budget per list, in entries.
+    pub shared_factor_budget: usize,
+    /// Enabled optimizations.
+    pub opts: Optimizations,
+    /// The precomputed correction-factor table of length `chunk_size()`.
+    pub table: CorrectionTable<T>,
+    /// Pattern analysis of `table` (drives specialization).
+    pub analysis: TableAnalysis<T>,
+}
+
+impl<T: Element> KernelPlan<T> {
+    /// The Phase 1 terminal chunk size `m = threads_per_block · x`.
+    pub fn chunk_size(&self) -> usize {
+        self.threads_per_block * self.x
+    }
+
+    /// The recurrence order `k`.
+    pub fn order(&self) -> usize {
+        self.signature.order()
+    }
+
+    /// Number of thread blocks (= chunks) launched for an `n`-element input.
+    pub fn blocks_for(&self, n: usize) -> usize {
+        n.div_ceil(self.chunk_size())
+    }
+
+    /// Whether the plan treats this factor list as fully specialized
+    /// (no array materialized): constant, zero/one, all-zero — or a
+    /// suppressed shifted duplicate of list 0.
+    pub fn list_is_inline(&self, r: usize) -> bool {
+        use analysis::FactorPattern as P;
+        if !self.opts.factor_specialization {
+            return false;
+        }
+        let by_pattern = matches!(
+            self.analysis.patterns[r],
+            P::AllZero | P::Constant(_) | P::ZeroOne(_)
+        );
+        let suppressed = self.opts.suppress_shifted_duplicate
+            && self.analysis.first_last_shifted
+            && r == self.order() - 1
+            && self.order() > 1
+            // Only suppress when list 0 itself stays addressable as an
+            // array (otherwise there is nothing to derive from — though
+            // if list 0 is inline, list k-1's pattern is inline too).
+            && !matches!(self.analysis.patterns[0], P::AllZero | P::Constant(_) | P::ZeroOne(_));
+        by_pattern || suppressed
+    }
+
+    /// Number of factor arrays that must be materialized in the emitted
+    /// code / device memory.
+    pub fn materialized_lists(&self) -> usize {
+        (0..self.order()).filter(|&r| !self.list_is_inline(r)).count()
+    }
+
+    /// Number of carry lists whose factors must be fetched from global
+    /// memory with a per-element index (no specialization, and longer than
+    /// the shared-memory buffer). The suppressed shifted duplicate still
+    /// loads through list 0's storage, so it counts when list 0 does.
+    pub fn dense_indexed_lists(&self) -> usize {
+        use analysis::FactorPattern as P;
+        (0..self.order())
+            .filter(|&r| {
+                let specialized = self.opts.factor_specialization
+                    && matches!(
+                        self.analysis.patterns[r],
+                        P::AllZero | P::Constant(_) | P::ZeroOne(_)
+                    );
+                if specialized {
+                    return false;
+                }
+                let active = match self.analysis.patterns[r] {
+                    P::DecaysAfter { decay_len } if self.opts.decay_truncation => decay_len,
+                    _ => self.chunk_size(),
+                };
+                active > self.shared_factor_budget
+            })
+            .count()
+    }
+
+    /// Empirical compute-throughput derate for this plan (see
+    /// [`plr_sim::timing::Workload::compute_efficiency`]).
+    ///
+    /// Per-element indexed factor loads from global memory saturate the
+    /// load-store pipeline and conflict in the L2 in ways the instruction
+    /// counter cannot see; the paper's Figures 4/5 (higher-order prefix
+    /// sums, where no factor specialization applies) quantify the effect,
+    /// and this derate is calibrated to them.
+    pub fn compute_efficiency(&self) -> f64 {
+        if self.dense_indexed_lists() > 0 {
+            0.33
+        } else {
+            1.0
+        }
+    }
+
+    /// Empirical bandwidth derate for this plan (see
+    /// [`plr_sim::timing::Workload::bandwidth_efficiency`]).
+    ///
+    /// Three calibrated effects from the paper:
+    /// * plans with dense per-element indexed factor loads are pinned well
+    ///   below the streaming roof — the measured higher-order prefix sums
+    ///   sit near 14 billion words/s at every order (Figures 4/5), so the
+    ///   derate is a small table in the number of dense lists rather than
+    ///   proportional to the load count;
+    /// * stable filters do almost no arithmetic once the factors decay, yet
+    ///   measured throughput still drops ~35% per extra stage (Figures
+    ///   6–8: 33/24/18 billion floats/s) — the longer carry dependency
+    ///   window costs achievable bandwidth;
+    /// * the map stage for extra non-recursive coefficients consistently
+    ///   costs ~17% irrespective of order (Figure 9 discussion).
+    pub fn bandwidth_efficiency(&self) -> f64 {
+        use analysis::FactorPattern as P;
+        let k = self.order();
+        let mut eff = match self.dense_indexed_lists() {
+            0 => 1.0,
+            1 => 0.68,
+            d => (0.425 - 0.01 * (d as f64 - 2.0)).max(0.30),
+        };
+        let all_decayed = self.opts.decay_truncation
+            && self
+                .analysis
+                .patterns
+                .iter()
+                .all(|p| matches!(p, P::DecaysAfter { .. } | P::AllZero));
+        if all_decayed {
+            eff /= 1.0 + 0.35 * (k as f64 - 1.0);
+        }
+        if self.fir.len() > 1 {
+            eff /= 1.17;
+        }
+        // Conditional-add masks whose period is not a power of two (e.g.
+        // the 3-tuple prefix sum) need modulo indexing, which blocks the
+        // vectorized access path; powers of two keep full speed — the
+        // paper's Section 6.1.2 ("the performance advantage of PLR is
+        // higher on tuple sizes that are powers of two", with 4-tuple
+        // beating 3-tuple).
+        if self.opts.factor_specialization {
+            let awkward_period = self.analysis.patterns.iter().any(|p| match p {
+                analysis::FactorPattern::ZeroOne(mask) => {
+                    zero_one_mask_period(mask).is_some_and(|p| !p.is_power_of_two())
+                }
+                _ => false,
+            });
+            if awkward_period {
+                eff *= 0.77;
+            }
+        }
+        eff
+    }
+}
+
+/// The period of a 0/1 mask with a single 1 per period, if it has one.
+fn zero_one_mask_period(mask: &[bool]) -> Option<usize> {
+    let first = mask.iter().position(|&b| b)?;
+    let second = mask.iter().skip(first + 1).position(|&b| b)? + first + 1;
+    let period = second - first;
+    mask.iter()
+        .enumerate()
+        .all(|(i, &b)| b == (i % period == first % period))
+        .then_some(period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use plr_sim::DeviceConfig;
+
+    fn plan_for(text: &str, n: usize, opts: Optimizations) -> KernelPlan<i64> {
+        let sig: Signature<i64> = text.parse().unwrap();
+        lower(&sig, n, &DeviceConfig::titan_x(), &LowerOptions { opts, ..Default::default() })
+    }
+
+    #[test]
+    fn optimizations_toggle() {
+        assert!(Optimizations::all().shared_buffering);
+        assert!(!Optimizations::none().factor_specialization);
+        assert_eq!(Optimizations::default(), Optimizations::all());
+    }
+
+    #[test]
+    fn prefix_sum_factor_list_is_inline() {
+        let p = plan_for("1:1", 1 << 20, Optimizations::all());
+        assert!(p.list_is_inline(0));
+        assert_eq!(p.materialized_lists(), 0);
+    }
+
+    #[test]
+    fn tuple_lists_are_inline_zero_one() {
+        let p = plan_for("1:0,1", 1 << 20, Optimizations::all());
+        assert!(p.list_is_inline(0));
+        assert!(p.list_is_inline(1));
+        assert_eq!(p.materialized_lists(), 0);
+    }
+
+    #[test]
+    fn second_order_suppresses_shifted_duplicate() {
+        let p = plan_for("1:2,-1", 1 << 20, Optimizations::all());
+        assert!(!p.list_is_inline(0));
+        assert!(p.list_is_inline(1), "last list is a scaled shift of the first");
+        assert_eq!(p.materialized_lists(), 1);
+    }
+
+    #[test]
+    fn optimizations_off_materializes_everything() {
+        let p = plan_for("1:2,-1", 1 << 20, Optimizations::none());
+        assert!(!p.list_is_inline(0));
+        assert!(!p.list_is_inline(1));
+        assert_eq!(p.materialized_lists(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Human-readable optimization reports for compiled plans.
+//!
+//! `plrc --emit report` prints one of these; it is the compiler explaining
+//! which of the paper's Section 3.1 specializations fired and what the
+//! chunk-size heuristics chose.
+
+use crate::plan::KernelPlan;
+use plr_core::analysis::FactorPattern;
+use plr_core::element::Element;
+use std::fmt;
+
+/// A structured summary of the decisions in a [`KernelPlan`].
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// The signature, rendered.
+    pub signature: String,
+    /// Recurrence order.
+    pub order: usize,
+    /// Values per thread.
+    pub x: usize,
+    /// Chunk size `m`.
+    pub chunk_size: usize,
+    /// Registers per thread.
+    pub registers_per_thread: usize,
+    /// Concurrently resident blocks `T`.
+    pub resident_blocks: usize,
+    /// One line per carry list describing its treatment.
+    pub factor_lines: Vec<String>,
+    /// Factor arrays actually materialized.
+    pub materialized_lists: usize,
+    /// Bytes of constant factor storage emitted.
+    pub factor_bytes: usize,
+    /// The plan's calibrated efficiency derates.
+    pub compute_efficiency: f64,
+    /// See [`KernelPlan::bandwidth_efficiency`].
+    pub bandwidth_efficiency: f64,
+}
+
+/// Builds the report for a plan.
+pub fn report<T: Element>(plan: &KernelPlan<T>) -> OptimizationReport {
+    let m = plan.chunk_size();
+    let mut factor_lines = Vec::new();
+    let mut factor_bytes = 0usize;
+    for r in 0..plan.order() {
+        let spec = plan.opts.factor_specialization;
+        let line = match &plan.analysis.patterns[r] {
+            FactorPattern::AllZero if spec => {
+                format!("carry {r}: all factors zero — correction elided")
+            }
+            FactorPattern::Constant(c) if spec => {
+                format!("carry {r}: constant factor {c} — array suppressed")
+            }
+            FactorPattern::ZeroOne(_) if spec => {
+                format!("carry {r}: 0/1 factors — conditional add, array suppressed")
+            }
+            FactorPattern::Periodic { period } if spec => {
+                factor_bytes += period * T::BYTES;
+                format!("carry {r}: periodic with period {period} — one period stored")
+            }
+            FactorPattern::DecaysAfter { decay_len } if plan.opts.decay_truncation => {
+                if plan.list_is_inline(r) {
+                    format!("carry {r}: shifted duplicate of carry 0 — array suppressed")
+                } else {
+                    factor_bytes += decay_len * T::BYTES;
+                    format!(
+                        "carry {r}: decays to zero after {decay_len} of {m} entries — truncated"
+                    )
+                }
+            }
+            _ if plan.list_is_inline(r) => {
+                format!("carry {r}: shifted duplicate of carry 0 — array suppressed")
+            }
+            _ => {
+                factor_bytes += m * T::BYTES;
+                let buffered = plan.shared_factor_budget.min(m);
+                format!(
+                    "carry {r}: dense factors — full {m}-entry array, first {buffered} cached in shared memory"
+                )
+            }
+        };
+        factor_lines.push(line);
+    }
+    OptimizationReport {
+        signature: plan.signature.to_string(),
+        order: plan.order(),
+        x: plan.x,
+        chunk_size: m,
+        registers_per_thread: plan.registers_per_thread,
+        resident_blocks: plan.resident_blocks,
+        factor_lines,
+        materialized_lists: plan.materialized_lists(),
+        factor_bytes,
+        compute_efficiency: plan.compute_efficiency(),
+        bandwidth_efficiency: plan.bandwidth_efficiency(),
+    }
+}
+
+impl fmt::Display for OptimizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "signature          {}", self.signature)?;
+        writeln!(f, "order k            {}", self.order)?;
+        writeln!(
+            f,
+            "chunk size m       {} ({} threads x {} values)",
+            self.chunk_size,
+            self.chunk_size / self.x,
+            self.x
+        )?;
+        writeln!(f, "registers/thread   {}", self.registers_per_thread)?;
+        writeln!(f, "resident blocks T  {}", self.resident_blocks)?;
+        writeln!(
+            f,
+            "factor storage     {} arrays, {} bytes",
+            self.materialized_lists, self.factor_bytes
+        )?;
+        for line in &self.factor_lines {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(
+            f,
+            "model derates      compute {:.2}, bandwidth {:.2}",
+            self.compute_efficiency, self.bandwidth_efficiency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use plr_core::signature::Signature;
+    use plr_sim::DeviceConfig;
+
+    fn report_for<T: Element>(text: &str) -> OptimizationReport
+    where
+        Signature<T>: std::str::FromStr,
+        <Signature<T> as std::str::FromStr>::Err: std::fmt::Debug,
+    {
+        let sig: Signature<T> = text.parse().unwrap();
+        let plan = lower(&sig, 1 << 24, &DeviceConfig::titan_x(), &LowerOptions::default());
+        report(&plan)
+    }
+
+    #[test]
+    fn prefix_sum_report_shows_constant_folding() {
+        let r = report_for::<i32>("1:1");
+        assert_eq!(r.materialized_lists, 0);
+        assert_eq!(r.factor_bytes, 0);
+        assert!(r.factor_lines[0].contains("constant factor 1"));
+        assert!((r.bandwidth_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order2_report_shows_one_array_and_the_suppressed_dup() {
+        let r = report_for::<i32>("1:2,-1");
+        assert_eq!(r.materialized_lists, 1);
+        assert_eq!(r.factor_bytes, r.chunk_size * 4);
+        assert!(r.factor_lines[0].contains("dense factors"));
+        assert!(r.factor_lines[1].contains("shifted duplicate"));
+        assert!(r.compute_efficiency < 1.0);
+    }
+
+    #[test]
+    fn filter_report_shows_decay() {
+        let r = report_for::<f32>("0.2:0.8");
+        assert!(r.factor_lines[0].contains("decays to zero"));
+        assert!(r.factor_bytes < 1024 * 4);
+    }
+
+    #[test]
+    fn display_is_complete_and_nonempty() {
+        let r = report_for::<f32>("0.04:1.6,-0.64");
+        let text = r.to_string();
+        for needle in ["signature", "chunk size m", "resident blocks", "carry 0", "model derates"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `plrc` command-line compiler.
+
+use std::process::Command;
+
+fn plrc(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_plrc"))
+        .args(args)
+        .output()
+        .expect("plrc runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn emits_cuda_by_default() {
+    let (ok, stdout, _) = plrc(&["(1: 2, -1)"]);
+    assert!(ok);
+    assert!(stdout.contains("__global__ void plr_kernel"));
+    assert!(stdout.contains("FACT0"));
+}
+
+#[test]
+fn emits_c_and_reports() {
+    let (ok, stdout, _) = plrc(&["(1: 0, 1)", "--emit", "c"]);
+    assert!(ok);
+    assert!(stdout.contains("void plr_run("));
+    let (ok, stdout, _) = plrc(&["(0.2: 0.8)", "--type", "float", "--emit", "report"]);
+    assert!(ok);
+    assert!(stdout.contains("decays to zero"));
+}
+
+#[test]
+fn runs_and_validates() {
+    let (ok, stdout, _) = plrc(&["(1: 3, -3, 1)", "--n", "30000", "--emit", "run"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("validated  OK"));
+}
+
+#[test]
+fn stats_mode_prints_counters() {
+    let (ok, stdout, _) =
+        plrc(&["(1: 1)", "--n", "100000", "--emit", "stats", "--device", "gtx-1080"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("throughput"));
+    assert!(stdout.contains("l2 misses"));
+}
+
+#[test]
+fn tuned_compilation_works() {
+    let (ok, stdout, stderr) =
+        plrc(&["(1: 2, -1)", "--n", "65536", "--tune", "--emit", "run"]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stderr.contains("tuned:"), "{stderr}");
+    assert!(stdout.contains("validated  OK"));
+}
+
+#[test]
+fn rejects_bad_input() {
+    let (ok, _, stderr) = plrc(&["not a signature"]);
+    assert!(!ok);
+    assert!(stderr.contains("signature"));
+
+    let (ok, _, stderr) = plrc(&["(1:1)", "--emit", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --emit"));
+
+    let (ok, _, stderr) = plrc(&["(1:1)", "--type", "quaternion"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --type"));
+
+    let (ok, _, stderr) = plrc(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn no_opt_flag_changes_the_emitted_code() {
+    let (_, with_opt, _) = plrc(&["(1: 1)"]);
+    let (_, without, _) = plrc(&["(1: 1)", "--no-opt"]);
+    assert!(with_opt.contains("FACT0_CONST"));
+    assert!(!without.contains("FACT0_CONST"));
+    assert!(without.contains("static __device__ const val_t FACT0["));
+}

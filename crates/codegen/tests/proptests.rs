@@ -1,0 +1,84 @@
+//! Property tests for the compiler: any valid integer signature must
+//! compile, its simulated execution must match the serial reference
+//! exactly, and every optimization toggle must preserve semantics.
+
+use plr_codegen::exec::{execute, ExecOptions};
+use plr_codegen::lower::{lower, LowerOptions};
+use plr_codegen::plan::Optimizations;
+use plr_codegen::{emit, emit_c};
+use plr_core::serial;
+use plr_core::signature::Signature;
+use plr_sim::DeviceConfig;
+use proptest::prelude::*;
+
+fn int_signature() -> impl Strategy<Value = Signature<i64>> {
+    let coeff = -3i64..=3;
+    let nonzero = prop_oneof![(-3i64..=-1), (1i64..=3)];
+    (
+        proptest::collection::vec(coeff.clone(), 0..3),
+        nonzero.clone(),
+        proptest::collection::vec(coeff, 0..3),
+        nonzero,
+    )
+        .prop_map(|(mut ff, ff_last, mut fb, fb_last)| {
+            ff.push(ff_last);
+            fb.push(fb_last);
+            Signature::new(ff, fb).expect("nonzero trailing coefficients")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simulated_kernel_matches_serial_for_arbitrary_signatures(
+        sig in int_signature(),
+        input in proptest::collection::vec(-30i64..30, 1..5000),
+        no_opt in proptest::bool::ANY,
+        delay in 1usize..5,
+    ) {
+        let device = DeviceConfig::titan_x();
+        let opts = if no_opt { Optimizations::none() } else { Optimizations::all() };
+        let plan = lower(
+            &sig,
+            input.len(),
+            &device,
+            &LowerOptions { opts, ..Default::default() },
+        );
+        let run = execute(&plan, &input, &device, &ExecOptions { lookback_delay: delay });
+        let expect = serial::run(&sig, &input);
+        prop_assert_eq!(run.output, expect, "{} no_opt={} delay={}", &sig, no_opt, delay);
+    }
+
+    #[test]
+    fn emitters_never_panic_and_produce_nonempty_sources(
+        sig in int_signature(),
+        log_n in 10usize..28,
+    ) {
+        let device = DeviceConfig::titan_x();
+        let plan = lower(&sig, 1 << log_n, &device, &LowerOptions::default());
+        let cuda = emit::cuda_source(&plan);
+        prop_assert!(cuda.contains("__global__ void plr_kernel"));
+        let c = emit_c::c_source(&plan);
+        prop_assert!(c.contains("void plr_run("));
+        let report = plr_codegen::report::report(&plan);
+        prop_assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn x_override_never_changes_results(
+        input in proptest::collection::vec(-20i64..20, 1..4000),
+        x in 1usize..12,
+    ) {
+        let device = DeviceConfig::titan_x();
+        let sig: Signature<i64> = "1: 2, -1".parse().unwrap();
+        let plan = lower(
+            &sig,
+            input.len(),
+            &device,
+            &LowerOptions { x_override: Some(x), ..Default::default() },
+        );
+        let run = execute(&plan, &input, &device, &ExecOptions::default());
+        prop_assert_eq!(run.output, serial::run(&sig, &input));
+    }
+}

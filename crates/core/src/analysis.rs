@@ -1,0 +1,233 @@
+//! Correction-factor pattern analysis backing PLR's optimizations.
+//!
+//! The paper's Section 3.1: PLR inspects each precomputed factor list and
+//! emits specialized code when the list is degenerate — all one constant
+//! (standard prefix sum), only zeros and ones (tuple prefix sums), periodic
+//! (so only one period needs storing), or decaying to zero (stable IIR
+//! filters, where trailing warps can skip Phase 1 entirely). This module
+//! performs that classification; `plr-codegen` consumes it.
+
+use crate::element::Element;
+use crate::nacci::CorrectionTable;
+
+/// The shape of one correction-factor list, in decreasing order of
+/// specialization opportunity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorPattern<T> {
+    /// Every factor is zero: the carry contributes nothing; the whole
+    /// correction for this carry can be elided.
+    AllZero,
+    /// Every factor equals the same nonzero constant (e.g. `1` for the
+    /// standard prefix sum): the array is replaced by a scalar.
+    Constant(T),
+    /// Every factor is zero or one: multiplications become conditional
+    /// adds. The payload is the per-index one-mask.
+    ZeroOne(Vec<bool>),
+    /// The list repeats with the given period (`period < len`): only the
+    /// first period needs to be materialized.
+    Periodic {
+        /// Length of the repeating prefix.
+        period: usize,
+    },
+    /// All factors from `decay_len` onward are zero (stable filters whose
+    /// factors underflow): only the first `decay_len` entries are needed
+    /// and trailing correction work can be skipped.
+    DecaysAfter {
+        /// Number of leading nonzero entries.
+        decay_len: usize,
+    },
+    /// No exploitable structure.
+    Dense,
+}
+
+impl<T> FactorPattern<T> {
+    /// `true` when the pattern removes the need to store the full list.
+    pub fn elides_array(&self) -> bool {
+        !matches!(self, FactorPattern::Dense)
+    }
+}
+
+/// Classifies a single factor list.
+///
+/// Classification priority mirrors the strength of the code specialization:
+/// all-zero, constant, zero/one, periodic, decaying, dense.
+pub fn classify<T: Element>(list: &[T]) -> FactorPattern<T> {
+    if list.is_empty() || list.iter().all(|f| f.is_zero()) {
+        return FactorPattern::AllZero;
+    }
+    let first = list[0];
+    if list.iter().all(|&f| f == first) {
+        return FactorPattern::Constant(first);
+    }
+    if list.iter().all(|f| f.is_zero() || f.is_one()) {
+        return FactorPattern::ZeroOne(list.iter().map(|f| f.is_one()).collect());
+    }
+    if let Some(period) = smallest_period(list) {
+        return FactorPattern::Periodic { period };
+    }
+    // Decay: trailing zeros (after denormal flushing during generation).
+    let decay_len = list.len() - list.iter().rev().take_while(|f| f.is_zero()).count();
+    if decay_len < list.len() {
+        return FactorPattern::DecaysAfter { decay_len };
+    }
+    FactorPattern::Dense
+}
+
+/// Finds the smallest period `p < len` such that `list[i] == list[i - p]`
+/// for all `i >= p`, or `None` if the list does not repeat.
+fn smallest_period<T: Element>(list: &[T]) -> Option<usize> {
+    let n = list.len();
+    (1..n).find(|&p| (p..n).all(|i| list[i] == list[i - p]))
+}
+
+/// Analysis of a full correction table: one pattern per carry list plus
+/// aggregate properties the code generator keys on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAnalysis<T> {
+    /// Pattern of each carry's factor list (index 0 = distance-1 carry).
+    pub patterns: Vec<FactorPattern<T>>,
+    /// Number of leading factor entries that must be materialized per list
+    /// (the maximum over lists, after pattern-based elision).
+    pub required_entries: usize,
+    /// `true` when the distance-k list is derivable from the distance-1
+    /// list as `last[i] = b-k·first[i-1]` (with an implicit leading 1), so
+    /// one of the two arrays can be suppressed. This is the paper's Section
+    /// 3.1 observation that the first and last arrays "contain the same
+    /// values except shifted by one position" — exact up to the `b-k`
+    /// scale, which is 1 for all of the paper's integer examples.
+    pub first_last_shifted: bool,
+}
+
+/// Analyses every list of a correction table.
+pub fn analyze_table<T: Element>(table: &CorrectionTable<T>) -> TableAnalysis<T> {
+    let patterns: Vec<FactorPattern<T>> =
+        (0..table.order()).map(|r| classify(table.list(r))).collect();
+    let required_entries = patterns
+        .iter()
+        .enumerate()
+        .map(|(r, p)| match p {
+            FactorPattern::AllZero | FactorPattern::Constant(_) => 0,
+            FactorPattern::ZeroOne(_) => 0, // the mask replaces the array
+            FactorPattern::Periodic { period } => *period,
+            FactorPattern::DecaysAfter { decay_len } => *decay_len,
+            FactorPattern::Dense => table.list(r).len(),
+        })
+        .max()
+        .unwrap_or(0);
+    let k = table.order();
+    let first_last_shifted = k > 1 && {
+        let first = table.list(0);
+        let last = table.list(k - 1);
+        // last[0] is b-k by construction; check last[i] == b-k·first[i-1].
+        let bk = last[0];
+        first.len() == last.len()
+            && (1..last.len()).all(|i| last[i] == bk.mul(first[i - 1]))
+    };
+    TableAnalysis { patterns, required_entries, first_last_shifted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix;
+
+    fn table_for(sig_text: &str, m: usize, flush: bool) -> CorrectionTable<f64> {
+        let sig: crate::signature::Signature<f64> = sig_text.parse().unwrap();
+        CorrectionTable::generate_with(sig.feedback(), m, flush)
+    }
+
+    #[test]
+    fn prefix_sum_factors_are_constant_one() {
+        let t = CorrectionTable::generate(&[1i64], 16);
+        assert_eq!(classify(t.list(0)), FactorPattern::Constant(1));
+        let a = analyze_table(&t);
+        assert_eq!(a.required_entries, 0);
+    }
+
+    #[test]
+    fn tuple_prefix_sum_factors_are_zero_one() {
+        // (1: 0, 1): list for carry 1 alternates 0,1,0,1…; carry 2 is 1,0,1,0…
+        let sig = prefix::tuple_prefix_sum::<i64>(2);
+        let t = CorrectionTable::generate(sig.feedback(), 8);
+        match classify(t.list(0)) {
+            FactorPattern::ZeroOne(mask) => {
+                assert_eq!(mask, vec![false, true, false, true, false, true, false, true]);
+            }
+            other => panic!("expected ZeroOne, got {other:?}"),
+        }
+        match classify(t.list(1)) {
+            FactorPattern::ZeroOne(mask) => {
+                assert!(mask[0] && !mask[1]);
+            }
+            other => panic!("expected ZeroOne, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn periodic_detection_prefers_zero_one_for_tuples() {
+        // Tuple factor lists are both periodic and zero/one; zero/one wins
+        // by priority. A genuinely periodic non-binary list:
+        let list: Vec<i64> = vec![2, -3, 2, -3, 2, -3];
+        assert_eq!(classify(&list), FactorPattern::Periodic { period: 2 });
+    }
+
+    #[test]
+    fn higher_order_prefix_sums_are_dense() {
+        let t = CorrectionTable::generate(&[2i64, -1], 16);
+        assert_eq!(classify(t.list(0)), FactorPattern::Dense);
+        // This is why the paper's Fig. 10 shows only ~3% optimization gain
+        // for higher-order prefix sums.
+        let a = analyze_table(&t);
+        assert_eq!(a.required_entries, 16);
+    }
+
+    #[test]
+    fn stable_filter_factors_decay() {
+        // f64 factors of 0.8 only underflow past n ≈ 3540, so a 2048-entry
+        // f64 table is still Dense…
+        let t = table_for("0.2 : 0.8", 2048, true);
+        assert_eq!(classify(t.list(0)), FactorPattern::Dense);
+        // …but the paper's f32 evaluation decays within a few hundred.
+        let sig: crate::signature::Signature<f32> = "0.2:0.8".parse().unwrap();
+        let t32 = CorrectionTable::generate_with(sig.feedback(), 2048, true);
+        match classify(t32.list(0)) {
+            FactorPattern::DecaysAfter { decay_len } => {
+                // f32 denormal threshold: 0.8^n < 2^-126 at n ≈ 392.
+                assert!(decay_len < 500, "decay_len {decay_len}");
+            }
+            other => panic!("expected decay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_zero_and_empty_lists() {
+        assert_eq!(classify::<i64>(&[]), FactorPattern::AllZero);
+        assert_eq!(classify(&[0i64, 0, 0]), FactorPattern::AllZero);
+    }
+
+    #[test]
+    fn first_and_last_lists_are_shifted_copies() {
+        for fb in [&[2i64, -1][..], &[3, -3, 1][..], &[0, 1][..]] {
+            let t = CorrectionTable::generate(fb, 32);
+            let a = analyze_table(&t);
+            assert!(a.first_last_shifted, "feedback {fb:?}");
+        }
+        // Order 1: no pair to share.
+        let t = CorrectionTable::generate(&[1i64], 32);
+        assert!(!analyze_table(&t).first_last_shifted);
+    }
+
+    #[test]
+    fn elides_array_flags() {
+        assert!(FactorPattern::Constant(1i32).elides_array());
+        assert!(FactorPattern::<i32>::AllZero.elides_array());
+        assert!(!FactorPattern::<i32>::Dense.elides_array());
+    }
+
+    #[test]
+    fn smallest_period_edge_cases() {
+        assert_eq!(smallest_period(&[1i64, 1, 1]), Some(1));
+        assert_eq!(smallest_period(&[1i64, 2, 1, 2, 1]), Some(2));
+        assert_eq!(smallest_period(&[1i64, 2, 3]), None);
+    }
+}

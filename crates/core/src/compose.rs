@@ -1,0 +1,319 @@
+//! Recurrence composition and decomposition — the z-transform "offline"
+//! step the paper delegates to the user.
+//!
+//! The paper (Section 4): *"PLR does not support the automatic combination
+//! of filters, which has to be done offline using, for example, the
+//! z-transform."* This module is that offline tool:
+//!
+//! * [`compose`] combines two recurrences applied in series into a single
+//!   equivalent signature (transfer functions multiply);
+//! * [`power`] composes a recurrence with itself (e.g. an order-`r` prefix
+//!   sum is the `r`-th power of `(1:1)`, a 3-stage filter the cube of its
+//!   stage);
+//! * [`decompose_stages`] splits a real-coefficient recurrence into a
+//!   cascade of first- and second-order stages (pole factorization) — the
+//!   decomposition Nehab et al. exploit when "applying multiple lower-order
+//!   filters sometimes results in faster processing than using the single,
+//!   corresponding higher-order filter".
+//!
+//! All algebra happens in `f64`; integer signatures compose exactly as
+//! long as the products stay within `2^53`.
+
+use crate::poly::Poly;
+use crate::signature::Signature;
+use crate::stability::{self, Complex};
+
+/// The transfer function `H(z) = N(z)/D(z)` of a signature, with `z`
+/// standing for `z⁻¹` and `D` monic in `z⁰`.
+fn transfer(sig: &Signature<f64>) -> (Poly, Poly) {
+    let numerator = Poly::new(sig.feedforward().to_vec());
+    let mut d = vec![1.0];
+    d.extend(sig.feedback().iter().map(|&b| -b));
+    (numerator, Poly::new(d))
+}
+
+/// Converts a transfer function back into a signature.
+///
+/// # Panics
+///
+/// Panics if `denominator` is not monic in `z⁰` or the result would be a
+/// degenerate signature (handled by [`Signature::new`]'s invariants).
+fn from_transfer(numerator: &Poly, denominator: &Poly) -> Signature<f64> {
+    let d = denominator.coeffs();
+    assert!(
+        !d.is_empty() && (d[0] - 1.0).abs() < 1e-12,
+        "denominator must be monic in z^0"
+    );
+    let feedback: Vec<f64> = d[1..].iter().map(|&c| -c).collect();
+    Signature::new(numerator.coeffs().to_vec(), feedback)
+        .expect("composition produced a degenerate signature")
+}
+
+/// Composes two recurrences applied in series (`second` after `first`)
+/// into one equivalent signature.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::{compose, filters, serial};
+///
+/// // Applying the 1-stage low-pass twice == the 2-stage low-pass.
+/// let one = filters::low_pass(0.8, 1);
+/// let two = compose::compose(&one, &one);
+/// assert_eq!(two, filters::low_pass(0.8, 2));
+///
+/// let x: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+/// let stage_by_stage = serial::run(&one, &serial::run(&one, &x));
+/// let fused = serial::run(&two, &x);
+/// for (a, b) in stage_by_stage.iter().zip(&fused) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+pub fn compose(first: &Signature<f64>, second: &Signature<f64>) -> Signature<f64> {
+    let (n1, d1) = transfer(first);
+    let (n2, d2) = transfer(second);
+    from_transfer(&n1.mul(&n2), &d1.mul(&d2))
+}
+
+/// Composes a recurrence with itself `stages` times.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn power(sig: &Signature<f64>, stages: u32) -> Signature<f64> {
+    assert!(stages >= 1, "a cascade needs at least one stage");
+    let mut acc = sig.clone();
+    for _ in 1..stages {
+        acc = compose(&acc, sig);
+    }
+    acc
+}
+
+/// One stage of a decomposed cascade: order 1 or 2 with real coefficients.
+pub type Stage = Signature<f64>;
+
+/// Decomposes a recurrence into a cascade of first-order (real pole) and
+/// second-order (conjugate pole pair) stages whose serial application is
+/// equivalent to the original.
+///
+/// The feed-forward polynomial is attached to the first stage; later
+/// stages are pure `(1 : …)` recurrences. Poles are paired greedily:
+/// complex-conjugate pairs form biquads, real poles form first-order
+/// stages (with one leftover real pole possibly joining another real pole
+/// in a biquad).
+///
+/// # Panics
+///
+/// Panics if the pole finder fails to produce a conjugate-closed set
+/// (cannot happen for real coefficients within numerical tolerance).
+pub fn decompose_stages(sig: &Signature<f64>) -> Vec<Stage> {
+    let report = stability::analyze(sig.feedback());
+    // Repeated roots come out of the iterative root finder as a cluster of
+    // nearby approximations (accuracy ~ eps^(1/multiplicity)); replacing a
+    // cluster by copies of its centroid recovers most of the lost digits.
+    let mut poles = cluster_poles(&report.poles, 1e-3);
+    // Sort into complex pairs and reals.
+    let mut reals: Vec<f64> = Vec::new();
+    let mut pairs: Vec<(Complex, Complex)> = Vec::new();
+    const IM_TOL: f64 = 1e-7;
+    while let Some(p) = poles.pop() {
+        if p.im.abs() < IM_TOL {
+            reals.push(p.re);
+            continue;
+        }
+        // Find and remove its conjugate.
+        let idx = poles
+            .iter()
+            .position(|q| (q.re - p.re).abs() < 1e-6 && (q.im + p.im).abs() < 1e-6)
+            .expect("real-coefficient recurrences have conjugate-closed poles");
+        let q = poles.swap_remove(idx);
+        pairs.push((p, q));
+    }
+
+    let mut stages: Vec<Stage> = Vec::new();
+    for (p, q) in pairs {
+        // (z - p)(z - q) = z² - (p+q)z + pq with real coefficients.
+        let b1 = p.re + q.re;
+        let b2 = -(p.re * q.re - p.im * q.im);
+        stages.push(Signature::new(vec![1.0], vec![b1, b2]).expect("valid biquad"));
+    }
+    for r in reals {
+        stages.push(Signature::new(vec![1.0], vec![r]).expect("valid first-order stage"));
+    }
+    if stages.is_empty() {
+        // Order zero cannot happen (signatures require k >= 1), but guard.
+        stages.push(Signature::new(vec![1.0], vec![0.0, 1.0]).unwrap());
+    }
+
+    // Attach the feed-forward polynomial to the first stage.
+    let first = stages[0].clone();
+    stages[0] = Signature::new(sig.feedforward().to_vec(), first.feedback().to_vec())
+        .expect("feed-forward attaches to a valid stage");
+    stages
+}
+
+/// Groups poles within `tol` of each other and replaces each group by
+/// copies of its centroid (multiplicity preserved). A centroid whose
+/// imaginary part is tiny is snapped onto the real axis, which also
+/// symmetrizes conjugate clusters.
+fn cluster_poles(poles: &[Complex], tol: f64) -> Vec<Complex> {
+    let mut remaining: Vec<Complex> = poles.to_vec();
+    let mut out = Vec::with_capacity(poles.len());
+    while let Some(seed) = remaining.pop() {
+        let mut group = vec![seed];
+        let mut i = 0;
+        while i < remaining.len() {
+            let q = remaining[i];
+            let near = group.iter().any(|g| {
+                let d = Complex::new(g.re - q.re, g.im - q.im).abs();
+                d < tol * g.abs().max(1.0)
+            });
+            if near {
+                group.push(remaining.swap_remove(i));
+                i = 0; // group grew; rescan
+            } else {
+                i += 1;
+            }
+        }
+        let n = group.len() as f64;
+        let mut centroid = Complex::new(
+            group.iter().map(|p| p.re).sum::<f64>() / n,
+            group.iter().map(|p| p.im).sum::<f64>() / n,
+        );
+        if centroid.im.abs() < tol {
+            centroid.im = 0.0;
+        }
+        for _ in 0..group.len() {
+            out.push(centroid);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters;
+    use crate::serial;
+
+    fn apply_cascade(stages: &[Stage], input: &[f64]) -> Vec<f64> {
+        let mut data = input.to_vec();
+        for s in stages {
+            data = serial::run(s, &data);
+        }
+        data
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+                "index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn compose_matches_filter_module_cascades() {
+        let lp1 = filters::low_pass(0.8, 1);
+        assert_eq!(power(&lp1, 3), filters::low_pass(0.8, 3));
+        let hp1 = filters::high_pass(0.8, 1);
+        assert_eq!(power(&hp1, 2), filters::high_pass(0.8, 2));
+    }
+
+    #[test]
+    fn compose_is_semantically_series_application() {
+        let a = filters::low_pass(0.7, 1);
+        let b = filters::high_pass(0.4, 1);
+        let band = compose(&a, &b);
+        let input: Vec<f64> = (0..200).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let series = serial::run(&b, &serial::run(&a, &input));
+        let fused = serial::run(&band, &input);
+        assert_close(&series, &fused, 1e-10);
+    }
+
+    #[test]
+    fn compose_order_is_immaterial_for_lti_systems() {
+        let a = filters::low_pass(0.7, 1);
+        let b = filters::high_pass(0.4, 1);
+        let ab = compose(&a, &b);
+        let ba = compose(&b, &a);
+        // Coefficients must match exactly up to float noise.
+        assert_close(ab.feedforward(), ba.feedforward(), 1e-12);
+        assert_close(ab.feedback(), ba.feedback(), 1e-12);
+    }
+
+    #[test]
+    fn higher_order_prefix_sums_are_powers_of_the_prefix_sum() {
+        let psum = crate::prefix::prefix_sum::<f64>();
+        let third = power(&psum, 3);
+        assert_close(third.feedback(), &[3.0, -3.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn decompose_repeated_real_pole() {
+        // 3-stage low-pass: triple pole at 0.8 -> one biquad + one single.
+        let lp3 = filters::low_pass(0.8, 3);
+        let stages = decompose_stages(&lp3);
+        let orders: Vec<usize> = stages.iter().map(|s| s.order()).collect();
+        assert_eq!(orders.iter().sum::<usize>(), 3);
+        let input: Vec<f64> = (0..300).map(|i| ((i % 11) as f64) - 5.0).collect();
+        // A triple pole limits the root finder to ~eps^(1/3) accuracy even
+        // after cluster-centroid recovery, hence the looser bound.
+        assert_close(
+            &apply_cascade(&stages, &input),
+            &serial::run(&lp3, &input),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn decompose_complex_pole_pair_into_biquad() {
+        // (1 : 1, -0.5): poles 0.5 ± 0.5i -> a single biquad, unchanged.
+        let sig = Signature::new(vec![1.0], vec![1.0, -0.5]).unwrap();
+        let stages = decompose_stages(&sig);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].order(), 2);
+        assert_close(stages[0].feedback(), sig.feedback(), 1e-9);
+    }
+
+    #[test]
+    fn decompose_mixed_poles() {
+        // One real pole (0.9) cascaded with a complex pair.
+        let real = Signature::new(vec![1.0], vec![0.9]).unwrap();
+        let pair = Signature::new(vec![1.0], vec![1.0, -0.5]).unwrap();
+        let combined = compose(&real, &pair);
+        assert_eq!(combined.order(), 3);
+        let stages = decompose_stages(&combined);
+        assert_eq!(stages.iter().map(|s| s.order()).sum::<usize>(), 3);
+        let input: Vec<f64> = (0..200).map(|i| ((i % 9) as f64) - 4.0).collect();
+        assert_close(
+            &apply_cascade(&stages, &input),
+            &serial::run(&combined, &input),
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn decompose_keeps_the_feedforward_on_the_first_stage() {
+        let hp2 = filters::high_pass(0.8, 2);
+        let stages = decompose_stages(&hp2);
+        assert_eq!(stages[0].feedforward(), hp2.feedforward());
+        for s in &stages[1..] {
+            assert!(s.is_pure_feedback());
+        }
+        let input: Vec<f64> = (0..200).map(|i| ((i % 13) as f64) - 6.0).collect();
+        assert_close(
+            &apply_cascade(&stages, &input),
+            &serial::run(&hp2, &input),
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn power_rejects_zero() {
+        power(&filters::low_pass(0.8, 1), 0);
+    }
+}

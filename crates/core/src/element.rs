@@ -1,0 +1,283 @@
+//! The scalar element abstraction shared by every recurrence algorithm.
+//!
+//! The paper evaluates 32-bit integer and 32-bit floating-point sequences;
+//! we additionally support the 64-bit widths. Integer arithmetic uses
+//! two's-complement wrapping semantics, matching what GPU hardware (and the
+//! paper's CUDA kernels) compute on overflow. Floating-point arithmetic is
+//! IEEE-754 with an optional flush-to-zero of denormal values, which the
+//! paper uses to truncate decaying correction factors (Section 3.1).
+
+use core::fmt::{Debug, Display};
+
+/// A scalar value a linear recurrence can be computed over.
+///
+/// This trait is sealed in spirit: the four provided implementations
+/// (`i32`, `i64`, `f32`, `f64`) cover the paper's evaluation space, and the
+/// algorithms in this workspace are only tested against these. The trait
+/// deliberately avoids operator overloading so that integer wrapping
+/// semantics are explicit at every call site.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::element::Element;
+///
+/// let a = 3i32;
+/// let b = i32::MAX;
+/// // Wrapping semantics, like the GPU hardware the paper targets.
+/// assert_eq!(a.add(b), i32::MIN.add(2));
+/// assert!(0.5f32.mul(0.5).approx_eq(0.25, 1e-6));
+/// ```
+pub trait Element:
+    Copy + PartialEq + PartialOrd + Debug + Display + Default + Send + Sync + 'static
+{
+    /// `true` for IEEE-754 types, `false` for two's-complement integers.
+    const IS_FLOAT: bool;
+    /// Width of the element in bytes (used by the memory-traffic model).
+    const BYTES: usize;
+    /// Human-readable type name used by the CUDA emitter (`"int"`, `"float"`, ...).
+    const CUDA_NAME: &'static str;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition; wrapping for integers.
+    fn add(self, rhs: Self) -> Self;
+    /// Subtraction; wrapping for integers.
+    fn sub(self, rhs: Self) -> Self;
+    /// Multiplication; wrapping for integers.
+    fn mul(self, rhs: Self) -> Self;
+    /// Negation; wrapping for integers.
+    fn neg(self) -> Self;
+
+    /// Conversion from a small integer constant (exact for every impl).
+    fn from_i32(v: i32) -> Self;
+    /// Lossy conversion from `f64`; used when instantiating a generic
+    /// signature (e.g. filter designs are computed in `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy widening to `f64` for reporting and tolerance checks.
+    fn to_f64(self) -> f64;
+
+    /// Parse a single signature token (e.g. `"-1"`, `"0.8"`).
+    fn parse_token(tok: &str) -> Option<Self>;
+
+    /// `self == 0`.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+    /// `self == 1`.
+    fn is_one(self) -> bool {
+        self == Self::one()
+    }
+
+    /// Flush denormal floating-point values to zero; identity for integers.
+    ///
+    /// The paper's most effective optimization relies on stable-filter
+    /// correction factors decaying below the denormal threshold; flushing
+    /// accelerates that decay (Section 3.1).
+    fn flush_denormal(self) -> Self {
+        self
+    }
+
+    /// Whether `self` is within `tol` of `other`.
+    ///
+    /// Integers require exact equality regardless of `tol`, matching the
+    /// paper's validation methodology (exact for ints, `1e-3` discrepancy
+    /// bound for floats relative to the magnitude of the values involved).
+    fn approx_eq(self, other: Self, tol: f64) -> bool;
+}
+
+macro_rules! impl_int_element {
+    ($t:ty, $bytes:expr, $cuda:expr) => {
+        impl Element for $t {
+            const IS_FLOAT: bool = false;
+            const BYTES: usize = $bytes;
+            const CUDA_NAME: &'static str = $cuda;
+
+            fn zero() -> Self {
+                0
+            }
+            fn one() -> Self {
+                1
+            }
+            fn add(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
+            }
+            fn sub(self, rhs: Self) -> Self {
+                self.wrapping_sub(rhs)
+            }
+            fn mul(self, rhs: Self) -> Self {
+                self.wrapping_mul(rhs)
+            }
+            fn neg(self) -> Self {
+                self.wrapping_neg()
+            }
+            fn from_i32(v: i32) -> Self {
+                v as $t
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn parse_token(tok: &str) -> Option<Self> {
+                tok.parse().ok()
+            }
+            fn approx_eq(self, other: Self, _tol: f64) -> bool {
+                self == other
+            }
+        }
+    };
+}
+
+macro_rules! impl_float_element {
+    ($t:ty, $bytes:expr, $cuda:expr, $min_positive:expr) => {
+        impl Element for $t {
+            const IS_FLOAT: bool = true;
+            const BYTES: usize = $bytes;
+            const CUDA_NAME: &'static str = $cuda;
+
+            fn zero() -> Self {
+                0.0
+            }
+            fn one() -> Self {
+                1.0
+            }
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+            fn sub(self, rhs: Self) -> Self {
+                self - rhs
+            }
+            fn mul(self, rhs: Self) -> Self {
+                self * rhs
+            }
+            fn neg(self) -> Self {
+                -self
+            }
+            fn from_i32(v: i32) -> Self {
+                v as $t
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn parse_token(tok: &str) -> Option<Self> {
+                tok.parse().ok()
+            }
+            fn flush_denormal(self) -> Self {
+                if self != 0.0 && self.abs() < $min_positive {
+                    0.0
+                } else {
+                    self
+                }
+            }
+            fn approx_eq(self, other: Self, tol: f64) -> bool {
+                let (a, b) = (self.to_f64(), other.to_f64());
+                if a == b {
+                    return true;
+                }
+                if !a.is_finite() || !b.is_finite() {
+                    return false;
+                }
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= tol * scale
+            }
+        }
+    };
+}
+
+impl_int_element!(i32, 4, "int");
+impl_int_element!(i64, 8, "long long");
+impl_float_element!(f32, 4, "float", f32::MIN_POSITIVE);
+impl_float_element!(f64, 8, "double", f64::MIN_POSITIVE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_wrapping_add() {
+        assert_eq!(i32::MAX.add(1), i32::MIN);
+        assert_eq!(i64::MIN.sub(1), i64::MAX);
+    }
+
+    #[test]
+    fn int_wrapping_mul() {
+        assert_eq!((1i32 << 30).mul(4), 0);
+        assert_eq!(i32::MIN.neg(), i32::MIN);
+    }
+
+    #[test]
+    fn identities() {
+        assert!(0i32.is_zero());
+        assert!(1i64.is_one());
+        assert!(0.0f32.is_zero());
+        assert!(1.0f64.is_one());
+        assert!(!0.5f32.is_one());
+    }
+
+    #[test]
+    fn from_conversions_are_exact_for_small_ints() {
+        assert_eq!(i32::from_i32(-7), -7);
+        assert_eq!(i64::from_i32(-7), -7);
+        assert_eq!(f32::from_i32(-7), -7.0);
+        assert_eq!(f64::from_i32(-7), -7.0);
+        assert_eq!(f32::from_f64(0.8), 0.8f32);
+    }
+
+    #[test]
+    fn parse_tokens() {
+        assert_eq!(i32::parse_token("-12"), Some(-12));
+        assert_eq!(i32::parse_token("0.5"), None);
+        assert_eq!(f64::parse_token("-0.64"), Some(-0.64));
+        assert_eq!(f32::parse_token("x"), None);
+    }
+
+    #[test]
+    fn denormal_flush() {
+        let tiny = f32::MIN_POSITIVE / 2.0;
+        assert!(tiny != 0.0);
+        assert_eq!(tiny.flush_denormal(), 0.0);
+        assert_eq!((-tiny).flush_denormal(), 0.0);
+        assert_eq!(1.0f32.flush_denormal(), 1.0);
+        assert_eq!(0i32.flush_denormal(), 0);
+        // Normal values pass through untouched.
+        assert_eq!(f32::MIN_POSITIVE.flush_denormal(), f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn approx_eq_ints_exact() {
+        assert!(5i32.approx_eq(5, 1e-3));
+        assert!(!5i32.approx_eq(6, 1e3));
+    }
+
+    #[test]
+    fn approx_eq_floats_relative() {
+        assert!(1000.0f32.approx_eq(1000.5, 1e-3));
+        assert!(!1000.0f32.approx_eq(1002.0, 1e-3));
+        assert!(0.0f64.approx_eq(1e-9, 1e-3)); // absolute floor near zero
+        assert!(!f32::NAN.approx_eq(f32::NAN, 1.0));
+        assert!(!f32::INFINITY.approx_eq(1.0, 1.0));
+    }
+
+    #[test]
+    fn cuda_names() {
+        assert_eq!(i32::CUDA_NAME, "int");
+        assert_eq!(f32::CUDA_NAME, "float");
+        assert_eq!(i64::CUDA_NAME, "long long");
+        assert_eq!(f64::CUDA_NAME, "double");
+    }
+
+    #[test]
+    fn byte_widths_match_memory_model_expectations() {
+        assert_eq!(i32::BYTES, 4);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(i64::BYTES, 8);
+        assert_eq!(f64::BYTES, 8);
+    }
+}

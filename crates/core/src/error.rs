@@ -1,0 +1,173 @@
+//! Error types for signature construction, parsing, and output validation.
+
+use core::fmt;
+
+/// Errors produced when constructing or parsing a [`Signature`].
+///
+/// [`Signature`]: crate::signature::Signature
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SignatureError {
+    /// The feed-forward coefficient list was empty or all zeros.
+    ///
+    /// With all `a` coefficients zero the output is identically zero and
+    /// independent of the input (paper, Section 1), so such signatures are
+    /// rejected rather than silently computing nothing.
+    ZeroFeedforward,
+    /// The feedback coefficient list was empty or all zeros.
+    ///
+    /// With all `b` coefficients zero the recurrence degenerates to a map
+    /// operation; the paper (and this library's recurrence engines) only
+    /// handle `k >= 1`. Use the FIR helpers in [`crate::serial`] directly
+    /// for pure map operations.
+    ZeroFeedback,
+    /// A token in the textual signature could not be parsed as a coefficient.
+    InvalidToken {
+        /// The offending token.
+        token: String,
+    },
+    /// The textual signature did not contain exactly one `:` separator.
+    MissingSeparator,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::ZeroFeedforward => {
+                write!(f, "feed-forward coefficients are empty or all zero")
+            }
+            SignatureError::ZeroFeedback => {
+                write!(
+                    f,
+                    "feedback coefficients are empty or all zero (use a plain map for FIR-only signatures)"
+                )
+            }
+            SignatureError::InvalidToken { token } => {
+                write!(f, "invalid coefficient token `{token}`")
+            }
+            SignatureError::MissingSeparator => {
+                write!(f, "signature must contain exactly one `:` separating the coefficient lists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A mismatch found when validating a parallel result against the serial
+/// reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Index of the first mismatching element.
+    pub index: usize,
+    /// The serial reference value at that index (widened to `f64`).
+    pub expected: f64,
+    /// The value under test at that index (widened to `f64`).
+    pub actual: f64,
+    /// The tolerance that was applied.
+    pub tolerance: f64,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output mismatch at index {}: expected {}, got {} (tolerance {})",
+            self.index, self.expected, self.actual, self.tolerance
+        )
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Errors produced by the recurrence engines when a configuration cannot be
+/// executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The requested chunk size was zero or not a power of two where one is
+    /// required by the hierarchical doubling of Phase 1.
+    InvalidChunkSize {
+        /// The rejected chunk size.
+        chunk_size: usize,
+    },
+    /// The input exceeds the maximum size the configuration supports.
+    ///
+    /// The paper's PLR supports sequences up to 4 GB (2^30 32-bit words);
+    /// executors report their own caps (e.g. Alg3 2 GB, Rec 1 GB, Scan
+    /// k-dependent) through this error.
+    InputTooLarge {
+        /// Number of elements requested.
+        len: usize,
+        /// Maximum number of elements supported.
+        max: usize,
+    },
+    /// The executor does not support this signature shape (e.g. Alg3/Rec
+    /// only support a single non-recursive coefficient; paper Section 6.2.2).
+    UnsupportedSignature {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidChunkSize { chunk_size } => {
+                write!(f, "invalid chunk size {chunk_size}")
+            }
+            EngineError::InputTooLarge { len, max } => {
+                write!(f, "input of {len} elements exceeds supported maximum of {max}")
+            }
+            EngineError::UnsupportedSignature { reason } => {
+                write!(f, "unsupported signature: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            SignatureError::ZeroFeedforward.to_string(),
+            SignatureError::ZeroFeedback.to_string(),
+            SignatureError::InvalidToken { token: "q".into() }.to_string(),
+            SignatureError::MissingSeparator.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn validation_error_display() {
+        let e = ValidationError { index: 3, expected: 1.0, actual: 2.0, tolerance: 1e-3 };
+        let s = e.to_string();
+        assert!(s.contains("index 3"));
+        assert!(s.contains("expected 1"));
+    }
+
+    #[test]
+    fn engine_error_display() {
+        let e = EngineError::InputTooLarge { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = EngineError::UnsupportedSignature { reason: "p > 0".into() };
+        assert!(e.to_string().contains("p > 0"));
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<SignatureError>();
+        check::<ValidationError>();
+        check::<EngineError>();
+    }
+}

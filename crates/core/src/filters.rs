@@ -1,0 +1,271 @@
+//! Recursive digital filter design in signature form.
+//!
+//! The paper's Table 1 filter signatures come from Smith's *Digital Signal
+//! Processing* single-pole designs, cascaded into multi-stage filters via
+//! the z-transform: cascading two filters multiplies their transfer-function
+//! numerators and denominators. This module reproduces exactly those
+//! designs, so the generated signatures match the paper's table (which
+//! truncates some coefficients for readability).
+//!
+//! Conventions: a signature `(a0, …, a-p : b-1, …, b-k)` corresponds to the
+//! transfer function `H(z) = A(z) / D(z)` with `A(z) = a0 + a-1·z + …`
+//! (writing `z` for `z⁻¹`) and `D(z) = 1 - b-1·z - … - b-k·z^k`.
+
+use crate::poly::Poly;
+use crate::signature::Signature;
+
+/// A single-pole filter design parameter: the pole location `x ∈ (0, 1)`.
+///
+/// Smith's formulas: the decay parameter `x = e^(-2π·fc)` for cutoff
+/// frequency `fc` (fraction of the sampling rate). The paper's examples use
+/// `x = 0.8`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinglePole {
+    x: f64,
+}
+
+impl SinglePole {
+    /// Creates a design from the pole location `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < x < 1` (the stable, meaningful range).
+    pub fn from_pole(x: f64) -> Self {
+        assert!(x > 0.0 && x < 1.0, "pole must be in (0, 1), got {x}");
+        SinglePole { x }
+    }
+
+    /// Creates a design from a cutoff frequency `fc` (cycles per sample,
+    /// `0 < fc < 0.5`), using Smith's `x = e^(-2π·fc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fc < 0.5`.
+    pub fn from_cutoff(fc: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5), got {fc}");
+        Self::from_pole((-2.0 * std::f64::consts::PI * fc).exp())
+    }
+
+    /// The pole location `x`.
+    pub fn pole(&self) -> f64 {
+        self.x
+    }
+
+    /// One low-pass stage: `(1-x : x)` — e.g. `(0.2 : 0.8)` for `x = 0.8`.
+    pub fn low_pass_stage(&self) -> Stage {
+        Stage {
+            numerator: Poly::new(vec![1.0 - self.x]),
+            denominator: Poly::new(vec![1.0, -self.x]),
+        }
+    }
+
+    /// One high-pass stage: `((1+x)/2, -(1+x)/2 : x)` — e.g.
+    /// `(0.9, -0.9 : 0.8)` for `x = 0.8`.
+    pub fn high_pass_stage(&self) -> Stage {
+        let g = (1.0 + self.x) / 2.0;
+        Stage {
+            numerator: Poly::new(vec![g, -g]),
+            denominator: Poly::new(vec![1.0, -self.x]),
+        }
+    }
+}
+
+/// A filter stage (or cascade) as a z-domain transfer function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    numerator: Poly,
+    denominator: Poly,
+}
+
+impl Stage {
+    /// Builds a stage from an existing signature.
+    pub fn from_signature(sig: &Signature<f64>) -> Self {
+        let numerator = Poly::new(sig.feedforward().to_vec());
+        let mut d = vec![1.0];
+        d.extend(sig.feedback().iter().map(|&b| -b));
+        Stage { numerator, denominator: Poly::new(d) }
+    }
+
+    /// Cascades `self` with `other` (series connection): transfer functions
+    /// multiply.
+    pub fn cascade(&self, other: &Stage) -> Stage {
+        Stage {
+            numerator: self.numerator.mul(&other.numerator),
+            denominator: self.denominator.mul(&other.denominator),
+        }
+    }
+
+    /// Cascades `self` with itself `n` times total (`n >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn repeat(&self, n: u32) -> Stage {
+        assert!(n >= 1, "a cascade needs at least one stage");
+        Stage {
+            numerator: self.numerator.pow(n),
+            denominator: self.denominator.pow(n),
+        }
+    }
+
+    /// Converts the transfer function back to signature form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator's constant term is not 1 (every stage
+    /// produced by this module keeps it 1) or the stage degenerates to an
+    /// invalid signature (zero numerator or FIR-only denominator).
+    pub fn to_signature(&self) -> Signature<f64> {
+        let d = self.denominator.coeffs();
+        assert!(
+            !d.is_empty() && (d[0] - 1.0).abs() < 1e-12,
+            "denominator must be monic in z^0, got {:?}",
+            d
+        );
+        let feedback: Vec<f64> = d[1..].iter().map(|&c| -c).collect();
+        Signature::new(self.numerator.coeffs().to_vec(), feedback)
+            .expect("cascade produced a degenerate signature")
+    }
+
+    /// The DC gain `H(1)` (response to a constant input).
+    pub fn dc_gain(&self) -> f64 {
+        self.numerator.eval(1.0) / self.denominator.eval(1.0)
+    }
+
+    /// The Nyquist gain `H(-1)` (response to the fastest alternation).
+    pub fn nyquist_gain(&self) -> f64 {
+        self.numerator.eval(-1.0) / self.denominator.eval(-1.0)
+    }
+}
+
+/// An `stages`-stage low-pass filter with pole `x`, in signature form.
+///
+/// `low_pass(0.8, 2)` is the paper's `(0.04 : 1.6, -0.64)`.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `(0, 1)` or `stages == 0`.
+pub fn low_pass(x: f64, stages: u32) -> Signature<f64> {
+    SinglePole::from_pole(x).low_pass_stage().repeat(stages).to_signature()
+}
+
+/// An `stages`-stage high-pass filter with pole `x`, in signature form.
+///
+/// `high_pass(0.8, 3)` is the paper's
+/// `(0.729, -2.187, 2.187, -0.729 : 2.4, -1.92, 0.512)` (Table 1 prints it
+/// truncated).
+///
+/// # Panics
+///
+/// Panics if `x` is outside `(0, 1)` or `stages == 0`.
+pub fn high_pass(x: f64, stages: u32) -> Signature<f64> {
+    SinglePole::from_pole(x).high_pass_stage().repeat(stages).to_signature()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    fn assert_coeffs_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len(), "{got:?} vs {want:?}");
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-12, "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn paper_low_pass_signatures() {
+        let lp1 = low_pass(0.8, 1);
+        assert_coeffs_close(lp1.feedforward(), &[0.2]);
+        assert_coeffs_close(lp1.feedback(), &[0.8]);
+
+        let lp2 = low_pass(0.8, 2);
+        assert_coeffs_close(lp2.feedforward(), &[0.04]);
+        assert_coeffs_close(lp2.feedback(), &[1.6, -0.64]);
+
+        let lp3 = low_pass(0.8, 3);
+        assert_coeffs_close(lp3.feedforward(), &[0.008]);
+        assert_coeffs_close(lp3.feedback(), &[2.4, -1.92, 0.512]);
+    }
+
+    #[test]
+    fn paper_high_pass_signatures() {
+        let hp1 = high_pass(0.8, 1);
+        assert_coeffs_close(hp1.feedforward(), &[0.9, -0.9]);
+        assert_coeffs_close(hp1.feedback(), &[0.8]);
+
+        let hp2 = high_pass(0.8, 2);
+        assert_coeffs_close(hp2.feedforward(), &[0.81, -1.62, 0.81]);
+        assert_coeffs_close(hp2.feedback(), &[1.6, -0.64]);
+
+        let hp3 = high_pass(0.8, 3);
+        // Table 1 prints (0.73, -2.19, 2.19, -0.73 : 2.4, -1.9, 0.5),
+        // truncated from these exact values:
+        assert_coeffs_close(hp3.feedforward(), &[0.729, -2.187, 2.187, -0.729]);
+        assert_coeffs_close(hp3.feedback(), &[2.4, -1.92, 0.512]);
+    }
+
+    #[test]
+    fn low_pass_has_unit_dc_gain_and_high_pass_zero() {
+        for stages in 1..=4 {
+            let lp = Stage::from_signature(&low_pass(0.8, stages));
+            assert!((lp.dc_gain() - 1.0).abs() < 1e-12);
+            let hp = Stage::from_signature(&high_pass(0.8, stages));
+            assert!(hp.dc_gain().abs() < 1e-12);
+            assert!((hp.nyquist_gain() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cascade_of_signature_equals_applying_stages_in_series() {
+        // Running the 2-stage filter once must equal running the 1-stage
+        // filter twice (up to float noise).
+        let one = low_pass(0.8, 1);
+        let two = low_pass(0.8, 2);
+        let input: Vec<f64> = (0..100).map(|i| ((i % 10) as f64) - 4.5).collect();
+        let once_then_again = serial::run(&one, &serial::run(&one, &input));
+        let in_one_go = serial::run(&two, &input);
+        for (a, b) in once_then_again.iter().zip(&in_one_go) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_cascade_low_then_high_is_a_band_pass() {
+        let lp = SinglePole::from_pole(0.8).low_pass_stage();
+        let hp = SinglePole::from_pole(0.3).high_pass_stage();
+        let bp = lp.cascade(&hp);
+        let sig = bp.to_signature();
+        assert_eq!(sig.order(), 2);
+        // Band-pass: blocks DC and Nyquist.
+        assert!(bp.dc_gain().abs() < 1e-12);
+        assert!(bp.nyquist_gain().abs() < 0.2);
+    }
+
+    #[test]
+    fn from_cutoff_matches_smith_formula() {
+        let d = SinglePole::from_cutoff(0.25);
+        assert!((d.pole() - (-std::f64::consts::PI / 2.0).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn signature_round_trip_through_stage() {
+        let sig = high_pass(0.8, 2);
+        let back = Stage::from_signature(&sig).to_signature();
+        assert_coeffs_close(back.feedforward(), sig.feedforward());
+        assert_coeffs_close(back.feedback(), sig.feedback());
+    }
+
+    #[test]
+    #[should_panic(expected = "pole must be in (0, 1)")]
+    fn rejects_unstable_pole() {
+        SinglePole::from_pole(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn rejects_zero_stages() {
+        SinglePole::from_pole(0.5).low_pass_stage().repeat(0);
+    }
+}

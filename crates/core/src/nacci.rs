@@ -1,0 +1,315 @@
+//! Generalized Fibonacci (*n-nacci*) sequences and correction-factor tables.
+//!
+//! The central observation of the paper (Section 2.1): when two adjacent
+//! chunks that each hold their *local* solution are merged, element `i` of
+//! the second chunk is corrected by adding, for each carry `r` (the r-th
+//! last element of the first chunk, `r = 1..=k`), a precomputed factor times
+//! that carry. The factor sequences are produced by running the feedback
+//! recurrence `(0 : b-1, …, b-k)` seeded with a unit vector placed at the
+//! carry's position — the `(b-1, …, b-k)`-nacci numbers.
+//!
+//! For `(1: 1, 1)` these are the two Fibonacci sequences (seeds `0, 1` and
+//! `1, 0`); for `(1: 1, 1, 1)` the three Tribonacci sequences; for
+//! `(1: 2, -1)` (second-order prefix sum) lists `1, 2, 3, 4, …` and
+//! `0, -1, -2, -3, …` as in the paper's Section 2.3 example.
+
+use crate::element::Element;
+
+/// Generates `len` values of the recurrence `(0 : feedback…)` from a seed.
+///
+/// `seed[r]` holds the value at distance `r + 1` *before* the first generated
+/// element (index 0 of the seed is the most recent history value). Seeds
+/// shorter than the order are padded with zeros.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::nacci::generate;
+///
+/// // Fibonacci: seed "…0, 1" (most recent first: [1, 0]).
+/// assert_eq!(generate(&[1i64, 1], &[1, 0], 8), vec![1, 2, 3, 5, 8, 13, 21, 34]);
+/// ```
+pub fn generate<T: Element>(feedback: &[T], seed: &[T], len: usize) -> Vec<T> {
+    let k = feedback.len();
+    let mut out: Vec<T> = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut acc = T::zero();
+        for (j, &b) in feedback.iter().enumerate().take(k) {
+            let dist = j + 1;
+            let term = if dist <= i {
+                out[i - dist]
+            } else {
+                let h = dist - i - 1;
+                if h < seed.len() {
+                    seed[h]
+                } else {
+                    T::zero()
+                }
+            };
+            acc = acc.add(b.mul(term));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// The `k` precomputed correction-factor lists for a feedback recurrence.
+///
+/// `list(r)[i]` is the factor by which carry `r` (0-based: `r = 0` is the
+/// *last* element of the preceding chunk, `r = 1` the second-to-last, …)
+/// must be multiplied when correcting element `i` of the following chunk.
+///
+/// A single table of length `m` serves every Phase 1 iteration up to chunk
+/// size `m` *and* Phase 2, because the factor lists for smaller chunk sizes
+/// are prefixes of the lists for larger ones (paper, Section 3 item 1).
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::nacci::CorrectionTable;
+///
+/// // Second-order prefix sum (1: 2, -1), paper Section 2.3.
+/// let table = CorrectionTable::generate(&[2i32, -1], 8);
+/// assert_eq!(table.list(0), &[2, 3, 4, 5, 6, 7, 8, 9]);
+/// assert_eq!(table.list(1), &[-1, -2, -3, -4, -5, -6, -7, -8]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrectionTable<T> {
+    lists: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T: Element> CorrectionTable<T> {
+    /// Precomputes the `k` factor lists of length `len` for `feedback`.
+    ///
+    /// Runtime is `O(k²·len)`; the paper notes this n-nacci construction is
+    /// what makes PLR's code generation take only ~10 ms.
+    pub fn generate(feedback: &[T], len: usize) -> Self {
+        Self::generate_with(feedback, len, false)
+    }
+
+    /// Like [`CorrectionTable::generate`] but optionally flushing denormal
+    /// factor values to zero as they are produced, accelerating the decay of
+    /// stable-filter factors exactly as the paper's Section 3.1 describes.
+    pub fn generate_with(feedback: &[T], len: usize, flush_denormals: bool) -> Self {
+        let k = feedback.len();
+        let mut lists = Vec::with_capacity(k);
+        for r in 0..k {
+            // Unit seed: 1 at distance r+1 before the chunk boundary.
+            let mut seed = vec![T::zero(); k];
+            seed[r] = T::one();
+            let mut list = generate(feedback, &seed, len);
+            if flush_denormals {
+                for v in &mut list {
+                    *v = v.flush_denormal();
+                }
+            }
+            lists.push(list);
+        }
+        CorrectionTable { lists, len }
+    }
+
+    /// The order `k` of the underlying recurrence (number of lists).
+    pub fn order(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The length of each factor list (the maximum chunk size served).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the table serves chunk size zero only.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The factor list for carry `r` (0 = last element of preceding chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.order()`.
+    pub fn list(&self, r: usize) -> &[T] {
+        &self.lists[r]
+    }
+
+    /// Corrects `chunk[i] += Σ_r list(r)[i]·carries[r]` for all `i`.
+    ///
+    /// `carries[r]` is the r-th last element of the logically preceding
+    /// chunk; fewer than `k` carries are allowed (missing ones are zero),
+    /// which happens during the first Phase 1 iterations when the chunk size
+    /// is still smaller than the order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk.len() > self.len()`.
+    pub fn correct_chunk(&self, chunk: &mut [T], carries: &[T]) {
+        assert!(
+            chunk.len() <= self.len,
+            "chunk of {} exceeds correction table length {}",
+            chunk.len(),
+            self.len
+        );
+        for (r, &carry) in carries.iter().enumerate().take(self.order()) {
+            if carry.is_zero() {
+                continue;
+            }
+            let list = &self.lists[r];
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = v.add(list[i].mul(carry));
+            }
+        }
+    }
+
+    /// Computes the *global* carries of a chunk from the global carries of
+    /// its predecessor and its own *local* carries (paper, Section 2.3).
+    ///
+    /// Both carry slices use the same ordering (index 0 = last element of
+    /// the chunk). `chunk_len` is the chunk's element count, needed to index
+    /// the factor lists from the chunk's tail: the factor for local carry
+    /// `s` and predecessor carry `r` is `list(r)[chunk_len - 1 - s]`.
+    ///
+    /// This is the `O(k²)` fix-up step performed per look-back hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero, exceeds the table length, or is
+    /// smaller than `local.len()`.
+    pub fn fixup_carries(&self, global_prev: &[T], local: &[T], chunk_len: usize) -> Vec<T> {
+        assert!(chunk_len >= 1 && chunk_len <= self.len && local.len() <= chunk_len);
+        let mut out = Vec::with_capacity(local.len());
+        for (s, &l) in local.iter().enumerate() {
+            let i = chunk_len - 1 - s;
+            let mut acc = l;
+            for (r, &g) in global_prev.iter().enumerate().take(self.order()) {
+                acc = acc.add(self.lists[r][i].mul(g));
+            }
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// Extracts the `k` carries (last `min(k, chunk.len())` elements, most
+/// recent first) from a chunk slice.
+pub fn carries_of<T: Element>(chunk: &[T], k: usize) -> Vec<T> {
+    chunk.iter().rev().take(k).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    #[test]
+    fn first_order_factors_are_geometric() {
+        // (1: d): factors d, d², d³, … (paper Section 2.1).
+        let t = CorrectionTable::generate(&[3i64], 5);
+        assert_eq!(t.list(0), &[3, 9, 27, 81, 243]);
+    }
+
+    #[test]
+    fn fibonacci_and_shifted_fibonacci() {
+        // Paper: the two Fibonacci seed placements give the same sequence
+        // shifted by one position.
+        let t = CorrectionTable::generate(&[1i64, 1], 8);
+        // Carry at distance 1 (seed "0, 1"): 1, 2, 3, 5, 8, 13, 21, 34.
+        assert_eq!(t.list(0), &[1, 2, 3, 5, 8, 13, 21, 34]);
+        // Carry at distance 2 (seed "1, 0"): the same shifted right by one.
+        assert_eq!(t.list(1), &[1, 1, 2, 3, 5, 8, 13, 21]);
+        assert_eq!(&t.list(0)[..7], &t.list(1)[1..]);
+    }
+
+    #[test]
+    fn tribonacci_middle_sequence_differs() {
+        // Paper: (1: 1, 1, 1) has three seeds; the first and last are
+        // shifted copies (A000073-like) but the middle one (0, 1, 0) is an
+        // entirely different sequence (A001590-like).
+        let t = CorrectionTable::generate(&[1i64, 1, 1], 8);
+        assert_eq!(t.list(0), &[1, 2, 4, 7, 13, 24, 44, 81]);
+        assert_eq!(t.list(1), &[1, 2, 3, 6, 11, 20, 37, 68]);
+        assert_eq!(t.list(2), &[1, 1, 2, 4, 7, 13, 24, 44]);
+        // First and last are one-position shifts of each other.
+        assert_eq!(&t.list(0)[..7], &t.list(2)[1..]);
+        // The middle sequence diverges from both.
+        assert_ne!(&t.list(1)[..7], &t.list(0)[..7]);
+        assert_ne!(&t.list(1)[..7], &t.list(2)[..7]);
+    }
+
+    #[test]
+    fn paper_second_order_lists() {
+        let t = CorrectionTable::generate(&[2i32, -1], 8);
+        assert_eq!(t.list(0), &[2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(t.list(1), &[-1, -2, -3, -4, -5, -6, -7, -8]);
+    }
+
+    #[test]
+    fn second_order_symbolic_factors() {
+        // Paper Section 2.1 for (1: d, e) with d=2, e=3:
+        // w_{m-1} factors: d, d²+e, d³+2de, d⁴+3d²e+e² = 2, 7, 20, 61
+        // w_{m-2} factors: e, de, d²e+e², d³e+2de² = 3, 6, 21, 60
+        let t = CorrectionTable::generate(&[2i64, 3], 4);
+        assert_eq!(t.list(0), &[2, 7, 20, 61]);
+        assert_eq!(t.list(1), &[3, 6, 21, 60]);
+    }
+
+    #[test]
+    fn correct_chunk_merges_local_solutions() {
+        // Merge two local solutions of (1: 2, -1) and compare with the
+        // serial solution of the concatenation.
+        let fb = [2i32, -1];
+        let input: Vec<i32> = vec![3, -4, 5, -6, 7, -8, 9, -10];
+        let mut whole = input.clone();
+        serial::recursive_in_place(&fb, &mut whole);
+
+        let mut left = input[..4].to_vec();
+        let mut right = input[4..].to_vec();
+        serial::recursive_in_place(&fb, &mut left);
+        serial::recursive_in_place(&fb, &mut right);
+
+        let t = CorrectionTable::generate(&fb, 4);
+        let carries = carries_of(&left, 2);
+        t.correct_chunk(&mut right, &carries);
+
+        assert_eq!(&whole[..4], left.as_slice());
+        assert_eq!(&whole[4..], right.as_slice());
+    }
+
+    #[test]
+    fn fixup_carries_matches_paper_example() {
+        // Paper Section 2.3: global carries of the third chunk (24, 16) from
+        // the first chunk's global carries (8 last, 12 second-to-last) and
+        // the second chunk's local carries (40 last, 44 second-to-last):
+        //   24 = 44 + 8·8 + (-7)·12,  16 = 40 + 9·8 + (-8)·12.
+        let t = CorrectionTable::generate(&[2i32, -1], 8);
+        let global_prev = [8, 12]; // index 0 = last element
+        let local = [40, 44];
+        let fixed = t.fixup_carries(&global_prev, &local, 8);
+        assert_eq!(fixed, vec![16, 24]);
+    }
+
+    #[test]
+    fn carries_of_short_chunks() {
+        assert_eq!(carries_of(&[1i32, 2, 3], 2), vec![3, 2]);
+        assert_eq!(carries_of(&[5i32], 3), vec![5]);
+        assert_eq!(carries_of(&[] as &[i32], 2), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn denormal_flush_truncates_decaying_factors() {
+        let t = CorrectionTable::generate_with(&[0.1f32], 64, true);
+        // 0.1^n underflows f32 denormal range well before 64 terms.
+        assert!(t.list(0).iter().any(|&v| v == 0.0));
+        let first_zero = t.list(0).iter().position(|&v| v == 0.0).unwrap();
+        // Everything after the first zero stays zero (0 · b = 0).
+        assert!(t.list(0)[first_zero..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds correction table length")]
+    fn correct_chunk_panics_on_oversize() {
+        let t = CorrectionTable::generate(&[1i32], 2);
+        let mut chunk = vec![0i32; 3];
+        t.correct_chunk(&mut chunk, &[1]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Phase 1: hierarchical doubling merge of local solutions.
+//!
+//! Starting from chunks of one element (each trivially holding its local
+//! solution, since `y[first] = t[first]` for a `(1 : b…)` recurrence),
+//! Phase 1 iteratively merges pairs of adjacent chunks. The second chunk of
+//! each pair is corrected with the precomputed factors from a
+//! [`CorrectionTable`] multiplied by the up-to-`k` carries (last elements)
+//! of the first chunk. After `log2(m)` iterations every aligned chunk of
+//! size `m` holds its local solution.
+//!
+//! The invariant maintained after each iteration with chunk size `c`: every
+//! aligned window `[j·c, (j+1)·c)` holds the recurrence solution *as if the
+//! sequence started at `j·c`* (zero history). Missing carries while `c < k`
+//! are therefore genuinely zero — the paper's "all missing terms are zero"
+//! remark — so corrections only read carries that physically exist inside
+//! the first chunk of the pair.
+//!
+//! Each element of a second chunk is corrected independently, which is what
+//! the GPU mapping exploits: warp shuffles while `c < 32`, shared memory
+//! across warps up to the block chunk size (see `plr-codegen`).
+
+use crate::element::Element;
+use crate::nacci::CorrectionTable;
+
+/// One doubling iteration: merges adjacent pairs of `chunk`-sized chunks.
+///
+/// `data` may have a ragged tail; a final partial chunk participates as the
+/// second half of its pair (correct-prefix semantics are preserved).
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` or `2·chunk` exceeds the table length.
+pub fn merge_step<T: Element>(table: &CorrectionTable<T>, data: &mut [T], chunk: usize) {
+    assert!(chunk > 0, "chunk size must be positive");
+    assert!(chunk <= table.len(), "doubling past the correction table length");
+    let k = table.order();
+    let pair = 2 * chunk;
+    let n = data.len();
+    let mut pair_start = 0;
+    while pair_start < n {
+        let second_start = pair_start + chunk;
+        if second_start >= n {
+            break; // lone first chunk at the tail: nothing to correct
+        }
+        let second_end = (pair_start + pair).min(n);
+        // Carries: the last min(k, chunk) elements of the first chunk.
+        // Read them before mutating the second chunk (disjoint ranges, but
+        // the borrow is simplest via split_at_mut).
+        let (first, rest) = data[pair_start..second_end].split_at_mut(chunk);
+        let second = rest;
+        for r in 0..k.min(chunk) {
+            let carry = first[chunk - 1 - r];
+            if carry.is_zero() {
+                continue;
+            }
+            let list = table.list(r);
+            for (i, v) in second.iter_mut().enumerate() {
+                *v = v.add(list[i].mul(carry));
+            }
+        }
+        pair_start += pair;
+    }
+}
+
+/// Runs Phase 1 from single-element chunks up to `target_chunk`.
+///
+/// On return, every aligned `target_chunk`-sized window of `data` holds its
+/// local solution of the recurrence `(1 : feedback…)` over the original
+/// contents of that window.
+///
+/// # Panics
+///
+/// Panics if `target_chunk` is not a power of two or exceeds the table
+/// length.
+pub fn run<T: Element>(table: &CorrectionTable<T>, data: &mut [T], target_chunk: usize) {
+    assert!(
+        target_chunk.is_power_of_two(),
+        "phase 1 doubling requires a power-of-two target chunk size, got {target_chunk}"
+    );
+    let mut chunk = 1;
+    while chunk < target_chunk {
+        merge_step(table, data, chunk);
+        chunk *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    /// Computes the expected Phase 1 result: each aligned chunk solved
+    /// locally with the serial loop.
+    fn local_solutions<T: Element>(feedback: &[T], input: &[T], chunk: usize) -> Vec<T> {
+        let mut out = input.to_vec();
+        for c in out.chunks_mut(chunk) {
+            serial::recursive_in_place(feedback, c);
+        }
+        out
+    }
+
+    #[test]
+    fn paper_example_iteration_by_iteration() {
+        // Section 2.3 worked example: (1: 2, -1), n = 20, m = 8.
+        let fb = [2i32, -1];
+        let table = CorrectionTable::generate(&fb, 8);
+        let mut data: Vec<i32> = vec![
+            3, -4, 5, -6, 7, -8, 9, -10, 11, -12, 13, -14, 15, -16, 17, -18, 19, -20, 21, -22,
+        ];
+
+        merge_step(&table, &mut data, 1);
+        assert_eq!(
+            data,
+            vec![3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14, 17, 16, 19, 18, 21, 20]
+        );
+
+        merge_step(&table, &mut data, 2);
+        assert_eq!(
+            data,
+            vec![3, 2, 6, 4, 7, 6, 14, 12, 11, 10, 22, 20, 15, 14, 30, 28, 19, 18, 38, 36]
+        );
+
+        merge_step(&table, &mut data, 4);
+        assert_eq!(
+            data,
+            vec![3, 2, 6, 4, 9, 6, 12, 8, 11, 10, 22, 20, 33, 30, 44, 40, 19, 18, 38, 36]
+        );
+    }
+
+    #[test]
+    fn run_matches_per_chunk_serial_solutions() {
+        let fb = [2i32, -1];
+        let table = CorrectionTable::generate(&fb, 16);
+        let input: Vec<i32> = (0..100).map(|i| (i * 7919) % 23 - 11).collect();
+        for target in [1usize, 2, 4, 8, 16] {
+            let mut data = input.clone();
+            run(&table, &mut data, target);
+            assert_eq!(data, local_solutions(&fb, &input, target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn prefix_of_sequence_is_globally_correct() {
+        // Paper: after iteration s, the first 2^s elements are final.
+        let fb = [1i32, 1, 1];
+        let table = CorrectionTable::generate(&fb, 32);
+        let input: Vec<i32> = (0..50).map(|i| (i as i32 % 5) - 2).collect();
+        let full = {
+            let mut d = input.clone();
+            serial::recursive_in_place(&fb, &mut d);
+            d
+        };
+        let mut data = input.clone();
+        run(&table, &mut data, 32);
+        assert_eq!(&data[..32], &full[..32]);
+    }
+
+    #[test]
+    fn high_order_with_chunks_smaller_than_k() {
+        // Order 4 recurrence: the first two iterations have fewer carries
+        // than k; the local-solution invariant must still hold.
+        let fb = [1i32, -2, 3, -1];
+        let table = CorrectionTable::generate(&fb, 8);
+        let input: Vec<i32> = (0..40).map(|i| ((i * 31) % 17) as i32 - 8).collect();
+        let mut data = input.clone();
+        run(&table, &mut data, 8);
+        assert_eq!(data, local_solutions(&fb, &input, 8));
+    }
+
+    #[test]
+    fn ragged_tail_shorter_than_half_pair() {
+        let fb = [1i32, 1];
+        let table = CorrectionTable::generate(&fb, 8);
+        // 11 elements: final pair is (8-chunk, 3-element tail).
+        let input: Vec<i32> = (1..=11).collect();
+        let mut data = input.clone();
+        run(&table, &mut data, 8);
+        // After phase 1 with target 8, chunks are [0..8) and [8..11).
+        assert_eq!(data, local_solutions(&fb, &input, 8));
+    }
+
+    #[test]
+    fn lone_tail_chunk_is_left_alone() {
+        let fb = [1i32];
+        let table = CorrectionTable::generate(&fb, 4);
+        // 6 elements with chunk 4: pair is ([0..4), [4..6)); merging at
+        // chunk=4 has a second chunk of 2.
+        let input = vec![1i32, 1, 1, 1, 1, 1];
+        let mut data = input.clone();
+        run(&table, &mut data, 4);
+        assert_eq!(data, local_solutions(&fb, &input, 4));
+    }
+
+    #[test]
+    fn float_filter_phase1() {
+        let fb = [1.6f64, -0.64];
+        let table = CorrectionTable::generate(&fb, 16);
+        let input: Vec<f64> = (0..64).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut data = input.clone();
+        run(&table, &mut data, 16);
+        let expect = local_solutions(&fb, &input, 16);
+        for (a, b) in data.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_target_rejected() {
+        let table = CorrectionTable::generate(&[1i32], 8);
+        run(&table, &mut [1, 2, 3], 3);
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        let table = CorrectionTable::generate(&[1i32], 4);
+        let mut data: Vec<i32> = vec![];
+        run(&table, &mut data, 4);
+        assert!(data.is_empty());
+    }
+}

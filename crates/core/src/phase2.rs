@@ -1,0 +1,291 @@
+//! Phase 2: carry propagation across fixed-size chunks.
+//!
+//! After Phase 1 every `m`-sized chunk holds its *local* solution. Phase 2
+//! turns local solutions into the global one: each chunk is corrected using
+//! the `k` *global* carries (last `k` corrected values) of its predecessor
+//! and the same precomputed correction factors.
+//!
+//! Two equivalent formulations are provided:
+//!
+//! * [`propagate_sequential`] — the straightforward chunk-after-chunk gold
+//!   model (`O(nk)` work, inherently serial across chunks);
+//! * [`propagate_decoupled`] — computes all global carries first by chaining
+//!   the `O(k²)` [`CorrectionTable::fixup_carries`] step over the chunks'
+//!   local carries, then corrects every chunk *independently*. This is the
+//!   dependency structure the paper's pipelined GPU Phase 2 (and this
+//!   workspace's `plr-parallel` runtime and `plr-sim` executor) exploit:
+//!   the serial part of the work is `O((n/m)·k²)` instead of `O(nk)`.
+
+use crate::element::Element;
+use crate::nacci::{carries_of, CorrectionTable};
+
+/// Corrects chunked local solutions into the global solution, sequentially.
+///
+/// `data` is interpreted as consecutive chunks of `m` elements (the final
+/// chunk may be shorter). Each chunk `c > 0` is corrected using the global
+/// carries of chunk `c - 1`, which are final by the time chunk `c` is
+/// processed.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m` exceeds the correction table length.
+pub fn propagate_sequential<T: Element>(table: &CorrectionTable<T>, data: &mut [T], m: usize) {
+    assert!(m > 0 && m <= table.len(), "chunk size {m} outside table length {}", table.len());
+    let k = table.order();
+    let n = data.len();
+    let mut start = m;
+    while start < n {
+        let end = (start + m).min(n);
+        let (prev, rest) = data.split_at_mut(start);
+        // The k carries are the last k *corrected* values before `start`;
+        // when m < k they span more than one preceding chunk, which is fine
+        // here because everything before `start` is already global.
+        let carries = carries_of(prev, k);
+        table.correct_chunk(&mut rest[..end - start], &carries);
+        start += m;
+    }
+}
+
+/// Computes every chunk's global carries from the chunks' local carries by
+/// chaining the look-back fix-up, then corrects all chunks independently.
+///
+/// Returns the number of fix-up hops performed (useful for cost models and
+/// tests). The result is identical to [`propagate_sequential`]; only the
+/// dependency structure differs.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `m` exceeds the correction table length, or
+/// `m < k`: the decoupled formulation publishes per-chunk carries, so a
+/// chunk must be able to hold all `k` of them (the paper's regime, where
+/// `m >= 1024` and `k < 4`).
+pub fn propagate_decoupled<T: Element>(
+    table: &CorrectionTable<T>,
+    data: &mut [T],
+    m: usize,
+) -> usize {
+    assert!(m > 0 && m <= table.len(), "chunk size {m} outside table length {}", table.len());
+    assert!(m >= table.order(), "decoupled look-back requires chunk size >= order");
+    let k = table.order();
+    let n = data.len();
+    if n <= m {
+        return 0;
+    }
+    let num_chunks = n.div_ceil(m);
+
+    // Pass A: collect local carries of every chunk.
+    let local_carries: Vec<Vec<T>> = (0..num_chunks)
+        .map(|c| {
+            let start = c * m;
+            let end = (start + m).min(n);
+            carries_of(&data[start..end], k)
+        })
+        .collect();
+
+    // Chain: global carries of chunk c from chunk c-1 (serial, O(chunks·k²)).
+    let mut hops = 0;
+    let mut global_carries: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
+    global_carries.push(local_carries[0].clone()); // chunk 0 is already global
+    for c in 1..num_chunks {
+        let chunk_len = ((c * m + m).min(n)) - c * m;
+        let fixed = table.fixup_carries(&global_carries[c - 1], &local_carries[c], chunk_len);
+        hops += 1;
+        global_carries.push(fixed);
+    }
+
+    // Pass B: correct every chunk independently (parallelizable).
+    for c in 1..num_chunks {
+        let start = c * m;
+        let end = (start + m).min(n);
+        table.correct_chunk(&mut data[start..end], &global_carries[c - 1]);
+    }
+    hops
+}
+
+/// Computes the global carries of every chunk by a *variable* look-back from
+/// an arbitrary starting chunk, mirroring the paper's pipelined Phase 2: the
+/// carries of chunk `c` are derived from the most recent chunk `c - d` whose
+/// global carries are known plus the local carries of chunks
+/// `c - d + 1 ..= c`.
+///
+/// This function exists to verify (in tests and the simulator) that a
+/// look-back of *any* depth yields the same carries as depth 1; the
+/// runtime implementations pick `d` dynamically based on flag availability.
+///
+/// `chunk_lens[i]` is the element count of chunk `i`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or `start + 1 + locals.len()`
+/// chunks are not described by `chunk_lens`.
+pub fn lookback_carries<T: Element>(
+    table: &CorrectionTable<T>,
+    known_global: &[T],
+    locals: &[Vec<T>],
+    chunk_lens: &[usize],
+) -> Vec<T> {
+    assert_eq!(locals.len(), chunk_lens.len(), "one chunk length per local-carry set");
+    let mut g = known_global.to_vec();
+    for (local, &len) in locals.iter().zip(chunk_lens) {
+        g = table.fixup_carries(&g, local, len);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1;
+    use crate::serial;
+    use crate::signature::Signature;
+
+    fn run_two_phase<T: Element>(sig: &Signature<T>, input: &[T], m: usize) -> Vec<T> {
+        assert!(sig.is_pure_feedback());
+        let table = CorrectionTable::generate(sig.feedback(), m);
+        let mut data = input.to_vec();
+        for chunk in data.chunks_mut(m) {
+            serial::recursive_in_place(sig.feedback(), chunk);
+        }
+        propagate_sequential(&table, &mut data, m);
+        data
+    }
+
+    #[test]
+    fn paper_example_phase2() {
+        // Section 2.3: after Phase 1 the 20-element example holds chunks of
+        // 8 local solutions; Phase 2 produces the final output.
+        let fb = [2i32, -1];
+        let table = CorrectionTable::generate(&fb, 8);
+        let mut data = vec![
+            3, 2, 6, 4, 9, 6, 12, 8, 11, 10, 22, 20, 33, 30, 44, 40, 19, 18, 38, 36,
+        ];
+        propagate_sequential(&table, &mut data, 8);
+        assert_eq!(
+            data,
+            vec![3, 2, 6, 4, 9, 6, 12, 8, 15, 10, 18, 12, 21, 14, 24, 16, 27, 18, 30, 20]
+        );
+    }
+
+    #[test]
+    fn sequential_matches_serial_for_various_signatures() {
+        let cases: [(&str, usize); 5] =
+            [("1:1", 16), ("1:0,1", 8), ("1:2,-1", 16), ("1:3,-3,1", 32), ("1:0,0,1", 8)];
+        for (text, m) in cases {
+            let sig: Signature<i64> = text.parse().unwrap();
+            let input: Vec<i64> = (0..137).map(|i| ((i * 2654435761u64 % 19) as i64) - 9).collect();
+            let expect = serial::run(&sig, &input);
+            let got = run_two_phase(&sig, &input, m);
+            assert_eq!(got, expect, "signature {text}");
+        }
+    }
+
+    #[test]
+    fn decoupled_equals_sequential() {
+        let fb = [3i64, -3, 1];
+        let table = CorrectionTable::generate(&fb, 8);
+        let input: Vec<i64> = (0..100).map(|i| (i % 11) as i64 - 5).collect();
+
+        let mut a = input.clone();
+        for c in a.chunks_mut(8) {
+            serial::recursive_in_place(&fb, c);
+        }
+        let mut b = a.clone();
+
+        propagate_sequential(&table, &mut a, 8);
+        let hops = propagate_decoupled(&table, &mut b, 8);
+        assert_eq!(a, b);
+        assert_eq!(hops, 100usize.div_ceil(8) - 1);
+    }
+
+    #[test]
+    fn decoupled_single_chunk_is_noop() {
+        let table = CorrectionTable::generate(&[1i32], 16);
+        let mut data: Vec<i32> = (0..10).collect();
+        let before = data.clone();
+        assert_eq!(propagate_decoupled(&table, &mut data, 16), 0);
+        assert_eq!(data, before);
+    }
+
+    #[test]
+    fn phase1_then_phase2_is_the_full_algorithm() {
+        // End-to-end: Phase 1 doubling to m, then Phase 2, vs serial.
+        let sig: Signature<i32> = "1: 2, -1".parse().unwrap();
+        let input: Vec<i32> = (0..500).map(|i| ((i * 37) % 41) as i32 - 20).collect();
+        let m = 16;
+        let table = CorrectionTable::generate(sig.feedback(), m);
+        let mut data = input.clone();
+        phase1::run(&table, &mut data, m);
+        propagate_sequential(&table, &mut data, m);
+        assert_eq!(data, serial::run(&sig, &input));
+    }
+
+    #[test]
+    fn variable_lookback_any_depth_matches_depth_one() {
+        // Build 6 chunks of local solutions and check that deriving chunk
+        // 5's carries from chunk 1's globals + locals 2..=5 equals the
+        // straightforward chain.
+        let fb = [2i64, -1];
+        let m = 8;
+        let table = CorrectionTable::generate(&fb, m);
+        let input: Vec<i64> = (0..48).map(|i| (i % 9) as i64 - 4).collect();
+
+        let mut locals_data = input.clone();
+        for c in locals_data.chunks_mut(m) {
+            serial::recursive_in_place(&fb, c);
+        }
+        let locals: Vec<Vec<i64>> =
+            locals_data.chunks(m).map(|c| carries_of(c, fb.len())).collect();
+
+        // Ground truth globals from the fully corrected sequence.
+        let mut global_data = locals_data.clone();
+        propagate_sequential(&table, &mut global_data, m);
+        let globals: Vec<Vec<i64>> =
+            global_data.chunks(m).map(|c| carries_of(c, fb.len())).collect();
+
+        // Depth-4 look-back: from globals[1] through locals of chunks 2..=5.
+        let lens = vec![m; 4];
+        let via_lookback = lookback_carries(&table, &globals[1], &locals[2..6], &lens);
+        assert_eq!(via_lookback, globals[5]);
+
+        // Depth-1 look-back from globals[4].
+        let one_hop = lookback_carries(&table, &globals[4], &locals[5..6], &[m]);
+        assert_eq!(one_hop, globals[5]);
+    }
+
+    #[test]
+    fn float_filter_two_phase_within_tolerance() {
+        let sig: Signature<f32> = "1: 1.6, -0.64".parse().unwrap();
+        let input: Vec<f32> = (0..300).map(|i| ((i % 13) as f32) * 0.25 - 1.5).collect();
+        let expect = serial::run(&sig, &input);
+        let got = run_two_phase(&sig, &input, 32);
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!(a.approx_eq(*b, 1e-3), "index {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sequential_handles_chunks_smaller_than_order() {
+        // m = 2 with k = 3: carries span two preceding chunks; the
+        // sequential form reads them from the globally corrected prefix.
+        let sig: Signature<i64> = "1: 0, 0, -2".parse().unwrap();
+        let input: Vec<i64> = (0..25).map(|i| (i % 5) - 2).collect();
+        let expect = serial::run(&sig, &input);
+        assert_eq!(run_two_phase(&sig, &input, 2), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size >= order")]
+    fn decoupled_rejects_chunks_smaller_than_order() {
+        let table = CorrectionTable::generate(&[0i64, 0, -2], 2);
+        let mut data = vec![1i64; 10];
+        propagate_decoupled(&table, &mut data, 2);
+    }
+
+    #[test]
+    fn ragged_final_chunk() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let input: Vec<i32> = (1..=21).collect(); // 21 = 2·8 + 5
+        let expect = serial::run(&sig, &input);
+        assert_eq!(run_two_phase(&sig, &input, 8), expect);
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal dense polynomial arithmetic over `f64`.
+//!
+//! Used by the filter-design module to compose transfer functions (cascading
+//! filter stages multiplies their z-domain numerators and denominators) and
+//! by the stability analysis for characteristic polynomials. Coefficients
+//! are stored lowest degree first.
+
+use core::fmt;
+
+/// A dense univariate polynomial with `f64` coefficients, lowest degree
+/// first.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::poly::Poly;
+///
+/// let p = Poly::new(vec![1.0, -0.8]);        // 1 - 0.8·z
+/// let sq = p.mul(&p);                        // 1 - 1.6·z + 0.64·z²
+/// assert_eq!(sq.coeffs(), &[1.0, -1.6, 0.6400000000000001]);
+/// assert_eq!(sq.eval(1.0), sq.coeffs().iter().sum::<f64>());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from coefficients (lowest degree first).
+    /// Trailing zeros are trimmed; the zero polynomial is `[]`.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut coeffs = coeffs;
+        while coeffs.last().is_some_and(|&c| c == 0.0) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly { coeffs: vec![1.0] }
+    }
+
+    /// The coefficients, lowest degree first (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Polynomial product (convolution of coefficient vectors).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::new(vec![]);
+        }
+        let mut out = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.coeffs.get(i).copied().unwrap_or(0.0)
+                + rhs.coeffs.get(i).copied().unwrap_or(0.0);
+        }
+        Poly::new(out)
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Integer power by repeated multiplication.
+    pub fn pow(&self, n: u32) -> Poly {
+        let mut acc = Poly::one();
+        for _ in 0..n {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{c}")?;
+            } else {
+                write!(f, " + {c}·z^{i}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert_eq!(p.degree(), 1);
+        assert!(Poly::new(vec![0.0, 0.0]).is_zero());
+    }
+
+    #[test]
+    fn multiplication_is_convolution() {
+        let a = Poly::new(vec![1.0, 1.0]); // 1 + z
+        let b = Poly::new(vec![1.0, -1.0]); // 1 - z
+        assert_eq!(a.mul(&b).coeffs(), &[1.0, 0.0, -1.0]); // 1 - z²
+    }
+
+    #[test]
+    fn multiplication_by_zero() {
+        let a = Poly::new(vec![1.0, 2.0]);
+        let z = Poly::new(vec![]);
+        assert!(a.mul(&z).is_zero());
+        assert!(z.mul(&a).is_zero());
+    }
+
+    #[test]
+    fn addition_aligns_degrees() {
+        let a = Poly::new(vec![1.0]);
+        let b = Poly::new(vec![0.0, 0.0, 3.0]);
+        assert_eq!(a.add(&b).coeffs(), &[1.0, 0.0, 3.0]);
+        // Cancellation trims.
+        let c = Poly::new(vec![1.0, 2.0]);
+        let d = Poly::new(vec![0.0, -2.0]);
+        assert_eq!(c.add(&d).coeffs(), &[1.0]);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let p = Poly::new(vec![1.0, -0.8]);
+        assert_eq!(p.pow(0), Poly::one());
+        assert_eq!(p.pow(1), p);
+        assert_eq!(p.pow(3), p.mul(&p).mul(&p));
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Poly::new(vec![2.0, 0.0, 1.0]); // 2 + z²
+        assert_eq!(p.eval(3.0), 11.0);
+        assert_eq!(Poly::new(vec![]).eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Poly::new(vec![]).to_string(), "0");
+        assert!(Poly::new(vec![1.0, 2.0]).to_string().contains("z^1"));
+    }
+}

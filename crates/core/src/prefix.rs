@@ -1,0 +1,165 @@
+//! Constructors for the prefix-sum family and the paper's Table 1 catalog.
+
+use crate::element::Element;
+use crate::filters;
+use crate::signature::Signature;
+
+/// The standard prefix sum `(1 : 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::{prefix, serial};
+///
+/// let sig = prefix::prefix_sum::<i32>();
+/// assert_eq!(serial::run(&sig, &[1, 2, 3]), vec![1, 3, 6]);
+/// ```
+pub fn prefix_sum<T: Element>() -> Signature<T> {
+    Signature::new(vec![T::one()], vec![T::one()]).expect("(1:1) is always valid")
+}
+
+/// The `s`-tuple prefix sum `(1 : 0, …, 0, 1)` — `s` interleaved prefix
+/// sums computed as a single order-`s` recurrence.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn tuple_prefix_sum<T: Element>(s: usize) -> Signature<T> {
+    assert!(s >= 1, "tuple size must be at least 1");
+    let mut feedback = vec![T::zero(); s];
+    feedback[s - 1] = T::one();
+    Signature::new(vec![T::one()], feedback).expect("tuple signature is always valid")
+}
+
+/// The `r`-th-order prefix sum (prefix sum applied `r` times): feedback
+/// coefficients follow the binomial coefficients with alternating signs,
+/// `b-j = (-1)^(j+1)·C(r, j)` — e.g. `(1: 2, -1)` and `(1: 3, -3, 1)`.
+///
+/// # Panics
+///
+/// Panics if `r == 0` or the binomials overflow `i64` (`r > 62`).
+pub fn higher_order_prefix_sum<T: Element>(r: usize) -> Signature<T> {
+    assert!(r >= 1, "order must be at least 1");
+    assert!(r <= 62, "binomial coefficients overflow past order 62");
+    let mut feedback = Vec::with_capacity(r);
+    let mut binom: i64 = 1;
+    for j in 1..=r {
+        // C(r, j) computed incrementally; exact in i64 for r <= 62.
+        binom = binom * (r as i64 - j as i64 + 1) / j as i64;
+        let signed = if j % 2 == 1 { binom } else { -binom };
+        feedback.push(T::from_f64(signed as f64));
+    }
+    Signature::new(vec![T::one()], feedback).expect("higher-order signature is always valid")
+}
+
+/// One named entry of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// A short identifier (used by the bench harness CLI).
+    pub id: &'static str,
+    /// The paper's description column.
+    pub description: &'static str,
+    /// The signature with exact (untruncated) coefficients.
+    pub signature: Signature<f64>,
+    /// `true` for the integer-evaluated recurrences (prefix sums),
+    /// `false` for the floating-point digital filters.
+    pub integral: bool,
+}
+
+/// The paper's Table 1: all eleven studied recurrences.
+///
+/// Filter coefficients are the exact cascade values (Table 1 truncates some
+/// digits for readability).
+pub fn catalog() -> Vec<CatalogEntry> {
+    let e = |id, description, signature, integral| CatalogEntry {
+        id,
+        description,
+        signature,
+        integral,
+    };
+    vec![
+        e("psum", "prefix sum", prefix_sum(), true),
+        e("tuple2", "2-tuple prefix sum", tuple_prefix_sum(2), true),
+        e("tuple3", "3-tuple prefix sum", tuple_prefix_sum(3), true),
+        e("order2", "2nd-order prefix sum", higher_order_prefix_sum(2), true),
+        e("order3", "3rd-order prefix sum", higher_order_prefix_sum(3), true),
+        e("lp1", "a 1-stage low-pass filter", filters::low_pass(0.8, 1), false),
+        e("lp2", "a 2-stage low-pass filter", filters::low_pass(0.8, 2), false),
+        e("lp3", "a 3-stage low-pass filter", filters::low_pass(0.8, 3), false),
+        e("hp1", "a 1-stage high-pass filter", filters::high_pass(0.8, 1), false),
+        e("hp2", "a 2-stage high-pass filter", filters::high_pass(0.8, 2), false),
+        e("hp3", "a 3-stage high-pass filter", filters::high_pass(0.8, 3), false),
+    ]
+}
+
+/// Looks up a catalog entry by id.
+pub fn catalog_entry(id: &str) -> Option<CatalogEntry> {
+    catalog().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    #[test]
+    fn tuple_prefix_sum_is_interleaved_scans() {
+        let sig = tuple_prefix_sum::<i64>(3);
+        assert_eq!(sig.feedback(), &[0, 0, 1]);
+        let input: Vec<i64> = (1..=12).collect();
+        let out = serial::run(&sig, &input);
+        // Three interleaved prefix sums over lanes {1,4,7,10}, {2,5,8,11}, {3,6,9,12}.
+        assert_eq!(out, vec![1, 2, 3, 5, 7, 9, 12, 15, 18, 22, 26, 30]);
+    }
+
+    #[test]
+    fn higher_order_matches_iterated_prefix_sum() {
+        let input: Vec<i64> = (0..40).map(|i| (i % 7) as i64 - 3).collect();
+        for r in 1..=4 {
+            let sig = higher_order_prefix_sum::<i64>(r);
+            let direct = serial::run(&sig, &input);
+            let mut iterated = input.clone();
+            for _ in 0..r {
+                iterated = serial::run(&prefix_sum::<i64>(), &iterated);
+            }
+            assert_eq!(direct, iterated, "order {r}");
+        }
+    }
+
+    #[test]
+    fn higher_order_signatures_match_paper() {
+        assert_eq!(higher_order_prefix_sum::<i32>(2).feedback(), &[2, -1]);
+        assert_eq!(higher_order_prefix_sum::<i32>(3).feedback(), &[3, -3, 1]);
+        assert_eq!(higher_order_prefix_sum::<i32>(4).feedback(), &[4, -6, 4, -1]);
+        assert_eq!(higher_order_prefix_sum::<i32>(1).feedback(), &[1]);
+    }
+
+    #[test]
+    fn catalog_has_eleven_entries_matching_table_1() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 11);
+        let sig_strings: Vec<String> = cat.iter().map(|e| e.signature.to_string()).collect();
+        assert_eq!(sig_strings[0], "(1: 1)");
+        assert_eq!(sig_strings[1], "(1: 0, 1)");
+        assert_eq!(sig_strings[2], "(1: 0, 0, 1)");
+        assert_eq!(sig_strings[3], "(1: 2, -1)");
+        assert_eq!(sig_strings[4], "(1: 3, -3, 1)");
+        // Float entries checked numerically in filters::tests; here just the
+        // integral flags.
+        assert!(cat[..5].iter().all(|e| e.integral));
+        assert!(cat[5..].iter().all(|e| !e.integral));
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        assert!(catalog_entry("order3").is_some());
+        assert_eq!(catalog_entry("order3").unwrap().signature.order(), 3);
+        assert!(catalog_entry("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_tuple_rejected() {
+        tuple_prefix_sum::<i32>(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Frequency- and impulse-response analysis of recurrences.
+//!
+//! The digital-filter half of the paper's evaluation (Smith's low-/high-
+//! pass designs) is characterized by its frequency response; this module
+//! evaluates `H(e^{jω})` for any signature, plus the impulse response —
+//! which for a pure-feedback recurrence is exactly the first correction-
+//! factor list, the fact behind the paper's decay-truncation optimization.
+
+use crate::element::Element;
+use crate::signature::Signature;
+use crate::stability::Complex;
+
+/// Magnitude and phase of the transfer function at angular frequency `ω`
+/// (radians/sample, `0..=π`).
+///
+/// `H(z) = (Σ a_j z^{-j}) / (1 - Σ b_j z^{-j})` evaluated at `z = e^{jω}`.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::{filters, response};
+///
+/// let lp = filters::low_pass(0.8, 1);
+/// // Unity at DC, strongly attenuated at Nyquist.
+/// assert!((response::magnitude(&lp, 0.0) - 1.0).abs() < 1e-12);
+/// assert!(response::magnitude(&lp, std::f64::consts::PI) < 0.2);
+/// ```
+pub fn evaluate<T: Element>(sig: &Signature<T>, omega: f64) -> Complex {
+    // Numerator: Σ a_j e^{-jωj}, j = 0..=p.
+    let mut num = Complex::new(0.0, 0.0);
+    for (j, a) in sig.feedforward().iter().enumerate() {
+        let ang = -omega * j as f64;
+        num = add(num, scale(Complex::new(ang.cos(), ang.sin()), a.to_f64()));
+    }
+    // Denominator: 1 - Σ b_j e^{-jωj}, j = 1..=k.
+    let mut den = Complex::new(1.0, 0.0);
+    for (j, b) in sig.feedback().iter().enumerate() {
+        let ang = -omega * (j as f64 + 1.0);
+        den = sub(den, scale(Complex::new(ang.cos(), ang.sin()), b.to_f64()));
+    }
+    div(num, den)
+}
+
+/// `|H(e^{jω})|`.
+pub fn magnitude<T: Element>(sig: &Signature<T>, omega: f64) -> f64 {
+    evaluate(sig, omega).abs()
+}
+
+/// Magnitude response in decibels.
+pub fn magnitude_db<T: Element>(sig: &Signature<T>, omega: f64) -> f64 {
+    20.0 * magnitude(sig, omega).log10()
+}
+
+/// The -3 dB cutoff frequency (radians/sample) found by bisection between
+/// DC and Nyquist, or `None` when the response never crosses -3 dB
+/// relative to its larger band edge.
+pub fn cutoff_3db<T: Element>(sig: &Signature<T>) -> Option<f64> {
+    let lo = magnitude(sig, 1e-9);
+    let hi = magnitude(sig, std::f64::consts::PI);
+    let reference = lo.max(hi);
+    let target = reference / 2.0f64.sqrt();
+    let f = |w: f64| magnitude(sig, w) - target;
+    let (mut a, mut b) = (1e-9, std::f64::consts::PI);
+    let (fa, fb) = (f(a), f(b));
+    if fa.signum() == fb.signum() {
+        return None;
+    }
+    let rising = fa < 0.0;
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if (fm < 0.0) == rising {
+            a = m;
+        } else {
+            b = m;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// The first `len` values of the impulse response (the output for input
+/// `1, 0, 0, …`).
+pub fn impulse_response<T: Element>(sig: &Signature<T>, len: usize) -> Vec<T> {
+    let mut input = vec![T::zero(); len];
+    if len > 0 {
+        input[0] = T::one();
+    }
+    crate::serial::run(sig, &input)
+}
+
+fn add(a: Complex, b: Complex) -> Complex {
+    Complex::new(a.re + b.re, a.im + b.im)
+}
+fn sub(a: Complex, b: Complex) -> Complex {
+    Complex::new(a.re - b.re, a.im - b.im)
+}
+fn scale(a: Complex, s: f64) -> Complex {
+    Complex::new(a.re * s, a.im * s)
+}
+fn div(a: Complex, b: Complex) -> Complex {
+    let d = b.re * b.re + b.im * b.im;
+    Complex::new((a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters;
+    use crate::nacci::CorrectionTable;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn low_pass_passes_dc_and_blocks_nyquist() {
+        for stages in 1..=3 {
+            let lp = filters::low_pass(0.8, stages);
+            assert!((magnitude(&lp, 0.0) - 1.0).abs() < 1e-12, "{stages} stages at DC");
+            let nyq = magnitude(&lp, PI);
+            assert!(nyq < 0.12f64.powi(stages as i32 - 1) * 0.12, "{stages} stages: {nyq}");
+        }
+    }
+
+    #[test]
+    fn high_pass_mirrors_low_pass() {
+        let hp = filters::high_pass(0.8, 1);
+        assert!(magnitude(&hp, 0.0) < 1e-12);
+        assert!((magnitude(&hp, PI) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_is_monotone_for_single_pole_low_pass() {
+        let lp = filters::low_pass(0.8, 1);
+        let mut last = f64::INFINITY;
+        for i in 0..=32 {
+            let w = PI * i as f64 / 32.0;
+            let m = magnitude(&lp, w.max(1e-12));
+            assert!(m <= last + 1e-12, "not monotone at ω={w}");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn cutoff_found_for_filters_and_absent_for_allpass() {
+        let lp = filters::low_pass(0.8, 1);
+        let wc = cutoff_3db(&lp).expect("low-pass has a cutoff");
+        assert!((magnitude(&lp, wc) - 1.0 / 2.0f64.sqrt()).abs() < 1e-6);
+        // Higher stages narrow the passband.
+        let wc2 = cutoff_3db(&filters::low_pass(0.8, 2)).unwrap();
+        assert!(wc2 < wc);
+        // A pure delay-feedback "allpass-ish" recurrence that never crosses:
+        // identity map (1 : tiny feedback) stays near 1 everywhere…
+        let flat = crate::signature::Signature::new(vec![1.0], vec![1e-9]).unwrap();
+        assert!(cutoff_3db(&flat).is_none());
+    }
+
+    #[test]
+    fn impulse_response_equals_first_correction_factor_list_shifted() {
+        // For (1 : b…): y(impulse) = 1, F0, F1, F2, … where F is the
+        // distance-1 n-nacci factor list — the identity behind the decay
+        // optimization.
+        let sig = crate::signature::Signature::new(vec![1.0f64], vec![1.6, -0.64]).unwrap();
+        let h = impulse_response(&sig, 16);
+        let table = CorrectionTable::generate(&[1.6f64, -0.64], 15);
+        assert!((h[0] - 1.0).abs() < 1e-12);
+        for i in 0..15 {
+            assert!(
+                (h[i + 1] - table.list(0)[i]).abs() < 1e-9,
+                "index {i}: {} vs {}",
+                h[i + 1],
+                table.list(0)[i]
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_response_of_fir_part_shows_through() {
+        let hp = filters::high_pass(0.8, 1); // (0.9, -0.9 : 0.8)
+        let h = impulse_response(&hp, 4);
+        assert!((h[0] - 0.9).abs() < 1e-12);
+        // h[1] = -0.9 + 0.8·0.9
+        assert!((h[1] - (-0.9 + 0.72)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smith_cutoff_formula_round_trips() {
+        // x = e^{-2π fc}: the -3 dB point of the single-pole design should
+        // land in the right neighbourhood of fc (the single-pole design is
+        // approximate, so allow slack).
+        let fc = 0.05;
+        let d = filters::SinglePole::from_cutoff(fc);
+        let lp = d.low_pass_stage().repeat(1).to_signature();
+        let wc = cutoff_3db(&lp).unwrap() / (2.0 * PI); // cycles/sample
+        assert!((wc - fc).abs() < 0.02, "fc {fc} vs measured {wc}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Segmented recurrences — restart boundaries inside one input.
+//!
+//! The paper's future work includes "support inputs that consist of
+//! multiple signatures". This module implements the independently useful
+//! half of that: one signature over an input divided into *segments*, with
+//! the recurrence history reset at every segment start (the segmented
+//! prefix sum generalized to arbitrary feedback). Batched signal
+//! processing — many independent audio clips, rows of an image, per-key
+//! scans — is exactly this shape.
+//!
+//! Segments compose with the chunked parallel machinery because a reset is
+//! just a zero carry: a chunk that begins inside a segment needs carries
+//! only from its own segment, and the correction of element `i` is
+//! suppressed once `i` crosses a boundary.
+
+use crate::element::Element;
+use crate::error::EngineError;
+use crate::nacci::{carries_of, CorrectionTable};
+use crate::serial;
+use crate::signature::Signature;
+
+/// Segment boundaries: sorted start indices (index 0 is implicit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segments {
+    starts: Vec<usize>,
+}
+
+impl Segments {
+    /// Creates segment boundaries from start indices (need not include 0,
+    /// must be strictly increasing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedSignature`] if the starts are not
+    /// strictly increasing.
+    pub fn from_starts(starts: Vec<usize>) -> Result<Self, EngineError> {
+        let mut s = starts;
+        if s.first() != Some(&0) {
+            s.insert(0, 0);
+        }
+        if !s.windows(2).all(|w| w[0] < w[1]) {
+            return Err(EngineError::UnsupportedSignature {
+                reason: "segment starts must be strictly increasing".to_owned(),
+            });
+        }
+        Ok(Segments { starts: s })
+    }
+
+    /// Uniform segments of `len` elements covering `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn uniform(len: usize, n: usize) -> Self {
+        assert!(len > 0, "segment length must be positive");
+        Segments { starts: (0..n.max(1)).step_by(len).collect() }
+    }
+
+    /// The segment start indices (first is always 0).
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// The start of the segment containing `index`.
+    pub fn segment_start(&self, index: usize) -> usize {
+        match self.starts.binary_search(&index) {
+            Ok(i) => self.starts[i],
+            Err(i) => self.starts[i - 1],
+        }
+    }
+}
+
+/// Computes the recurrence over `input` with history reset at each segment
+/// start, serially (the reference implementation).
+pub fn run_serial<T: Element>(
+    sig: &Signature<T>,
+    segments: &Segments,
+    input: &[T],
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut bounds = segments.starts().to_vec();
+    bounds.push(input.len());
+    for w in bounds.windows(2) {
+        let (s, e) = (w[0], w[1].min(input.len()));
+        if s >= e {
+            continue;
+        }
+        out.extend(serial::run(sig, &input[s..e]));
+    }
+    out
+}
+
+/// Computes the segmented recurrence with the chunked two-phase structure:
+/// local solves per chunk (chunks never integrate across a segment start),
+/// then carry propagation that zeroes carries across boundaries.
+///
+/// This demonstrates that the paper's machinery extends to segmented
+/// inputs: the correction of a chunk only applies to the prefix of the
+/// chunk that shares a segment with the incoming carries.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidChunkSize`] if `chunk_size` is zero or
+/// smaller than the order.
+pub fn run_chunked<T: Element>(
+    sig: &Signature<T>,
+    segments: &Segments,
+    input: &[T],
+    chunk_size: usize,
+) -> Result<Vec<T>, EngineError> {
+    assert!(sig.is_pure_feedback(), "apply the map stage first (Signature::split)");
+    let k = sig.order();
+    if chunk_size == 0 || chunk_size < k {
+        return Err(EngineError::InvalidChunkSize { chunk_size });
+    }
+    let table = CorrectionTable::generate(sig.feedback(), chunk_size);
+    let n = input.len();
+    let mut data = input.to_vec();
+
+    // Local solves: each chunk restarts at its own segment boundaries.
+    for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+        let base = c * chunk_size;
+        let mut s = 0;
+        while s < chunk.len() {
+            let seg_start_global = segments.segment_start(base + s);
+            let local_start = seg_start_global.max(base) - base;
+            // Next boundary after base + s.
+            let next = segments
+                .starts()
+                .iter()
+                .copied()
+                .find(|&b| b > base + s)
+                .unwrap_or(n)
+                .min(base + chunk.len());
+            let end_local = next - base;
+            let _ = local_start;
+            serial::recursive_in_place(sig.feedback(), &mut chunk[s..end_local]);
+            s = end_local;
+        }
+    }
+
+    // Carry propagation: chunk c is corrected only while it still belongs
+    // to the same segment as the carries from chunk c-1's tail.
+    let mut start = chunk_size;
+    while start < n {
+        let end = (start + chunk_size).min(n);
+        // Carries are valid only if no boundary sits at/just before start…
+        let carry_segment = segments.segment_start(start - 1);
+        let (prev, rest) = data.split_at_mut(start);
+        let carries = carries_of(&prev[carry_segment.max(start.saturating_sub(chunk_size))..], k);
+        // …and the correction stops at the first boundary inside the chunk.
+        let stop = segments
+            .starts()
+            .iter()
+            .copied()
+            .find(|&b| b > start && b < end)
+            .unwrap_or(end);
+        if segments.segment_start(start) == carry_segment {
+            table.correct_chunk(&mut rest[..stop - start], &carries);
+        }
+        start += chunk_size;
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig2() -> Signature<i64> {
+        "1: 2, -1".parse().unwrap()
+    }
+
+    #[test]
+    fn uniform_segments_reset_the_prefix_sum() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let segments = Segments::uniform(4, 10);
+        let input: Vec<i64> = (1..=10).collect();
+        let out = run_serial(&sig, &segments, &input);
+        assert_eq!(out, vec![1, 3, 6, 10, 5, 11, 18, 26, 9, 19]);
+    }
+
+    #[test]
+    fn segment_start_lookup() {
+        let s = Segments::from_starts(vec![0, 5, 12]).unwrap();
+        assert_eq!(s.segment_start(0), 0);
+        assert_eq!(s.segment_start(4), 0);
+        assert_eq!(s.segment_start(5), 5);
+        assert_eq!(s.segment_start(11), 5);
+        assert_eq!(s.segment_start(100), 12);
+    }
+
+    #[test]
+    fn from_starts_normalizes_and_validates() {
+        let s = Segments::from_starts(vec![3, 7]).unwrap();
+        assert_eq!(s.starts(), &[0, 3, 7]);
+        assert!(Segments::from_starts(vec![0, 5, 5]).is_err());
+        assert!(Segments::from_starts(vec![0, 7, 3]).is_err());
+    }
+
+    #[test]
+    fn chunked_matches_serial_when_boundaries_align_with_chunks() {
+        let segments = Segments::uniform(8, 64);
+        let input: Vec<i64> = (0..64).map(|i| (i % 7) - 3).collect();
+        let expect = run_serial(&sig2(), &segments, &input);
+        let got = run_chunked(&sig2(), &segments, &input, 8).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn chunked_matches_serial_with_misaligned_boundaries() {
+        // Boundaries at 0, 5, 13, 21 with chunks of 8: boundaries fall in
+        // the middle of chunks.
+        let segments = Segments::from_starts(vec![0, 5, 13, 21]).unwrap();
+        let input: Vec<i64> = (0..30).map(|i| (i % 5) - 2).collect();
+        let expect = run_serial(&sig2(), &segments, &input);
+        let got = run_chunked(&sig2(), &segments, &input, 8).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_segment_reduces_to_the_plain_recurrence() {
+        let segments = Segments::from_starts(vec![0]).unwrap();
+        let input: Vec<i64> = (0..100).map(|i| (i % 9) - 4).collect();
+        let got = run_chunked(&sig2(), &segments, &input, 16).unwrap();
+        assert_eq!(got, serial::run(&sig2(), &input));
+    }
+
+    #[test]
+    fn boundary_exactly_at_a_chunk_edge_blocks_the_carries() {
+        let segments = Segments::from_starts(vec![0, 16]).unwrap();
+        let input: Vec<i64> = (1..=32).collect();
+        let expect = run_serial(&sig2(), &segments, &input);
+        let got = run_chunked(&sig2(), &segments, &input, 16).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn many_tiny_segments() {
+        let segments = Segments::uniform(1, 20);
+        let input: Vec<i64> = (1..=20).collect();
+        // Every element is its own segment: output == input.
+        assert_eq!(run_serial(&sig2(), &segments, &input), input);
+        assert_eq!(run_chunked(&sig2(), &segments, &input, 4).unwrap(), input);
+    }
+
+    #[test]
+    fn rejects_bad_chunk_sizes() {
+        let segments = Segments::uniform(4, 8);
+        let input = vec![1i64; 8];
+        assert!(run_chunked(&sig2(), &segments, &input, 0).is_err());
+        assert!(run_chunked(&sig2(), &segments, &input, 1).is_err());
+    }
+}

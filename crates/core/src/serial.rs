@@ -1,0 +1,200 @@
+//! Serial reference implementations.
+//!
+//! These are straight transcriptions of the paper's Section 2 serial loop.
+//! Every parallel executor in this workspace is validated against them, just
+//! as the paper validates its GPU outputs against the serial CPU result.
+
+use crate::element::Element;
+use crate::signature::Signature;
+
+/// Computes the full recurrence `y[i] = Σ a-j·x[i-j] + Σ b-j·y[i-j]` serially.
+///
+/// This performs `O(n·(p+k))` work and is the ground truth for validation.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::{serial::run, signature::Signature};
+///
+/// let sig: Signature<i32> = "1 : 1".parse()?; // prefix sum
+/// assert_eq!(run(&sig, &[3, -4, 5]), vec![3, -1, 4]);
+/// # Ok::<(), plr_core::error::SignatureError>(())
+/// ```
+pub fn run<T: Element>(sig: &Signature<T>, input: &[T]) -> Vec<T> {
+    let t = fir_map(sig.feedforward(), input);
+    recursive_in_place_from(sig.feedback(), t)
+}
+
+/// Applies the map stage (paper equation (2)): `t[i] = Σ a-j·x[i-j]`.
+///
+/// This is an FIR filter and embarrassingly parallel; missing terms
+/// (`x[j]` for `j < 0`) are zero.
+pub fn fir_map<T: Element>(feedforward: &[T], input: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(input.len());
+    for i in 0..input.len() {
+        let mut acc = T::zero();
+        for (j, &a) in feedforward.iter().enumerate() {
+            if j > i {
+                break;
+            }
+            acc = acc.add(a.mul(input[i - j]));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Computes the pure-feedback recurrence (paper equation (3)):
+/// `y[i] = t[i] + Σ b-j·y[i-j]`, consuming and reusing the input buffer.
+pub fn recursive_in_place_from<T: Element>(feedback: &[T], mut data: Vec<T>) -> Vec<T> {
+    recursive_in_place(feedback, &mut data);
+    data
+}
+
+/// In-place version of the pure-feedback recurrence over a mutable slice.
+///
+/// Elements before index 0 are treated as zero. This is the exact serial
+/// loop from the beginning of the paper's Section 2.
+pub fn recursive_in_place<T: Element>(feedback: &[T], data: &mut [T]) {
+    let k = feedback.len();
+    for i in 0..data.len() {
+        let mut acc = data[i];
+        for (j, &b) in feedback.iter().enumerate().take(i.min(k)) {
+            // j is 0-based; b multiplies y[i - (j+1)].
+            acc = acc.add(b.mul(data[i - j - 1]));
+        }
+        // `take(i.min(k))` bounds j+1 <= i, so all accessed indices exist.
+        data[i] = acc;
+    }
+}
+
+/// Computes the pure-feedback recurrence continuing from explicit history.
+///
+/// `history[r]` is `y[start - 1 - r]` — i.e. `history[0]` is the value just
+/// before `data[0]`, matching the carry ordering used throughout this crate
+/// (index 0 = most recent). Missing history entries are zero.
+///
+/// This is the building block chunked executors use for their local solves
+/// and for the sequential gold model of Phase 2.
+pub fn recursive_in_place_with_history<T: Element>(
+    feedback: &[T],
+    history: &[T],
+    data: &mut [T],
+) {
+    let k = feedback.len();
+    for i in 0..data.len() {
+        let mut acc = data[i];
+        for (j, &b) in feedback.iter().enumerate().take(k) {
+            let dist = j + 1;
+            let term = if dist <= i {
+                data[i - dist]
+            } else {
+                // Reach into history: element y[i - dist] with i - dist < 0.
+                let h = dist - i - 1;
+                if h < history.len() {
+                    history[h]
+                } else {
+                    T::zero()
+                }
+            };
+            acc = acc.add(b.mul(term));
+        }
+        data[i] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig_i32(s: &str) -> Signature<i32> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn prefix_sum_matches_hand_computation() {
+        let sig = sig_i32("1:1");
+        assert_eq!(run(&sig, &[1, 2, 3, 4]), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn paper_worked_example_second_order() {
+        // Section 2.3: (1: 2, -1) on the 20-element example input.
+        let sig = sig_i32("1: 2, -1");
+        let input: Vec<i32> = vec![
+            3, -4, 5, -6, 7, -8, 9, -10, 11, -12, 13, -14, 15, -16, 17, -18, 19, -20, 21, -22,
+        ];
+        let expected: Vec<i32> = vec![
+            3, 2, 6, 4, 9, 6, 12, 8, 15, 10, 18, 12, 21, 14, 24, 16, 27, 18, 30, 20,
+        ];
+        assert_eq!(run(&sig, &input), expected);
+    }
+
+    #[test]
+    fn tuple_prefix_sum_interleaves() {
+        // (1 : 0, 1) computes two interleaved prefix sums.
+        let sig = sig_i32("1: 0, 1");
+        let y = run(&sig, &[1, 10, 2, 20, 3, 30]);
+        assert_eq!(y, vec![1, 10, 3, 30, 6, 60]);
+    }
+
+    #[test]
+    fn fir_map_handles_leading_edge() {
+        // (0.9, -0.9 : ...) map stage: t[0] has no x[-1] term.
+        let t = fir_map(&[2i32, -1], &[5, 7, 9]);
+        assert_eq!(t, vec![10, 9, 11]); // 2·5, 2·7-5, 2·9-7
+    }
+
+    #[test]
+    fn full_signature_equals_map_then_recursive() {
+        let sig: Signature<f64> = "(0.9, -0.9: 0.8)".parse().unwrap();
+        let input: Vec<f64> = (0..50).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let direct = run(&sig, &input);
+        let (fir, rec) = sig.split();
+        let staged = recursive_in_place_from(rec.feedback(), fir_map(&fir, &input));
+        for (a, b) in direct.iter().zip(&staged) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recursive_with_history_continues_a_stream() {
+        let fb = [2i32, -1];
+        let input: Vec<i32> = (1..=12).map(|i| i * ((-1i32).pow(i as u32))).collect();
+        let mut whole = input.clone();
+        recursive_in_place(&fb, &mut whole);
+
+        // Split the stream at 5 and continue with history.
+        let mut head = input[..5].to_vec();
+        recursive_in_place(&fb, &mut head);
+        let mut tail = input[5..].to_vec();
+        let history = [head[4], head[3]]; // index 0 = most recent
+        recursive_in_place_with_history(&fb, &history, &mut tail);
+
+        assert_eq!(&whole[..5], head.as_slice());
+        assert_eq!(&whole[5..], tail.as_slice());
+    }
+
+    #[test]
+    fn history_shorter_than_order_pads_with_zero() {
+        let fb = [1i32, 1, 1]; // tribonacci-style
+        let mut a = vec![1, 0, 0, 0, 0, 0];
+        recursive_in_place(&fb, &mut a);
+        let mut b = vec![1, 0, 0, 0, 0, 0];
+        recursive_in_place_with_history(&fb, &[], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let sig = sig_i32("1:1");
+        assert_eq!(run(&sig, &[]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn wrapping_overflow_is_silent() {
+        let sig = sig_i32("1:1");
+        let out = run(&sig, &[i32::MAX, 1]);
+        assert_eq!(out[1], i32::MIN);
+    }
+}

@@ -1,0 +1,323 @@
+//! The signature domain-specific language for linear recurrences.
+//!
+//! A signature `(a0, a-1, …, a-p : b-1, …, b-k)` denotes the order-`k`
+//! homogeneous linear recurrence with constant coefficients
+//!
+//! ```text
+//! y[i] = a0·x[i] + a-1·x[i-1] + … + a-p·x[i-p]
+//!      + b-1·y[i-1] + b-2·y[i-2] + … + b-k·y[i-k]
+//! ```
+//!
+//! with `x[j] = y[j] = 0` for `j < 0`. The `a` coefficients are the
+//! *feed-forward* (non-recursive, FIR) part and the `b` coefficients the
+//! *feedback* (recursive) part. This is exactly the notation of the paper's
+//! Section 1 and Table 1.
+
+use crate::element::Element;
+use crate::error::SignatureError;
+use core::fmt;
+use std::str::FromStr;
+
+/// A linear recurrence signature: feed-forward and feedback coefficients.
+///
+/// Invariants enforced at construction:
+/// * at least one feed-forward coefficient is nonzero (otherwise the output
+///   is identically zero), and
+/// * at least one feedback coefficient is nonzero (otherwise the signature is
+///   a pure map and outside the scope of the recurrence engines).
+///
+/// Trailing zero coefficients are trimmed so that `order()` reports the
+/// largest `k` with `b-k != 0`, as in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::signature::Signature;
+///
+/// // Standard prefix sum: (1 : 1)
+/// let sig: Signature<i32> = "1 : 1".parse()?;
+/// assert_eq!(sig.order(), 1);
+/// assert!(sig.is_pure_feedback());
+///
+/// // A 2-stage low-pass filter: (0.04 : 1.6, -0.64)
+/// let lp: Signature<f32> = "(0.04 : 1.6, -0.64)".parse()?;
+/// assert_eq!(lp.order(), 2);
+/// # Ok::<(), plr_core::error::SignatureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature<T> {
+    feedforward: Vec<T>,
+    feedback: Vec<T>,
+}
+
+impl<T: Element> Signature<T> {
+    /// Creates a signature from coefficient lists.
+    ///
+    /// `feedforward[j]` is `a-j` (so `feedforward[0]` is `a0`) and
+    /// `feedback[j]` is `b-(j+1)` (so `feedback[0]` is `b-1`).
+    ///
+    /// Trailing zeros in both lists are trimmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError::ZeroFeedforward`] if every `a` coefficient
+    /// is zero, and [`SignatureError::ZeroFeedback`] if every `b`
+    /// coefficient is zero.
+    pub fn new(feedforward: Vec<T>, feedback: Vec<T>) -> Result<Self, SignatureError> {
+        let mut feedforward = feedforward;
+        let mut feedback = feedback;
+        while feedforward.last().is_some_and(|c| c.is_zero()) {
+            feedforward.pop();
+        }
+        while feedback.last().is_some_and(|c| c.is_zero()) {
+            feedback.pop();
+        }
+        if feedforward.is_empty() {
+            return Err(SignatureError::ZeroFeedforward);
+        }
+        if feedback.is_empty() {
+            return Err(SignatureError::ZeroFeedback);
+        }
+        Ok(Self { feedforward, feedback })
+    }
+
+    /// The feed-forward coefficients `a0, a-1, …, a-p` (trailing zeros trimmed).
+    pub fn feedforward(&self) -> &[T] {
+        &self.feedforward
+    }
+
+    /// The feedback coefficients `b-1, …, b-k` (trailing zeros trimmed).
+    pub fn feedback(&self) -> &[T] {
+        &self.feedback
+    }
+
+    /// The order `k` of the recurrence: the largest `k` with `b-k != 0`.
+    pub fn order(&self) -> usize {
+        self.feedback.len()
+    }
+
+    /// The FIR order `p`: the largest `p` with `a-p != 0`.
+    pub fn fir_order(&self) -> usize {
+        self.feedforward.len() - 1
+    }
+
+    /// `true` when the feed-forward part is the single coefficient `1`
+    /// (i.e. the signature is of the paper's "type (3)" form `(1 : b…)`).
+    pub fn is_pure_feedback(&self) -> bool {
+        self.feedforward.len() == 1 && self.feedforward[0].is_one()
+    }
+
+    /// Splits this signature into its map stage and pure-feedback stage
+    /// (the paper's equations (2) and (3)).
+    ///
+    /// The map stage has signature `(a0, …, a-p : 0)` — returned here as the
+    /// raw coefficient list since a pure map is not a valid [`Signature`] —
+    /// and the remaining recurrence is `(1 : b-1, …, b-k)`.
+    pub fn split(&self) -> (Vec<T>, Signature<T>) {
+        let fir = self.feedforward.clone();
+        let recursive = Signature {
+            feedforward: vec![T::one()],
+            feedback: self.feedback.clone(),
+        };
+        (fir, recursive)
+    }
+
+    /// Returns the same signature with every coefficient converted to
+    /// element type `U` via `f64` (exact for small integers; filter designs
+    /// computed in `f64` convert to `f32` this way).
+    pub fn cast<U: Element>(&self) -> Signature<U> {
+        Signature {
+            feedforward: self.feedforward.iter().map(|c| U::from_f64(c.to_f64())).collect(),
+            feedback: self.feedback.iter().map(|c| U::from_f64(c.to_f64())).collect(),
+        }
+    }
+
+    /// `true` when every coefficient (both lists) is an integer value, which
+    /// the paper's PLR uses to pick register budgets.
+    pub fn is_integral(&self) -> bool {
+        self.feedforward
+            .iter()
+            .chain(self.feedback.iter())
+            .all(|c| c.to_f64().fract() == 0.0)
+    }
+
+    /// `true` when every coefficient is zero or one (normal and tuple-based
+    /// prefix sums), which lets PLR allocate the smaller register budget and
+    /// emit conditional-add correction code.
+    pub fn is_zero_one(&self) -> bool {
+        self.feedforward
+            .iter()
+            .chain(self.feedback.iter())
+            .all(|c| c.is_zero() || c.is_one())
+    }
+}
+
+impl<T: Element> fmt::Display for Signature<T> {
+    /// Formats as the paper's notation, e.g. `(1: 2, -1)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.feedforward.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ":")?;
+        for (i, c) in self.feedback.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<T: Element> FromStr for Signature<T> {
+    type Err = SignatureError;
+
+    /// Parses the textual signature DSL.
+    ///
+    /// Accepted grammar: an optional surrounding pair of parentheses, two
+    /// coefficient lists separated by a single `:`, coefficients separated
+    /// by commas and/or whitespace. Examples: `"1:1"`, `"(1: 2, -1)"`,
+    /// `"0.9 -0.9 : 0.8"`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SignatureError::MissingSeparator`] without exactly one `:`;
+    /// * [`SignatureError::InvalidToken`] for an unparsable coefficient;
+    /// * the [`Signature::new`] validation errors.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let s = s.strip_prefix('(').and_then(|t| t.strip_suffix(')')).unwrap_or(s);
+        let mut halves = s.split(':');
+        let (ff, fb) = match (halves.next(), halves.next(), halves.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => return Err(SignatureError::MissingSeparator),
+        };
+        let parse_list = |part: &str| -> Result<Vec<T>, SignatureError> {
+            part.split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|t| !t.is_empty())
+                .map(|t| {
+                    T::parse_token(t).ok_or_else(|| SignatureError::InvalidToken { token: t.to_owned() })
+                })
+                .collect()
+        };
+        Signature::new(parse_list(ff)?, parse_list(fb)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_signature() {
+        let sig = Signature::<i32>::new(vec![1], vec![1]).unwrap();
+        assert_eq!(sig.order(), 1);
+        assert_eq!(sig.fir_order(), 0);
+        assert!(sig.is_pure_feedback());
+        assert!(sig.is_zero_one());
+        assert!(sig.is_integral());
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let sig = Signature::<i32>::new(vec![1, 0, 0], vec![2, -1, 0, 0]).unwrap();
+        assert_eq!(sig.feedforward(), &[1]);
+        assert_eq!(sig.feedback(), &[2, -1]);
+        assert_eq!(sig.order(), 2);
+    }
+
+    #[test]
+    fn interior_zeros_preserved() {
+        // 3-tuple prefix sum (1 : 0, 0, 1)
+        let sig = Signature::<i32>::new(vec![1], vec![0, 0, 1]).unwrap();
+        assert_eq!(sig.order(), 3);
+        assert_eq!(sig.feedback(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_zero_lists() {
+        assert_eq!(
+            Signature::<i32>::new(vec![0, 0], vec![1]).unwrap_err(),
+            SignatureError::ZeroFeedforward
+        );
+        assert_eq!(
+            Signature::<i32>::new(vec![1], vec![0]).unwrap_err(),
+            SignatureError::ZeroFeedback
+        );
+        assert_eq!(
+            Signature::<i32>::new(vec![], vec![1]).unwrap_err(),
+            SignatureError::ZeroFeedforward
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for text in ["1 : 1", "(1: 2, -1)", "(0.9, -0.9: 0.8)", "1:0,0,1"] {
+            let sig: Signature<f64> = text.parse().unwrap();
+            let shown = sig.to_string();
+            let again: Signature<f64> = shown.parse().unwrap();
+            assert_eq!(sig, again, "round-trip failed for {text} -> {shown}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "1 1".parse::<Signature<i32>>().unwrap_err(),
+            SignatureError::MissingSeparator
+        );
+        assert_eq!(
+            "1:1:1".parse::<Signature<i32>>().unwrap_err(),
+            SignatureError::MissingSeparator
+        );
+        assert!(matches!(
+            "1,q : 1".parse::<Signature<i32>>().unwrap_err(),
+            SignatureError::InvalidToken { .. }
+        ));
+        // Fractional tokens are invalid for integer signatures.
+        assert!(matches!(
+            "0.5 : 1".parse::<Signature<i32>>().unwrap_err(),
+            SignatureError::InvalidToken { .. }
+        ));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let sig = Signature::<i32>::new(vec![1], vec![2, -1]).unwrap();
+        assert_eq!(sig.to_string(), "(1: 2, -1)");
+    }
+
+    #[test]
+    fn split_produces_map_and_pure_feedback() {
+        let sig: Signature<f64> = "(0.9, -0.9: 0.8)".parse().unwrap();
+        let (fir, rec) = sig.split();
+        assert_eq!(fir, vec![0.9, -0.9]);
+        assert!(rec.is_pure_feedback());
+        assert_eq!(rec.feedback(), &[0.8]);
+    }
+
+    #[test]
+    fn cast_converts_coefficients() {
+        let sig: Signature<f64> = "(0.04 : 1.6, -0.64)".parse().unwrap();
+        let s32: Signature<f32> = sig.cast();
+        assert_eq!(s32.feedback(), &[1.6f32, -0.64f32]);
+        let int: Signature<i32> = "(1 : 2, -1)".parse::<Signature<f64>>().unwrap().cast();
+        assert_eq!(int.feedback(), &[2, -1]);
+    }
+
+    #[test]
+    fn integral_and_zero_one_classification() {
+        let tuple: Signature<i32> = "1 : 0, 1".parse().unwrap();
+        assert!(tuple.is_zero_one());
+        let second: Signature<i32> = "1 : 2, -1".parse().unwrap();
+        assert!(second.is_integral());
+        assert!(!second.is_zero_one());
+        let filt: Signature<f32> = "0.2 : 0.8".parse().unwrap();
+        assert!(!filt.is_integral());
+        assert!(!filt.is_zero_one());
+    }
+}

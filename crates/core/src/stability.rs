@@ -1,0 +1,226 @@
+//! Stability analysis of feedback recurrences.
+//!
+//! A recurrence `(1 : b-1, …, b-k)` is stable exactly when every root of its
+//! characteristic polynomial `z^k - b-1·z^(k-1) - … - b-k` lies strictly
+//! inside the unit circle. Stability determines whether the correction
+//! factors decay — the property behind the paper's most effective
+//! optimization (truncating factor arrays once they underflow).
+//!
+//! Roots are found with the Durand–Kerner iteration over a hand-rolled
+//! complex type (no external numerics dependency).
+
+use crate::element::Element;
+
+/// A complex number, just enough for root finding.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new((self.re * o.re + self.im * o.im) / d, (self.im * o.re - self.re * o.im) / d)
+    }
+}
+
+/// Result of analysing a feedback coefficient list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    /// Roots of the characteristic polynomial (the recurrence's poles).
+    pub poles: Vec<Complex>,
+    /// Largest pole magnitude.
+    pub spectral_radius: f64,
+}
+
+impl StabilityReport {
+    /// `true` when every pole lies strictly inside the unit circle, i.e.
+    /// the impulse response (and the correction factors) decay to zero.
+    pub fn is_stable(&self) -> bool {
+        self.spectral_radius < 1.0
+    }
+
+    /// Estimates after how many elements the correction factors decay below
+    /// `threshold`, or `None` for non-decaying recurrences.
+    ///
+    /// The paper notes stable IIR impulse responses "decay below the
+    /// arithmetic precision after a few hundred elements"; this estimate is
+    /// `log(threshold) / log(ρ)` with ρ the spectral radius.
+    pub fn decay_length(&self, threshold: f64) -> Option<usize> {
+        if !self.is_stable() || self.spectral_radius == 0.0 {
+            return if self.spectral_radius == 0.0 { Some(self.poles.len() + 1) } else { None };
+        }
+        let n = threshold.ln() / self.spectral_radius.ln();
+        Some(n.ceil().max(1.0) as usize)
+    }
+}
+
+/// Analyses the feedback coefficients of a recurrence.
+///
+/// # Panics
+///
+/// Panics if `feedback` is empty.
+pub fn analyze<T: Element>(feedback: &[T]) -> StabilityReport {
+    assert!(!feedback.is_empty(), "stability analysis needs at least one coefficient");
+    // Characteristic polynomial, monic, highest degree first:
+    // z^k - b1 z^(k-1) - ... - bk
+    let k = feedback.len();
+    let mut coeffs = vec![1.0];
+    coeffs.extend(feedback.iter().map(|b| -b.to_f64()));
+    let poles = roots(&coeffs, k);
+    let spectral_radius = poles.iter().map(|p| p.abs()).fold(0.0, f64::max);
+    StabilityReport { poles, spectral_radius }
+}
+
+/// Durand–Kerner root finding for a monic polynomial given highest-degree
+/// first coefficients (`coeffs[0] == 1`), of degree `deg`.
+fn roots(coeffs: &[f64], deg: usize) -> Vec<Complex> {
+    if deg == 0 {
+        return vec![];
+    }
+    // Initial guesses: points on a non-real spiral (the classic choice).
+    let mut z: Vec<Complex> = (0..deg)
+        .map(|i| {
+            let angle = 0.4 + 2.0 * std::f64::consts::PI * (i as f64) / (deg as f64);
+            let radius = 1.0 + 0.1 * (i as f64) / (deg as f64);
+            Complex::new(radius * angle.cos(), radius * angle.sin())
+        })
+        .collect();
+    let eval = |x: Complex| -> Complex {
+        coeffs.iter().fold(Complex::default(), |acc, &c| acc.mul(x).add(Complex::new(c, 0.0)))
+    };
+    for _ in 0..200 {
+        let mut max_step = 0.0f64;
+        for i in 0..deg {
+            let mut denom = Complex::new(1.0, 0.0);
+            for j in 0..deg {
+                if j != i {
+                    denom = denom.mul(z[i].sub(z[j]));
+                }
+            }
+            let step = eval(z[i]).div(denom);
+            z[i] = z[i].sub(step);
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-13 {
+            break;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_magnitudes(report: &StabilityReport) -> Vec<f64> {
+        let mut m: Vec<f64> = report.poles.iter().map(|p| p.abs()).collect();
+        m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        m
+    }
+
+    #[test]
+    fn prefix_sum_pole_at_one() {
+        let r = analyze(&[1.0f64]);
+        assert!((r.spectral_radius - 1.0).abs() < 1e-9);
+        assert!(!r.is_stable());
+        assert_eq!(r.decay_length(1e-7), None);
+    }
+
+    #[test]
+    fn single_pole_filter() {
+        let r = analyze(&[0.8f64]);
+        assert!((r.spectral_radius - 0.8).abs() < 1e-9);
+        assert!(r.is_stable());
+        // 0.8^n < 1e-7 at n ≈ 72.3 -> 73.
+        assert_eq!(r.decay_length(1e-7), Some(73));
+    }
+
+    #[test]
+    fn repeated_pole_two_stage_low_pass() {
+        // (1: 1.6, -0.64): (z - 0.8)².
+        let r = analyze(&[1.6f64, -0.64]);
+        let mags = sorted_magnitudes(&r);
+        assert!((mags[0] - 0.8).abs() < 1e-5);
+        assert!((mags[1] - 0.8).abs() < 1e-5);
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn second_order_prefix_sum_double_pole_at_one() {
+        // (1: 2, -1): (z - 1)².
+        let r = analyze(&[2.0f64, -1.0]);
+        assert!((r.spectral_radius - 1.0).abs() < 1e-5);
+        assert!(!r.is_stable());
+    }
+
+    #[test]
+    fn fibonacci_golden_ratio_growth() {
+        let r = analyze(&[1.0f64, 1.0]);
+        let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+        assert!((r.spectral_radius - phi).abs() < 1e-9);
+        assert!(!r.is_stable());
+    }
+
+    #[test]
+    fn tuple_prefix_sum_roots_on_unit_circle() {
+        // (1: 0, 1): z² = 1, poles ±1.
+        let r = analyze(&[0.0f64, 1.0]);
+        let mags = sorted_magnitudes(&r);
+        assert!((mags[0] - 1.0).abs() < 1e-9);
+        assert!((mags[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_pole_pair() {
+        // z² - z + 0.5: poles 0.5 ± 0.5i, |z| = 1/√2.
+        let r = analyze(&[1.0f64, -0.5]);
+        assert!((r.spectral_radius - 0.5f64.sqrt()).abs() < 1e-9);
+        assert!(r.is_stable());
+        assert!(r.poles.iter().any(|p| p.im.abs() > 0.1));
+    }
+
+    #[test]
+    fn decay_length_tracks_factor_table() {
+        use crate::nacci::CorrectionTable;
+        let fb = [0.8f32];
+        let est = analyze(&fb).decay_length(f32::MIN_POSITIVE as f64).unwrap();
+        let table = CorrectionTable::generate_with(&fb, 2 * est, true);
+        let first_zero = table.list(0).iter().position(|&v| v == 0.0).unwrap();
+        // The estimate should land within a few elements of the actual
+        // underflow point (flush-to-zero can only shorten it).
+        assert!(first_zero <= est + 2, "estimate {est}, actual {first_zero}");
+        assert!(first_zero + 8 >= est, "estimate {est}, actual {first_zero}");
+    }
+
+    #[test]
+    fn integer_coefficients_accepted() {
+        let r = analyze(&[2i32, -1]);
+        assert!(!r.is_stable());
+    }
+}

@@ -1,0 +1,212 @@
+//! Streaming (online) evaluation: process input arriving in blocks.
+//!
+//! Real DSP pipelines receive samples in buffers, not as one giant array.
+//! [`StreamState`] carries the recurrence state — the last `p` inputs for
+//! the map stage and the last `k` outputs for the feedback stage — across
+//! calls, so feeding a signal block by block produces exactly the same
+//! output as one whole-input run (property-tested). The block processing
+//! itself can then be handed to any of the workspace's engines; state
+//! carrying is the only genuinely sequential part.
+
+use crate::element::Element;
+use crate::signature::Signature;
+
+/// Carryable state for online evaluation of one signature.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::stream::StreamState;
+/// use plr_core::{serial, Signature};
+///
+/// let sig: Signature<i64> = "(1: 1)".parse()?; // prefix sum
+/// let mut state = StreamState::new(sig.clone());
+/// let mut out = state.process(&[1, 2]);
+/// out.extend(state.process(&[3, 4]));
+/// assert_eq!(out, serial::run(&sig, &[1, 2, 3, 4]));
+/// # Ok::<(), plr_core::error::SignatureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamState<T> {
+    signature: Signature<T>,
+    /// Last `p` raw inputs, most recent first.
+    input_history: Vec<T>,
+    /// Last `k` outputs, most recent first.
+    output_history: Vec<T>,
+    /// Total samples processed so far.
+    processed: u64,
+}
+
+impl<T: Element> StreamState<T> {
+    /// Creates fresh state (all history zero, as at a sequence start).
+    pub fn new(signature: Signature<T>) -> Self {
+        StreamState {
+            signature,
+            input_history: Vec::new(),
+            output_history: Vec::new(),
+            processed: 0,
+        }
+    }
+
+    /// The signature being evaluated.
+    pub fn signature(&self) -> &Signature<T> {
+        &self.signature
+    }
+
+    /// Total samples processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Resets to the sequence start (equivalent to a segment boundary).
+    pub fn reset(&mut self) {
+        self.input_history.clear();
+        self.output_history.clear();
+        self.processed = 0;
+    }
+
+    /// Processes one block, returning its outputs and advancing the state.
+    pub fn process(&mut self, block: &[T]) -> Vec<T> {
+        let p = self.signature.fir_order();
+        let k = self.signature.order();
+        let ff = self.signature.feedforward();
+        let fb = self.signature.feedback();
+
+        let mut out = Vec::with_capacity(block.len());
+        for i in 0..block.len() {
+            // Map stage over block + carried input history.
+            let mut acc = T::zero();
+            for (j, &a) in ff.iter().enumerate() {
+                let term = if j <= i {
+                    block[i - j]
+                } else {
+                    let h = j - i - 1;
+                    if h < self.input_history.len() {
+                        self.input_history[h]
+                    } else {
+                        T::zero()
+                    }
+                };
+                acc = acc.add(a.mul(term));
+            }
+            // Feedback over block outputs + carried output history.
+            for (j, &b) in fb.iter().enumerate() {
+                let dist = j + 1;
+                let term = if dist <= i {
+                    out[i - dist]
+                } else {
+                    let h = dist - i - 1;
+                    if h < self.output_history.len() {
+                        self.output_history[h]
+                    } else {
+                        T::zero()
+                    }
+                };
+                acc = acc.add(b.mul(term));
+            }
+            out.push(acc);
+        }
+
+        // Advance the carried histories (most recent first).
+        update_history(&mut self.input_history, block, p);
+        update_history(&mut self.output_history, &out, k);
+        self.processed += block.len() as u64;
+        out
+    }
+}
+
+/// Prepends the last `depth` values of `block` (most recent first) onto the
+/// existing history, truncating to `depth`.
+fn update_history<T: Element>(history: &mut Vec<T>, block: &[T], depth: usize) {
+    if depth == 0 {
+        history.clear();
+        return;
+    }
+    let fresh: Vec<T> = block.iter().rev().take(depth).copied().collect();
+    if fresh.len() >= depth {
+        *history = fresh;
+    } else {
+        let mut merged = fresh;
+        merged.extend(history.iter().copied());
+        merged.truncate(depth);
+        *history = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+
+    fn check_blocked<T: Element>(sig: &Signature<T>, input: &[T], block_sizes: &[usize], tol: f64) {
+        let expect = serial::run(sig, input);
+        let mut state = StreamState::new(sig.clone());
+        let mut got = Vec::new();
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < input.len() {
+            let len = block_sizes[i % block_sizes.len()].min(input.len() - offset);
+            got.extend(state.process(&input[offset..offset + len]));
+            offset += len;
+            i += 1;
+        }
+        crate::validate::validate(&expect, &got, tol)
+            .unwrap_or_else(|e| panic!("{sig} blocks {block_sizes:?}: {e}"));
+    }
+
+    #[test]
+    fn blocked_equals_whole_for_prefix_sums() {
+        let input: Vec<i64> = (0..200).map(|i| (i % 13) - 6).collect();
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        check_blocked(&sig, &input, &[1], 0.0);
+        check_blocked(&sig, &input, &[7], 0.0);
+        check_blocked(&sig, &input, &[3, 17, 1, 64], 0.0);
+    }
+
+    #[test]
+    fn blocked_equals_whole_for_fir_filters() {
+        let input: Vec<f64> = (0..300).map(|i| ((i * 7) % 23) as f64 * 0.5 - 5.0).collect();
+        let sig: Signature<f64> = "0.729,-2.187,2.187,-0.729:2.4,-1.92,0.512".parse().unwrap();
+        check_blocked(&sig, &input, &[1], 1e-9);
+        check_blocked(&sig, &input, &[2, 5, 31], 1e-9);
+    }
+
+    #[test]
+    fn fir_history_spans_multiple_tiny_blocks() {
+        // p = 3 with 1-element blocks: x history must accumulate across
+        // several calls, not just the previous one.
+        let sig: Signature<i64> =
+            Signature::new(vec![1, 10, 100, 1000], vec![1]).unwrap();
+        let input: Vec<i64> = (1..=10).collect();
+        check_blocked(&sig, &input, &[1], 0.0);
+    }
+
+    #[test]
+    fn reset_restarts_the_stream() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let mut state = StreamState::new(sig);
+        assert_eq!(state.process(&[5, 5]), vec![5, 10]);
+        state.reset();
+        assert_eq!(state.processed(), 0);
+        assert_eq!(state.process(&[5, 5]), vec![5, 10]);
+    }
+
+    #[test]
+    fn empty_blocks_are_noops() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let mut state = StreamState::new(sig);
+        assert!(state.process(&[]).is_empty());
+        assert_eq!(state.process(&[1, 1]), vec![1, 3]);
+        assert!(state.process(&[]).is_empty());
+        assert_eq!(state.process(&[1]), vec![6]);
+    }
+
+    #[test]
+    fn processed_counter_advances() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let mut state = StreamState::new(sig);
+        state.process(&[1, 2, 3]);
+        state.process(&[4]);
+        assert_eq!(state.processed(), 4);
+    }
+}

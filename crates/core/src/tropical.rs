@@ -1,0 +1,250 @@
+//! Tropical (max-plus) recurrences — "operators other than addition".
+//!
+//! The paper's future work includes supporting operators other than
+//! addition. The entire correction-factor theory only ever uses the
+//! semiring operations (⊕ = add, ⊗ = mul with distributivity, and the two
+//! identities); no algorithm path subtracts or negates. [`MaxPlus`]
+//! instantiates the machinery over the tropical semiring
+//! `(max, +, -∞, 0)`, where a "linear recurrence" becomes
+//!
+//! ```text
+//! y[i] = max(a0 + x[i], …, b1 + y[i-1], b2 + y[i-2], …)
+//! ```
+//!
+//! This family includes the audio peak-envelope follower (a running
+//! maximum with linear decay, `(0 : -λ)` in tropical notation), Viterbi-
+//! style best-path scores, and max-plus system dynamics — all of which the
+//! same Phase 1 / Phase 2 code now computes in parallel, correction
+//! factors and all (the factors become the *n-nacci numbers of the
+//! tropical semiring*: maximal path weights).
+
+use crate::element::Element;
+use core::fmt;
+
+/// An element of the max-plus (tropical) semiring over `f64`.
+///
+/// * ⊕ (`Element::add`) is `max`;
+/// * ⊗ (`Element::mul`) is `+`;
+/// * zero is `-∞` (identity of max, annihilator of +);
+/// * one is `0.0` (identity of +).
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::tropical::MaxPlus;
+/// use plr_core::{serial, Element, Signature};
+///
+/// // Peak envelope: y[i] = max(x[i], y[i-1] - 0.5).
+/// let sig: Signature<MaxPlus> = Signature::new(
+///     vec![MaxPlus::one()],
+///     vec![MaxPlus::new(-0.5)],
+/// )?;
+/// let x = [1.0, 0.0, 0.0, 2.0, 0.0].map(MaxPlus::new);
+/// let y = serial::run(&sig, &x);
+/// assert_eq!(y[1], MaxPlus::new(0.5)); // decayed peak beats the new sample
+/// assert_eq!(y[3], MaxPlus::new(2.0)); // new peak
+/// # Ok::<(), plr_core::error::SignatureError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MaxPlus(pub f64);
+
+impl MaxPlus {
+    /// Wraps a value.
+    pub fn new(v: f64) -> Self {
+        MaxPlus(v)
+    }
+
+    /// The wrapped value (`-∞` for the semiring zero).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == f64::NEG_INFINITY {
+            write!(f, "-inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl Element for MaxPlus {
+    const IS_FLOAT: bool = true;
+    const BYTES: usize = 8;
+    const CUDA_NAME: &'static str = "double /* max-plus */";
+
+    fn zero() -> Self {
+        MaxPlus(f64::NEG_INFINITY)
+    }
+    fn one() -> Self {
+        MaxPlus(0.0)
+    }
+    fn add(self, rhs: Self) -> Self {
+        MaxPlus(self.0.max(rhs.0))
+    }
+    fn sub(self, _rhs: Self) -> Self {
+        // The tropical semiring has no subtraction; the recurrence
+        // machinery never calls this (verified by the test suite), but the
+        // trait requires an implementation.
+        unimplemented!("max-plus has no subtraction")
+    }
+    fn mul(self, rhs: Self) -> Self {
+        MaxPlus(self.0 + rhs.0)
+    }
+    fn neg(self) -> Self {
+        unimplemented!("max-plus has no negation")
+    }
+    fn from_i32(v: i32) -> Self {
+        MaxPlus(v as f64)
+    }
+    fn from_f64(v: f64) -> Self {
+        MaxPlus(v)
+    }
+    fn to_f64(self) -> f64 {
+        self.0
+    }
+    fn parse_token(tok: &str) -> Option<Self> {
+        if tok == "-inf" {
+            return Some(Self::zero());
+        }
+        tok.parse().ok().map(MaxPlus)
+    }
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        if self.0 == other.0 {
+            return true; // covers -inf == -inf
+        }
+        if !self.0.is_finite() || !other.0.is_finite() {
+            return false;
+        }
+        let scale = self.0.abs().max(other.0.abs()).max(1.0);
+        (self.0 - other.0).abs() <= tol * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CarryPropagation, Engine, EngineConfig, LocalSolve};
+    use crate::nacci::CorrectionTable;
+    use crate::serial;
+    use crate::signature::Signature;
+    use crate::validate::validate;
+
+    fn envelope_sig(decay: f64) -> Signature<MaxPlus> {
+        Signature::new(vec![MaxPlus::one()], vec![MaxPlus::new(-decay)]).unwrap()
+    }
+
+    /// Naive tropical recurrence, written independently of the Element
+    /// machinery.
+    fn naive(feedback: &[f64], input: &[f64]) -> Vec<f64> {
+        let mut y: Vec<f64> = Vec::with_capacity(input.len());
+        for i in 0..input.len() {
+            let mut acc = input[i];
+            for (j, &b) in feedback.iter().enumerate() {
+                if j + 1 <= i {
+                    acc = acc.max(b + y[i - j - 1]);
+                }
+            }
+            y.push(acc);
+        }
+        y
+    }
+
+    #[test]
+    fn semiring_laws() {
+        let a = MaxPlus::new(2.0);
+        let b = MaxPlus::new(-1.0);
+        let c = MaxPlus::new(5.5);
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.add(b.add(c)), a.add(b).add(c));
+        assert_eq!(a.mul(b.mul(c)), a.mul(b).mul(c));
+        // Distributivity: a⊗(b⊕c) = a⊗b ⊕ a⊗c.
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        // Identities and annihilation.
+        assert_eq!(a.add(MaxPlus::zero()), a);
+        assert_eq!(a.mul(MaxPlus::one()), a);
+        assert_eq!(a.mul(MaxPlus::zero()), MaxPlus::zero());
+    }
+
+    #[test]
+    fn serial_matches_the_naive_tropical_loop() {
+        let input: Vec<f64> = (0..200).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        let sig = envelope_sig(0.25);
+        let wrapped: Vec<MaxPlus> = input.iter().map(|&v| MaxPlus(v)).collect();
+        let got = serial::run(&sig, &wrapped);
+        let expect = naive(&[-0.25], &input);
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.value(), *e);
+        }
+    }
+
+    #[test]
+    fn tropical_correction_factors_are_path_weights() {
+        // For (… : -λ), factor i is -(i+1)·λ: the weight of the best (only)
+        // path of length i+1 — the decayed influence of the carry.
+        let t = CorrectionTable::generate(&[MaxPlus::new(-0.5)], 6);
+        for (i, f) in t.list(0).iter().enumerate() {
+            assert_eq!(f.value(), -0.5 * (i as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn engine_computes_tropical_recurrences_in_chunks() {
+        // The full two-phase machinery over the tropical semiring.
+        let input: Vec<MaxPlus> =
+            (0..5000).map(|i| MaxPlus(((i * 131) % 47) as f64 - 23.0)).collect();
+        for fb in [vec![MaxPlus::new(-0.5)], vec![MaxPlus::new(-0.3), MaxPlus::new(-1.1)]] {
+            let sig = Signature::new(vec![MaxPlus::one()], fb).unwrap();
+            let expect = serial::run(&sig, &input);
+            for carry in [CarryPropagation::Sequential, CarryPropagation::Decoupled] {
+                let engine = Engine::with_config(
+                    sig.clone(),
+                    EngineConfig {
+                        chunk_size: 64,
+                        local_solve: LocalSolve::HierarchicalDoubling,
+                        carry_propagation: carry,
+                        flush_denormals: false,
+                    },
+                )
+                .unwrap();
+                let got = engine.run(&input).unwrap();
+                validate(&expect, &got, 1e-12)
+                    .unwrap_or_else(|e| panic!("{sig} {carry:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_follower_decays_between_peaks() {
+        let sig = envelope_sig(1.0);
+        let x: Vec<MaxPlus> = [10.0, 0.0, 0.0, 0.0, 12.0, 0.0].map(MaxPlus).to_vec();
+        let y = serial::run(&sig, &x);
+        let values: Vec<f64> = y.iter().map(|v| v.value()).collect();
+        assert_eq!(values, vec![10.0, 9.0, 8.0, 7.0, 12.0, 11.0]);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let sig: Signature<MaxPlus> = "0 : -0.5".parse().unwrap();
+        assert_eq!(sig.feedback()[0], MaxPlus::new(-0.5));
+        assert_eq!(MaxPlus::zero().to_string(), "-inf");
+        assert_eq!(MaxPlus::parse_token("-inf"), Some(MaxPlus::zero()));
+    }
+
+    #[test]
+    fn fir_part_works_too() {
+        // y[i] = max(x[i] + 1, x[i-1] + 3, y[i-1] - 2):
+        let sig = Signature::new(
+            vec![MaxPlus::new(1.0), MaxPlus::new(3.0)],
+            vec![MaxPlus::new(-2.0)],
+        )
+        .unwrap();
+        let x = [0.0, 0.0, -10.0].map(MaxPlus);
+        let y = serial::run(&sig, &x);
+        assert_eq!(y[0].value(), 1.0); // max(0+1)
+        assert_eq!(y[1].value(), 3.0); // max(0+1, 0+3, 1-2)
+        assert_eq!(y[2].value(), 3.0); // max(-10+1, 0+3, 3-2)
+    }
+}

@@ -1,0 +1,96 @@
+//! Output validation against the serial reference.
+//!
+//! The paper validates every run by comparing the GPU result to the serial
+//! CPU result — exactly for integers and within a `1e-3` discrepancy for
+//! floating point (parallel float reductions reassociate). This module is
+//! that check.
+
+use crate::element::Element;
+use crate::error::ValidationError;
+
+/// The paper's floating-point validation tolerance.
+pub const PAPER_FLOAT_TOLERANCE: f64 = 1e-3;
+
+/// Validates `actual` against `expected`.
+///
+/// Integer elements are compared exactly (the `tolerance` is ignored);
+/// floating-point elements are compared with a relative tolerance (absolute
+/// near zero). Lengths must match.
+///
+/// # Errors
+///
+/// Returns a [`ValidationError`] locating the first mismatch. A length
+/// mismatch is reported at the index of the shorter length.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::validate::{validate, PAPER_FLOAT_TOLERANCE};
+///
+/// validate(&[1.0f32, 2.0], &[1.0, 2.0001], PAPER_FLOAT_TOLERANCE)?;
+/// assert!(validate(&[1i32], &[2i32], PAPER_FLOAT_TOLERANCE).is_err());
+/// # Ok::<(), plr_core::error::ValidationError>(())
+/// ```
+pub fn validate<T: Element>(
+    expected: &[T],
+    actual: &[T],
+    tolerance: f64,
+) -> Result<(), ValidationError> {
+    if expected.len() != actual.len() {
+        let index = expected.len().min(actual.len());
+        return Err(ValidationError {
+            index,
+            expected: expected.get(index).map_or(f64::NAN, |v| v.to_f64()),
+            actual: actual.get(index).map_or(f64::NAN, |v| v.to_f64()),
+            tolerance,
+        });
+    }
+    for (index, (&e, &a)) in expected.iter().zip(actual).enumerate() {
+        if !e.approx_eq(a, tolerance) {
+            return Err(ValidationError {
+                index,
+                expected: e.to_f64(),
+                actual: a.to_f64(),
+                tolerance,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes() {
+        validate(&[1i32, 2, 3], &[1, 2, 3], 0.0).unwrap();
+    }
+
+    #[test]
+    fn int_mismatch_reports_index() {
+        let err = validate(&[1i32, 2, 3], &[1, 9, 3], 0.0).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.expected, 2.0);
+        assert_eq!(err.actual, 9.0);
+    }
+
+    #[test]
+    fn float_tolerance_is_relative() {
+        // 0.1% of 10_000 is 10.
+        validate(&[10_000.0f32], &[10_005.0], PAPER_FLOAT_TOLERANCE).unwrap();
+        assert!(validate(&[10_000.0f32], &[10_020.0], PAPER_FLOAT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let err = validate(&[1i32, 2], &[1], 0.0).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.actual.is_nan());
+    }
+
+    #[test]
+    fn empty_sequences_validate() {
+        validate::<f32>(&[], &[], PAPER_FLOAT_TOLERANCE).unwrap();
+    }
+}

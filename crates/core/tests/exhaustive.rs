@@ -1,0 +1,158 @@
+//! Bounded-exhaustive verification: instead of sampling random cases,
+//! enumerate *every* signature and chunking below a size bound and check
+//! the parallel formulations against the serial reference. Small-scope
+//! bugs (off-by-one carries, boundary chunks, order-vs-chunk interactions)
+//! live exactly in this space.
+
+use plr_core::engine::{CarryPropagation, Engine, EngineConfig, LocalSolve};
+use plr_core::nacci::CorrectionTable;
+use plr_core::signature::Signature;
+use plr_core::{phase1, phase2, serial};
+
+/// All feedback lists of order 1..=2 with coefficients in [-2, 2] and a
+/// nonzero trailing coefficient.
+fn all_feedbacks() -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    for b1 in -2i64..=2 {
+        if b1 != 0 {
+            out.push(vec![b1]);
+        }
+    }
+    for b1 in -2i64..=2 {
+        for b2 in -2i64..=2 {
+            if b2 != 0 {
+                out.push(vec![b1, b2]);
+            }
+        }
+    }
+    out
+}
+
+/// A deterministic input that exercises sign changes and zeros.
+fn input(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64).wrapping_mul(7) % 5) - 2).collect()
+}
+
+#[test]
+fn every_small_signature_and_length_matches_serial() {
+    // 24 feedbacks × 25 lengths × 3 chunkings × 4 strategy pairs.
+    for fb in all_feedbacks() {
+        let sig = Signature::new(vec![1i64], fb.clone()).unwrap();
+        for n in 0..25 {
+            let x = input(n);
+            let expect = serial::run(&sig, &x);
+            for chunk_pow in [1usize, 2, 3] {
+                let m = 1 << chunk_pow;
+                if m < sig.order() {
+                    continue;
+                }
+                for local in [LocalSolve::HierarchicalDoubling, LocalSolve::Serial] {
+                    for carry in
+                        [CarryPropagation::Sequential, CarryPropagation::Decoupled]
+                    {
+                        let engine = Engine::with_config(
+                            sig.clone(),
+                            EngineConfig {
+                                chunk_size: m,
+                                local_solve: local,
+                                carry_propagation: carry,
+                                flush_denormals: false,
+                            },
+                        )
+                        .unwrap();
+                        let got = engine.run(&x).unwrap();
+                        assert_eq!(
+                            got, expect,
+                            "fb {fb:?} n {n} m {m} {local:?} {carry:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_small_merge_is_exact() {
+    // Exhaustive chunk-merge identity: all splits of all lengths <= 12.
+    for fb in all_feedbacks() {
+        for n in 1..=12usize {
+            let x = input(n);
+            let mut whole = x.clone();
+            serial::recursive_in_place(&fb, &mut whole);
+            for split in 1..n {
+                let (a, b) = x.split_at(split);
+                let mut left = a.to_vec();
+                let mut right = b.to_vec();
+                serial::recursive_in_place(&fb, &mut left);
+                serial::recursive_in_place(&fb, &mut right);
+                let table = CorrectionTable::generate(&fb, right.len());
+                let carries = plr_core::nacci::carries_of(&left, fb.len());
+                table.correct_chunk(&mut right, &carries);
+                assert_eq!(&whole[..split], left.as_slice(), "fb {fb:?} n {n} split {split}");
+                assert_eq!(&whole[split..], right.as_slice(), "fb {fb:?} n {n} split {split}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_small_doubling_schedule_is_exact() {
+    // phase1 + phase2 at every power-of-two target for every small length.
+    for fb in all_feedbacks() {
+        let k = fb.len();
+        let sig = Signature::new(vec![1i64], fb.clone()).unwrap();
+        for n in 1..=32usize {
+            let x = input(n);
+            let expect = serial::run(&sig, &x);
+            for target_pow in 0..=5usize {
+                let m = 1 << target_pow;
+                if m < k {
+                    continue;
+                }
+                let table = CorrectionTable::generate(&fb, m.max(1));
+                let mut data = x.clone();
+                phase1::run(&table, &mut data, m);
+                phase2::propagate_sequential(&table, &mut data, m);
+                assert_eq!(data, expect, "fb {fb:?} n {n} m {m}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_lookback_window_is_exact() {
+    // All (chunks, window) pairs for a fixed small geometry.
+    let m = 4usize;
+    for fb in all_feedbacks() {
+        let k = fb.len();
+        if k > m {
+            continue;
+        }
+        let table = CorrectionTable::generate(&fb, m);
+        let n = 8 * m;
+        let x = input(n);
+        let mut locals = x.clone();
+        for c in locals.chunks_mut(m) {
+            serial::recursive_in_place(&fb, c);
+        }
+        let local_carries: Vec<Vec<i64>> =
+            locals.chunks(m).map(|c| plr_core::nacci::carries_of(c, k)).collect();
+        let mut global = locals.clone();
+        phase2::propagate_sequential(&table, &mut global, m);
+        let global_carries: Vec<Vec<i64>> =
+            global.chunks(m).map(|c| plr_core::nacci::carries_of(c, k)).collect();
+        for c in 1..8usize {
+            for depth in 1..=c {
+                let lens = vec![m; depth];
+                let derived = phase2::lookback_carries(
+                    &table,
+                    &global_carries[c - depth],
+                    &local_carries[c - depth + 1..=c],
+                    &lens,
+                );
+                assert_eq!(derived, global_carries[c], "fb {fb:?} chunk {c} depth {depth}");
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Property-based tests for the core recurrence algorithms.
+//!
+//! The central invariant: every parallel-friendly formulation (Phase 1
+//! doubling, decoupled look-back Phase 2, any chunk size) must agree with
+//! the serial reference exactly for integers and within the paper's 1e-3
+//! tolerance for floats — for *arbitrary* signatures, not just the eleven
+//! in Table 1.
+
+use plr_core::engine::{CarryPropagation, Engine, EngineConfig, LocalSolve};
+use plr_core::nacci::{carries_of, CorrectionTable};
+use plr_core::segmented::{self, Segments};
+use plr_core::signature::Signature;
+use plr_core::{phase1, phase2, serial, validate};
+use proptest::prelude::*;
+
+/// An arbitrary valid integer signature: 1..=4 feed-forward and feedback
+/// coefficients in a small range, with the required nonzero trailing
+/// coefficients.
+fn int_signature() -> impl Strategy<Value = Signature<i64>> {
+    let coeff = -3i64..=3;
+    let nonzero = prop_oneof![(-3i64..=-1), (1i64..=3)];
+    (
+        proptest::collection::vec(coeff.clone(), 0..3),
+        nonzero.clone(),
+        proptest::collection::vec(coeff, 0..3),
+        nonzero,
+    )
+        .prop_map(|(mut ff, ff_last, mut fb, fb_last)| {
+            ff.push(ff_last);
+            fb.push(fb_last);
+            Signature::new(ff, fb).expect("nonzero trailing coefficients")
+        })
+}
+
+/// A stable float signature: pure feedback with spectral radius < 1 by
+/// construction (product of single poles in (-0.9, 0.9)).
+fn stable_float_signature() -> impl Strategy<Value = Signature<f64>> {
+    proptest::collection::vec(-0.9f64..0.9, 1..4).prop_filter_map("nonzero poles", |poles| {
+        if poles.iter().any(|p| p.abs() < 1e-3) {
+            return None;
+        }
+        // Characteristic polynomial Π (z - p) expanded; feedback is the
+        // negated non-leading coefficients.
+        let mut c = vec![1.0f64];
+        for &p in &poles {
+            let mut next = vec![0.0; c.len() + 1];
+            for (i, &ci) in c.iter().enumerate() {
+                next[i] += ci * -p;
+                next[i + 1] += ci;
+            }
+            c = next;
+        }
+        c.reverse(); // highest degree first
+        let feedback: Vec<f64> = c[1..].iter().map(|&v| -v).collect();
+        Signature::new(vec![1.0], feedback).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_serial_for_arbitrary_int_signatures(
+        sig in int_signature(),
+        input in proptest::collection::vec(-50i64..50, 0..300),
+        log_chunk in 2usize..7, // >= 4 >= any generated order
+    ) {
+        let expect = serial::run(&sig, &input);
+        for local in [LocalSolve::HierarchicalDoubling, LocalSolve::Serial] {
+            for carry in [CarryPropagation::Sequential, CarryPropagation::Decoupled] {
+                let config = EngineConfig {
+                    chunk_size: 1 << log_chunk,
+                    local_solve: local,
+                    carry_propagation: carry,
+                    flush_denormals: true,
+                };
+                let engine = Engine::with_config(sig.clone(), config).unwrap();
+                let got = engine.run(&input).unwrap();
+                prop_assert_eq!(&got, &expect, "{} {:?} {:?}", &sig, local, carry);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_serial_for_stable_float_signatures(
+        sig in stable_float_signature(),
+        input in proptest::collection::vec(-4.0f64..4.0, 0..300),
+        log_chunk in 2usize..7,
+    ) {
+        let expect = serial::run(&sig, &input);
+        let engine = Engine::with_config(
+            sig.clone(),
+            EngineConfig { chunk_size: 1 << log_chunk, ..Default::default() },
+        ).unwrap();
+        let got = engine.run(&input).unwrap();
+        prop_assert!(validate::validate(&expect, &got, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn chunk_merge_equals_concatenated_solve(
+        fb in proptest::collection::vec(-3i64..=3, 1..4),
+        left in proptest::collection::vec(-20i64..20, 1..40),
+        right in proptest::collection::vec(-20i64..20, 1..40),
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let k = fb.len();
+        let whole: Vec<i64> = left.iter().chain(right.iter()).copied().collect();
+        let mut expect = whole.clone();
+        serial::recursive_in_place(&fb, &mut expect);
+
+        let mut l = left.clone();
+        let mut r = right.clone();
+        serial::recursive_in_place(&fb, &mut l);
+        serial::recursive_in_place(&fb, &mut r);
+        let table = CorrectionTable::generate(&fb, right.len());
+        // Carries beyond the left chunk's length are zero in the
+        // local-solution invariant.
+        let carries = carries_of(&l, k);
+        table.correct_chunk(&mut r, &carries);
+
+        prop_assert_eq!(&expect[..left.len()], l.as_slice());
+        prop_assert_eq!(&expect[left.len()..], r.as_slice());
+    }
+
+    #[test]
+    fn phase1_produces_local_solutions(
+        fb in proptest::collection::vec(-2i64..=2, 1..4),
+        input in proptest::collection::vec(-10i64..10, 0..200),
+        log_chunk in 0usize..6,
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let m = 1usize << log_chunk;
+        let table = CorrectionTable::generate(&fb, m);
+        let mut data = input.clone();
+        phase1::run(&table, &mut data, m);
+        let mut expect = input.clone();
+        for c in expect.chunks_mut(m) {
+            serial::recursive_in_place(&fb, c);
+        }
+        prop_assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn decoupled_and_sequential_propagation_agree(
+        fb in proptest::collection::vec(-3i64..=3, 1..4),
+        input in proptest::collection::vec(-20i64..20, 1..250),
+        m in 4usize..33, // >= any generated order, as decoupled requires
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let table = CorrectionTable::generate(&fb, m);
+        let mut a = input.clone();
+        for c in a.chunks_mut(m) {
+            serial::recursive_in_place(&fb, c);
+        }
+        let mut b = a.clone();
+        phase2::propagate_sequential(&table, &mut a, m);
+        phase2::propagate_decoupled(&table, &mut b, m);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_display_parse_round_trip(sig in int_signature()) {
+        let text = sig.to_string();
+        let parsed: Signature<i64> = text.parse().unwrap();
+        prop_assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn fir_map_is_linear(
+        ff in proptest::collection::vec(-3i64..=3, 1..5),
+        x in proptest::collection::vec(-20i64..20, 0..100),
+        y in proptest::collection::vec(-20i64..20, 0..100),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let sum: Vec<i64> = x.iter().zip(y).map(|(a, b)| a + b).collect();
+        let fx = serial::fir_map(&ff, x);
+        let fy = serial::fir_map(&ff, y);
+        let fsum = serial::fir_map(&ff, &sum);
+        for i in 0..n {
+            prop_assert_eq!(fsum[i], fx[i] + fy[i]);
+        }
+    }
+
+    #[test]
+    fn parsing_arbitrary_text_never_panics(text in "\\PC*") {
+        // Errors are fine; panics are not.
+        let _ = text.parse::<Signature<i64>>();
+        let _ = text.parse::<Signature<f64>>();
+    }
+
+    #[test]
+    fn parsing_coefficient_shaped_noise_never_panics(
+        text in "[-0-9.,: ()]{0,40}",
+    ) {
+        let _ = text.parse::<Signature<i32>>();
+        let _ = text.parse::<Signature<f32>>();
+    }
+
+    #[test]
+    fn segmented_chunked_matches_segmented_serial(
+        fb in proptest::collection::vec(-2i64..=2, 1..4),
+        input in proptest::collection::vec(-10i64..10, 1..300),
+        raw_starts in proptest::collection::vec(0usize..300, 0..8),
+        chunk_pow in 2usize..6,
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let sig = Signature::new(vec![1i64], fb).unwrap();
+        let mut starts: Vec<usize> =
+            raw_starts.into_iter().filter(|&s| s < input.len()).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        let segments = Segments::from_starts(starts).unwrap();
+        let expect = segmented::run_serial(&sig, &segments, &input);
+        let got = segmented::run_chunked(&sig, &segments, &input, 1 << chunk_pow).unwrap();
+        prop_assert_eq!(got, expect, "{} {:?}", &sig, segments.starts());
+    }
+
+    #[test]
+    fn streaming_any_blocking_equals_whole_run(
+        sig in int_signature(),
+        input in proptest::collection::vec(-30i64..30, 0..300),
+        blocks in proptest::collection::vec(1usize..40, 1..10),
+    ) {
+        let expect = serial::run(&sig, &input);
+        let mut state = plr_core::stream::StreamState::new(sig.clone());
+        let mut got = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < input.len() {
+            let len = blocks[i % blocks.len()].min(input.len() - off);
+            got.extend(state.process(&input[off..off + len]));
+            off += len;
+            i += 1;
+        }
+        prop_assert_eq!(got, expect, "{} blocks {:?}", &sig, blocks);
+    }
+
+    #[test]
+    fn element_widths_agree_on_small_values(
+        sig in int_signature(),
+        input in proptest::collection::vec(-3i64..3, 0..60),
+    ) {
+        // With tiny coefficients and short inputs nothing overflows i32,
+        // so all four element types must agree exactly (floats are exact
+        // on small integers).
+        // Guard with f64 (which saturates rather than wraps): only compare
+        // widths on cases whose true values stay far from every integer
+        // boundary. Exponential-growth cases are skipped, not mis-tested.
+        let sigf: Signature<f64> = sig.cast();
+        let xf: Vec<f64> = input.iter().map(|&v| v as f64).collect();
+        let yf = serial::run(&sigf, &xf);
+        if yf.iter().all(|v| v.abs() < (1u64 << 30) as f64) {
+            let as32: Vec<i32> = input.iter().map(|&v| v as i32).collect();
+            let sig32: Signature<i32> = sig.cast();
+            let y64 = serial::run(&sig, &input);
+            let y32 = serial::run(&sig32, &as32);
+            for ((a, b), f) in y64.iter().zip(&y32).zip(&yf) {
+                prop_assert_eq!(*a, *b as i64);
+                prop_assert!((*a as f64 - f).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn lookback_depth_is_immaterial(
+        fb in proptest::collection::vec(-2i64..=2, 1..3),
+        input in proptest::collection::vec(-10i64..10, 64..128),
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let m = 8;
+        let k = fb.len();
+        let table = CorrectionTable::generate(&fb, m);
+
+        let mut local = input.clone();
+        for c in local.chunks_mut(m) {
+            serial::recursive_in_place(&fb, c);
+        }
+        let locals: Vec<Vec<i64>> = local.chunks(m).map(|c| carries_of(c, k)).collect();
+
+        let mut global = local.clone();
+        phase2::propagate_sequential(&table, &mut global, m);
+        let globals: Vec<Vec<i64>> = global.chunks(m).map(|c| carries_of(c, k)).collect();
+
+        let num_full = input.len() / m; // operate on full chunks only
+        // For every chunk c and every look-back depth d, deriving carries
+        // from globals[c-d] + locals[c-d+1..=c] matches globals[c].
+        for c in 1..num_full {
+            for d in 1..=c {
+                let lens = vec![m; d];
+                let derived = phase2::lookback_carries(
+                    &table,
+                    &globals[c - d],
+                    &locals[c - d + 1..=c],
+                    &lens,
+                );
+                prop_assert_eq!(&derived, &globals[c], "chunk {} depth {}", c, d);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Batched execution over many independent sequences.
+//!
+//! The paper's future work lists "multiple dimensions"; the 2D codes it
+//! compares against (Alg3, Rec) filter image rows. This runner applies one
+//! signature to a batch of independent sequences — image rows, audio
+//! channels, per-key streams — distributing whole sequences across worker
+//! threads. Within a sequence the serial loop is optimal on a CPU thread;
+//! across sequences the batch is embarrassingly parallel, and for batches
+//! with few long rows the workers fall back to chunked decoupled look-back
+//! within a row (via [`ParallelRunner`]).
+
+use crate::runner::{ParallelRunner, RunnerConfig};
+use crate::stats::RunStats;
+use plr_core::element::Element;
+use plr_core::error::EngineError;
+use plr_core::serial;
+use plr_core::signature::Signature;
+
+/// A batched executor for one signature.
+#[derive(Debug)]
+pub struct BatchRunner<T> {
+    signature: Signature<T>,
+    threads: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Element> BatchRunner<T> {
+    /// Creates a batch runner; `threads == 0` means one per CPU.
+    pub fn new(signature: Signature<T>, threads: usize) -> Self {
+        BatchRunner { signature, threads, _marker: std::marker::PhantomData }
+    }
+
+    /// The worker count (resolving 0 to the CPU count).
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// Applies the recurrence to each row of a row-major matrix in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnsupportedSignature`] when `width == 0` or
+    /// the data length is not a multiple of `width`.
+    pub fn run_rows(&self, data: &mut [T], width: usize) -> Result<RunStats, EngineError> {
+        if width == 0 || data.len() % width != 0 {
+            return Err(EngineError::UnsupportedSignature {
+                reason: format!(
+                    "row width {width} does not divide the data length {}",
+                    data.len()
+                ),
+            });
+        }
+        let rows = data.len() / width;
+        let threads = self.threads().max(1);
+
+        if rows >= threads || rows == 0 {
+            // Whole rows per worker: embarrassingly parallel.
+            let sig = &self.signature;
+            std::thread::scope(|scope| {
+                let (tx, rx) = crossbeam::channel::bounded::<&mut [T]>(threads);
+                for _ in 0..threads {
+                    let rx = rx.clone();
+                    scope.spawn(move || {
+                        while let Ok(row) = rx.recv() {
+                            let out = serial::run(sig, row);
+                            row.copy_from_slice(&out);
+                        }
+                    });
+                }
+                drop(rx);
+                for row in data.chunks_mut(width) {
+                    tx.send(row).expect("workers outlive the feed");
+                }
+                drop(tx);
+            });
+            Ok(RunStats {
+                chunks: rows as u64,
+                lookback_hops: 0,
+                spin_waits: 0,
+                max_lookback_depth: 0,
+                threads: threads as u64,
+            })
+        } else {
+            // Few long rows: parallelize inside each row instead.
+            let runner = ParallelRunner::with_config(
+                self.signature.clone(),
+                RunnerConfig {
+                    chunk_size: (width / (threads * 4)).max(self.signature.order()).max(64),
+                    threads,
+                    ..Default::default()
+                },
+            )?;
+            let mut stats = RunStats { threads: threads as u64, ..RunStats::default() };
+            for row in data.chunks_mut(width) {
+                let s = runner.run_in_place(row)?;
+                stats.chunks += s.chunks;
+                stats.lookback_hops += s.lookback_hops;
+                stats.spin_waits += s.spin_waits;
+                stats.max_lookback_depth = stats.max_lookback_depth.max(s.max_lookback_depth);
+            }
+            Ok(stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::validate::validate;
+
+    fn reference<T: Element>(sig: &Signature<T>, data: &[T], width: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(data.len());
+        for row in data.chunks(width) {
+            out.extend(serial::run(sig, row));
+        }
+        out
+    }
+
+    #[test]
+    fn many_rows_filtered_independently() {
+        let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
+        let width = 64;
+        let rows = 50;
+        let data: Vec<f32> =
+            (0..width * rows).map(|i| ((i % 23) as f32) * 0.5 - 5.0).collect();
+        let mut got = data.clone();
+        let runner = BatchRunner::new(sig.clone(), 4);
+        let stats = runner.run_rows(&mut got, width).unwrap();
+        assert_eq!(stats.chunks, rows as u64);
+        validate(&reference(&sig, &data, width), &got, 1e-4).unwrap();
+    }
+
+    #[test]
+    fn few_long_rows_use_intra_row_parallelism() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let width = 100_000;
+        let rows = 2;
+        let data: Vec<i64> = (0..width * rows).map(|i| (i % 7) as i64 - 3).collect();
+        let mut got = data.clone();
+        let runner = BatchRunner::new(sig.clone(), 8);
+        let stats = runner.run_rows(&mut got, width).unwrap();
+        assert!(stats.lookback_hops > 0, "long rows must go through the look-back path");
+        assert_eq!(got, reference(&sig, &data, width));
+    }
+
+    #[test]
+    fn row_boundaries_reset_the_recurrence() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let mut data: Vec<i64> = vec![1; 12];
+        BatchRunner::new(sig, 2).run_rows(&mut data, 4).unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_mismatched_width() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let mut data = vec![1i32; 10];
+        assert!(BatchRunner::new(sig.clone(), 2).run_rows(&mut data, 0).is_err());
+        assert!(BatchRunner::new(sig, 2).run_rows(&mut data, 3).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let mut data: Vec<i32> = vec![];
+        let stats = BatchRunner::new(sig, 2).run_rows(&mut data, 4).unwrap();
+        assert_eq!(stats.chunks, 0);
+    }
+}

@@ -1,0 +1,566 @@
+//! The multithreaded runner: chunked decoupled look-back on real threads.
+//!
+//! This is the paper's algorithm mapped onto the parallelism we actually
+//! have in this reproduction environment — CPU threads. Each worker claims
+//! chunks in order from a work channel, solves its chunk locally (serial
+//! within a chunk is optimal when there are no intra-chunk lanes), publishes
+//! the chunk's *local* carries, derives its predecessor's *global* carries
+//! by variable look-back over already-published carries, corrects its chunk
+//! with the precomputed n-nacci factors, and publishes its own global
+//! carries.
+//!
+//! Progress argument (same as the GPU kernel's): chunks enter the pipeline
+//! in order, every in-flight chunk publishes its local carries *before* any
+//! waiting, and the oldest in-flight chunk's predecessor globals always
+//! exist — so the look-back chain can always be resolved and the spin waits
+//! are bounded by the pipeline depth (the worker count).
+
+use crate::stats::RunStats;
+use plr_core::element::Element;
+use plr_core::engine::MAX_INPUT_LEN;
+use plr_core::error::EngineError;
+use plr_core::nacci::{carries_of, CorrectionTable};
+use plr_core::serial;
+use plr_core::signature::Signature;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// How the runner schedules the carry propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Single pass with decoupled look-back: each worker publishes local
+    /// carries, resolves its predecessor's global carries from whatever is
+    /// already published, corrects, and publishes — the paper's pipelined
+    /// Phase 2 on threads.
+    #[default]
+    LookbackPipeline,
+    /// Two passes with a barrier: parallel local solves, a sequential
+    /// `O(chunks·k²)` carry chain on one thread, then parallel correction.
+    /// Simpler, no spinning, but touches every chunk's data twice.
+    TwoPass,
+}
+
+/// Configuration for [`ParallelRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Elements per chunk (one chunk is one unit of work). Must be at
+    /// least the recurrence order.
+    pub chunk_size: usize,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Carry-propagation strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig { chunk_size: 1 << 16, threads: 0, strategy: Strategy::default() }
+    }
+}
+
+/// A multithreaded executor for one signature (factors precomputed once).
+///
+/// # Examples
+///
+/// ```
+/// use plr_parallel::ParallelRunner;
+/// use plr_core::signature::Signature;
+///
+/// let sig: Signature<i64> = "1 : 2, -1".parse()?;
+/// let runner = ParallelRunner::new(sig)?;
+/// let y = runner.run(&[1, 1, 1, 1])?;
+/// assert_eq!(y, vec![1, 3, 6, 10]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelRunner<T> {
+    signature: Signature<T>,
+    fir: Vec<T>,
+    table: CorrectionTable<T>,
+    config: RunnerConfig,
+}
+
+/// Per-chunk carry slots, published lock-free through [`OnceLock`].
+struct Slot<T> {
+    local: OnceLock<Vec<T>>,
+    global: OnceLock<Vec<T>>,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot { local: OnceLock::new(), global: OnceLock::new() }
+    }
+}
+
+impl<T: Element> ParallelRunner<T> {
+    /// Creates a runner with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelRunner::with_config`].
+    pub fn new(signature: Signature<T>) -> Result<Self, EngineError> {
+        Self::with_config(signature, RunnerConfig::default())
+    }
+
+    /// Creates a runner with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidChunkSize`] when the chunk size is
+    /// zero or smaller than the recurrence order (a chunk must hold all
+    /// `k` published carries).
+    pub fn with_config(
+        signature: Signature<T>,
+        config: RunnerConfig,
+    ) -> Result<Self, EngineError> {
+        if config.chunk_size == 0 || config.chunk_size < signature.order() {
+            return Err(EngineError::InvalidChunkSize { chunk_size: config.chunk_size });
+        }
+        let (fir, recursive) = signature.split();
+        let table = CorrectionTable::generate_with(
+            recursive.feedback(),
+            config.chunk_size,
+            T::IS_FLOAT,
+        );
+        Ok(ParallelRunner { signature, fir, table, config })
+    }
+
+    /// The configured worker count (resolving `0` to the CPU count).
+    pub fn threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.config.threads
+        }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Computes the recurrence over `input`, allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements.
+    pub fn run(&self, input: &[T]) -> Result<Vec<T>, EngineError> {
+        let mut data = input.to_vec();
+        self.run_in_place(&mut data)?;
+        Ok(data)
+    }
+
+    /// Computes the recurrence in place, returning runtime statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements.
+    pub fn run_in_place(&self, data: &mut [T]) -> Result<RunStats, EngineError> {
+        if data.len() > MAX_INPUT_LEN {
+            return Err(EngineError::InputTooLarge { len: data.len(), max: MAX_INPUT_LEN });
+        }
+        let m = self.config.chunk_size;
+        let threads = self.threads().max(1);
+        let n = data.len();
+        if n == 0 {
+            return Ok(RunStats::default());
+        }
+
+        // Stage 1: the map operation, parallel over chunks (each chunk
+        // reads up to `p` input values across its left boundary, so the
+        // mapped values are produced into a fresh buffer).
+        if !self.signature.is_pure_feedback() {
+            let mapped = self.parallel_fir(data, threads);
+            data.copy_from_slice(&mapped);
+        }
+
+        if self.config.strategy == Strategy::TwoPass {
+            return Ok(self.run_two_pass(data, threads));
+        }
+
+        let k = self.signature.order();
+        let feedback = self.signature.feedback();
+        let num_chunks = n.div_ceil(m);
+        let slots: Vec<Slot<T>> = (0..num_chunks).map(|_| Slot::new()).collect();
+        let hops = AtomicU64::new(0);
+        let spins = AtomicU64::new(0);
+        let max_depth = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::bounded::<(usize, &mut [T])>(threads);
+            let slots = &slots;
+            let table = &self.table;
+            let hops = &hops;
+            let spins = &spins;
+            let max_depth = &max_depth;
+            for _ in 0..threads {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    while let Ok((c, chunk)) = rx.recv() {
+                        // Local solve, then publish local carries.
+                        serial::recursive_in_place(feedback, chunk);
+                        let locals = carries_of(chunk, k);
+                        slots[c].local.set(locals.clone()).expect("sole producer of local carries");
+                        if c == 0 {
+                            slots[0]
+                                .global
+                                .set(locals)
+                                .expect("sole producer of chunk 0 globals");
+                            continue;
+                        }
+                        // Variable look-back: walk back to the most recent
+                        // published globals, then fix forward through the
+                        // published locals.
+                        let g = resolve_global(table, slots, c - 1, m, n, hops, spins, max_depth);
+                        table.correct_chunk(chunk, &g);
+                        let globals = carries_of(chunk, k);
+                        // A deeper look-back by a successor may already
+                        // have derived (and published) our globals.
+                        let _ = slots[c].global.set(globals);
+                    }
+                });
+            }
+            drop(rx);
+            for item in data.chunks_mut(m).enumerate() {
+                tx.send(item).expect("workers outlive the feed");
+            }
+            drop(tx);
+        });
+
+        Ok(RunStats {
+            chunks: num_chunks as u64,
+            lookback_hops: hops.load(Ordering::Relaxed),
+            spin_waits: spins.load(Ordering::Relaxed),
+            max_lookback_depth: max_depth.load(Ordering::Relaxed),
+            threads: threads as u64,
+        })
+    }
+
+    /// The two-pass strategy: parallel local solves, one sequential carry
+    /// chain, parallel correction (the dependency structure of
+    /// [`plr_core::phase2::propagate_decoupled`] on real threads).
+    fn run_two_pass(&self, data: &mut [T], threads: usize) -> RunStats {
+        let m = self.config.chunk_size;
+        let k = self.signature.order();
+        let feedback = self.signature.feedback();
+        let n = data.len();
+        let num_chunks = n.div_ceil(m);
+
+        // Pass A: local solves in parallel via a work channel.
+        std::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::bounded::<&mut [T]>(threads);
+            for _ in 0..threads {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    while let Ok(chunk) = rx.recv() {
+                        serial::recursive_in_place(feedback, chunk);
+                    }
+                });
+            }
+            drop(rx);
+            for chunk in data.chunks_mut(m) {
+                tx.send(chunk).expect("workers outlive the feed");
+            }
+            drop(tx);
+        });
+
+        // Sequential chain: globals of chunk c from globals of c-1.
+        let mut hops = 0u64;
+        let mut globals: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
+        globals.push(carries_of(&data[..m.min(n)], k));
+        for c in 1..num_chunks {
+            let start = c * m;
+            let end = (start + m).min(n);
+            let locals = carries_of(&data[start..end], k);
+            globals.push(self.table.fixup_carries(&globals[c - 1], &locals, end - start));
+            hops += 1;
+        }
+
+        // Pass B: correct every chunk with its predecessor's globals, in
+        // parallel.
+        std::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::bounded::<(usize, &mut [T])>(threads);
+            let globals = &globals;
+            let table = &self.table;
+            for _ in 0..threads {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    while let Ok((c, chunk)) = rx.recv() {
+                        if c > 0 {
+                            table.correct_chunk(chunk, &globals[c - 1]);
+                        }
+                    }
+                });
+            }
+            drop(rx);
+            for item in data.chunks_mut(m).enumerate() {
+                tx.send(item).expect("workers outlive the feed");
+            }
+            drop(tx);
+        });
+
+        RunStats {
+            chunks: num_chunks as u64,
+            lookback_hops: hops,
+            spin_waits: 0,
+            max_lookback_depth: 1,
+            threads: threads as u64,
+        }
+    }
+
+    /// Parallel FIR map over chunks of the (immutable) input.
+    fn parallel_fir(&self, input: &[T], threads: usize) -> Vec<T> {
+        let n = input.len();
+        let chunk = n.div_ceil(threads).max(1);
+        let mut out = vec![T::zero(); n];
+        std::thread::scope(|scope| {
+            for (idx, slice) in out.chunks_mut(chunk).enumerate() {
+                let fir = &self.fir;
+                scope.spawn(move || {
+                    let start = idx * chunk;
+                    for (off, v) in slice.iter_mut().enumerate() {
+                        let i = start + off;
+                        let mut acc = T::zero();
+                        for (j, &a) in fir.iter().enumerate() {
+                            if j > i {
+                                break;
+                            }
+                            acc = acc.add(a.mul(input[i - j]));
+                        }
+                        *v = acc;
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+/// Derives the global carries of chunk `j` from published state: walks back
+/// to the nearest chunk with published globals (spinning on chunk 0's if
+/// necessary), then fixes forward through published local carries.
+#[allow(clippy::too_many_arguments)]
+fn resolve_global<T: Element>(
+    table: &CorrectionTable<T>,
+    slots: &[Slot<T>],
+    j: usize,
+    m: usize,
+    n: usize,
+    hops: &AtomicU64,
+    spins: &AtomicU64,
+    max_depth: &AtomicU64,
+) -> Vec<T> {
+    // Find the deepest published globals at or before j.
+    let mut start = j;
+    loop {
+        if slots[start].global.get().is_some() {
+            break;
+        }
+        if start == 0 {
+            // Chunk 0 publishes unconditionally right after its local
+            // solve; spin until it lands.
+            wait_for(&slots[0].global, spins);
+            break;
+        }
+        start -= 1;
+    }
+    let mut g = slots[start].global.get().expect("checked or awaited above").clone();
+    hops.fetch_add(1, Ordering::Relaxed);
+    max_depth.fetch_max((j - start + 1) as u64, Ordering::Relaxed);
+    for h in start + 1..=j {
+        let locals = wait_for(&slots[h].local, spins);
+        let chunk_len = m.min(n - h * m);
+        g = table.fixup_carries(&g, locals, chunk_len);
+        hops.fetch_add(1, Ordering::Relaxed);
+    }
+    g
+}
+
+/// Spins (with yields) until a carry set is published.
+fn wait_for<'a, T>(cell: &'a OnceLock<Vec<T>>, spins: &AtomicU64) -> &'a Vec<T> {
+    let mut tries = 0u64;
+    loop {
+        if let Some(v) = cell.get() {
+            if tries > 0 {
+                spins.fetch_add(tries, Ordering::Relaxed);
+            }
+            return v;
+        }
+        tries += 1;
+        if tries % 64 == 0 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::validate::validate;
+
+    fn check<T: Element>(sig_text: &str, n: usize, config: RunnerConfig, tol: f64)
+    where
+        Signature<T>: std::str::FromStr,
+        <Signature<T> as std::str::FromStr>::Err: std::fmt::Debug,
+    {
+        let sig: Signature<T> = sig_text.parse().unwrap();
+        let input: Vec<T> = (0..n).map(|i| T::from_i32(((i * 29) % 19) as i32 - 9)).collect();
+        let runner = ParallelRunner::with_config(sig.clone(), config).unwrap();
+        let got = runner.run(&input).unwrap();
+        let expect = serial::run(&sig, &input);
+        validate(&expect, &got, tol).unwrap_or_else(|e| panic!("{sig_text} {config:?}: {e}"));
+    }
+
+    #[test]
+    fn integer_catalog_exact_across_thread_counts() {
+        for threads in [1, 2, 4, 8] {
+            for text in ["1:1", "1:0,1", "1:0,0,1", "1:2,-1", "1:3,-3,1"] {
+                check::<i64>(
+                    text,
+                    100_000,
+                    RunnerConfig { chunk_size: 1 << 10, threads, strategy: Strategy::default() },
+                    0.0,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_filters_within_tolerance() {
+        for text in ["0.2:0.8", "0.04:1.6,-0.64", "0.9,-0.9:0.8"] {
+            check::<f32>(text, 50_000, RunnerConfig { chunk_size: 4096, threads: 4, strategy: Strategy::default() }, 1e-3);
+        }
+    }
+
+    #[test]
+    fn ragged_and_tiny_inputs() {
+        check::<i64>("1:2,-1", 1, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
+        check::<i64>("1:2,-1", 63, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
+        check::<i64>("1:2,-1", 65, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
+        check::<i64>("1:2,-1", 6400 + 17, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let runner = ParallelRunner::new(sig).unwrap();
+        assert_eq!(runner.run(&[]).unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn deterministic_for_integers() {
+        let sig: Signature<i64> = "1:3,-3,1".parse().unwrap();
+        let input: Vec<i64> = (0..200_000).map(|i| (i % 23) as i64 - 11).collect();
+        let runner = ParallelRunner::with_config(
+            sig,
+            RunnerConfig { chunk_size: 2048, threads: 8, strategy: Strategy::default() },
+        )
+        .unwrap();
+        let a = runner.run(&input).unwrap();
+        for _ in 0..5 {
+            assert_eq!(runner.run(&input).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_lookback() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let runner = ParallelRunner::with_config(
+            sig,
+            RunnerConfig { chunk_size: 1024, threads: 4, strategy: Strategy::default() },
+        )
+        .unwrap();
+        let mut data: Vec<i64> = (0..100_000).map(|i| i as i64 % 7).collect();
+        let stats = runner.run_in_place(&mut data).unwrap();
+        assert_eq!(stats.chunks, 100_000u64.div_ceil(1024));
+        assert!(stats.lookback_hops >= stats.chunks - 1);
+        assert_eq!(stats.threads, 4);
+    }
+
+    #[test]
+    fn config_validation() {
+        let sig: Signature<i32> = "1:3,-3,1".parse().unwrap();
+        assert!(matches!(
+            ParallelRunner::with_config(sig.clone(), RunnerConfig { chunk_size: 2, threads: 1, strategy: Strategy::default() }),
+            Err(EngineError::InvalidChunkSize { .. })
+        ));
+        assert!(ParallelRunner::with_config(sig, RunnerConfig { chunk_size: 3, threads: 1, strategy: Strategy::default() })
+            .is_ok());
+    }
+
+    #[test]
+    fn fir_signatures_run_the_map_stage() {
+        check::<f64>(
+            "0.81,-1.62,0.81:1.6,-0.64",
+            30_000,
+            RunnerConfig { chunk_size: 1024, threads: 4, strategy: Strategy::default() },
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn two_pass_strategy_matches_serial() {
+        for threads in [1usize, 4] {
+            for text in ["1:1", "1:2,-1", "1:0,0,1"] {
+                check::<i64>(
+                    text,
+                    77_777,
+                    RunnerConfig {
+                        chunk_size: 1024,
+                        threads,
+                        strategy: Strategy::TwoPass,
+                    },
+                    0.0,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_pass_and_lookback_agree_exactly_on_ints() {
+        let sig: Signature<i64> = "1:3,-3,1".parse().unwrap();
+        let input: Vec<i64> = (0..120_000).map(|i| (i % 17) as i64 - 8).collect();
+        let base = RunnerConfig { chunk_size: 4096, threads: 4, strategy: Strategy::default() };
+        let a = ParallelRunner::with_config(sig.clone(), base).unwrap().run(&input).unwrap();
+        let two = RunnerConfig { strategy: Strategy::TwoPass, ..base };
+        let b = ParallelRunner::with_config(sig, two).unwrap().run(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_pass_has_no_spin_waits() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let runner = ParallelRunner::with_config(
+            sig,
+            RunnerConfig { chunk_size: 512, threads: 8, strategy: Strategy::TwoPass },
+        )
+        .unwrap();
+        let mut data: Vec<i64> = (0..50_000).map(|i| i as i64 % 5).collect();
+        let stats = runner.run_in_place(&mut data).unwrap();
+        assert_eq!(stats.spin_waits, 0);
+        assert_eq!(stats.lookback_hops, stats.chunks - 1);
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread_for_ints() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let input: Vec<i64> = (0..50_000).map(|i| (i % 31) as i64 - 15).collect();
+        let one = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig { chunk_size: 4096, threads: 1, strategy: Strategy::default() },
+        )
+        .unwrap()
+        .run(&input)
+        .unwrap();
+        let many = ParallelRunner::with_config(
+            sig,
+            RunnerConfig { chunk_size: 4096, threads: 8, strategy: Strategy::default() },
+        )
+        .unwrap()
+        .run(&input)
+        .unwrap();
+        assert_eq!(one, many);
+    }
+}

@@ -1,0 +1,50 @@
+//! Runtime statistics reported by the parallel runner.
+
+/// Counters describing one parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of chunks processed.
+    pub chunks: u64,
+    /// Look-back hops performed (carry sets read while resolving
+    /// predecessors' global carries; at minimum one per non-first chunk,
+    /// more when workers ran ahead of the carry chain).
+    pub lookback_hops: u64,
+    /// Spin iterations spent waiting on unpublished carries.
+    pub spin_waits: u64,
+    /// Deepest single look-back performed (the paper's dynamic `c`; it
+    /// reports "c is typically much smaller than 32" because each chunk
+    /// uses the most recent available global carries).
+    pub max_lookback_depth: u64,
+    /// Worker threads used.
+    pub threads: u64,
+}
+
+impl RunStats {
+    /// Mean look-back depth per corrected chunk (the paper's `c`, which it
+    /// bounds by 32 and reports as "typically much smaller").
+    pub fn mean_lookback_depth(&self) -> f64 {
+        if self.chunks <= 1 {
+            0.0
+        } else {
+            self.lookback_hops as f64 / (self.chunks - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_depth_handles_degenerate_cases() {
+        assert_eq!(RunStats::default().mean_lookback_depth(), 0.0);
+        let s = RunStats {
+            chunks: 11,
+            lookback_hops: 20,
+            spin_waits: 0,
+            max_lookback_depth: 3,
+            threads: 4,
+        };
+        assert!((s.mean_lookback_depth() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! A set-associative LRU cache model for the device's L2.
+//!
+//! The paper reports "L2-cache read misses … multiplied by the block size
+//! of 32 bytes" (Table 3). This model replays the executors' global-memory
+//! access streams at line granularity and counts read misses the same way.
+
+/// Set-associative write-allocate LRU cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_bytes: usize,
+    sets: usize,
+    ways: usize,
+    /// `tags[set][way]`: tag plus a valid bit packed as Option.
+    tags: Vec<Vec<Option<u64>>>,
+    /// LRU ordering per set: `lru[set][i]` is the way index, most recently
+    /// used last.
+    lru: Vec<Vec<u8>>,
+    read_misses: u64,
+    read_hits: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity
+    /// and `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive powers of two and the
+    /// capacity is divisible by `ways × line_bytes`.
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two() && line_bytes > 0);
+        assert!(ways > 0 && ways <= 255);
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines % ways == 0, "capacity must divide evenly into sets");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![vec![None; ways]; sets],
+            lru: vec![(0..ways as u8).collect(); sets],
+            read_misses: 0,
+            read_hits: 0,
+        }
+    }
+
+    /// The device L2 for a [`DeviceConfig`]: 16-way, config line size.
+    ///
+    /// [`DeviceConfig`]: crate::device::DeviceConfig
+    pub fn l2_for(config: &crate::device::DeviceConfig) -> Self {
+        Cache::new(config.l2_bytes, 16, config.l2_line_bytes)
+    }
+
+    /// The line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// The associativity (ways per set).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Read misses observed so far.
+    pub fn read_misses(&self) -> u64 {
+        self.read_misses
+    }
+
+    /// Read misses in bytes (misses × line size), the paper's Table 3 unit.
+    pub fn read_miss_bytes(&self) -> u64 {
+        self.read_misses * self.line_bytes as u64
+    }
+
+    /// Read hits observed so far.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hits
+    }
+
+    /// Accesses the byte range `[addr, addr + len)` as reads, line by line.
+    pub fn read(&mut self, addr: u64, len: u64) {
+        self.touch_range(addr, len, true);
+    }
+
+    /// Accesses the byte range as writes (write-allocate, no miss counted —
+    /// the paper reports *read* misses).
+    pub fn write(&mut self, addr: u64, len: u64) {
+        self.touch_range(addr, len, false);
+    }
+
+    fn touch_range(&mut self, addr: u64, len: u64, is_read: bool) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / self.line_bytes as u64;
+        let last = (addr + len - 1) / self.line_bytes as u64;
+        for line in first..=last {
+            self.touch_line(line, is_read);
+        }
+    }
+
+    fn touch_line(&mut self, line: u64, is_read: bool) {
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let ways = &mut self.tags[set];
+        let order = &mut self.lru[set];
+        if let Some(way) = ways.iter().position(|t| *t == Some(tag)) {
+            if is_read {
+                self.read_hits += 1;
+            }
+            let pos = order.iter().position(|&w| w == way as u8).expect("way tracked in LRU");
+            let w = order.remove(pos);
+            order.push(w);
+        } else {
+            if is_read {
+                self.read_misses += 1;
+            }
+            let victim = order.remove(0);
+            ways[victim as usize] = Some(tag);
+            order.push(victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 8 lines of 32 B, 2-way -> 4 sets.
+        Cache::new(256, 2, 32)
+    }
+
+    #[test]
+    fn cold_misses_counted_per_line() {
+        let mut c = tiny();
+        c.read(0, 128); // 4 lines
+        assert_eq!(c.read_misses(), 4);
+        assert_eq!(c.read_miss_bytes(), 128);
+    }
+
+    #[test]
+    fn repeated_read_hits() {
+        let mut c = tiny();
+        c.read(0, 32);
+        c.read(0, 32);
+        assert_eq!(c.read_misses(), 1);
+        assert_eq!(c.read_hits(), 1);
+    }
+
+    #[test]
+    fn unaligned_range_touches_both_lines() {
+        let mut c = tiny();
+        c.read(30, 4); // straddles lines 0 and 1
+        assert_eq!(c.read_misses(), 2);
+    }
+
+    #[test]
+    fn writes_allocate_but_do_not_count_read_misses() {
+        let mut c = tiny();
+        c.write(0, 32);
+        assert_eq!(c.read_misses(), 0);
+        c.read(0, 32); // hits thanks to write-allocate
+        assert_eq!(c.read_misses(), 0);
+        assert_eq!(c.read_hits(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines mapping to set 0: line numbers 0, 4, 8 (4 sets).
+        c.read(0, 1); // line 0
+        c.read(4 * 32, 1); // line 4
+        c.read(8 * 32, 1); // line 8 evicts line 0
+        c.read(0, 1); // miss again
+        assert_eq!(c.read_misses(), 4);
+        // Line 4 was most recently used before line 8; after reading line 0
+        // the set holds {8, 0}; line 4 now misses.
+        c.read(4 * 32, 1);
+        assert_eq!(c.read_misses(), 5);
+    }
+
+    #[test]
+    fn streaming_larger_than_capacity_never_hits() {
+        let mut c = tiny();
+        for pass in 0..2 {
+            c.read(0, 512); // 16 lines through an 8-line cache
+            let _ = pass;
+        }
+        assert_eq!(c.read_misses(), 32);
+        assert_eq!(c.read_hits(), 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_on_second_pass() {
+        let mut c = tiny();
+        c.read(0, 256);
+        c.read(0, 256);
+        assert_eq!(c.read_misses(), 8);
+        assert_eq!(c.read_hits(), 8);
+    }
+
+    #[test]
+    fn zero_length_access_is_noop() {
+        let mut c = tiny();
+        c.read(0, 0);
+        assert_eq!(c.read_misses(), 0);
+    }
+
+    #[test]
+    fn l2_for_titan_x() {
+        let c = Cache::l2_for(&crate::device::DeviceConfig::titan_x());
+        assert_eq!(c.line_bytes(), 32);
+    }
+}

@@ -1,0 +1,99 @@
+//! Event counters accumulated during a simulated execution.
+
+/// Raw event counts from one simulated run.
+///
+/// All byte quantities count payload bytes (the cache model separately
+/// accounts line-granular misses). The counters deliberately mirror the
+/// quantities the paper reports: global traffic (Section 2.2's data
+/// movement analysis), L2 read misses (Table 3), and the op-level costs
+/// that feed the timing model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Bytes read from global memory.
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory.
+    pub global_write_bytes: u64,
+    /// Bytes of L2 read misses (line granularity × line size).
+    pub l2_read_miss_bytes: u64,
+    /// Shared-memory accesses (reads + writes, element granularity).
+    pub shared_accesses: u64,
+    /// Warp shuffle operations.
+    pub shuffles: u64,
+    /// Arithmetic operations (a multiply-add counts as one).
+    pub flops: u64,
+    /// Atomic operations on global memory.
+    pub atomics: u64,
+    /// Memory fences.
+    pub fences: u64,
+    /// Look-back hops performed (flag polls that found carries).
+    pub lookback_hops: u64,
+    /// Spin iterations while waiting for carries (flag polls that failed).
+    pub spin_waits: u64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total global traffic (reads + writes) in bytes.
+    pub fn global_traffic_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Adds every field of `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.l2_read_miss_bytes += other.l2_read_miss_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.shuffles += other.shuffles;
+        self.flops += other.flops;
+        self.atomics += other.atomics;
+        self.fences += other.fences;
+        self.lookback_hops += other.lookback_hops;
+        self.spin_waits += other.spin_waits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let c = Counters::new();
+        assert_eq!(c.global_traffic_bytes(), 0);
+        assert_eq!(c, Counters::default());
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = Counters { global_read_bytes: 1, flops: 2, ..Counters::new() };
+        let b = Counters {
+            global_read_bytes: 10,
+            global_write_bytes: 20,
+            l2_read_miss_bytes: 30,
+            shared_accesses: 40,
+            shuffles: 50,
+            flops: 60,
+            atomics: 70,
+            fences: 80,
+            lookback_hops: 90,
+            spin_waits: 100,
+        };
+        a.merge(&b);
+        assert_eq!(a.global_read_bytes, 11);
+        assert_eq!(a.global_write_bytes, 20);
+        assert_eq!(a.l2_read_miss_bytes, 30);
+        assert_eq!(a.shared_accesses, 40);
+        assert_eq!(a.shuffles, 50);
+        assert_eq!(a.flops, 62);
+        assert_eq!(a.atomics, 70);
+        assert_eq!(a.fences, 80);
+        assert_eq!(a.lookback_hops, 90);
+        assert_eq!(a.spin_waits, 100);
+        assert_eq!(a.global_traffic_bytes(), 31);
+    }
+}

@@ -1,0 +1,183 @@
+//! Device descriptions for the machine model.
+//!
+//! The paper evaluates on a GeForce GTX Titan X (Maxwell); its published
+//! parameters (Section 5) are the default configuration. All model outputs
+//! — traffic, cache misses, memory usage, analytic time — derive from these
+//! numbers, so a different device can be modelled by swapping the config.
+
+/// Hardware parameters of the simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Scalar cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Lanes per warp.
+    pub warp_size: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Maximum thread contexts the whole device can hold.
+    pub max_resident_threads: usize,
+    /// Shared memory accessible from one block, in bytes.
+    pub shared_mem_per_block: usize,
+    /// Registers per SM.
+    pub registers_per_sm: usize,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 line (sector) size in bytes; the paper's nvprof counts use 32 B.
+    pub l2_line_bytes: usize,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: usize,
+    /// Peak memory bandwidth in bytes/second.
+    pub peak_bandwidth: f64,
+    /// Achievable streaming bandwidth in bytes/second (what a
+    /// device-to-device memcpy reaches; the paper's codes move 264 GB/s).
+    pub effective_bandwidth: f64,
+    /// Concurrent threads needed to saturate the DRAM bandwidth; with
+    /// fewer threads in flight the achieved bandwidth scales down
+    /// proportionally (classic memory-level-parallelism behaviour, and the
+    /// reason every figure's throughput ramps with input size).
+    pub threads_to_saturate_bw: usize,
+    /// Fixed kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Latency of one look-back hop (flag poll + carry read) in seconds.
+    pub hop_latency: f64,
+    /// Baseline CUDA context allocation, in bytes. The paper's Table 2
+    /// shows even the memcpy program allocates 109.5 MB beyond its buffers.
+    pub context_overhead_bytes: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's GeForce GTX Titan X (Maxwell) with the measured
+    /// calibration constants used throughout the reproduction.
+    pub fn titan_x() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX Titan X (Maxwell)",
+            sms: 24,
+            cores_per_sm: 128, // 3072 processing elements total
+            clock_ghz: 1.1,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_resident_threads: 49_152,
+            shared_mem_per_block: 48 * 1024,
+            registers_per_sm: 65_536,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_line_bytes: 32,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            peak_bandwidth: 336.0e9,
+            effective_bandwidth: 264.0e9,
+            threads_to_saturate_bw: 8192,
+            launch_overhead: 6.0e-6,
+            hop_latency: 0.6e-6,
+            context_overhead_bytes: (109.5 * 1024.0 * 1024.0) as u64,
+        }
+    }
+
+    /// A GeForce GTX 1080 (Pascal) — a later-generation device the paper's
+    /// approach explicitly targets ("it works on the several most recent
+    /// GPU generations"). Used by the sensitivity study to check that the
+    /// modelled conclusions are not Titan-X-specific.
+    pub fn gtx_1080() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 1080 (Pascal)",
+            sms: 20,
+            cores_per_sm: 128,
+            clock_ghz: 1.6,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_resident_threads: 40_960,
+            shared_mem_per_block: 48 * 1024,
+            registers_per_sm: 65_536,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_line_bytes: 32,
+            global_mem_bytes: 8 * 1024 * 1024 * 1024,
+            peak_bandwidth: 320.0e9,
+            effective_bandwidth: 250.0e9,
+            threads_to_saturate_bw: 8192,
+            launch_overhead: 5.0e-6,
+            hop_latency: 0.5e-6,
+            context_overhead_bytes: (110.0 * 1024.0 * 1024.0) as u64,
+        }
+    }
+
+    /// Whether `bytes` of buffers fit alongside the context overhead.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.context_overhead_bytes + bytes <= self.global_mem_bytes as u64
+    }
+
+    /// The largest element count whose buffers of `bytes_per_element`
+    /// bytes fit on this device.
+    pub fn max_elements(&self, bytes_per_element: u64) -> usize {
+        ((self.global_mem_bytes as u64 - self.context_overhead_bytes) / bytes_per_element) as usize
+    }
+
+    /// Total scalar cores.
+    pub fn total_cores(&self) -> usize {
+        self.sms * self.cores_per_sm
+    }
+
+    /// Scalar operation throughput in ops/second (one op per core per
+    /// cycle; fused multiply-add counts as one).
+    pub fn ops_per_second(&self) -> f64 {
+        self.total_cores() as f64 * self.clock_ghz * 1e9
+    }
+
+    /// How many thread blocks of `threads` threads can be resident at once
+    /// (the paper's `T`), limited by thread contexts and SM count with the
+    /// given per-thread register demand.
+    pub fn resident_blocks(&self, threads_per_block: usize, registers_per_thread: usize) -> usize {
+        assert!(threads_per_block > 0 && threads_per_block <= self.max_threads_per_block);
+        let by_contexts = self.max_resident_threads / threads_per_block;
+        let regs_per_block = threads_per_block * registers_per_thread.max(1);
+        let blocks_per_sm_by_regs = (self.registers_per_sm / regs_per_block).max(1);
+        let by_registers = blocks_per_sm_by_regs * self.sms;
+        by_contexts.min(by_registers)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_matches_paper_parameters() {
+        let d = DeviceConfig::titan_x();
+        assert_eq!(d.total_cores(), 3072);
+        assert_eq!(d.sms, 24);
+        assert_eq!(d.l2_bytes, 2 * 1024 * 1024);
+        assert!((d.peak_bandwidth - 336.0e9).abs() < 1.0);
+        assert_eq!(d.max_resident_threads, 49_152);
+    }
+
+    #[test]
+    fn ops_per_second_is_cores_times_clock() {
+        let d = DeviceConfig::titan_x();
+        assert!((d.ops_per_second() - 3072.0 * 1.1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn resident_blocks_limited_by_contexts() {
+        let d = DeviceConfig::titan_x();
+        // 1024-thread blocks, 32 registers/thread: registers allow 2 blocks
+        // per SM (65536 / 32768), contexts allow 48 total.
+        assert_eq!(d.resident_blocks(1024, 32), 48);
+        // 64 registers/thread: 1 block per SM by registers -> 24.
+        assert_eq!(d.resident_blocks(1024, 64), 24);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_block_rejected() {
+        DeviceConfig::titan_x().resident_blocks(2048, 32);
+    }
+}

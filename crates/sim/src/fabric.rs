@@ -1,0 +1,416 @@
+//! Warp- and block-level execution fabric.
+//!
+//! These primitives execute the PLR kernel's Phase 1 *functionally* (the
+//! data really is transformed, and tests validate it against the serial
+//! reference) while accounting every modelled hardware event: warp
+//! shuffles, shared-memory accesses, global factor loads, and arithmetic.
+//!
+//! The hierarchy mirrors the paper's Section 3 kernel structure:
+//!
+//! 1. each thread serially solves its `x` consecutive values;
+//! 2. doubling iterations *within* a warp exchange carries with shuffle
+//!    instructions (chunk sizes `x … 32x`);
+//! 3. doubling iterations *across* warps exchange carries through shared
+//!    memory (chunk sizes `32x … 1024x = m`).
+
+use crate::memory::{BufferId, GlobalMemory};
+use plr_core::analysis::{FactorPattern, TableAnalysis};
+use plr_core::element::Element;
+use plr_core::nacci::CorrectionTable;
+use plr_core::serial;
+
+/// How the correction factors of one carry list are accessed at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorListSpec {
+    /// `true` when the list needs no memory accesses at all — the factors
+    /// were folded into the code (constant, zero/one conditional adds, or a
+    /// suppressed shifted duplicate).
+    pub inline: bool,
+    /// Number of leading entries served from shared memory (PLR buffers up
+    /// to the first 1024 factors of each list; 0 disables buffering).
+    pub shared_limit: usize,
+    /// Number of leading nonzero entries; corrections at indices `>=
+    /// active_len` are skipped entirely (decayed stable-filter factors).
+    pub active_len: usize,
+}
+
+/// Access specification for a whole correction table.
+#[derive(Debug, Clone)]
+pub struct FactorAccess {
+    /// One spec per carry list.
+    pub lists: Vec<FactorListSpec>,
+    /// Backing global buffer for non-inline lists (concatenated lists,
+    /// list-major), if any list ever reads from global memory.
+    pub buffer: Option<BufferId>,
+    /// Bytes per factor element.
+    pub element_bytes: u64,
+    /// Table length `m` (entries per list in the global buffer).
+    pub table_len: usize,
+}
+
+impl FactorAccess {
+    /// The unoptimized access pattern the paper's Figure 10 compares
+    /// against: every factor is loaded from global memory, no special code.
+    pub fn unoptimized(k: usize, table_len: usize, element_bytes: u64, buffer: BufferId) -> Self {
+        FactorAccess {
+            lists: vec![
+                FactorListSpec { inline: false, shared_limit: 0, active_len: table_len };
+                k
+            ],
+            buffer: Some(buffer),
+            element_bytes,
+            table_len,
+        }
+    }
+
+    /// Derives the optimized access pattern from a factor-table analysis,
+    /// buffering up to `shared_budget` leading entries of each non-inline
+    /// list in shared memory (PLR uses 1024).
+    pub fn from_analysis<T: Element>(
+        analysis: &TableAnalysis<T>,
+        table_len: usize,
+        element_bytes: u64,
+        shared_budget: usize,
+        buffer: Option<BufferId>,
+    ) -> Self {
+        let lists = analysis
+            .patterns
+            .iter()
+            .map(|p| match p {
+                FactorPattern::AllZero => {
+                    FactorListSpec { inline: true, shared_limit: 0, active_len: 0 }
+                }
+                FactorPattern::Constant(_) | FactorPattern::ZeroOne(_) => {
+                    FactorListSpec { inline: true, shared_limit: 0, active_len: table_len }
+                }
+                FactorPattern::Periodic { period } => FactorListSpec {
+                    // One period lives comfortably in shared memory.
+                    inline: false,
+                    shared_limit: (*period).max(1),
+                    active_len: table_len,
+                },
+                FactorPattern::DecaysAfter { decay_len } => FactorListSpec {
+                    inline: false,
+                    shared_limit: shared_budget.min(*decay_len),
+                    active_len: *decay_len,
+                },
+                FactorPattern::Dense => FactorListSpec {
+                    inline: false,
+                    shared_limit: shared_budget,
+                    active_len: table_len,
+                },
+            })
+            .collect();
+        FactorAccess { lists, buffer, element_bytes, table_len }
+    }
+
+    /// Accounts one factor load of list `r`, entry `i` (periodic lists wrap
+    /// into their stored period).
+    fn load(&self, r: usize, i: usize, mem: &mut GlobalMemory) {
+        let spec = self.lists[r];
+        if spec.inline {
+            return;
+        }
+        let idx = if spec.shared_limit > 0 && i >= spec.shared_limit && self.buffer.is_none() {
+            // Periodic storage: wrap (no global buffer to read).
+            i % spec.shared_limit
+        } else {
+            i
+        };
+        if idx < spec.shared_limit {
+            mem.counters_mut().shared_accesses += 1;
+        } else if let Some(buf) = self.buffer {
+            let offset = (r * self.table_len + idx) as u64 * self.element_bytes;
+            mem.read(buf, offset, self.element_bytes);
+        } else {
+            // No global buffer: modelled as shared anyway.
+            mem.counters_mut().shared_accesses += 1;
+        }
+    }
+}
+
+/// Carry-exchange medium for a doubling iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exchange {
+    /// Warp shuffle instructions (chunk sizes below `32x`).
+    Shuffle,
+    /// Shared memory (chunk sizes from `32x` to `m`).
+    SharedMemory,
+}
+
+/// Each thread serially solves its `x` consecutive values (local chunks of
+/// size `x`), counting `k` fused multiply-adds per element.
+pub fn thread_local_solve<T: Element>(
+    feedback: &[T],
+    data: &mut [T],
+    x: usize,
+    mem: &mut GlobalMemory,
+) {
+    assert!(x >= 1, "each thread must own at least one value");
+    let k = feedback.len() as u64;
+    for chunk in data.chunks_mut(x) {
+        serial::recursive_in_place(feedback, chunk);
+        // Element j of a chunk uses min(j, k) carries.
+        let len = chunk.len() as u64;
+        mem.counters_mut().flops += (0..len).map(|j| j.min(k)).sum::<u64>();
+    }
+}
+
+/// One doubling iteration merging adjacent `chunk`-sized chunks, counting
+/// events per the exchange medium and factor-access spec.
+///
+/// Functionally identical to [`plr_core::phase1::merge_step`] except that
+/// corrections beyond a list's `active_len` are skipped (sound when the
+/// skipped factors are zero, which the flush-to-zero table generation
+/// guarantees).
+pub fn merge_step<T: Element>(
+    table: &CorrectionTable<T>,
+    data: &mut [T],
+    chunk: usize,
+    exchange: Exchange,
+    access: &FactorAccess,
+    mem: &mut GlobalMemory,
+) {
+    assert!(chunk > 0 && chunk <= table.len());
+    let k = table.order();
+    let pair = 2 * chunk;
+    let n = data.len();
+    let mut pair_start = 0;
+    while pair_start < n {
+        let second_start = pair_start + chunk;
+        if second_start >= n {
+            break;
+        }
+        let second_end = (pair_start + pair).min(n);
+        let (first, second) = data[pair_start..second_end].split_at_mut(chunk);
+        for r in 0..k.min(chunk) {
+            let carry = first[chunk - 1 - r];
+            let active = access.lists[r].active_len.min(second.len());
+            // Each correcting element fetches the carry through the
+            // exchange medium once.
+            match exchange {
+                Exchange::Shuffle => mem.counters_mut().shuffles += active as u64,
+                Exchange::SharedMemory => mem.counters_mut().shared_accesses += 2 * active as u64,
+            }
+            for (i, v) in second.iter_mut().enumerate().take(active) {
+                access.load(r, i, mem);
+                *v = v.add(table.list(r)[i].mul(carry));
+                mem.counters_mut().flops += 1;
+            }
+        }
+        pair_start += pair;
+    }
+}
+
+/// Phase 2 correction of a whole chunk with the predecessor's global
+/// carries (held in registers, so only factor loads and arithmetic are
+/// counted).
+///
+/// Corrections beyond a list's `active_len` are skipped, mirroring the
+/// decay optimization; this is sound when the skipped factors are zero.
+pub fn correct_with_carries<T: Element>(
+    table: &CorrectionTable<T>,
+    chunk: &mut [T],
+    carries: &[T],
+    access: &FactorAccess,
+    mem: &mut GlobalMemory,
+) {
+    assert!(chunk.len() <= table.len());
+    for (r, &carry) in carries.iter().enumerate().take(table.order()) {
+        let active = access.lists[r].active_len.min(chunk.len());
+        for (i, v) in chunk.iter_mut().enumerate().take(active) {
+            access.load(r, i, mem);
+            *v = v.add(table.list(r)[i].mul(carry));
+            mem.counters_mut().flops += 1;
+        }
+    }
+}
+
+/// Runs the full block-level Phase 1 over one `m`-sized chunk of data:
+/// per-thread serial solves of `x` values, shuffle doubling to `warp_size·x`,
+/// shared-memory doubling to the chunk size.
+///
+/// `data` is the block's chunk (the final chunk of an input may be ragged).
+///
+/// # Panics
+///
+/// Panics if `x` is zero or `data` exceeds the correction table length.
+pub fn block_local_solve<T: Element>(
+    feedback: &[T],
+    table: &CorrectionTable<T>,
+    data: &mut [T],
+    x: usize,
+    warp_size: usize,
+    access: &FactorAccess,
+    mem: &mut GlobalMemory,
+) {
+    assert!(data.len() <= table.len(), "chunk larger than the correction table");
+    thread_local_solve(feedback, data, x, mem);
+    let mut chunk = x;
+    while chunk < data.len() {
+        let exchange =
+            if chunk < warp_size * x { Exchange::Shuffle } else { Exchange::SharedMemory };
+        merge_step(table, data, chunk, exchange, access, mem);
+        chunk *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use plr_core::analysis;
+
+    fn mem() -> GlobalMemory {
+        GlobalMemory::new(DeviceConfig::titan_x())
+    }
+
+    fn inline_access(k: usize, m: usize) -> FactorAccess {
+        FactorAccess {
+            lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: m }; k],
+            buffer: None,
+            element_bytes: 4,
+            table_len: m,
+        }
+    }
+
+    /// Expected local solutions: serial solve per m-chunk.
+    fn expected_local<T: Element>(feedback: &[T], input: &[T], m: usize) -> Vec<T> {
+        let mut out = input.to_vec();
+        for c in out.chunks_mut(m) {
+            serial::recursive_in_place(feedback, c);
+        }
+        out
+    }
+
+    #[test]
+    fn block_local_solve_matches_serial_per_chunk() {
+        let fb = [2i32, -1];
+        let m = 64; // x = 2, "warp" of 4 lanes -> shuffle until chunk 8
+        let table = CorrectionTable::generate(&fb, m);
+        let access = inline_access(2, m);
+        let input: Vec<i32> = (0..200).map(|i| ((i * 13) % 17) as i32 - 8).collect();
+        let mut data = input.clone();
+        let mut mem = mem();
+        for chunk in data.chunks_mut(m) {
+            block_local_solve(&fb, &table, chunk, 2, 4, &access, &mut mem);
+        }
+        assert_eq!(data, expected_local(&fb, &input, m));
+        let c = mem.counters();
+        assert!(c.shuffles > 0, "warp-level iterations should shuffle");
+        assert!(c.shared_accesses > 0, "cross-warp iterations should use shared memory");
+        assert!(c.flops > 0);
+    }
+
+    #[test]
+    fn non_power_of_two_x_still_correct() {
+        // The paper's x can be any integer 1..=11; doubling goes x, 2x, …
+        let fb = [1i64, 1];
+        let m = 96; // x = 3, doubling 3,6,12,24,48
+        let table = CorrectionTable::generate(&fb, m);
+        let access = inline_access(2, m);
+        let input: Vec<i64> = (0..96).map(|i| (i % 7) as i64 - 3).collect();
+        let mut data = input.clone();
+        let mut mem = mem();
+        block_local_solve(&fb, &table, &mut data, 3, 4, &access, &mut mem);
+        assert_eq!(data, expected_local(&fb, &input, m));
+    }
+
+    #[test]
+    fn ragged_final_chunk_is_solved() {
+        let fb = [1i32];
+        let m = 32;
+        let table = CorrectionTable::generate(&fb, m);
+        let access = inline_access(1, m);
+        let input: Vec<i32> = (1..=45).collect();
+        let mut data = input.clone();
+        let mut mem = mem();
+        for chunk in data.chunks_mut(m) {
+            block_local_solve(&fb, &table, chunk, 1, 4, &access, &mut mem);
+        }
+        assert_eq!(data, expected_local(&fb, &input, m));
+    }
+
+    #[test]
+    fn factor_loads_split_between_shared_and_global() {
+        let fb = [2i32, -1];
+        let m = 16;
+        let table = CorrectionTable::generate(&fb, m);
+        let mut mem = mem();
+        let buf = mem.alloc((2 * m * 4) as u64, "factors");
+        // Buffer only the first 4 entries of each list in shared memory.
+        let access = FactorAccess {
+            lists: vec![FactorListSpec { inline: false, shared_limit: 4, active_len: m }; 2],
+            buffer: Some(buf),
+            element_bytes: 4,
+            table_len: m,
+        };
+        let input: Vec<i32> = (0..16).map(|i| i as i32).collect();
+        let mut data = input.clone();
+        block_local_solve(&fb, &table, &mut data, 1, 4, &access, &mut mem);
+        assert_eq!(data, expected_local(&fb, &input, m));
+        let c = mem.counters();
+        // Some loads hit shared memory, some global.
+        assert!(c.shared_accesses > 0);
+        assert!(c.global_read_bytes > 0);
+    }
+
+    #[test]
+    fn unoptimized_access_reads_everything_from_global() {
+        let fb = [1i32];
+        let m = 8;
+        let table = CorrectionTable::generate(&fb, m);
+        let mut mem = mem();
+        let buf = mem.alloc((m * 4) as u64, "factors");
+        let access = FactorAccess::unoptimized(1, m, 4, buf);
+        let input = vec![1i32; 8];
+        let mut data = input.clone();
+        block_local_solve(&fb, &table, &mut data, 1, 4, &access, &mut mem);
+        assert_eq!(data, expected_local(&fb, &input, m));
+        // Doubling 1->8 corrects 4+4+4=... every factor load goes global:
+        // chunk=1: 4 corrections, chunk=2: 4, chunk=4: 4 => 12 loads.
+        assert_eq!(mem.counters().global_read_bytes, 12 * 4);
+    }
+
+    #[test]
+    fn decayed_lists_skip_work() {
+        // A stable filter whose factors vanish quickly.
+        let fb = [0.5f32];
+        let m = 256;
+        let flushed = CorrectionTable::generate_with(&fb, m, true);
+        let a = analysis::analyze_table(&flushed);
+        let decay = match a.patterns[0] {
+            analysis::FactorPattern::DecaysAfter { decay_len } => decay_len,
+            ref p => panic!("expected decay, got {p:?}"),
+        };
+        let access = FactorAccess::from_analysis(&a, m, 4, 1024, None);
+        assert_eq!(access.lists[0].active_len, decay);
+
+        let input: Vec<f32> = (0..256).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let mut data = input.clone();
+        let mut mem_opt = mem();
+        block_local_solve(&fb, &flushed, &mut data, 1, 32, &access, &mut mem_opt);
+
+        let expect = expected_local(&fb, &input, m);
+        for (g, e) in data.iter().zip(&expect) {
+            assert!(g.approx_eq(*e, 1e-3), "{g} vs {e}");
+        }
+
+        // The skip must reduce arithmetic vs the unoptimized run.
+        let mut data2 = input.clone();
+        let mut mem_unopt = mem();
+        let buf = mem_unopt.alloc((m * 4) as u64, "factors");
+        let unopt = FactorAccess::unoptimized(1, m, 4, buf);
+        let table_raw = CorrectionTable::generate(&fb, m);
+        block_local_solve(&fb, &table_raw, &mut data2, 1, 32, &unopt, &mut mem_unopt);
+        assert!(mem_opt.counters().flops < mem_unopt.counters().flops);
+    }
+
+    #[test]
+    fn from_analysis_marks_constant_lists_inline() {
+        let table = CorrectionTable::generate(&[1i64], 32);
+        let a = analysis::analyze_table(&table);
+        let access = FactorAccess::from_analysis(&a, 32, 8, 1024, None);
+        assert!(access.lists[0].inline);
+    }
+}

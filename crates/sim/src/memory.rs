@@ -1,0 +1,298 @@
+//! Global-memory model: allocation ledger and traffic accounting.
+//!
+//! Executors allocate named buffers (input, output, carries, flags, …) and
+//! declare their read/write streams against them. The model assigns each
+//! buffer a contiguous address range, feeds every access through the L2
+//! cache model, and accumulates [`Counters`]. Peak allocation (plus the
+//! fixed CUDA-context overhead) reproduces the paper's Table 2; L2 read
+//! misses reproduce Table 3.
+
+use crate::cache::Cache;
+use crate::counters::Counters;
+use crate::device::DeviceConfig;
+
+/// Handle to an allocated buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    label: String,
+    base: u64,
+    bytes: u64,
+    live: bool,
+}
+
+/// The device's global memory: allocations + traffic + cache.
+#[derive(Debug)]
+pub struct GlobalMemory {
+    config: DeviceConfig,
+    allocations: Vec<Allocation>,
+    next_base: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+    cache: Cache,
+    counters: Counters,
+}
+
+impl GlobalMemory {
+    /// Creates an empty memory for `config`, with the context overhead
+    /// already counted as allocated (as NVML would report).
+    pub fn new(config: DeviceConfig) -> Self {
+        let overhead = config.context_overhead_bytes;
+        let cache = Cache::l2_for(&config);
+        GlobalMemory {
+            config,
+            allocations: Vec::new(),
+            next_base: 0,
+            live_bytes: overhead,
+            peak_bytes: overhead,
+            cache,
+            counters: Counters::new(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Allocates `bytes` under a diagnostic `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation would exceed the device's global memory —
+    /// mirroring a CUDA out-of-memory failure, which is itself a paper
+    /// observation (Scan cannot run 2^30-element third-order inputs).
+    pub fn alloc(&mut self, bytes: u64, label: &str) -> BufferId {
+        assert!(
+            self.live_bytes + bytes <= self.config.global_mem_bytes as u64,
+            "out of device memory: {} live + {} requested ({label}) > {} capacity",
+            self.live_bytes,
+            bytes,
+            self.config.global_mem_bytes
+        );
+        let id = BufferId(self.allocations.len());
+        self.allocations.push(Allocation {
+            label: label.to_owned(),
+            base: self.next_base,
+            bytes,
+            live: true,
+        });
+        // Buffers never overlap; leave a line-aligned gap.
+        let line = self.config.l2_line_bytes as u64;
+        self.next_base += bytes.div_ceil(line) * line;
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        id
+    }
+
+    /// Checks whether `bytes` more can be allocated without failing.
+    pub fn can_alloc(&self, bytes: u64) -> bool {
+        self.live_bytes + bytes <= self.config.global_mem_bytes as u64
+    }
+
+    /// Frees a buffer (allocation ledger only; addresses are not reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn free(&mut self, id: BufferId) {
+        let a = &mut self.allocations[id.0];
+        assert!(a.live, "double free of buffer `{}`", a.label);
+        a.live = false;
+        self.live_bytes -= a.bytes;
+    }
+
+    /// Bytes currently allocated, including the context overhead.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Peak bytes ever allocated, including the context overhead — the
+    /// quantity the paper's Table 2 reports via NVML.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Labels and sizes of live allocations (diagnostics).
+    pub fn live_allocations(&self) -> Vec<(&str, u64)> {
+        self.allocations
+            .iter()
+            .filter(|a| a.live)
+            .map(|a| (a.label.as_str(), a.bytes))
+            .collect()
+    }
+
+    /// Reads `len` bytes at byte `offset` within buffer `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or a freed buffer.
+    pub fn read(&mut self, id: BufferId, offset: u64, len: u64) {
+        let (base, _) = self.bounds_check(id, offset, len);
+        self.counters.global_read_bytes += len;
+        self.cache.read(base + offset, len);
+        self.counters.l2_read_miss_bytes = self.cache.read_miss_bytes();
+    }
+
+    /// Writes `len` bytes at byte `offset` within buffer `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or a freed buffer.
+    pub fn write(&mut self, id: BufferId, offset: u64, len: u64) {
+        let (base, _) = self.bounds_check(id, offset, len);
+        self.counters.global_write_bytes += len;
+        self.cache.write(base + offset, len);
+    }
+
+    /// Records an atomic read-modify-write (counter claims, flag updates).
+    pub fn atomic(&mut self, id: BufferId, offset: u64, len: u64) {
+        let (base, _) = self.bounds_check(id, offset, len);
+        self.counters.atomics += 1;
+        self.cache.write(base + offset, len);
+    }
+
+    /// Records a memory fence.
+    pub fn fence(&mut self) {
+        self.counters.fences += 1;
+    }
+
+    /// Mutable access to the counters (for fabric-level events: shuffles,
+    /// shared-memory accesses, flops).
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// The accumulated counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The cache model (inspection).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    fn bounds_check(&self, id: BufferId, offset: u64, len: u64) -> (u64, u64) {
+        let a = &self.allocations[id.0];
+        assert!(a.live, "access to freed buffer `{}`", a.label);
+        assert!(
+            offset + len <= a.bytes,
+            "out-of-bounds access to `{}`: offset {} + len {} > {} bytes",
+            a.label,
+            offset,
+            len,
+            a.bytes
+        );
+        (a.base, a.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> GlobalMemory {
+        GlobalMemory::new(DeviceConfig::titan_x())
+    }
+
+    #[test]
+    fn context_overhead_present_from_start() {
+        let m = mem();
+        let expect = (109.5 * 1024.0 * 1024.0) as u64;
+        assert_eq!(m.live_bytes(), expect);
+        assert_eq!(m.peak_bytes(), expect);
+    }
+
+    #[test]
+    fn alloc_free_tracks_peak() {
+        let mut m = mem();
+        let base = m.live_bytes();
+        let a = m.alloc(1000, "a");
+        let b = m.alloc(2000, "b");
+        assert_eq!(m.live_bytes(), base + 3000);
+        m.free(a);
+        assert_eq!(m.live_bytes(), base + 2000);
+        let _c = m.alloc(500, "c");
+        assert_eq!(m.peak_bytes(), base + 3000);
+        m.free(b);
+        assert_eq!(m.live_allocations().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = mem();
+        let a = m.alloc(10, "a");
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of device memory")]
+    fn oom_panics() {
+        let mut m = mem();
+        m.alloc(13 * 1024 * 1024 * 1024, "huge");
+    }
+
+    #[test]
+    fn can_alloc_predicts_oom() {
+        let m = mem();
+        assert!(m.can_alloc(1024));
+        assert!(!m.can_alloc(13 * 1024 * 1024 * 1024));
+    }
+
+    #[test]
+    fn traffic_counted_and_cache_fed() {
+        let mut m = mem();
+        let a = m.alloc(1 << 20, "data");
+        m.read(a, 0, 1 << 20);
+        assert_eq!(m.counters().global_read_bytes, 1 << 20);
+        // Cold streaming read: every 32 B line misses.
+        assert_eq!(m.counters().l2_read_miss_bytes, 1 << 20);
+        // Second pass over 1 MB fits in the 2 MB L2: all hits.
+        m.read(a, 0, 1 << 20);
+        assert_eq!(m.counters().global_read_bytes, 2 << 20);
+        assert_eq!(m.counters().l2_read_miss_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn large_buffer_second_pass_misses_again() {
+        let mut m = mem();
+        let a = m.alloc(8 << 20, "big"); // 4× the L2
+        m.read(a, 0, 8 << 20);
+        m.read(a, 0, 8 << 20);
+        assert_eq!(m.counters().l2_read_miss_bytes, 16 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn oob_read_panics() {
+        let mut m = mem();
+        let a = m.alloc(100, "a");
+        m.read(a, 90, 20);
+    }
+
+    #[test]
+    fn buffers_do_not_alias_in_the_cache() {
+        let mut m = mem();
+        let a = m.alloc(64, "a");
+        let b = m.alloc(64, "b");
+        m.read(a, 0, 64);
+        m.read(b, 0, 64);
+        // 4 distinct lines -> 4 misses; aliasing would show fewer.
+        assert_eq!(m.cache().read_misses(), 4);
+    }
+
+    #[test]
+    fn atomics_and_fences_counted() {
+        let mut m = mem();
+        let a = m.alloc(64, "flags");
+        m.atomic(a, 0, 4);
+        m.fence();
+        assert_eq!(m.counters().atomics, 1);
+        assert_eq!(m.counters().fences, 1);
+    }
+}

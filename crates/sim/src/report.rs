@@ -1,0 +1,100 @@
+//! The common result type for simulated executions.
+//!
+//! Every executor in this workspace — the PLR kernel interpreter in
+//! `plr-codegen` and each baseline in `plr-baselines` — produces a
+//! [`RunReport`]: the computed output (validated against the serial
+//! reference), the accumulated event counters, the structural workload
+//! description for the timing model, and the peak device allocation.
+
+use crate::counters::Counters;
+use crate::timing::{CostModel, TimeEstimate, Workload};
+
+/// Result of executing (or cost-estimating) a recurrence computation on the
+/// machine model.
+#[derive(Debug, Clone)]
+pub struct RunReport<T> {
+    /// The computed output values (empty for cost-only estimates).
+    pub output: Vec<T>,
+    /// Accumulated event counters.
+    pub counters: Counters,
+    /// Structural workload description for the timing model.
+    pub workload: Workload,
+    /// Peak device-memory allocation in bytes (the paper's Table 2 metric).
+    pub peak_bytes: u64,
+}
+
+impl<T> RunReport<T> {
+    /// Evaluates the analytic timing model over this run.
+    pub fn time(&self, model: &CostModel) -> TimeEstimate {
+        model.time(&self.counters, &self.workload)
+    }
+
+    /// Modelled throughput in elements per second.
+    pub fn throughput(&self, model: &CostModel) -> f64 {
+        let est = self.time(model);
+        model.throughput(&self.workload, &est)
+    }
+
+    /// Drops the output, keeping only the cost data (for estimates).
+    pub fn without_output(mut self) -> Self {
+        self.output = Vec::new();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    #[test]
+    fn report_time_and_throughput() {
+        let report = RunReport::<i32> {
+            output: vec![],
+            counters: Counters {
+                global_read_bytes: 4 << 20,
+                l2_read_miss_bytes: 4 << 20,
+                global_write_bytes: 4 << 20,
+                ..Counters::new()
+            },
+            workload: Workload {
+                elements: 1 << 20,
+                blocks: 256,
+                threads_per_block: 1024,
+                registers_per_thread: 32,
+                exposed_hops: 32,
+                launches: 1,
+            compute_efficiency: 1.0,
+            bandwidth_efficiency: 1.0,
+            },
+            peak_bytes: 0,
+        };
+        let model = CostModel::new(DeviceConfig::titan_x());
+        let t = report.time(&model);
+        assert!(t.total > 0.0);
+        assert!(report.throughput(&model) > 0.0);
+    }
+
+    #[test]
+    fn without_output_clears_values_only() {
+        let report = RunReport {
+            output: vec![1, 2, 3],
+            counters: Counters { flops: 7, ..Counters::new() },
+            workload: Workload {
+                elements: 3,
+                blocks: 1,
+                threads_per_block: 1024,
+                registers_per_thread: 32,
+                exposed_hops: 0,
+                launches: 1,
+            compute_efficiency: 1.0,
+            bandwidth_efficiency: 1.0,
+            },
+            peak_bytes: 9,
+        };
+        let r = report.without_output();
+        assert!(r.output.is_empty());
+        assert_eq!(r.counters.flops, 7);
+        assert_eq!(r.peak_bytes, 9);
+    }
+}

@@ -1,0 +1,217 @@
+//! A lockstep SIMT warp: the lowest level of the hierarchy.
+//!
+//! The paper's Section 3 kernel brings chunks up to the warp size with
+//! shuffle instructions — lane-to-lane register exchanges that need no
+//! memory or synchronization. This module models a warp *faithfully*: 32
+//! lanes advancing in lockstep, with the CUDA shuffle primitives
+//! (`shfl_up`, `shfl_down`, `shfl_idx`) defined exactly as the hardware
+//! defines them (out-of-range lanes receive their own value). The
+//! recurrence merge built from these primitives is cross-checked against
+//! the slice-level [`crate::fabric::merge_step`] and the serial reference.
+
+use plr_core::element::Element;
+use plr_core::nacci::CorrectionTable;
+
+/// The hardware warp width.
+pub const WARP_SIZE: usize = 32;
+
+/// One warp's registers for a value: 32 lanes in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Warp<T>(pub [T; WARP_SIZE]);
+
+impl<T: Element> Warp<T> {
+    /// Broadcasts one value to every lane.
+    pub fn splat(v: T) -> Self {
+        Warp([v; WARP_SIZE])
+    }
+
+    /// Loads lanes from a slice (missing lanes get `fill`).
+    pub fn load(values: &[T], fill: T) -> Self {
+        let mut lanes = [fill; WARP_SIZE];
+        for (l, &v) in lanes.iter_mut().zip(values) {
+            *l = v;
+        }
+        Warp(lanes)
+    }
+
+    /// Stores the first `len` lanes into a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32` or the destination is shorter than `len`.
+    pub fn store(&self, out: &mut [T], len: usize) {
+        assert!(len <= WARP_SIZE && out.len() >= len);
+        out[..len].copy_from_slice(&self.0[..len]);
+    }
+
+    /// `__shfl_up_sync`: lane `i` receives lane `i - delta`'s value; lanes
+    /// with `i < delta` keep their own (the hardware's out-of-range rule).
+    pub fn shfl_up(&self, delta: usize) -> Self {
+        let mut out = self.0;
+        for i in (delta..WARP_SIZE).rev() {
+            out[i] = self.0[i - delta];
+        }
+        Warp(out)
+    }
+
+    /// `__shfl_down_sync`: lane `i` receives lane `i + delta`'s value.
+    pub fn shfl_down(&self, delta: usize) -> Self {
+        let mut out = self.0;
+        for i in 0..WARP_SIZE.saturating_sub(delta) {
+            out[i] = self.0[i + delta];
+        }
+        Warp(out)
+    }
+
+    /// `__shfl_sync` with a computed source lane per lane; out-of-range
+    /// sources keep the lane's own value.
+    pub fn shfl_idx(&self, src: impl Fn(usize) -> usize) -> Self {
+        let mut out = self.0;
+        for (i, o) in out.iter_mut().enumerate() {
+            let s = src(i);
+            if s < WARP_SIZE {
+                *o = self.0[s];
+            }
+        }
+        Warp(out)
+    }
+
+    /// Lane-wise map (every lane executes the same instruction).
+    pub fn map(&self, f: impl Fn(usize, T) -> T) -> Self {
+        let mut out = self.0;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i, *o);
+        }
+        Warp(out)
+    }
+}
+
+/// The warp-level Phase 1: hierarchical doubling of one 32-element chunk
+/// held across the lanes, built *only* from shuffles and lane-local
+/// arithmetic (the paper's code section 4b). Returns the number of shuffle
+/// instructions issued.
+///
+/// After the call, the warp holds the local recurrence solution of its 32
+/// values.
+pub fn warp_recurrence_merge<T: Element>(warp: &mut Warp<T>, table: &CorrectionTable<T>) -> u64 {
+    assert!(table.len() >= WARP_SIZE / 2, "table must cover the widest merge");
+    let k = table.order();
+    let mut shuffles = 0u64;
+    let mut width = 1usize;
+    while width < WARP_SIZE {
+        for r in 0..k.min(width) {
+            // Every lane fetches the carry: the last element of its pair's
+            // first chunk sits at lane (i / 2w)·2w + w - 1 - r.
+            let carry = warp.shfl_idx(|i| {
+                let pair_base = i / (2 * width) * (2 * width);
+                pair_base + width - 1 - r
+            });
+            shuffles += 1;
+            let list = table.list(r);
+            // Lanes in the second half of their pair apply the correction;
+            // others execute the same instruction with a zero predicate
+            // (SIMT divergence is masking, not branching).
+            *warp = warp.map(|i, v| {
+                let in_second = (i / width) % 2 == 1;
+                if in_second {
+                    let fi = i % width;
+                    v.add(list[fi].mul(carry.0[i]))
+                } else {
+                    v
+                }
+            });
+        }
+        width *= 2;
+    }
+    shuffles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plr_core::serial;
+
+    #[test]
+    fn shfl_up_matches_hardware_semantics() {
+        let w = Warp::load(&(0..32).map(|i| i as i64).collect::<Vec<_>>(), 0);
+        let up = w.shfl_up(1);
+        assert_eq!(up.0[0], 0, "lane 0 keeps its own value");
+        assert_eq!(up.0[1], 0);
+        assert_eq!(up.0[31], 30);
+        let up4 = w.shfl_up(4);
+        assert_eq!(up4.0[3], 3, "below delta keeps own");
+        assert_eq!(up4.0[4], 0);
+        assert_eq!(up4.0[31], 27);
+    }
+
+    #[test]
+    fn shfl_down_matches_hardware_semantics() {
+        let w = Warp::load(&(0..32).map(|i| i as i64).collect::<Vec<_>>(), 0);
+        let d = w.shfl_down(2);
+        assert_eq!(d.0[0], 2);
+        assert_eq!(d.0[29], 31);
+        assert_eq!(d.0[30], 30, "beyond range keeps own");
+        assert_eq!(d.0[31], 31);
+    }
+
+    #[test]
+    fn warp_merge_solves_the_recurrence_for_every_order() {
+        for fb in [&[1i64][..], &[1, 1][..], &[2, -1][..], &[3, -3, 1][..], &[0, 0, 1][..]] {
+            let table = CorrectionTable::generate(fb, 16);
+            let values: Vec<i64> = (0..32).map(|i| ((i * 37) % 11) as i64 - 5).collect();
+            let mut warp = Warp::load(&values, 0);
+            warp_recurrence_merge(&mut warp, &table);
+            let mut expect = values.clone();
+            serial::recursive_in_place(fb, &mut expect);
+            let mut got = vec![0i64; 32];
+            warp.store(&mut got, 32);
+            assert_eq!(got, expect, "feedback {fb:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_count_is_k_bounded_per_level() {
+        // Levels 1,2,4,8,16 issue min(k, width) shuffles each.
+        let table = CorrectionTable::generate(&[2i64, -1], 16);
+        let mut warp = Warp::splat(1i64);
+        let shuffles = warp_recurrence_merge(&mut warp, &table);
+        // k=2: level 1 issues 1, levels 2..16 issue 2 -> 1 + 2*4 = 9.
+        assert_eq!(shuffles, 9);
+    }
+
+    #[test]
+    fn agrees_with_the_slice_level_fabric() {
+        use crate::fabric::{self, FactorAccess, FactorListSpec};
+        use crate::memory::GlobalMemory;
+        let fb = [1i64, -2, 1];
+        let table = CorrectionTable::generate(&fb, 16);
+        let values: Vec<i64> = (0..32).map(|i| (i % 7) as i64 - 3).collect();
+
+        let mut warp = Warp::load(&values, 0);
+        warp_recurrence_merge(&mut warp, &table);
+
+        let mut slice = values.clone();
+        let access = FactorAccess {
+            lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: 16 }; 3],
+            buffer: None,
+            element_bytes: 8,
+            table_len: 16,
+        };
+        let mut mem = GlobalMemory::new(crate::device::DeviceConfig::titan_x());
+        let mut chunk = 1;
+        while chunk < 32 {
+            fabric::merge_step(&table, &mut slice, chunk, fabric::Exchange::Shuffle, &access, &mut mem);
+            chunk *= 2;
+        }
+        let mut got = vec![0i64; 32];
+        warp.store(&mut got, 32);
+        assert_eq!(got, slice);
+    }
+
+    #[test]
+    fn splat_and_map() {
+        let w = Warp::splat(7i32).map(|i, v| v + i as i32);
+        assert_eq!(w.0[0], 7);
+        assert_eq!(w.0[31], 38);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the execution fabric and cache model.
+
+use plr_core::nacci::CorrectionTable;
+use plr_core::serial;
+use plr_sim::cache::Cache;
+use plr_sim::fabric::{self, FactorAccess, FactorListSpec};
+use plr_sim::{DeviceConfig, GlobalMemory};
+use proptest::prelude::*;
+
+fn inline_access(k: usize, m: usize) -> FactorAccess {
+    FactorAccess {
+        lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: m }; k],
+        buffer: None,
+        element_bytes: 4,
+        table_len: m,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn block_local_solve_equals_serial_per_chunk(
+        fb in proptest::collection::vec(-2i64..=2, 1..4),
+        input in proptest::collection::vec(-15i64..15, 1..400),
+        x in 1usize..6,
+        warp_pow in 1usize..6,
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let m = 256usize;
+        let table = CorrectionTable::generate(&fb, m);
+        let access = inline_access(fb.len(), m);
+        let mut mem = GlobalMemory::new(DeviceConfig::titan_x());
+        let mut data = input.clone();
+        for chunk in data.chunks_mut(m) {
+            fabric::block_local_solve(
+                &fb, &table, chunk, x, 1 << warp_pow, &access, &mut mem,
+            );
+        }
+        let mut expect = input.clone();
+        for chunk in expect.chunks_mut(m) {
+            serial::recursive_in_place(&fb, chunk);
+        }
+        prop_assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn correct_with_carries_is_merge(
+        fb in proptest::collection::vec(-2i64..=2, 1..4),
+        left in proptest::collection::vec(-15i64..15, 1..60),
+        right in proptest::collection::vec(-15i64..15, 1..60),
+    ) {
+        prop_assume!(fb.last() != Some(&0));
+        let k = fb.len();
+        let whole: Vec<i64> = left.iter().chain(right.iter()).copied().collect();
+        let mut expect = whole.clone();
+        serial::recursive_in_place(&fb, &mut expect);
+
+        let mut l = left.clone();
+        let mut r = right.clone();
+        serial::recursive_in_place(&fb, &mut l);
+        serial::recursive_in_place(&fb, &mut r);
+        let table = CorrectionTable::generate(&fb, right.len());
+        let carries = plr_core::nacci::carries_of(&l, k);
+        let access = inline_access(k, right.len());
+        let mut mem = GlobalMemory::new(DeviceConfig::titan_x());
+        fabric::correct_with_carries(&table, &mut r, &carries, &access, &mut mem);
+        prop_assert_eq!(&expect[left.len()..], r.as_slice());
+    }
+
+    #[test]
+    fn cache_misses_bounded_by_lines_touched(
+        ranges in proptest::collection::vec((0u64..4096, 1u64..256), 1..40),
+    ) {
+        let mut cache = Cache::new(1024, 2, 32); // 32 lines
+        let mut total_line_touches = 0u64;
+        for &(addr, len) in &ranges {
+            cache.read(addr, len);
+            let first = addr / 32;
+            let last = (addr + len - 1) / 32;
+            total_line_touches += last - first + 1;
+        }
+        prop_assert!(cache.read_misses() <= total_line_touches);
+        prop_assert_eq!(cache.read_misses() + cache.read_hits(), total_line_touches);
+    }
+
+    #[test]
+    fn repeated_small_working_set_eventually_all_hits(
+        lines in 1u64..16, // within the 32-line capacity / associativity reach
+    ) {
+        let mut cache = Cache::new(1024, 2, 32);
+        let bytes = lines * 32;
+        cache.read(0, bytes);
+        let after_warmup = cache.read_misses();
+        cache.read(0, bytes);
+        prop_assert_eq!(cache.read_misses(), after_warmup, "second pass must hit");
+    }
+}

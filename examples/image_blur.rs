@@ -1,0 +1,79 @@
+//! Row-wise recursive image smoothing — the 2D workload of the paper's
+//! Alg3/Rec comparison, computed with the batch runner (whole rows across
+//! worker threads) and the forward-backward pass for a zero-phase blur.
+//!
+//! ```text
+//! cargo run --release --example image_blur
+//! ```
+
+use plr::core::{anticausal, filters, serial};
+use plr::parallel::BatchRunner;
+use plr::Signature;
+use std::time::Instant;
+
+/// Horizontal zero-phase blur of a row-major image: causal + anticausal
+/// low-pass per row.
+fn blur_rows(image: &mut [f32], width: usize, sig: &Signature<f32>, threads: usize) {
+    // Causal pass over every row in parallel…
+    let runner = BatchRunner::new(sig.clone(), threads);
+    runner.run_rows(image, width).expect("width divides the image");
+    // …then the anticausal pass: reverse each row, filter, reverse back.
+    for row in image.chunks_mut(width) {
+        row.reverse();
+    }
+    runner.run_rows(image, width).expect("width divides the image");
+    for row in image.chunks_mut(width) {
+        row.reverse();
+    }
+}
+
+fn main() {
+    let (w, h) = (1024usize, 1024usize);
+    // A synthetic image: a bright box on a dark background plus noise.
+    let mut image: Vec<f32> = (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            let in_box = (300..700).contains(&x) && (300..700).contains(&y);
+            let noise = (((i as u32).wrapping_mul(2_654_435_761) >> 16) % 100) as f32 / 500.0;
+            if in_box {
+                1.0 + noise
+            } else {
+                noise
+            }
+        })
+        .collect();
+
+    let sig: Signature<f32> = filters::low_pass(0.9, 1).cast();
+    let original = image.clone();
+
+    let start = Instant::now();
+    blur_rows(&mut image, w, &sig, 0);
+    let elapsed = start.elapsed();
+
+    // Validate one row against the single-threaded forward-backward pass.
+    let probe = 512;
+    let expect = anticausal::forward_backward(&sig, &original[probe * w..(probe + 1) * w]);
+    let got = &image[probe * w..(probe + 1) * w];
+    let max_err = expect
+        .iter()
+        .zip(got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_err < 1e-3, "row {probe} deviates by {max_err}");
+
+    // Edge sharpness before/after: the blur must soften the box edge.
+    let edge = |img: &[f32]| (img[probe * w + 300] - img[probe * w + 295]).abs();
+    println!("{w}x{h} image, horizontal zero-phase blur {sig}");
+    println!(
+        "  {:.1} ms ({:.1} Mpixel/s), validated against the serial forward-backward pass",
+        elapsed.as_secs_f64() * 1e3,
+        (w * h) as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "  box edge step: {:.3} before -> {:.3} after",
+        edge(&original),
+        edge(&image)
+    );
+    let serial_row = serial::run(&sig, &original[..w]);
+    println!("  (causal-only row mean {:.3} for reference)", serial_row.iter().sum::<f32>() / w as f32);
+}

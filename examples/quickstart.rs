@@ -1,0 +1,55 @@
+//! Quickstart: express a recurrence as a signature, run it three ways
+//! (serial reference, two-phase engine, multithreaded runtime), and peek
+//! at the CUDA code the PLR compiler generates for it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use plr::codegen::Plr;
+use plr::core::{serial, validate};
+use plr::{Engine, ParallelRunner, Signature};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's worked example: the second-order prefix sum (1: 2, -1).
+    let sig: Signature<i64> = "(1: 2, -1)".parse()?;
+    println!("signature     {sig}  (order {})", sig.order());
+
+    let input: Vec<i64> = vec![3, -4, 5, -6, 7, -8, 9, -10, 11, -12];
+
+    // 1. The serial reference from the paper's Section 2.
+    let expected = serial::run(&sig, &input);
+    println!("serial        {expected:?}");
+
+    // 2. The single-threaded two-phase engine (Phase 1 hierarchical
+    //    doubling with n-nacci correction factors, Phase 2 carry
+    //    propagation).
+    let engine = Engine::new(sig.clone())?;
+    let y = engine.run(&input)?;
+    println!("two-phase     {y:?}");
+    validate::validate(&expected, &y, 0.0)?;
+
+    // The correction factors the engine precomputed — the paper's Section
+    // 2.3 lists exactly these for (1: 2, -1).
+    let table = engine.correction_table();
+    println!("factor list 1 {:?}…", &table.list(0)[..8]);
+    println!("factor list 2 {:?}…", &table.list(1)[..8]);
+
+    // 3. The real multithreaded runtime (decoupled look-back on threads).
+    let runner = ParallelRunner::new(sig.clone())?;
+    let y = runner.run(&input)?;
+    validate::validate(&expected, &y, 0.0)?;
+    println!("parallel      {y:?}  ({} threads)", runner.threads());
+
+    // 4. What the PLR compiler emits for a GPU.
+    let compiled = Plr::new().compile_str::<i64>("(1: 2, -1)", 1 << 24)?;
+    let kernel_line = compiled
+        .cuda
+        .lines()
+        .find(|l| l.contains("__global__"))
+        .expect("kernel present");
+    println!("\ncuda kernel   {kernel_line}");
+    println!("              ({} lines of CUDA generated)", compiled.cuda.lines().count());
+    println!("chunk size m  {} (x = {})", compiled.plan.chunk_size(), compiled.plan.x);
+    Ok(())
+}

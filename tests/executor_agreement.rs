@@ -1,0 +1,103 @@
+//! Workspace integration: the baseline executors and PLR agree with the
+//! serial reference wherever their capabilities overlap, and reject
+//! exactly what the paper says they cannot run.
+
+use plr::baselines::executor::RecurrenceExecutor;
+use plr::baselines::{Alg3, Cub, Rec, Sam, Scan};
+use plr::core::error::EngineError;
+use plr::core::{filters, prefix, serial, validate};
+use plr::sim::DeviceConfig;
+use plr::Signature;
+use plr_bench::PlrExecutor;
+
+fn device() -> DeviceConfig {
+    DeviceConfig::titan_x()
+}
+
+#[test]
+fn prefix_family_executors_agree() {
+    let n = 40_000;
+    let input: Vec<i64> = (0..n).map(|i| (i % 23) as i64 - 11).collect();
+    let executors: Vec<Box<dyn RecurrenceExecutor<i64>>> =
+        vec![Box::new(PlrExecutor::default()), Box::new(Cub), Box::new(Sam), Box::new(Scan)];
+    for sig in [
+        prefix::prefix_sum::<i64>(),
+        prefix::tuple_prefix_sum::<i64>(2),
+        prefix::tuple_prefix_sum::<i64>(3),
+        prefix::tuple_prefix_sum::<i64>(4),
+        prefix::higher_order_prefix_sum::<i64>(2),
+        prefix::higher_order_prefix_sum::<i64>(3),
+        prefix::higher_order_prefix_sum::<i64>(4),
+    ] {
+        let expected = serial::run(&sig, &input);
+        for exec in &executors {
+            let report = exec.run(&sig, &input, &device()).unwrap_or_else(|e| {
+                panic!("{} should support {sig}: {e}", exec.name())
+            });
+            validate::validate(&expected, &report.output, 0.0)
+                .unwrap_or_else(|e| panic!("{} on {sig}: {e}", exec.name()));
+        }
+    }
+}
+
+#[test]
+fn scan_also_runs_the_filters() {
+    // Scan is the only baseline that supports every recurrence PLR does.
+    let n = 20_000;
+    let input: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.5 - 3.0).collect();
+    for entry in prefix::catalog().iter().filter(|e| !e.integral) {
+        let sig: Signature<f64> = entry.signature.clone();
+        let expected = serial::run(&sig, &input);
+        let report = Scan.run(&sig, &input, &device()).unwrap();
+        validate::validate(&expected, &report.output, 1e-3)
+            .unwrap_or_else(|e| panic!("Scan on {sig}: {e}"));
+    }
+}
+
+#[test]
+fn capability_matrix_matches_the_paper() {
+    let _probe_device = device(); // capability checks are device-independent
+    let filt: Signature<f32> = filters::low_pass(0.8, 1).cast();
+    let high: Signature<f32> = filters::high_pass(0.8, 1).cast();
+    let psum32: Signature<f32> = "1:1".parse().unwrap();
+
+    // CUB/SAM: prefix sums only.
+    assert!(Cub.supports(&filt, 100).is_err());
+    assert!(Sam.supports(&filt, 100).is_err());
+
+    // Alg3/Rec: single non-recursive coefficient only — the reason the
+    // paper's Figure 9 has no Alg3/Rec series.
+    assert!(Alg3.supports(&filt, 100).is_ok());
+    assert!(matches!(
+        Alg3.supports(&high, 100),
+        Err(EngineError::UnsupportedSignature { .. })
+    ));
+    assert!(Rec.supports(&filt, 100).is_ok());
+    assert!(Rec.supports(&high, 100).is_err());
+
+    // Everyone has the paper's size caps.
+    assert!(Cub.supports(&prefix::prefix_sum::<i32>(), (1 << 30) + 1).is_err());
+    assert!(Alg3.supports(&filt, (1 << 29) + 1).is_err()); // 2 GB of f32
+    assert!(Rec.supports(&filt, (1 << 28) + 1).is_err()); // 1 GB of f32
+    assert!(Scan.supports(&psum32, 1 << 30).is_err()); // O(nk²) memory
+
+    // PLR itself supports the whole catalog up to 2^30.
+    let plr = PlrExecutor::default();
+    assert!(RecurrenceExecutor::<f32>::supports(&plr, &high, 1 << 30).is_ok());
+}
+
+#[test]
+fn image_codes_validate_their_own_2d_semantics() {
+    let n = 128 * 128;
+    let input: Vec<f32> = (0..n).map(|i| ((i % 31) as f32) * 0.1 - 1.5).collect();
+    let lp: Signature<f32> = filters::low_pass(0.8, 2).cast();
+
+    let alg3 = Alg3.run(&lp, &input, &device()).unwrap();
+    validate::validate(&Alg3::reference(&lp, &input), &alg3.output, 1e-3).unwrap();
+
+    let rec = Rec.run(&lp, &input, &device()).unwrap();
+    validate::validate(&Rec::reference(&lp, &input), &rec.output, 1e-3).unwrap();
+
+    // Rec (one direction) and Alg3 (two directions) must differ.
+    assert!(validate::validate(&alg3.output, &rec.output, 1e-3).is_err());
+}

@@ -1,0 +1,212 @@
+//! Workspace integration: the paper's headline quantitative claims, checked
+//! against the regenerated figures and tables. These are the "shape"
+//! acceptance tests of the reproduction — who wins, by roughly what factor,
+//! and where the crossovers fall.
+
+use plr_bench::figures::{self, value_at};
+use plr_bench::tables;
+use plr_sim::DeviceConfig;
+
+fn device() -> DeviceConfig {
+    DeviceConfig::titan_x()
+}
+
+fn series<'a>(fig: &'a figures::Figure, name: &str) -> &'a figures::Series {
+    fig.series.iter().find(|s| s.name == name).expect("series present")
+}
+
+#[test]
+fn abstract_claim_prefix_sums_reach_memcpy() {
+    // "for standard prefix sums and single-stage IIR filters, the generated
+    // code reaches the throughput of memory copy for large inputs".
+    let d = device();
+    for (fig_no, plr_name) in [(1usize, "PLR"), (6, "PLR")] {
+        let fig = figures::figure(fig_no, &d);
+        let n = 1 << 30;
+        let mc = value_at(series(&fig, "memcpy"), n).unwrap();
+        let plr = value_at(series(&fig, plr_name), n).unwrap();
+        assert!(plr > 0.95 * mc, "figure {fig_no}: PLR {plr:.1} vs memcpy {mc:.1}");
+    }
+}
+
+#[test]
+fn abstract_claim_tuple_advantage() {
+    // "On tuple-based prefix sums and digital filters, our automatically
+    // parallelized code outperforms the fastest prior implementations."
+    let d = device();
+    for fig_no in [2usize, 3] {
+        let fig = figures::figure(fig_no, &d);
+        let n = 1 << 30;
+        let plr = value_at(series(&fig, "PLR"), n).unwrap();
+        for other in ["CUB", "SAM"] {
+            let v = value_at(series(&fig, other), n).unwrap();
+            assert!(plr > v, "figure {fig_no}: PLR {plr:.1} vs {other} {v:.1}");
+        }
+    }
+    // Filters: PLR is the fastest tested code on the largest supported
+    // sizes of each competitor.
+    for fig_no in [6usize, 7, 8] {
+        let fig = figures::figure(fig_no, &d);
+        for other in ["Alg3", "Rec", "Scan"] {
+            let s = series(&fig, other);
+            let (n_max, v) = *s.points.last().unwrap();
+            let plr = value_at(series(&fig, "PLR"), n_max).unwrap();
+            assert!(plr > v, "figure {fig_no} at {n_max}: PLR {plr:.1} vs {other} {v:.1}");
+        }
+    }
+}
+
+#[test]
+fn section_6_1_2_tuple_percentages() {
+    // "On 2-tuples, it is 30% and on 3-tuples 17% faster" (than the best
+    // prior code, at long sequences).
+    let d = device();
+    let n = 1 << 30;
+    let fig2 = figures::figure(2, &d);
+    let plr2 = value_at(series(&fig2, "PLR"), n).unwrap();
+    let best2 = value_at(series(&fig2, "CUB"), n)
+        .unwrap()
+        .max(value_at(series(&fig2, "SAM"), n).unwrap());
+    let adv2 = plr2 / best2 - 1.0;
+    assert!((0.20..0.40).contains(&adv2), "2-tuple advantage {:.0}%", adv2 * 100.0);
+
+    let fig3 = figures::figure(3, &d);
+    let plr3 = value_at(series(&fig3, "PLR"), n).unwrap();
+    let best3 = value_at(series(&fig3, "CUB"), n)
+        .unwrap()
+        .max(value_at(series(&fig3, "SAM"), n).unwrap());
+    let adv3 = plr3 / best3 - 1.0;
+    assert!((0.10..0.25).contains(&adv3), "3-tuple advantage {:.0}%", adv3 * 100.0);
+}
+
+#[test]
+fn section_6_1_3_higher_order_ordering_and_gap() {
+    // SAM > PLR > CUB on orders 2 and 3, with SAM's lead shrinking: "for
+    // order 2, it is 50% faster, for order 3 about 38%".
+    let d = device();
+    let n = 1 << 30;
+    let gap = |fig_no: usize| {
+        let fig = figures::figure(fig_no, &d);
+        let sam = value_at(series(&fig, "SAM"), n).unwrap();
+        let plr = value_at(series(&fig, "PLR"), n).unwrap();
+        let cub = value_at(series(&fig, "CUB"), n).unwrap();
+        assert!(sam > plr && plr > cub, "figure {fig_no}: {sam:.1} / {plr:.1} / {cub:.1}");
+        sam / plr - 1.0
+    };
+    let gap2 = gap(4);
+    let gap3 = gap(5);
+    assert!((0.35..0.65).contains(&gap2), "order-2 SAM lead {:.0}%", gap2 * 100.0);
+    assert!((0.25..0.50).contains(&gap3), "order-3 SAM lead {:.0}%", gap3 * 100.0);
+    assert!(gap3 < gap2, "SAM's lead must shrink with the order");
+}
+
+#[test]
+fn section_6_5_rec_crossover_near_the_l2_capacity() {
+    // "PLR … starts outperforming Rec at a size of one million entries,
+    // which is the smallest problem size that exceeds the L2 capacity."
+    let d = device();
+    let fig = figures::figure(6, &d);
+    let rec = series(&fig, "Rec");
+    let plr = series(&fig, "PLR");
+    // Rec wins (or ties) somewhere below 2^19…
+    let small_win = (14..19).any(|p| {
+        let n = 1 << p;
+        value_at(rec, n).unwrap() >= value_at(plr, n).unwrap()
+    });
+    assert!(small_win, "Rec should win somewhere below 2^19");
+    // …and PLR wins everywhere from 2^20 (1M) on.
+    for p in 20..=28 {
+        let n = 1 << p;
+        assert!(
+            value_at(plr, n).unwrap() > value_at(rec, n).unwrap(),
+            "PLR should win at 2^{p}"
+        );
+    }
+}
+
+#[test]
+fn section_6_2_2_high_pass_cost_is_consistent() {
+    // "this decrease is quite consistent and around 17% for medium to
+    // large problem sizes, irrespective of the order" (high-pass vs
+    // low-pass, i.e. the map-stage cost).
+    let d = device();
+    let n = 1 << 28;
+    let fig9 = figures::figure(9, &d);
+    let low = [6usize, 7, 8].map(|f| {
+        let fig = figures::figure(f, &d);
+        value_at(series(&fig, "PLR"), n).unwrap()
+    });
+    let high = ["PLR1", "PLR2", "PLR3"]
+        .map(|name| value_at(series(&fig9, name), n).unwrap());
+    for (l, h) in low.iter().zip(&high) {
+        let drop = 1.0 - h / l;
+        assert!((0.10..0.25).contains(&drop), "map-stage cost {:.0}%", drop * 100.0);
+    }
+}
+
+#[test]
+fn not_shown_claims_about_4_tuples_and_4th_order() {
+    // Section 6.1.2: "PLR's 4-tuple throughput (not shown) is slightly
+    // higher than its 3-tuple throughput. In contrast, CUB's and SAM's
+    // throughputs consistently decrease with larger tuple sizes."
+    // Section 6.1.3: SAM's advantage keeps shrinking at order 4 (~33%).
+    use plr::baselines::executor::RecurrenceExecutor;
+    use plr::baselines::{Cub, Sam};
+    use plr::core::prefix;
+    use plr::sim::CostModel;
+    use plr_bench::PlrExecutor;
+
+    let d = device();
+    let model = CostModel::new(d.clone());
+    let n = 1 << 30;
+    let tput = |exec: &dyn RecurrenceExecutor<i32>, sig| {
+        exec.estimate(&sig, n, &d).unwrap().throughput(&model)
+    };
+
+    let plr3 = tput(&PlrExecutor::default(), prefix::tuple_prefix_sum(3));
+    let plr4 = tput(&PlrExecutor::default(), prefix::tuple_prefix_sum(4));
+    assert!(plr4 > plr3, "PLR 4-tuple {plr4:.2e} vs 3-tuple {plr3:.2e}");
+
+    for (name, exec) in [("CUB", &Cub as &dyn RecurrenceExecutor<i32>), ("SAM", &Sam as _)] {
+        let t2 = tput(exec, prefix::tuple_prefix_sum(2));
+        let t3 = tput(exec, prefix::tuple_prefix_sum(3));
+        let t4 = tput(exec, prefix::tuple_prefix_sum(4));
+        assert!(t2 > t3 && t3 > t4, "{name} must decrease: {t2:.2e} {t3:.2e} {t4:.2e}");
+    }
+
+    let sam4 = tput(&Sam, prefix::higher_order_prefix_sum(4));
+    let plr4o = tput(&PlrExecutor::default(), prefix::higher_order_prefix_sum(4));
+    let gap4 = sam4 / plr4o - 1.0;
+    assert!((0.15..0.50).contains(&gap4), "order-4 SAM lead {:.0}%", gap4 * 100.0);
+}
+
+#[test]
+fn table_2_and_3_structure() {
+    // Scan's storage is (k²+k)·2 words per element; the efficient codes
+    // stay within a few MB of memcpy.
+    let d = device();
+    let t2 = tables::table2(&d);
+    let col = |name: &str| t2.columns.iter().position(|c| c == name).unwrap();
+    for row in 0..3 {
+        let plr: f64 = t2.rows[row].1[col("PLR")].parse().unwrap();
+        let memcpy: f64 = t2.rows[row].1[col("memcpy")].parse().unwrap();
+        assert!(plr - memcpy < 4.0, "PLR within a few MB of memcpy");
+        let scan: f64 = t2.rows[row].1[col("Scan")].parse().unwrap();
+        let k = (row + 1) as f64;
+        let expect = 109.5 + 256.0 * 2.0 * (k * k + k);
+        assert!((scan - expect).abs() / expect < 0.02, "Scan row {row}: {scan} vs {expect}");
+    }
+
+    let t3 = tables::table3(&d);
+    let col3 = |name: &str| t3.columns.iter().position(|c| c == name).unwrap();
+    for row in 0..3 {
+        let k = (row + 1) as f64;
+        let scan: f64 = t3.rows[row].1[col3("Scan")].parse().unwrap();
+        assert!((scan - 256.0 * (k * k + k)).abs() < 8.0);
+        // Alg3 and Rec read the input twice.
+        for name in ["Alg3", "Rec"] {
+            let v: f64 = t3.rows[row].1[col3(name)].parse().unwrap();
+            assert!(v > 510.0, "{name} row {row}: {v}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's Section 5 justification for using a single input per size:
+//! "the codes' control-flow and memory-access behavior are independent of
+//! the values in the input sequence, any input of the same length and data
+//! type will result in the same performance". The machine model must have
+//! the same property: identical event counters for different inputs.
+
+use plr::baselines::executor::RecurrenceExecutor;
+use plr::baselines::{Alg3, Cub, Rec, Sam, Scan};
+use plr::core::{filters, prefix};
+use plr::sim::{Counters, DeviceConfig};
+use plr::Signature;
+use plr_bench::workloads::Workload;
+use plr_bench::PlrExecutor;
+
+fn device() -> DeviceConfig {
+    DeviceConfig::titan_x()
+}
+
+fn int_inputs(n: usize) -> Vec<Vec<i64>> {
+    Workload::ALL.iter().map(|w| w.generate::<i64>(n)).collect()
+}
+
+fn assert_same_counters(name: &str, counters: &[Counters]) {
+    for c in &counters[1..] {
+        assert_eq!(c, &counters[0], "{name}: counters must not depend on input values");
+    }
+}
+
+#[test]
+fn plr_counters_are_value_independent() {
+    let n = 50_000;
+    for sig in [
+        prefix::prefix_sum::<i64>(),
+        prefix::tuple_prefix_sum::<i64>(3),
+        prefix::higher_order_prefix_sum::<i64>(2),
+    ] {
+        let counters: Vec<Counters> = int_inputs(n)
+            .iter()
+            .map(|input| PlrExecutor::default().run(&sig, input, &device()).unwrap().counters)
+            .collect();
+        assert_same_counters("PLR", &counters);
+    }
+}
+
+#[test]
+fn baseline_counters_are_value_independent() {
+    let n = 30_000;
+    let sig = prefix::higher_order_prefix_sum::<i64>(2);
+    let execs: Vec<(&str, Box<dyn RecurrenceExecutor<i64>>)> =
+        vec![("CUB", Box::new(Cub)), ("SAM", Box::new(Sam)), ("Scan", Box::new(Scan))];
+    for (name, exec) in &execs {
+        let counters: Vec<Counters> = int_inputs(n)
+            .iter()
+            .map(|input| exec.run(&sig, input, &device()).unwrap().counters)
+            .collect();
+        assert_same_counters(name, &counters);
+    }
+}
+
+#[test]
+fn float_filter_counters_are_value_independent() {
+    // Decay truncation depends on the *coefficients*, never the data.
+    let n = 40_000;
+    let sig: Signature<f32> = filters::low_pass(0.8, 2).cast();
+    let inputs: [Vec<f32>; 3] = [
+        vec![0.0; n],
+        (0..n).map(|i| (i % 100) as f32 * 0.01).collect(),
+        (0..n).map(|i| if i % 2 == 0 { 1e6 } else { -1e6 }).collect(),
+    ];
+    let all: Vec<Counters> = inputs
+        .iter()
+        .map(|input| PlrExecutor::default().run(&sig, input, &device()).unwrap().counters)
+        .collect();
+    assert_same_counters("PLR f32 filter", &all);
+    for (name, exec) in
+        [("Alg3", &Alg3 as &dyn RecurrenceExecutor<f32>), ("Rec", &Rec as _)]
+    {
+        let counters: Vec<Counters> =
+            inputs.iter().map(|input| exec.run(&sig, input, &device()).unwrap().counters).collect();
+        assert_same_counters(name, &counters);
+    }
+}
