@@ -15,8 +15,8 @@
 use crate::executor::RecurrenceExecutor;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
-use plr_core::signature::Signature;
 use plr_core::serial;
+use plr_core::signature::Signature;
 use plr_sim::timing::Workload;
 use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
 

@@ -39,7 +39,7 @@ impl Cub {
     const TILE: usize = 2048;
     const THREADS: usize = 128;
 
-    fn profile<T: Element>(family: PrefixFamily) -> PassProfile {
+    fn profile(family: PrefixFamily) -> PassProfile {
         let s = match family {
             PrefixFamily::Tuple(s) => s,
             _ => 1,
@@ -86,7 +86,10 @@ impl<T: Element> RecurrenceExecutor<T> for Cub {
             });
         }
         if n > MAX_LEN {
-            return Err(EngineError::InputTooLarge { len: n, max: MAX_LEN });
+            return Err(EngineError::InputTooLarge {
+                len: n,
+                max: MAX_LEN,
+            });
         }
         Ok(())
     }
@@ -102,13 +105,16 @@ impl<T: Element> RecurrenceExecutor<T> for Cub {
         check_budget::<T>(n, device)?;
         let family = classify_prefix_family(signature).expect("checked by supports");
         let elem = T::BYTES as u64;
-        let profile = Self::profile::<T>(family);
+        let profile = Self::profile(family);
         let passes = Self::passes(family);
 
         let mut mem = GlobalMemory::new(device.clone());
         let src = mem.alloc(n as u64 * elem, "input");
         let dst = mem.alloc(n as u64 * elem, "output");
-        let carry = mem.alloc(4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4, "tile state");
+        let carry = mem.alloc(
+            4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4,
+            "tile state",
+        );
         for _ in 0..passes {
             account_pass(&mut mem, src, dst, n, elem, carry, &profile);
         }
@@ -142,7 +148,7 @@ impl<T: Element> RecurrenceExecutor<T> for Cub {
         check_budget::<T>(n, device)?;
         let family = classify_prefix_family(signature).expect("checked by supports");
         let elem = T::BYTES as u64;
-        let profile = Self::profile::<T>(family);
+        let profile = Self::profile(family);
         let passes = Self::passes(family);
 
         let mut counters = plr_sim::Counters::new();
@@ -156,7 +162,10 @@ impl<T: Element> RecurrenceExecutor<T> for Cub {
             let mut mem = GlobalMemory::new(device.clone());
             mem.alloc(n as u64 * elem, "input");
             mem.alloc(n as u64 * elem, "output");
-            mem.alloc(4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4, "tile state");
+            mem.alloc(
+                4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4,
+                "tile state",
+            );
             mem.peak_bytes()
         };
         Ok(RunReport {
@@ -232,7 +241,9 @@ mod tests {
         let n = 1 << 20;
         let d = device();
         let one = Cub.estimate(&prefix::prefix_sum::<i32>(), n, &d).unwrap();
-        let three = Cub.estimate(&prefix::higher_order_prefix_sum::<i32>(3), n, &d).unwrap();
+        let three = Cub
+            .estimate(&prefix::higher_order_prefix_sum::<i32>(3), n, &d)
+            .unwrap();
         let ratio = three.counters.global_read_bytes as f64 / one.counters.global_read_bytes as f64;
         assert!((ratio - 3.0).abs() < 0.01, "ratio {ratio}");
         assert_eq!(three.workload.launches, 3);
@@ -243,12 +254,20 @@ mod tests {
         let n = 50_000;
         let d = device();
         let input = vec![1i32; n];
-        for sig in [prefix::tuple_prefix_sum::<i32>(2), prefix::higher_order_prefix_sum::<i32>(2)]
-        {
+        for sig in [
+            prefix::tuple_prefix_sum::<i32>(2),
+            prefix::higher_order_prefix_sum::<i32>(2),
+        ] {
             let run = Cub.run(&sig, &input, &d).unwrap();
             let est = Cub.estimate(&sig, n, &d).unwrap();
-            assert_eq!(run.counters.global_read_bytes, est.counters.global_read_bytes);
-            assert_eq!(run.counters.global_write_bytes, est.counters.global_write_bytes);
+            assert_eq!(
+                run.counters.global_read_bytes,
+                est.counters.global_read_bytes
+            );
+            assert_eq!(
+                run.counters.global_write_bytes,
+                est.counters.global_write_bytes
+            );
             assert_eq!(run.counters.flops, est.counters.flops);
         }
     }
@@ -256,7 +275,9 @@ mod tests {
     #[test]
     fn memory_usage_close_to_memcpy() {
         // Table 2: CUB 623.5 MB at 2^26 words (memcpy + 2 MB).
-        let r = Cub.estimate(&prefix::prefix_sum::<i32>(), 1 << 26, &device()).unwrap();
+        let r = Cub
+            .estimate(&prefix::prefix_sum::<i32>(), 1 << 26, &device())
+            .unwrap();
         let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
         assert!(mb > 621.0 && mb < 624.5, "CUB peak {mb:.1} MB");
     }

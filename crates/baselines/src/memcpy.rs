@@ -43,7 +43,12 @@ pub fn estimate<T: Element>(n: usize, device: &DeviceConfig) -> RunReport<T> {
         // enough blocks to saturate.
         ..Workload::new(n as u64, n.div_ceil(4096).max(1) as u64)
     };
-    RunReport { output: Vec::new(), counters: *mem.counters(), workload, peak_bytes: mem.peak_bytes() }
+    RunReport {
+        output: Vec::new(),
+        counters: *mem.counters(),
+        workload,
+        peak_bytes: mem.peak_bytes(),
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +79,10 @@ mod tests {
         let model = CostModel::new(device.clone());
         let r = estimate::<i32>(1 << 30, &device);
         let tput = r.throughput(&model);
-        assert!(tput > 31.0e9 && tput < 33.1e9, "memcpy throughput {tput:.3e}");
+        assert!(
+            tput > 31.0e9 && tput < 33.1e9,
+            "memcpy throughput {tput:.3e}"
+        );
     }
 
     #[test]

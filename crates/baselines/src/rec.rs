@@ -19,8 +19,8 @@ use crate::alg3::image_width;
 use crate::executor::RecurrenceExecutor;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
-use plr_core::signature::Signature;
 use plr_core::serial;
+use plr_core::signature::Signature;
 use plr_sim::timing::Workload;
 use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
 
@@ -239,7 +239,11 @@ mod tests {
         for (sig, &want) in sigs.iter().zip(&expect) {
             let r = Rec.estimate(sig, 1 << 26, &d).unwrap();
             let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
-            assert!((mb - want).abs() < 10.0, "order {}: {mb:.1} vs {want}", sig.order());
+            assert!(
+                (mb - want).abs() < 10.0,
+                "order {}: {mb:.1} vs {want}",
+                sig.order()
+            );
         }
     }
 

@@ -19,8 +19,8 @@ use crate::executor::{classify_prefix_family, PrefixFamily, RecurrenceExecutor};
 use crate::stream::{account_pass, estimate_pass, PassProfile};
 use plr_core::element::Element;
 use plr_core::error::EngineError;
-use plr_core::signature::Signature;
 use plr_core::serial;
+use plr_core::signature::Signature;
 use plr_sim::timing::Workload;
 use plr_sim::{CostModel, DeviceConfig, GlobalMemory, RunReport};
 
@@ -72,11 +72,7 @@ impl Sam {
     }
 
     /// The auto-tuner: pick the tile minimizing modelled time for `n`.
-    fn tuned_tile<T: Element>(
-        family: PrefixFamily,
-        n: usize,
-        device: &DeviceConfig,
-    ) -> usize {
+    fn tuned_tile<T: Element>(family: PrefixFamily, n: usize, device: &DeviceConfig) -> usize {
         let model = CostModel::new(device.clone());
         let mut best = (f64::INFINITY, Self::TILE_CANDIDATES[0]);
         for &tile in &Self::TILE_CANDIDATES {
@@ -118,7 +114,10 @@ impl<T: Element> RecurrenceExecutor<T> for Sam {
             });
         }
         if n > MAX_LEN {
-            return Err(EngineError::InputTooLarge { len: n, max: MAX_LEN });
+            return Err(EngineError::InputTooLarge {
+                len: n,
+                max: MAX_LEN,
+            });
         }
         Ok(())
     }
@@ -140,7 +139,10 @@ impl<T: Element> RecurrenceExecutor<T> for Sam {
         let mut mem = GlobalMemory::new(device.clone());
         let src = mem.alloc(n as u64 * elem, "input");
         let dst = mem.alloc(n as u64 * elem, "output");
-        let carry = mem.alloc(4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4, "tile state");
+        let carry = mem.alloc(
+            4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4,
+            "tile state",
+        );
         account_pass(&mut mem, src, dst, n, elem, carry, &profile);
 
         // Functional result: one pass computing the full recurrence.
@@ -172,7 +174,10 @@ impl<T: Element> RecurrenceExecutor<T> for Sam {
             let mut mem = GlobalMemory::new(device.clone());
             mem.alloc(n as u64 * elem, "input");
             mem.alloc(n as u64 * elem, "output");
-            mem.alloc(4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4, "tile state");
+            mem.alloc(
+                4 + 64 * (profile.carry_words as u64 + 1) * elem + 64 * 4,
+                "tile state",
+            );
             mem.peak_bytes()
         };
         Ok(RunReport {
@@ -224,7 +229,9 @@ mod tests {
         let n = 1 << 20;
         let d = device();
         let one = Sam.estimate(&prefix::prefix_sum::<i32>(), n, &d).unwrap();
-        let three = Sam.estimate(&prefix::higher_order_prefix_sum::<i32>(3), n, &d).unwrap();
+        let three = Sam
+            .estimate(&prefix::higher_order_prefix_sum::<i32>(3), n, &d)
+            .unwrap();
         // Payload traffic identical; only carries differ slightly.
         let diff = three.counters.global_read_bytes as i64 - one.counters.global_read_bytes as i64;
         assert!(diff.unsigned_abs() < (n as u64) / 16, "diff {diff}");
@@ -270,7 +277,9 @@ mod tests {
     #[test]
     fn memory_usage_close_to_memcpy() {
         // Table 2: SAM 622.5 MB at 2^26 words (memcpy + 1 MB).
-        let r = Sam.estimate(&prefix::prefix_sum::<i32>(), 1 << 26, &device()).unwrap();
+        let r = Sam
+            .estimate(&prefix::prefix_sum::<i32>(), 1 << 26, &device())
+            .unwrap();
         let mb = r.peak_bytes as f64 / (1024.0 * 1024.0);
         assert!(mb > 621.0 && mb < 623.5, "SAM peak {mb:.1} MB");
     }

@@ -21,8 +21,8 @@ use crate::executor::RecurrenceExecutor;
 use crate::stream::{account_pass, estimate_pass, PassProfile};
 use plr_core::element::Element;
 use plr_core::error::EngineError;
-use plr_core::signature::Signature;
 use plr_core::serial;
+use plr_core::signature::Signature;
 use plr_sim::timing::Workload;
 use plr_sim::{DeviceConfig, GlobalMemory, RunReport};
 
@@ -96,7 +96,7 @@ impl Scan {
         (k * k + k) as u64
     }
 
-    fn profile<T: Element>(k: usize) -> PassProfile {
+    fn profile(k: usize) -> PassProfile {
         let w = Self::words_per_element(k) as f64;
         PassProfile {
             tile: Self::TILE,
@@ -115,7 +115,7 @@ impl Scan {
         Self::words_per_element(k) * n as u64 * T::BYTES as u64
     }
 
-    fn workload<T: Element>(k: usize, n: usize) -> Workload {
+    fn workload(k: usize, n: usize) -> Workload {
         Workload {
             threads_per_block: Self::THREADS,
             // Paper: Scan "suffers from correspondingly higher register
@@ -161,11 +161,21 @@ impl<T: Element> RecurrenceExecutor<T> for Scan {
         let mut mem = GlobalMemory::new(device.clone());
         let src = mem.alloc(Scan::expanded_bytes::<T>(k, n), "expanded input");
         let dst = mem.alloc(Scan::expanded_bytes::<T>(k, n), "expanded output");
-        let carry =
-            mem.alloc(4 + 64 * (Scan::words_per_element(k) + 1) * elem + 64 * 4, "tile state");
-        let profile = Scan::profile::<T>(k);
+        let carry = mem.alloc(
+            4 + 64 * (Scan::words_per_element(k) + 1) * elem + 64 * 4,
+            "tile state",
+        );
+        let profile = Scan::profile(k);
         // One pass over the expanded representation: n·w words each way.
-        account_pass(&mut mem, src, dst, n * w as usize, elem, carry, &profile_scaled(&profile, w));
+        account_pass(
+            &mut mem,
+            src,
+            dst,
+            n * w as usize,
+            elem,
+            carry,
+            &profile_scaled(&profile, w),
+        );
 
         // Functional result: the actual matrix scan (map stage first).
         let (fir, recursive) = signature.split();
@@ -185,7 +195,7 @@ impl<T: Element> RecurrenceExecutor<T> for Scan {
         Ok(RunReport {
             output,
             counters: *mem.counters(),
-            workload: Scan::workload::<T>(k, n),
+            workload: Scan::workload(k, n),
             peak_bytes: mem.peak_bytes(),
         })
     }
@@ -201,7 +211,7 @@ impl<T: Element> RecurrenceExecutor<T> for Scan {
         check_budget::<T>(k, n, device)?;
         let elem = T::BYTES as u64;
         let w = Scan::words_per_element(k);
-        let profile = Scan::profile::<T>(k);
+        let profile = Scan::profile(k);
         let mut counters = estimate_pass(n * w as usize, elem, &profile_scaled(&profile, w));
         counters.l2_read_miss_bytes = n as u64 * w * elem;
         let peak = {
@@ -214,7 +224,7 @@ impl<T: Element> RecurrenceExecutor<T> for Scan {
         Ok(RunReport {
             output: Vec::new(),
             counters,
-            workload: Scan::workload::<T>(k, n),
+            workload: Scan::workload(k, n),
             peak_bytes: peak,
         })
     }

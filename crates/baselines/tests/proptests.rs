@@ -33,7 +33,7 @@ proptest! {
     fn scan_executor_matches_serial_for_any_signature(
         fb in feedback(),
         ff_extra in proptest::collection::vec(-2i64..=2, 0..3),
-        ff_last in prop_oneof![(-2i64..=-1), (1i64..=2)],
+        ff_last in prop_oneof![-2i64..=-1, 1i64..=2],
         input in proptest::collection::vec(-20i64..20, 1..600),
     ) {
         let mut ff = ff_extra;

@@ -11,7 +11,9 @@ use plr_core::{phase1, phase2, serial};
 use std::hint::black_box;
 
 fn input(n: usize) -> Vec<i64> {
-    (0..n).map(|i| ((i as i64).wrapping_mul(0x9E3779B9) % 41) - 20).collect()
+    (0..n)
+        .map(|i| ((i as i64).wrapping_mul(0x9E3779B9) % 41) - 20)
+        .collect()
 }
 
 fn bench_factor_precompute(c: &mut Criterion) {
@@ -96,5 +98,10 @@ fn bench_engine_vs_serial(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_factor_precompute, bench_phases, bench_engine_vs_serial);
+criterion_group!(
+    benches,
+    bench_factor_precompute,
+    bench_phases,
+    bench_engine_vs_serial
+);
 criterion_main!(benches);

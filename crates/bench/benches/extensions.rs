@@ -45,8 +45,7 @@ fn bench_segmented(c: &mut Criterion) {
     });
     g.bench_function("chunked", |b| {
         b.iter(|| {
-            segmented::run_chunked(black_box(&sig), &segments, black_box(&input), 1 << 10)
-                .unwrap()
+            segmented::run_chunked(black_box(&sig), &segments, black_box(&input), 1 << 10).unwrap()
         });
     });
     g.finish();
@@ -54,8 +53,9 @@ fn bench_segmented(c: &mut Criterion) {
 
 fn bench_tropical(c: &mut Criterion) {
     let n = 1 << 20;
-    let input: Vec<MaxPlus> =
-        (0..n).map(|i| MaxPlus::new(if i % 97 == 0 { 5.0 } else { 0.0 })).collect();
+    let input: Vec<MaxPlus> = (0..n)
+        .map(|i| MaxPlus::new(if i % 97 == 0 { 5.0 } else { 0.0 }))
+        .collect();
     let sig = Signature::new(vec![MaxPlus::one()], vec![MaxPlus::new(-0.01)]).unwrap();
     let mut g = c.benchmark_group("tropical_envelope_1M");
     g.throughput(Throughput::Elements(n as u64));
@@ -70,7 +70,9 @@ fn bench_batch_rows(c: &mut Criterion) {
     let width = 1024;
     let rows = 1024;
     let sig: Signature<f32> = filters::low_pass(0.8, 2).cast();
-    let data: Vec<f32> = (0..width * rows).map(|i| ((i % 23) as f32) - 11.0).collect();
+    let data: Vec<f32> = (0..width * rows)
+        .map(|i| ((i % 23) as f32) - 11.0)
+        .collect();
     let mut g = c.benchmark_group("batch_rows_1024x1024");
     g.throughput(Throughput::Elements((width * rows) as u64));
     g.sample_size(15);

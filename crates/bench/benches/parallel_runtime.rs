@@ -10,7 +10,9 @@ use plr_parallel::{ParallelRunner, RunnerConfig, Strategy};
 use std::hint::black_box;
 
 fn int_input(n: usize) -> Vec<i64> {
-    (0..n).map(|i| ((i as i64).wrapping_mul(0x9E3779B9) % 41) - 20).collect()
+    (0..n)
+        .map(|i| ((i as i64).wrapping_mul(0x9E3779B9) % 41) - 20)
+        .collect()
 }
 
 fn float_input(n: usize) -> Vec<f32> {
@@ -30,7 +32,11 @@ fn bench_speedup_int(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         let runner = ParallelRunner::with_config(
             sig.clone(),
-            RunnerConfig { chunk_size: 1 << 16, threads, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 1 << 16,
+                threads,
+                strategy: Strategy::default(),
+            },
         )
         .unwrap();
         g.bench_function(BenchmarkId::new("plr", threads), |b| {
@@ -53,7 +59,11 @@ fn bench_speedup_filter(c: &mut Criterion) {
     for threads in [2usize, 8] {
         let runner = ParallelRunner::with_config(
             sig.clone(),
-            RunnerConfig { chunk_size: 1 << 16, threads, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 1 << 16,
+                threads,
+                strategy: Strategy::default(),
+            },
         )
         .unwrap();
         g.bench_function(BenchmarkId::new("plr", threads), |b| {
@@ -75,7 +85,11 @@ fn bench_prefix_sum(c: &mut Criterion) {
     });
     let runner = ParallelRunner::with_config(
         sig,
-        RunnerConfig { chunk_size: 1 << 17, threads: 0, strategy: Strategy::default() },
+        RunnerConfig {
+            chunk_size: 1 << 17,
+            threads: 0,
+            strategy: Strategy::default(),
+        },
     )
     .unwrap();
     g.bench_function("plr_all_cores", |b| {
@@ -93,12 +107,17 @@ fn bench_strategies(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n as u64));
     g.sample_size(15);
     let sig: Signature<i64> = "1:2,-1".parse().unwrap();
-    for (name, strategy) in
-        [("lookback", Strategy::LookbackPipeline), ("two_pass", Strategy::TwoPass)]
-    {
+    for (name, strategy) in [
+        ("lookback", Strategy::LookbackPipeline),
+        ("two_pass", Strategy::TwoPass),
+    ] {
         let runner = ParallelRunner::with_config(
             sig.clone(),
-            RunnerConfig { chunk_size: 1 << 16, threads: 0, strategy },
+            RunnerConfig {
+                chunk_size: 1 << 16,
+                threads: 0,
+                strategy,
+            },
         )
         .unwrap();
         g.bench_function(name, |b| {

@@ -24,16 +24,15 @@ use plr_core::signature::Signature;
 use plr_sim::{CostModel, DeviceConfig};
 
 /// Sweep of `x` (values per thread) for one signature and input size.
-pub fn ablation_x<T: Element>(
-    sig: &Signature<T>,
-    n: usize,
-    device: &DeviceConfig,
-) -> Figure {
+pub fn ablation_x<T: Element>(sig: &Signature<T>, n: usize, device: &DeviceConfig) -> Figure {
     let model = CostModel::new(device.clone());
     let mut points = Vec::new();
     let mut sizes = Vec::new();
     for x in 1..=11usize {
-        let opts = LowerOptions { x_override: Some(x), ..Default::default() };
+        let opts = LowerOptions {
+            x_override: Some(x),
+            ..Default::default()
+        };
         let plan = lower(sig, n, device, &opts);
         if plan.x != x {
             continue; // capped for this element type
@@ -46,7 +45,10 @@ pub fn ablation_x<T: Element>(
         title: format!("Ablation: values per thread x, {sig}, n = {n}"),
         xlabels: Some(sizes.iter().map(|x| format!("x={x}")).collect()),
         sizes,
-        series: vec![Series { name: "PLR".to_owned(), points }],
+        series: vec![Series {
+            name: "PLR".to_owned(),
+            points,
+        }],
     }
 }
 
@@ -60,7 +62,10 @@ pub fn ablation_shared_budget<T: Element>(
     let budgets = [0usize, 256, 1024, 4096, 16384];
     let mut points = Vec::new();
     for &budget in &budgets {
-        let opts = LowerOptions { shared_factor_budget: budget, ..Default::default() };
+        let opts = LowerOptions {
+            shared_factor_budget: budget,
+            ..Default::default()
+        };
         let plan = lower(sig, n, device, &opts);
         let run = exec::estimate(&plan, n, device, &ExecOptions::default());
         points.push((budget, run.throughput(&model) / 1e9));
@@ -69,7 +74,10 @@ pub fn ablation_shared_budget<T: Element>(
         title: format!("Ablation: shared-memory factor budget, {sig}, n = {n}"),
         sizes: budgets.to_vec(),
         xlabels: Some(budgets.iter().map(|b| format!("{b}")).collect()),
-        series: vec![Series { name: "PLR".to_owned(), points }],
+        series: vec![Series {
+            name: "PLR".to_owned(),
+            points,
+        }],
     }
 }
 
@@ -81,7 +89,9 @@ pub fn ablation_lookback<T: Element>(
     device: &DeviceConfig,
 ) -> Figure {
     let model = CostModel::new(device.clone());
-    let input: Vec<T> = (0..n).map(|i| T::from_i32(((i * 29) % 17) as i32 - 8)).collect();
+    let input: Vec<T> = (0..n)
+        .map(|i| T::from_i32(((i * 29) % 17) as i32 - 8))
+        .collect();
     let plan = lower(sig, n, device, &LowerOptions::default());
     let delays = [1usize, 2, 4, 8, 16, 32];
     let mut tput = Vec::new();
@@ -89,15 +99,24 @@ pub fn ablation_lookback<T: Element>(
     for &d in &delays {
         let run = exec::execute(&plan, &input, device, &ExecOptions { lookback_delay: d });
         tput.push((d, run.throughput(&model) / 1e9));
-        hops.push((d, run.counters.lookback_hops as f64 / run.workload.blocks.max(1) as f64));
+        hops.push((
+            d,
+            run.counters.lookback_hops as f64 / run.workload.blocks.max(1) as f64,
+        ));
     }
     Figure {
         title: format!("Ablation: look-back visibility delay, {sig}, n = {n}"),
         sizes: delays.to_vec(),
         xlabels: Some(delays.iter().map(|d| format!("d={d}")).collect()),
         series: vec![
-            Series { name: "throughput".to_owned(), points: tput },
-            Series { name: "hops/chunk".to_owned(), points: hops },
+            Series {
+                name: "throughput".to_owned(),
+                points: tput,
+            },
+            Series {
+                name: "hops/chunk".to_owned(),
+                points: hops,
+            },
         ],
     }
 }
@@ -112,7 +131,10 @@ pub fn ablation_pipeline_depth<T: Element>(
     let depths = [1usize, 2, 4, 8, 16, 32, 64];
     let mut points = Vec::new();
     for &c in &depths {
-        let opts = LowerOptions { pipeline_depth: c, ..Default::default() };
+        let opts = LowerOptions {
+            pipeline_depth: c,
+            ..Default::default()
+        };
         let plan = lower(sig, n, device, &opts);
         let run = exec::estimate(&plan, n, device, &ExecOptions::default());
         points.push((c, run.throughput(&model) / 1e9));
@@ -121,7 +143,10 @@ pub fn ablation_pipeline_depth<T: Element>(
         title: format!("Ablation: pipeline depth c, {sig}, n = {n}"),
         sizes: depths.to_vec(),
         xlabels: Some(depths.iter().map(|c| format!("c={c}")).collect()),
-        series: vec![Series { name: "PLR".to_owned(), points }],
+        series: vec![Series {
+            name: "PLR".to_owned(),
+            points,
+        }],
     }
 }
 
@@ -139,11 +164,24 @@ pub fn ablation_phase1_only(device: &DeviceConfig) -> Figure {
     let fb = [2i64, -1];
     let m = 1024usize;
     let sizes: Vec<usize> = (12..=18).map(|p| 1usize << p).collect();
-    let mut only = Series { name: "phase 1 to n (ops/elem)".to_owned(), points: Vec::new() };
-    let mut two = Series { name: "two-phase (ops/elem)".to_owned(), points: Vec::new() };
+    let mut only = Series {
+        name: "phase 1 to n (ops/elem)".to_owned(),
+        points: Vec::new(),
+    };
+    let mut two = Series {
+        name: "two-phase (ops/elem)".to_owned(),
+        points: Vec::new(),
+    };
 
     let access = |len: usize| FactorAccess {
-        lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: len }; 2],
+        lists: vec![
+            FactorListSpec {
+                inline: true,
+                shared_limit: 0,
+                active_len: len
+            };
+            2
+        ],
         buffer: None,
         element_bytes: 4,
         table_len: len,
@@ -159,10 +197,18 @@ pub fn ablation_phase1_only(device: &DeviceConfig) -> Figure {
         let mut data = input.clone();
         let mut chunk = 1usize;
         while chunk < n {
-            fabric::merge_step(&table, &mut data, chunk, fabric::Exchange::Shuffle, &acc, &mut mem);
+            fabric::merge_step(
+                &table,
+                &mut data,
+                chunk,
+                fabric::Exchange::Shuffle,
+                &acc,
+                &mut mem,
+            );
             chunk *= 2;
         }
-        only.points.push((n, mem.counters().flops as f64 / n as f64));
+        only.points
+            .push((n, mem.counters().flops as f64 / n as f64));
 
         // (b) Two-phase: doubling to m, then one correction pass.
         let table = CorrectionTable::generate(&fb, m);
@@ -185,7 +231,12 @@ pub fn ablation_phase1_only(device: &DeviceConfig) -> Figure {
 
     Figure {
         title: "Ablation: Phase-1-only vs two-phase work (order 2)".to_owned(),
-        xlabels: Some(sizes.iter().map(|n| format!("2^{}", n.trailing_zeros())).collect()),
+        xlabels: Some(
+            sizes
+                .iter()
+                .map(|n| format!("2^{}", n.trailing_zeros()))
+                .collect(),
+        ),
         sizes,
         series: vec![only, two],
     }
@@ -265,10 +316,16 @@ mod tests {
         let two = &fig.series[1];
         // Phase-1-only ops/elem grow by ~k/2 per doubling of n…
         let growth = only.points.last().unwrap().1 - only.points.first().unwrap().1;
-        assert!(growth > 4.0, "expected log growth, got {growth:.2} ops/elem over 6 doublings");
+        assert!(
+            growth > 4.0,
+            "expected log growth, got {growth:.2} ops/elem over 6 doublings"
+        );
         // …while the two-phase cost per element stays flat.
         let flat = two.points.last().unwrap().1 - two.points.first().unwrap().1;
-        assert!(flat.abs() < 0.5, "two-phase should be work efficient, drifted {flat:.2}");
+        assert!(
+            flat.abs() < 0.5,
+            "two-phase should be work efficient, drifted {flat:.2}"
+        );
         // And the two-phase cost is strictly lower at every tested size.
         for (a, b) in only.points.iter().zip(&two.points) {
             assert!(b.1 < a.1, "two-phase must do less work at n = {}", a.0);

@@ -54,7 +54,10 @@ fn main() -> ExitCode {
     }
 
     let device = DeviceConfig::titan_x();
-    println!("# PLR paper reproduction — modelled device: {}\n", device.name);
+    println!(
+        "# PLR paper reproduction — modelled device: {}\n",
+        device.name
+    );
     for item in &items {
         let ok = emit(item, &device, csv_dir.as_deref());
         if !ok {
@@ -67,7 +70,10 @@ fn main() -> ExitCode {
 }
 
 fn emit(item: &str, device: &DeviceConfig, csv_dir: Option<&std::path::Path>) -> bool {
-    if let Some(num) = item.strip_prefix("fig").and_then(|s| s.parse::<usize>().ok()) {
+    if let Some(num) = item
+        .strip_prefix("fig")
+        .and_then(|s| s.parse::<usize>().ok())
+    {
         if !(1..=10).contains(&num) {
             return false;
         }
@@ -91,10 +97,17 @@ fn emit(item: &str, device: &DeviceConfig, csv_dir: Option<&std::path::Path>) ->
         let vs = plr_bench::claims::verdicts(device);
         print!("{}", plr_bench::claims::render(&vs));
         let failed = vs.iter().filter(|v| !v.pass).count();
-        println!("\n{} of {} headline claims reproduced", vs.len() - failed, vs.len());
+        println!(
+            "\n{} of {} headline claims reproduced",
+            vs.len() - failed,
+            vs.len()
+        );
         return true;
     }
-    if let Some(num) = item.strip_prefix("table").and_then(|s| s.parse::<usize>().ok()) {
+    if let Some(num) = item
+        .strip_prefix("table")
+        .and_then(|s| s.parse::<usize>().ok())
+    {
         let table = match num {
             1 => tables::table1(),
             2 => tables::table2(device),
@@ -131,7 +144,7 @@ fn emit_ablations(device: &DeviceConfig, csv_dir: Option<&std::path::Path>) {
     use plr_bench::ablation;
     use plr_core::prefix;
 
-    let figs = vec![
+    let figs = [
         ablation::ablation_x(&prefix::prefix_sum::<i32>(), 1 << 24, device),
         ablation::ablation_x(&prefix::higher_order_prefix_sum::<i32>(2), 1 << 24, device),
         ablation::ablation_shared_budget(

@@ -22,7 +22,10 @@ pub struct Verdict {
 }
 
 fn series<'a>(fig: &'a Figure, name: &str) -> &'a figures::Series {
-    fig.series.iter().find(|s| s.name == name).expect("series present")
+    fig.series
+        .iter()
+        .find(|s| s.name == name)
+        .expect("series present")
 }
 
 /// Evaluates every headline claim. Slow-ish (regenerates several figures);
@@ -56,7 +59,9 @@ pub fn verdicts(device: &DeviceConfig) -> Vec<Verdict> {
     {
         let fig2 = figures::figure(2, device);
         let plr = at(&fig2, "PLR", n).unwrap();
-        let best = at(&fig2, "CUB", n).unwrap().max(at(&fig2, "SAM", n).unwrap());
+        let best = at(&fig2, "CUB", n)
+            .unwrap()
+            .max(at(&fig2, "SAM", n).unwrap());
         let adv = plr / best - 1.0;
         out.push(Verdict {
             claim: "PLR ~30% faster on 2-tuples at long sequences".into(),
@@ -125,7 +130,11 @@ pub fn verdicts(device: &DeviceConfig) -> Vec<Verdict> {
         let fig10 = figures::figure(10, device);
         let on = &fig10.series[0];
         let off = &fig10.series[1];
-        let all_help = on.points.iter().zip(&off.points).all(|(a, b)| a.1 >= b.1 * 0.999);
+        let all_help = on
+            .points
+            .iter()
+            .zip(&off.points)
+            .all(|(a, b)| a.1 >= b.1 * 0.999);
         let order2_gain = {
             let i = 3; // catalog index of order2
             on.points[i].1 / off.points[i].1 - 1.0
@@ -168,7 +177,11 @@ mod tests {
         let vs = verdicts(&DeviceConfig::titan_x());
         assert!(vs.len() >= 7);
         for v in &vs {
-            assert!(v.pass, "claim failed: {} ({}) — {}", v.claim, v.source, v.evidence);
+            assert!(
+                v.pass,
+                "claim failed: {} ({}) — {}",
+                v.claim, v.source, v.evidence
+            );
         }
     }
 

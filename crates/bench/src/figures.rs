@@ -55,10 +55,15 @@ fn throughput_series<T: Element>(
     let points = sizes
         .iter()
         .filter_map(|&n| {
-            exec.estimate(sig, n, device).ok().map(|r| (n, r.throughput(&model) / 1e9))
+            exec.estimate(sig, n, device)
+                .ok()
+                .map(|r| (n, r.throughput(&model) / 1e9))
         })
         .collect();
-    Series { name: name.to_owned(), points }
+    Series {
+        name: name.to_owned(),
+        points,
+    }
 }
 
 fn memcpy_series<T: Element>(sizes: &[usize], device: &DeviceConfig) -> Series {
@@ -68,7 +73,10 @@ fn memcpy_series<T: Element>(sizes: &[usize], device: &DeviceConfig) -> Series {
         .filter(|&&n| memcpy::fits::<T>(n, device))
         .map(|&n| (n, memcpy::estimate::<T>(n, device).throughput(&model) / 1e9))
         .collect();
-    Series { name: "memcpy".to_owned(), points }
+    Series {
+        name: "memcpy".to_owned(),
+        points,
+    }
 }
 
 /// Figures 1–5: integer prefix-sum figures (memcpy, CUB, SAM, Scan, PLR).
@@ -81,7 +89,12 @@ fn integer_figure(title: &str, sig: Signature<i32>, device: &DeviceConfig) -> Fi
         throughput_series("Scan", &Scan, &sig, &sizes, device),
         throughput_series("PLR", &PlrExecutor::default(), &sig, &sizes, device),
     ];
-    Figure { title: title.to_owned(), sizes, xlabels: None, series }
+    Figure {
+        title: title.to_owned(),
+        sizes,
+        xlabels: None,
+        series,
+    }
 }
 
 /// Figures 6–8: float filter figures (memcpy, Alg3, Rec, Scan, PLR).
@@ -95,7 +108,12 @@ fn filter_figure(title: &str, sig: Signature<f64>, device: &DeviceConfig) -> Fig
         throughput_series("Scan", &Scan, &sig32, &sizes, device),
         throughput_series("PLR", &PlrExecutor::default(), &sig32, &sizes, device),
     ];
-    Figure { title: title.to_owned(), sizes, xlabels: None, series }
+    Figure {
+        title: title.to_owned(),
+        sizes,
+        xlabels: None,
+        series,
+    }
 }
 
 /// Generates one of the paper's figures by number (1–10).
@@ -105,7 +123,11 @@ fn filter_figure(title: &str, sig: Signature<f64>, device: &DeviceConfig) -> Fig
 /// Panics for figure numbers outside 1–10.
 pub fn figure(number: usize, device: &DeviceConfig) -> Figure {
     match number {
-        1 => integer_figure("Figure 1. Prefix-sum throughput", prefix::prefix_sum(), device),
+        1 => integer_figure(
+            "Figure 1. Prefix-sum throughput",
+            prefix::prefix_sum(),
+            device,
+        ),
         2 => integer_figure(
             "Figure 2. Two-tuple prefix-sum throughput",
             prefix::tuple_prefix_sum(2),
@@ -159,7 +181,12 @@ fn figure9(device: &DeviceConfig) -> Figure {
         throughput_series("PLR2", &PlrExecutor::default(), &hp(2), &sizes, device),
         throughput_series("PLR3", &PlrExecutor::default(), &hp(3), &sizes, device),
     ];
-    Figure { title: "Figure 9. High-pass filter throughput".to_owned(), sizes, xlabels: None, series }
+    Figure {
+        title: "Figure 9. High-pass filter throughput".to_owned(),
+        sizes,
+        xlabels: None,
+        series,
+    }
 }
 
 /// Figure 10: PLR throughput with and without the correction-factor
@@ -167,22 +194,40 @@ fn figure9(device: &DeviceConfig) -> Figure {
 fn figure10(device: &DeviceConfig) -> Figure {
     let n = 1usize << 30;
     let model = CostModel::new(device.clone());
-    let mut on = Series { name: "optimizations on".to_owned(), points: Vec::new() };
-    let mut off = Series { name: "optimizations off".to_owned(), points: Vec::new() };
+    let mut on = Series {
+        name: "optimizations on".to_owned(),
+        points: Vec::new(),
+    };
+    let mut off = Series {
+        name: "optimizations off".to_owned(),
+        points: Vec::new(),
+    };
     let mut sizes = Vec::new();
     let mut xlabels = Vec::new();
     for (idx, entry) in prefix::catalog().iter().enumerate() {
         let (t_on, t_off) = if entry.integral {
             let sig: Signature<i32> = entry.signature.cast();
             (
-                PlrExecutor::default().estimate(&sig, n, device).unwrap().throughput(&model),
-                PlrExecutor::unoptimized().estimate(&sig, n, device).unwrap().throughput(&model),
+                PlrExecutor::default()
+                    .estimate(&sig, n, device)
+                    .unwrap()
+                    .throughput(&model),
+                PlrExecutor::unoptimized()
+                    .estimate(&sig, n, device)
+                    .unwrap()
+                    .throughput(&model),
             )
         } else {
             let sig: Signature<f32> = entry.signature.cast();
             (
-                PlrExecutor::default().estimate(&sig, n, device).unwrap().throughput(&model),
-                PlrExecutor::unoptimized().estimate(&sig, n, device).unwrap().throughput(&model),
+                PlrExecutor::default()
+                    .estimate(&sig, n, device)
+                    .unwrap()
+                    .throughput(&model),
+                PlrExecutor::unoptimized()
+                    .estimate(&sig, n, device)
+                    .unwrap()
+                    .throughput(&model),
             )
         };
         // x-axis is the catalog index rather than a size sweep.
@@ -201,7 +246,11 @@ fn figure10(device: &DeviceConfig) -> Figure {
 
 /// Convenience: the value of `series` at size `n`, if present.
 pub fn value_at(series: &Series, n: usize) -> Option<f64> {
-    series.points.iter().find(|(size, _)| *size == n).map(|(_, v)| *v)
+    series
+        .points
+        .iter()
+        .find(|(size, _)| *size == n)
+        .map(|(_, v)| *v)
 }
 
 #[cfg(test)]
@@ -213,9 +262,16 @@ mod tests {
     }
 
     fn series<'a>(fig: &'a Figure, name: &str) -> &'a Series {
-        fig.series.iter().find(|s| s.name == name).unwrap_or_else(|| {
-            panic!("{} has series {:?}", fig.title, fig.series.iter().map(|s| &s.name).collect::<Vec<_>>())
-        })
+        fig.series
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} has series {:?}",
+                    fig.title,
+                    fig.series.iter().map(|s| &s.name).collect::<Vec<_>>()
+                )
+            })
     }
 
     #[test]
@@ -230,7 +286,10 @@ mod tests {
             assert!(v > 0.85 * mc, "{name}: {v:.1} vs memcpy {mc:.1}");
         }
         let scan = value_at(series(&fig, "Scan"), n).unwrap();
-        assert!(scan < 0.6 * mc && scan > 0.35 * mc, "Scan {scan:.1} vs memcpy {mc:.1}");
+        assert!(
+            scan < 0.6 * mc && scan > 0.35 * mc,
+            "Scan {scan:.1} vs memcpy {mc:.1}"
+        );
     }
 
     #[test]
@@ -249,7 +308,10 @@ mod tests {
         let plr = value_at(series(&fig, "PLR"), n).unwrap();
         for name in ["CUB", "SAM"] {
             let v = value_at(series(&fig, name), n).unwrap();
-            assert!(plr > 1.1 * v, "PLR {plr:.1} should beat {name} {v:.1} clearly");
+            assert!(
+                plr > 1.1 * v,
+                "PLR {plr:.1} should beat {name} {v:.1} clearly"
+            );
         }
     }
 
@@ -293,7 +355,10 @@ mod tests {
         let p1 = value_at(series(&fig, "PLR1"), n).unwrap();
         let p2 = value_at(series(&fig, "PLR2"), n).unwrap();
         let p3 = value_at(series(&fig, "PLR3"), n).unwrap();
-        assert!(p1 >= p2 && p2 >= p3, "stages should not speed things up: {p1:.1} {p2:.1} {p3:.1}");
+        assert!(
+            p1 >= p2 && p2 >= p3,
+            "stages should not speed things up: {p1:.1} {p2:.1} {p3:.1}"
+        );
     }
 
     #[test]
@@ -302,7 +367,13 @@ mod tests {
         let on = &fig.series[0];
         let off = &fig.series[1];
         for (a, b) in on.points.iter().zip(&off.points) {
-            assert!(a.1 >= b.1 * 0.999, "catalog entry {}: on {:.2} vs off {:.2}", a.0, a.1, b.1);
+            assert!(
+                a.1 >= b.1 * 0.999,
+                "catalog entry {}: on {:.2} vs off {:.2}",
+                a.0,
+                a.1,
+                b.1
+            );
         }
     }
 

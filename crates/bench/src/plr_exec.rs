@@ -1,12 +1,12 @@
 //! PLR wrapped in the common executor interface used by the harness.
 
+use plr_baselines::executor::RecurrenceExecutor;
 use plr_codegen::exec::{self, ExecOptions};
 use plr_codegen::lower::{lower, LowerOptions};
 use plr_codegen::plan::Optimizations;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
 use plr_core::signature::Signature;
-use plr_baselines::executor::RecurrenceExecutor;
 use plr_sim::{DeviceConfig, RunReport};
 
 /// Maximum supported input: 4 GB of words (paper Section 3).
@@ -22,18 +22,25 @@ pub struct PlrExecutor {
 
 impl Default for PlrExecutor {
     fn default() -> Self {
-        PlrExecutor { opts: Optimizations::all() }
+        PlrExecutor {
+            opts: Optimizations::all(),
+        }
     }
 }
 
 impl PlrExecutor {
     /// The all-optimizations-off variant for Figure 10.
     pub fn unoptimized() -> Self {
-        PlrExecutor { opts: Optimizations::none() }
+        PlrExecutor {
+            opts: Optimizations::none(),
+        }
     }
 
     fn lower_options(&self) -> LowerOptions {
-        LowerOptions { opts: self.opts, ..Default::default() }
+        LowerOptions {
+            opts: self.opts,
+            ..Default::default()
+        }
     }
 }
 
@@ -61,7 +68,10 @@ impl<T: Element> RecurrenceExecutor<T> for PlrExecutor {
 
     fn supports(&self, _signature: &Signature<T>, n: usize) -> Result<(), EngineError> {
         if n > MAX_LEN {
-            return Err(EngineError::InputTooLarge { len: n, max: MAX_LEN });
+            return Err(EngineError::InputTooLarge {
+                len: n,
+                max: MAX_LEN,
+            });
         }
         Ok(())
     }

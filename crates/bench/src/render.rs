@@ -76,7 +76,12 @@ pub fn table_text(table: &Table) -> String {
         .columns
         .iter()
         .map(|c| c.len())
-        .chain(table.rows.iter().flat_map(|(_, cells)| cells.iter().map(|c| c.len())))
+        .chain(
+            table
+                .rows
+                .iter()
+                .flat_map(|(_, cells)| cells.iter().map(|c| c.len())),
+        )
         .max()
         .unwrap_or(8)
         + 2;
@@ -115,8 +120,14 @@ mod tests {
             sizes: vec![16, 32],
             xlabels: None,
             series: vec![
-                Series { name: "a".into(), points: vec![(16, 1.0), (32, 2.0)] },
-                Series { name: "b".into(), points: vec![(32, 3.0)] },
+                Series {
+                    name: "a".into(),
+                    points: vec![(16, 1.0), (32, 2.0)],
+                },
+                Series {
+                    name: "b".into(),
+                    points: vec![(32, 3.0)],
+                },
             ],
         }
     }

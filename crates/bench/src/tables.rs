@@ -66,7 +66,9 @@ fn metric_rows(device: &DeviceConfig, which: fn((u64, u64)) -> u64) -> Vec<(Stri
     let flt_sig = |k: usize| -> Signature<f32> { filters::low_pass(0.8, k as u32).cast() };
 
     let plr: MetricFn<'_> = &|k| {
-        let r = PlrExecutor::default().estimate(&int_sig(k), TABLE_N, device).ok()?;
+        let r = PlrExecutor::default()
+            .estimate(&int_sig(k), TABLE_N, device)
+            .ok()?;
         Some((r.peak_bytes, r.counters.l2_read_miss_bytes))
     };
     let cub: MetricFn<'_> = &|k| {
@@ -163,19 +165,44 @@ mod tests {
     fn table2_reproduces_the_paper_within_tolerance() {
         // Paper values (MB): rows are orders 1-3.
         let paper: [[(&str, f64); 7]; 3] = [
-            [("PLR", 623.5), ("CUB", 623.5), ("SAM", 622.5), ("Scan", 1135.5),
-             ("Alg3", 895.8), ("Rec", 638.5), ("memcpy", 621.5)],
-            [("PLR", 623.5), ("CUB", 623.5), ("SAM", 622.5), ("Scan", 3188.8),
-             ("Alg3", 911.8), ("Rec", 654.5), ("memcpy", 621.5)],
-            [("PLR", 624.5), ("CUB", 623.5), ("SAM", 622.5), ("Scan", 6278.9),
-             ("Alg3", 927.8), ("Rec", 670.5), ("memcpy", 621.5)],
+            [
+                ("PLR", 623.5),
+                ("CUB", 623.5),
+                ("SAM", 622.5),
+                ("Scan", 1135.5),
+                ("Alg3", 895.8),
+                ("Rec", 638.5),
+                ("memcpy", 621.5),
+            ],
+            [
+                ("PLR", 623.5),
+                ("CUB", 623.5),
+                ("SAM", 622.5),
+                ("Scan", 3188.8),
+                ("Alg3", 911.8),
+                ("Rec", 654.5),
+                ("memcpy", 621.5),
+            ],
+            [
+                ("PLR", 624.5),
+                ("CUB", 623.5),
+                ("SAM", 622.5),
+                ("Scan", 6278.9),
+                ("Alg3", 927.8),
+                ("Rec", 670.5),
+                ("memcpy", 621.5),
+            ],
         ];
         let t = table2(&device());
         for (row, entries) in paper.iter().enumerate() {
             for (name, want) in entries {
                 let got = cell(&t, row, name);
                 let rel = (got - want).abs() / want;
-                assert!(rel < 0.03, "order {} {name}: {got:.1} vs paper {want:.1}", row + 1);
+                assert!(
+                    rel < 0.03,
+                    "order {} {name}: {got:.1} vs paper {want:.1}",
+                    row + 1
+                );
             }
         }
     }
@@ -185,12 +212,30 @@ mod tests {
         // Paper values (MB): cold input misses dominate for the
         // communication-efficient codes; Scan and the image codes multiply.
         let paper: [[(&str, f64); 6]; 3] = [
-            [("PLR", 256.1), ("CUB", 256.5), ("SAM", 256.2), ("Scan", 512.3),
-             ("Alg3", 550.6), ("Rec", 528.3)],
-            [("PLR", 256.2), ("CUB", 256.1), ("SAM", 256.6), ("Scan", 1537.1),
-             ("Alg3", 591.3), ("Rec", 545.3)],
-            [("PLR", 256.4), ("CUB", 256.2), ("SAM", 256.8), ("Scan", 3074.1),
-             ("Alg3", 632.0), ("Rec", 562.5)],
+            [
+                ("PLR", 256.1),
+                ("CUB", 256.5),
+                ("SAM", 256.2),
+                ("Scan", 512.3),
+                ("Alg3", 550.6),
+                ("Rec", 528.3),
+            ],
+            [
+                ("PLR", 256.2),
+                ("CUB", 256.1),
+                ("SAM", 256.6),
+                ("Scan", 1537.1),
+                ("Alg3", 591.3),
+                ("Rec", 545.3),
+            ],
+            [
+                ("PLR", 256.4),
+                ("CUB", 256.2),
+                ("SAM", 256.8),
+                ("Scan", 3074.1),
+                ("Alg3", 632.0),
+                ("Rec", 562.5),
+            ],
         ];
         let t = table3(&device());
         for (row, entries) in paper.iter().enumerate() {
@@ -199,8 +244,16 @@ mod tests {
                 let rel = (got - want).abs() / want;
                 // Within 10% for the image codes' fuzzier extras, 3% for
                 // the rest.
-                let tol = if *name == "Alg3" || *name == "Rec" { 0.10 } else { 0.03 };
-                assert!(rel < tol, "order {} {name}: {got:.1} vs paper {want:.1}", row + 1);
+                let tol = if *name == "Alg3" || *name == "Rec" {
+                    0.10
+                } else {
+                    0.03
+                };
+                assert!(
+                    rel < tol,
+                    "order {} {name}: {got:.1} vs paper {want:.1}",
+                    row + 1
+                );
             }
         }
     }
@@ -214,7 +267,7 @@ mod tests {
             for name in ["PLR", "CUB", "SAM"] {
                 let got = cell(&t, row, name);
                 assert!(
-                    got >= 256.0 && got < 257.5,
+                    (256.0..257.5).contains(&got),
                     "order {} {name}: {got:.1} MB",
                     row + 1
                 );

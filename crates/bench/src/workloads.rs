@@ -51,7 +51,7 @@ impl Workload {
             Workload::Mixed => T::from_i32((splitmix(i as u64) % 41) as i32 - 20),
             Workload::FullRange => T::from_i32(splitmix(i as u64) as i32),
             Workload::Bursts => {
-                if splitmix(i as u64) % 97 == 0 {
+                if splitmix(i as u64).is_multiple_of(97) {
                     T::from_i32((splitmix(i as u64 ^ 0xbeef) % 12) as i32 + 1)
                 } else {
                     T::zero()

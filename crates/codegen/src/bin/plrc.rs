@@ -63,8 +63,9 @@ fn parse_args() -> Result<Args, String> {
             "--tune" => parsed.tune = true,
             "--device" => parsed.device = value("--device")?,
             "--lookback" => {
-                parsed.lookback =
-                    value("--lookback")?.parse().map_err(|e| format!("--lookback: {e}"))?
+                parsed.lookback = value("--lookback")?
+                    .parse()
+                    .map_err(|e| format!("--lookback: {e}"))?
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -105,14 +106,24 @@ fn main() -> ExitCode {
 }
 
 fn drive<T: Element>(args: &Args) -> Result<(), String> {
-    let sig: Signature<T> = args.signature.parse().map_err(|e: plr_core::error::SignatureError| e.to_string())?;
+    let sig: Signature<T> = args
+        .signature
+        .parse()
+        .map_err(|e: plr_core::error::SignatureError| e.to_string())?;
     let device = match args.device.as_str() {
         "titan-x" => plr_sim::DeviceConfig::titan_x(),
         "gtx-1080" => plr_sim::DeviceConfig::gtx_1080(),
         other => return Err(format!("unknown --device `{other}` (titan-x|gtx-1080)")),
     };
-    let opts = if args.no_opt { Optimizations::none() } else { Optimizations::all() };
-    let mut lower_options = LowerOptions { opts, ..Default::default() };
+    let opts = if args.no_opt {
+        Optimizations::none()
+    } else {
+        Optimizations::all()
+    };
+    let mut lower_options = LowerOptions {
+        opts,
+        ..Default::default()
+    };
     if args.tune {
         let tuned = plr_codegen::tune::tune(
             &sig,
@@ -128,7 +139,10 @@ fn drive<T: Element>(args: &Args) -> Result<(), String> {
             tuned.evaluated,
             tuned.speedup(),
         );
-        lower_options = LowerOptions { opts, ..tuned.options };
+        lower_options = LowerOptions {
+            opts,
+            ..tuned.options
+        };
     }
     let plr = Plr::new().with_device(device).with_options(lower_options);
     let compilation = plr.compile(&sig, args.n);
@@ -151,16 +165,23 @@ fn drive<T: Element>(args: &Args) -> Result<(), String> {
         }
         "run" | "stats" => {
             let n = args.n;
-            let input: Vec<T> =
-                (0..n).map(|i| T::from_i32(((i * 37) % 25) as i32 - 12)).collect();
-            let exec_opts = ExecOptions { lookback_delay: args.lookback };
+            let input: Vec<T> = (0..n)
+                .map(|i| T::from_i32(((i * 37) % 25) as i32 - 12))
+                .collect();
+            let exec_opts = ExecOptions {
+                lookback_delay: args.lookback,
+            };
             let run = exec::execute(&compilation.plan, &input, plr.device(), &exec_opts);
             let expect = serial::run(&sig, &input);
             validate::validate(&expect, &run.output, validate::PAPER_FLOAT_TOLERANCE)
                 .map_err(|e| format!("validation failed: {e}"))?;
             println!("signature  {}", sig);
             println!("n          {n}");
-            println!("chunk m    {} (x = {})", compilation.plan.chunk_size(), compilation.plan.x);
+            println!(
+                "chunk m    {} (x = {})",
+                compilation.plan.chunk_size(),
+                compilation.plan.x
+            );
             println!("blocks     {}", run.workload.blocks);
             println!("validated  OK (vs serial reference)");
             if args.emit == "stats" {
@@ -175,11 +196,16 @@ fn drive<T: Element>(args: &Args) -> Result<(), String> {
                 println!("flops      {}", c.flops);
                 println!("atomics    {}", c.atomics);
                 println!("model time {:.3} ms", t.total * 1e3);
-                println!("throughput {:.2} G elements/s", run.throughput(&model) / 1e9);
+                println!(
+                    "throughput {:.2} G elements/s",
+                    run.throughput(&model) / 1e9
+                );
             }
             Ok(())
         }
-        other => Err(format!("unknown --emit `{other}` (cuda|c|report|run|stats)")),
+        other => Err(format!(
+            "unknown --emit `{other}` (cuda|c|report|run|stats)"
+        )),
     }
 }
 

@@ -126,7 +126,9 @@ mod tests {
         // Paper: "the entire code generation … takes only roughly 10 ms".
         let plr = Plr::new();
         let start = Instant::now();
-        let c = plr.compile_str::<f32>("0.008: 2.4, -1.92, 0.512", 1 << 30).unwrap();
+        let c = plr
+            .compile_str::<f32>("0.008: 2.4, -1.92, 0.512", 1 << 30)
+            .unwrap();
         let elapsed = start.elapsed();
         assert!(!c.cuda.is_empty());
         assert!(elapsed.as_millis() < 250, "codegen took {elapsed:?}");
@@ -134,6 +136,8 @@ mod tests {
 
     #[test]
     fn parse_errors_propagate() {
-        assert!(Plr::new().compile_str::<i32>("not a signature", 100).is_err());
+        assert!(Plr::new()
+            .compile_str::<i32>("not a signature", 100)
+            .is_err());
     }
 }

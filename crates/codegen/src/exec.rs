@@ -40,10 +40,7 @@ impl Default for ExecOptions {
 pub type Execution<T> = RunReport<T>;
 
 /// Builds the factor-access spec a plan implies.
-fn factor_access<T: Element>(
-    plan: &KernelPlan<T>,
-    mem: &mut GlobalMemory,
-) -> FactorAccess {
+fn factor_access<T: Element>(plan: &KernelPlan<T>, mem: &mut GlobalMemory) -> FactorAccess {
     let m = plan.chunk_size();
     let k = plan.order();
     let elem = T::BYTES as u64;
@@ -62,7 +59,11 @@ fn factor_access<T: Element>(
                 )
             {
                 // Truly free: folded into the instruction stream.
-                FactorListSpec { inline: true, shared_limit: 0, active_len }
+                FactorListSpec {
+                    inline: true,
+                    shared_limit: 0,
+                    active_len,
+                }
             } else {
                 // Suppressed shifted duplicate: loads are served through
                 // list 0's storage, so it costs like a buffered list.
@@ -89,7 +90,12 @@ fn factor_access<T: Element>(
     } else {
         None
     };
-    FactorAccess { lists, buffer, element_bytes: elem, table_len: m }
+    FactorAccess {
+        lists,
+        buffer,
+        element_bytes: elem,
+        table_len: m,
+    }
 }
 
 /// Executes `plan` over `input` on the machine model.
@@ -148,7 +154,11 @@ pub fn execute<T: Element>(
         let mut chunk: Vec<T> = Vec::with_capacity(len);
         if p > 0 && start > 0 {
             let overlap = p.min(start);
-            mem.read(in_buf, (start - overlap) as u64 * elem, overlap as u64 * elem);
+            mem.read(
+                in_buf,
+                (start - overlap) as u64 * elem,
+                overlap as u64 * elem,
+            );
         }
         for i in start..end {
             let mut acc = T::zero();
@@ -188,19 +198,31 @@ pub fn execute<T: Element>(
             mem.counters_mut().lookback_hops += hops as u64;
             mem.counters_mut().spin_waits += (opts.lookback_delay - 1) as u64;
             // Read the visible global carries…
-            mem.read(carry_buf, depth * k as u64 * elem + (visible as u64 % depth) * k as u64 * elem, k as u64 * elem);
+            mem.read(
+                carry_buf,
+                depth * k as u64 * elem + (visible as u64 % depth) * k as u64 * elem,
+                k as u64 * elem,
+            );
             let mut g = global_carries[visible].clone();
             // …and the local carries of every following chunk.
-            for j in visible + 1..c {
-                mem.read(carry_buf, (j as u64 % depth) * k as u64 * elem, k as u64 * elem);
+            for (j, locals) in local_carries.iter().enumerate().take(c).skip(visible + 1) {
+                mem.read(
+                    carry_buf,
+                    (j as u64 % depth) * k as u64 * elem,
+                    k as u64 * elem,
+                );
                 let chunk_len = m.min(n - j * m);
-                g = plan.table.fixup_carries(&g, &local_carries[j], chunk_len);
+                g = plan.table.fixup_carries(&g, locals, chunk_len);
                 mem.counters_mut().flops += (k * k) as u64;
             }
             if !T::IS_FLOAT {
                 // Float chains reassociate, so exact equality only holds
                 // for the integer types.
-                debug_assert_eq!(g, global_carries[c - 1], "look-back must reconstruct the chain");
+                debug_assert_eq!(
+                    g,
+                    global_carries[c - 1],
+                    "look-back must reconstruct the chain"
+                );
             }
 
             // Correct the chunk with the predecessor's global carries.
@@ -209,7 +231,11 @@ pub fn execute<T: Element>(
 
         // Publish global carries.
         let globals = carries_of(&chunk, k);
-        mem.write(carry_buf, depth * k as u64 * elem + slot, globals.len() as u64 * elem);
+        mem.write(
+            carry_buf,
+            depth * k as u64 * elem + slot,
+            globals.len() as u64 * elem,
+        );
         mem.fence();
         mem.atomic(flag_buf, depth * 4 + (c as u64 % depth) * 4, 4);
         global_carries.push(globals);
@@ -318,7 +344,12 @@ pub fn estimate<T: Element>(
         mem.alloc(4, "chunk counter");
         mem.peak_bytes()
     };
-    Execution { output: Vec::new(), counters, workload, peak_bytes: peak }
+    Execution {
+        output: Vec::new(),
+        counters,
+        workload,
+        peak_bytes: peak,
+    }
 }
 
 fn diff(a: &Counters, b: &Counters) -> Counters {
@@ -353,7 +384,9 @@ mod tests {
         let sig: Signature<T> = sig_text.parse().unwrap();
         let device = DeviceConfig::titan_x();
         let plan = lower(&sig, n, &device, &LowerOptions::default());
-        let input: Vec<T> = (0..n).map(|i| T::from_i32(((i * 37) % 23) as i32 - 11)).collect();
+        let input: Vec<T> = (0..n)
+            .map(|i| T::from_i32(((i * 37) % 23) as i32 - 11))
+            .collect();
         let exec = execute(&plan, &input, &device, &opts);
         let expect = serial::run(&sig, &input);
         validate(&expect, &exec.output, tol).unwrap_or_else(|e| panic!("{sig_text}: {e}"));
@@ -382,16 +415,31 @@ mod tests {
         // reaches ~1.4e-3 relative error while the identical f64 run is
         // within 3e-12 of serial — pure single-precision roundoff, so this
         // case gets a correspondingly looser bound.
-        run_check::<f32>("0.729,-2.187,2.187,-0.729:2.4,-1.92,0.512", 10_000, 5e-3,
-            ExecOptions::default());
-        run_check::<f64>("0.729,-2.187,2.187,-0.729:2.4,-1.92,0.512", 10_000, 1e-9,
-            ExecOptions::default());
+        run_check::<f32>(
+            "0.729,-2.187,2.187,-0.729:2.4,-1.92,0.512",
+            10_000,
+            5e-3,
+            ExecOptions::default(),
+        );
+        run_check::<f64>(
+            "0.729,-2.187,2.187,-0.729:2.4,-1.92,0.512",
+            10_000,
+            1e-9,
+            ExecOptions::default(),
+        );
     }
 
     #[test]
     fn deeper_lookback_still_correct() {
         for delay in [1usize, 2, 5, 32] {
-            run_check::<i64>("1:2,-1", 30_000, 0.0, ExecOptions { lookback_delay: delay });
+            run_check::<i64>(
+                "1:2,-1",
+                30_000,
+                0.0,
+                ExecOptions {
+                    lookback_delay: delay,
+                },
+            );
         }
     }
 
@@ -399,7 +447,10 @@ mod tests {
     fn optimizations_off_still_correct() {
         let sig: Signature<f32> = "0.04:1.6,-0.64".parse().unwrap();
         let device = DeviceConfig::titan_x();
-        let o = LowerOptions { opts: Optimizations::none(), ..Default::default() };
+        let o = LowerOptions {
+            opts: Optimizations::none(),
+            ..Default::default()
+        };
         let plan = lower(&sig, 8000, &device, &o);
         let input: Vec<f32> = (0..8000).map(|i| ((i % 11) as f32) - 5.0).collect();
         let exec = execute(&plan, &input, &device, &ExecOptions::default());
@@ -421,7 +472,15 @@ mod tests {
             &ExecOptions::default(),
         );
         let off = execute(
-            &lower(&sig, n, &device, &LowerOptions { opts: Optimizations::none(), ..Default::default() }),
+            &lower(
+                &sig,
+                n,
+                &device,
+                &LowerOptions {
+                    opts: Optimizations::none(),
+                    ..Default::default()
+                },
+            ),
             &input,
             &device,
             &ExecOptions::default(),
@@ -445,11 +504,8 @@ mod tests {
         let blocks = plan.blocks_for(n) as u64;
         let nb = n as u64 * 4;
         assert_eq!(e.counters.global_write_bytes, nb + blocks * 2 * 4); // output + 2k carries/chunk (k=1)
-        // Reads: input once + look-back carry reads (k words per hop).
-        assert_eq!(
-            e.counters.global_read_bytes,
-            nb + (blocks - 1) * 4
-        );
+                                                                        // Reads: input once + look-back carry reads (k words per hop).
+        assert_eq!(e.counters.global_read_bytes, nb + (blocks - 1) * 4);
         assert_eq!(e.counters.atomics, blocks * 3); // claim + 2 flags
     }
 
@@ -466,11 +522,20 @@ mod tests {
                 let input: Vec<i64> = (0..n).map(|i| (i % 13) as i64 - 6).collect();
                 let real = execute(&plan, &input, &device, &ExecOptions::default());
                 let est = estimate(&plan, n, &device, &ExecOptions::default());
-                assert_eq!(est.counters.global_read_bytes, real.counters.global_read_bytes, "{text}");
-                assert_eq!(est.counters.global_write_bytes, real.counters.global_write_bytes, "{text}");
+                assert_eq!(
+                    est.counters.global_read_bytes, real.counters.global_read_bytes,
+                    "{text}"
+                );
+                assert_eq!(
+                    est.counters.global_write_bytes, real.counters.global_write_bytes,
+                    "{text}"
+                );
                 assert_eq!(est.counters.flops, real.counters.flops, "{text}");
                 assert_eq!(est.counters.shuffles, real.counters.shuffles, "{text}");
-                assert_eq!(est.counters.shared_accesses, real.counters.shared_accesses, "{text}");
+                assert_eq!(
+                    est.counters.shared_accesses, real.counters.shared_accesses,
+                    "{text}"
+                );
                 assert_eq!(est.counters.atomics, real.counters.atomics, "{text}");
                 assert_eq!(est.workload.blocks, real.workload.blocks, "{text}");
             }

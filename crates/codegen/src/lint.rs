@@ -99,9 +99,7 @@ fn check_balance(source: &str, errors: &mut Vec<LintError>) {
                     Some((open, _)) if open == expect => {}
                     Some((open, open_line)) => errors.push(LintError {
                         line,
-                        message: format!(
-                            "mismatched `{c}` closing `{open}` from line {open_line}"
-                        ),
+                        message: format!("mismatched `{c}` closing `{open}` from line {open_line}"),
                     }),
                     None => errors.push(LintError {
                         line,
@@ -119,10 +117,16 @@ fn check_balance(source: &str, errors: &mut Vec<LintError>) {
         });
     }
     if in_block_comment {
-        errors.push(LintError { line, message: "unterminated block comment".to_owned() });
+        errors.push(LintError {
+            line,
+            message: "unterminated block comment".to_owned(),
+        });
     }
     if in_string {
-        errors.push(LintError { line, message: "unterminated string literal".to_owned() });
+        errors.push(LintError {
+            line,
+            message: "unterminated string literal".to_owned(),
+        });
     }
 }
 
@@ -145,7 +149,8 @@ fn check_identifiers(source: &str, errors: &mut Vec<LintError>) {
                         i += 1;
                     }
                     let word = &line[start..i];
-                    if word.starts_with("FACT") || word.starts_with("ldfact")
+                    if word.starts_with("FACT")
+                        || word.starts_with("ldfact")
                         || word.starts_with("sfact")
                     {
                         found.push((lineno + 1, word.to_owned()));
@@ -225,26 +230,29 @@ mod tests {
         for text in texts {
             let sig: Signature<i64> = text.parse().unwrap();
             for opts in [Optimizations::all(), Optimizations::none()] {
-                let plan =
-                    lower(&sig, 1 << 22, &device, &LowerOptions { opts, ..Default::default() });
-                lint(&emit::cuda_source(&plan)).unwrap_or_else(|e| {
-                    panic!("CUDA lint for {text} ({opts:?}): {e:?}")
-                });
-                lint(&emit_c::c_source(&plan)).unwrap_or_else(|e| {
-                    panic!("C lint for {text} ({opts:?}): {e:?}")
-                });
+                let plan = lower(
+                    &sig,
+                    1 << 22,
+                    &device,
+                    &LowerOptions {
+                        opts,
+                        ..Default::default()
+                    },
+                );
+                lint(&emit::cuda_source(&plan))
+                    .unwrap_or_else(|e| panic!("CUDA lint for {text} ({opts:?}): {e:?}"));
+                lint(&emit_c::c_source(&plan))
+                    .unwrap_or_else(|e| panic!("C lint for {text} ({opts:?}): {e:?}"));
             }
         }
         // Float filters too (decay truncation changes the emitted arrays).
         for entry in prefix::catalog().iter().filter(|e| !e.integral) {
             let sig: Signature<f32> = entry.signature.cast();
             let plan = lower(&sig, 1 << 22, &device, &LowerOptions::default());
-            lint(&emit::cuda_source(&plan)).unwrap_or_else(|e| {
-                panic!("CUDA lint for {}: {e:?}", entry.id)
-            });
-            lint(&emit_c::c_source(&plan)).unwrap_or_else(|e| {
-                panic!("C lint for {}: {e:?}", entry.id)
-            });
+            lint(&emit::cuda_source(&plan))
+                .unwrap_or_else(|e| panic!("CUDA lint for {}: {e:?}", entry.id));
+            lint(&emit_c::c_source(&plan))
+                .unwrap_or_else(|e| panic!("C lint for {}: {e:?}", entry.id));
         }
     }
 }

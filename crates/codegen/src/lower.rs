@@ -67,7 +67,11 @@ pub fn lower<T: Element>(
 ) -> KernelPlan<T> {
     assert!(n > 0, "cannot lower for an empty input");
     let threads_per_block = device.max_threads_per_block;
-    let registers_per_thread = if T::IS_FLOAT || signature.is_zero_one() { 32 } else { 64 };
+    let registers_per_thread = if T::IS_FLOAT || signature.is_zero_one() {
+        32
+    } else {
+        64
+    };
     let resident_blocks = device.resident_blocks(threads_per_block, registers_per_thread);
 
     // x: smallest integer with x·1024·T > n, capped — unless overridden.
@@ -157,15 +161,24 @@ mod tests {
     #[test]
     fn resident_blocks_reflect_register_budget() {
         let psum: Signature<i32> = "1:1".parse().unwrap();
-        assert_eq!(lower(&psum, 1024, &device(), &LowerOptions::default()).resident_blocks, 48);
+        assert_eq!(
+            lower(&psum, 1024, &device(), &LowerOptions::default()).resident_blocks,
+            48
+        );
         let order2: Signature<i32> = "1:2,-1".parse().unwrap();
-        assert_eq!(lower(&order2, 1024, &device(), &LowerOptions::default()).resident_blocks, 24);
+        assert_eq!(
+            lower(&order2, 1024, &device(), &LowerOptions::default()).resident_blocks,
+            24
+        );
     }
 
     #[test]
     fn disabled_shared_buffering_zeroes_budget() {
         let sig: Signature<i32> = "1:2,-1".parse().unwrap();
-        let o = LowerOptions { opts: Optimizations::none(), ..Default::default() };
+        let o = LowerOptions {
+            opts: Optimizations::none(),
+            ..Default::default()
+        };
         let p = lower(&sig, 1 << 20, &device(), &o);
         assert_eq!(p.shared_factor_budget, 0);
     }
@@ -175,8 +188,11 @@ mod tests {
         let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
         let p_on = lower(&sig, 1 << 22, &device(), &LowerOptions::default());
         // 0.8^n underflows f32 near n ≈ 392 < m.
-        assert!(p_on.table.list(0).iter().any(|&v| v == 0.0));
-        let o = LowerOptions { opts: Optimizations::none(), ..Default::default() };
+        assert!(p_on.table.list(0).contains(&0.0));
+        let o = LowerOptions {
+            opts: Optimizations::none(),
+            ..Default::default()
+        };
         let p_off = lower(&sig, 1 << 22, &device(), &o);
         assert!(p_off.table.list(0).iter().all(|&v| v != 0.0));
     }

@@ -133,7 +133,9 @@ impl<T: Element> KernelPlan<T> {
     /// Number of factor arrays that must be materialized in the emitted
     /// code / device memory.
     pub fn materialized_lists(&self) -> usize {
-        (0..self.order()).filter(|&r| !self.list_is_inline(r)).count()
+        (0..self.order())
+            .filter(|&r| !self.list_is_inline(r))
+            .count()
     }
 
     /// Number of carry lists whose factors must be fetched from global
@@ -252,7 +254,15 @@ mod tests {
 
     fn plan_for(text: &str, n: usize, opts: Optimizations) -> KernelPlan<i64> {
         let sig: Signature<i64> = text.parse().unwrap();
-        lower(&sig, n, &DeviceConfig::titan_x(), &LowerOptions { opts, ..Default::default() })
+        lower(
+            &sig,
+            n,
+            &DeviceConfig::titan_x(),
+            &LowerOptions {
+                opts,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -281,7 +291,10 @@ mod tests {
     fn second_order_suppresses_shifted_duplicate() {
         let p = plan_for("1:2,-1", 1 << 20, Optimizations::all());
         assert!(!p.list_is_inline(0));
-        assert!(p.list_is_inline(1), "last list is a scaled shift of the first");
+        assert!(
+            p.list_is_inline(1),
+            "last list is a scaled shift of the first"
+        );
         assert_eq!(p.materialized_lists(), 1);
     }
 

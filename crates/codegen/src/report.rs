@@ -137,7 +137,12 @@ mod tests {
         <Signature<T> as std::str::FromStr>::Err: std::fmt::Debug,
     {
         let sig: Signature<T> = text.parse().unwrap();
-        let plan = lower(&sig, 1 << 24, &DeviceConfig::titan_x(), &LowerOptions::default());
+        let plan = lower(
+            &sig,
+            1 << 24,
+            &DeviceConfig::titan_x(),
+            &LowerOptions::default(),
+        );
         report(&plan)
     }
 
@@ -171,7 +176,13 @@ mod tests {
     fn display_is_complete_and_nonempty() {
         let r = report_for::<f32>("0.04:1.6,-0.64");
         let text = r.to_string();
-        for needle in ["signature", "chunk size m", "resident blocks", "carry 0", "model derates"] {
+        for needle in [
+            "signature",
+            "chunk size m",
+            "resident blocks",
+            "carry 0",
+            "model derates",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

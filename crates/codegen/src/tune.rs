@@ -165,7 +165,10 @@ mod tests {
             t.speedup()
         );
         let chosen = t.options.shared_factor_budget;
-        assert!(chosen > 1024, "tuner should pick a larger budget, picked {chosen}");
+        assert!(
+            chosen > 1024,
+            "tuner should pick a larger budget, picked {chosen}"
+        );
     }
 
     #[test]
@@ -194,6 +197,9 @@ mod tests {
             t.speedup()
         );
         let x = t.options.x_override.unwrap_or(1);
-        assert!(x > 1, "the heuristic's x = 1 should not be optimal at tiny sizes");
+        assert!(
+            x > 1,
+            "the heuristic's x = 1 should not be optimal at tiny sizes"
+        );
     }
 }

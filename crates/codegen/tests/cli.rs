@@ -41,8 +41,9 @@ fn runs_and_validates() {
 
 #[test]
 fn stats_mode_prints_counters() {
-    let (ok, stdout, _) =
-        plrc(&["(1: 1)", "--n", "100000", "--emit", "stats", "--device", "gtx-1080"]);
+    let (ok, stdout, _) = plrc(&[
+        "(1: 1)", "--n", "100000", "--emit", "stats", "--device", "gtx-1080",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("throughput"));
     assert!(stdout.contains("l2 misses"));
@@ -50,8 +51,7 @@ fn stats_mode_prints_counters() {
 
 #[test]
 fn tuned_compilation_works() {
-    let (ok, stdout, stderr) =
-        plrc(&["(1: 2, -1)", "--n", "65536", "--tune", "--emit", "run"]);
+    let (ok, stdout, stderr) = plrc(&["(1: 2, -1)", "--n", "65536", "--tune", "--emit", "run"]);
     assert!(ok, "{stdout}{stderr}");
     assert!(stderr.contains("tuned:"), "{stderr}");
     assert!(stdout.contains("validated  OK"));

@@ -100,8 +100,9 @@ pub struct TableAnalysis<T> {
 
 /// Analyses every list of a correction table.
 pub fn analyze_table<T: Element>(table: &CorrectionTable<T>) -> TableAnalysis<T> {
-    let patterns: Vec<FactorPattern<T>> =
-        (0..table.order()).map(|r| classify(table.list(r))).collect();
+    let patterns: Vec<FactorPattern<T>> = (0..table.order())
+        .map(|r| classify(table.list(r)))
+        .collect();
     let required_entries = patterns
         .iter()
         .enumerate()
@@ -120,10 +121,13 @@ pub fn analyze_table<T: Element>(table: &CorrectionTable<T>) -> TableAnalysis<T>
         let last = table.list(k - 1);
         // last[0] is b-k by construction; check last[i] == b-k·first[i-1].
         let bk = last[0];
-        first.len() == last.len()
-            && (1..last.len()).all(|i| last[i] == bk.mul(first[i - 1]))
+        first.len() == last.len() && (1..last.len()).all(|i| last[i] == bk.mul(first[i - 1]))
     };
-    TableAnalysis { patterns, required_entries, first_last_shifted }
+    TableAnalysis {
+        patterns,
+        required_entries,
+        first_last_shifted,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +155,10 @@ mod tests {
         let t = CorrectionTable::generate(sig.feedback(), 8);
         match classify(t.list(0)) {
             FactorPattern::ZeroOne(mask) => {
-                assert_eq!(mask, vec![false, true, false, true, false, true, false, true]);
+                assert_eq!(
+                    mask,
+                    vec![false, true, false, true, false, true, false, true]
+                );
             }
             other => panic!("expected ZeroOne, got {other:?}"),
         }

@@ -152,7 +152,13 @@ mod tests {
     #[test]
     fn correction_factors_are_companion_matrix_powers() {
         // The module-level identity, across several recurrences.
-        for fb in [&[1i64][..], &[1, 1][..], &[2, -1][..], &[3, -3, 1][..], &[1, -2, 3, -1][..]] {
+        for fb in [
+            &[1i64][..],
+            &[1, 1][..],
+            &[2, -1][..],
+            &[3, -3, 1][..],
+            &[1, -2, 3, -1][..],
+        ] {
             let k = fb.len();
             let m = 24;
             let table = CorrectionTable::generate(fb, m);

@@ -118,7 +118,9 @@ impl<T: Element> Engine<T> {
             || (config.carry_propagation == CarryPropagation::Decoupled
                 && config.chunk_size < signature.order())
         {
-            return Err(EngineError::InvalidChunkSize { chunk_size: config.chunk_size });
+            return Err(EngineError::InvalidChunkSize {
+                chunk_size: config.chunk_size,
+            });
         }
         let (fir, recursive) = signature.split();
         let table = CorrectionTable::generate_with(
@@ -126,7 +128,12 @@ impl<T: Element> Engine<T> {
             config.chunk_size,
             config.flush_denormals && T::IS_FLOAT,
         );
-        Ok(Engine { signature, fir, table, config })
+        Ok(Engine {
+            signature,
+            fir,
+            table,
+            config,
+        })
     }
 
     /// The signature this engine computes.
@@ -165,7 +172,10 @@ impl<T: Element> Engine<T> {
     /// elements.
     pub fn run_in_place(&self, data: &mut [T]) -> Result<(), EngineError> {
         if data.len() > MAX_INPUT_LEN {
-            return Err(EngineError::InputTooLarge { len: data.len(), max: MAX_INPUT_LEN });
+            return Err(EngineError::InputTooLarge {
+                len: data.len(),
+                max: MAX_INPUT_LEN,
+            });
         }
         // Stage 1: the map operation eliminating the non-recursive
         // coefficients (paper equation (2)).
@@ -231,8 +241,15 @@ mod tests {
 
     #[test]
     fn all_strategy_combinations_match_serial_float() {
-        let input: Vec<f64> = (0..333).map(|i| ((i * 7) % 23) as f64 * 0.5 - 5.0).collect();
-        for text in ["0.2:0.8", "0.04:1.6,-0.64", "0.9,-0.9:0.8", "0.008:2.4,-1.92,0.512"] {
+        let input: Vec<f64> = (0..333)
+            .map(|i| ((i * 7) % 23) as f64 * 0.5 - 5.0)
+            .collect();
+        for text in [
+            "0.2:0.8",
+            "0.04:1.6,-0.64",
+            "0.9,-0.9:0.8",
+            "0.008:2.4,-1.92,0.512",
+        ] {
             let sig: Signature<f64> = text.parse().unwrap();
             check_all_strategies(&sig, &input, 32, 1e-3);
         }
@@ -252,11 +269,23 @@ mod tests {
     fn chunk_size_validation() {
         let sig: Signature<i32> = "1:1".parse().unwrap();
         assert!(matches!(
-            Engine::with_config(sig.clone(), EngineConfig { chunk_size: 0, ..Default::default() }),
+            Engine::with_config(
+                sig.clone(),
+                EngineConfig {
+                    chunk_size: 0,
+                    ..Default::default()
+                }
+            ),
             Err(EngineError::InvalidChunkSize { .. })
         ));
         assert!(matches!(
-            Engine::with_config(sig.clone(), EngineConfig { chunk_size: 3, ..Default::default() }),
+            Engine::with_config(
+                sig.clone(),
+                EngineConfig {
+                    chunk_size: 3,
+                    ..Default::default()
+                }
+            ),
             Err(EngineError::InvalidChunkSize { .. })
         ));
         // Non-power-of-two is fine with serial local solves.
@@ -279,9 +308,14 @@ mod tests {
     #[test]
     fn exposes_offline_artifacts() {
         let sig: Signature<i32> = "1:2,-1".parse().unwrap();
-        let engine =
-            Engine::with_config(sig, EngineConfig { chunk_size: 8, ..Default::default() })
-                .unwrap();
+        let engine = Engine::with_config(
+            sig,
+            EngineConfig {
+                chunk_size: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(engine.correction_table().list(0), &[2, 3, 4, 5, 6, 7, 8, 9]);
         assert_eq!(engine.config().chunk_size, 8);
         assert_eq!(engine.signature().order(), 2);

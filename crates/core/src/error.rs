@@ -46,7 +46,10 @@ impl fmt::Display for SignatureError {
                 write!(f, "invalid coefficient token `{token}`")
             }
             SignatureError::MissingSeparator => {
-                write!(f, "signature must contain exactly one `:` separating the coefficient lists")
+                write!(
+                    f,
+                    "signature must contain exactly one `:` separating the coefficient lists"
+                )
             }
         }
     }
@@ -117,7 +120,10 @@ impl fmt::Display for EngineError {
                 write!(f, "invalid chunk size {chunk_size}")
             }
             EngineError::InputTooLarge { len, max } => {
-                write!(f, "input of {len} elements exceeds supported maximum of {max}")
+                write!(
+                    f,
+                    "input of {len} elements exceeds supported maximum of {max}"
+                )
             }
             EngineError::UnsupportedSignature { reason } => {
                 write!(f, "unsupported signature: {reason}")
@@ -149,7 +155,12 @@ mod tests {
 
     #[test]
     fn validation_error_display() {
-        let e = ValidationError { index: 3, expected: 1.0, actual: 2.0, tolerance: 1e-3 };
+        let e = ValidationError {
+            index: 3,
+            expected: 1.0,
+            actual: 2.0,
+            tolerance: 1e-3,
+        };
         let s = e.to_string();
         assert!(s.contains("index 3"));
         assert!(s.contains("expected 1"));
@@ -159,7 +170,9 @@ mod tests {
     fn engine_error_display() {
         let e = EngineError::InputTooLarge { len: 10, max: 5 };
         assert!(e.to_string().contains("10"));
-        let e = EngineError::UnsupportedSignature { reason: "p > 0".into() };
+        let e = EngineError::UnsupportedSignature {
+            reason: "p > 0".into(),
+        };
         assert!(e.to_string().contains("p > 0"));
     }
 

@@ -83,7 +83,10 @@ impl Stage {
         let numerator = Poly::new(sig.feedforward().to_vec());
         let mut d = vec![1.0];
         d.extend(sig.feedback().iter().map(|&b| -b));
-        Stage { numerator, denominator: Poly::new(d) }
+        Stage {
+            numerator,
+            denominator: Poly::new(d),
+        }
     }
 
     /// Cascades `self` with `other` (series connection): transfer functions
@@ -146,7 +149,10 @@ impl Stage {
 ///
 /// Panics if `x` is outside `(0, 1)` or `stages == 0`.
 pub fn low_pass(x: f64, stages: u32) -> Signature<f64> {
-    SinglePole::from_pole(x).low_pass_stage().repeat(stages).to_signature()
+    SinglePole::from_pole(x)
+        .low_pass_stage()
+        .repeat(stages)
+        .to_signature()
 }
 
 /// An `stages`-stage high-pass filter with pole `x`, in signature form.
@@ -159,7 +165,10 @@ pub fn low_pass(x: f64, stages: u32) -> Signature<f64> {
 ///
 /// Panics if `x` is outside `(0, 1)` or `stages == 0`.
 pub fn high_pass(x: f64, stages: u32) -> Signature<f64> {
-    SinglePole::from_pole(x).high_pass_stage().repeat(stages).to_signature()
+    SinglePole::from_pole(x)
+        .high_pass_stage()
+        .repeat(stages)
+        .to_signature()
 }
 
 #[cfg(test)]

@@ -174,14 +174,23 @@ impl<T: Element> CorrectionTable<T> {
     /// # Panics
     ///
     /// Panics if `chunk_len` is zero, exceeds the table length, or is
-    /// smaller than `local.len()`.
+    /// smaller than `local.len()`, or if `global_prev` holds more carries
+    /// than the recurrence order (fewer is fine — missing carries are
+    /// zero — but extra entries would indicate transposed arguments and
+    /// must not be ignored silently).
     pub fn fixup_carries(&self, global_prev: &[T], local: &[T], chunk_len: usize) -> Vec<T> {
         assert!(chunk_len >= 1 && chunk_len <= self.len && local.len() <= chunk_len);
+        assert!(
+            global_prev.len() <= self.order(),
+            "{} predecessor carries exceed the recurrence order {}",
+            global_prev.len(),
+            self.order()
+        );
         let mut out = Vec::with_capacity(local.len());
         for (s, &l) in local.iter().enumerate() {
             let i = chunk_len - 1 - s;
             let mut acc = l;
-            for (r, &g) in global_prev.iter().enumerate().take(self.order()) {
+            for (r, &g) in global_prev.iter().enumerate() {
                 acc = acc.add(self.lists[r][i].mul(g));
             }
             out.push(acc);
@@ -299,7 +308,7 @@ mod tests {
     fn denormal_flush_truncates_decaying_factors() {
         let t = CorrectionTable::generate_with(&[0.1f32], 64, true);
         // 0.1^n underflows f32 denormal range well before 64 terms.
-        assert!(t.list(0).iter().any(|&v| v == 0.0));
+        assert!(t.list(0).contains(&0.0));
         let first_zero = t.list(0).iter().position(|&v| v == 0.0).unwrap();
         // Everything after the first zero stays zero (0 · b = 0).
         assert!(t.list(0)[first_zero..].iter().all(|&v| v == 0.0));
@@ -311,5 +320,23 @@ mod tests {
         let t = CorrectionTable::generate(&[1i32], 2);
         let mut chunk = vec![0i32; 3];
         t.correct_chunk(&mut chunk, &[1]);
+    }
+
+    #[test]
+    fn fixup_accepts_fewer_carries_than_order() {
+        // A short predecessor chunk publishes fewer than k carries; the
+        // missing ones are zero by the local-solution invariant.
+        let t = CorrectionTable::generate(&[2i32, -1], 8);
+        let fixed = t.fixup_carries(&[8], &[40, 44], 8);
+        assert_eq!(fixed, vec![40 + 9 * 8, 44 + 8 * 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the recurrence order")]
+    fn fixup_panics_on_too_many_carries() {
+        // More carries than the order means transposed or corrupted
+        // arguments; it must not be ignored silently.
+        let t = CorrectionTable::generate(&[2i32, -1], 8);
+        let _ = t.fixup_carries(&[8, 12, 99], &[40, 44], 8);
     }
 }

@@ -32,7 +32,10 @@ use crate::nacci::CorrectionTable;
 /// Panics if `chunk == 0` or `2·chunk` exceeds the table length.
 pub fn merge_step<T: Element>(table: &CorrectionTable<T>, data: &mut [T], chunk: usize) {
     assert!(chunk > 0, "chunk size must be positive");
-    assert!(chunk <= table.len(), "doubling past the correction table length");
+    assert!(
+        chunk <= table.len(),
+        "doubling past the correction table length"
+    );
     let k = table.order();
     let pair = 2 * chunk;
     let n = data.len();
@@ -135,7 +138,11 @@ mod tests {
         for target in [1usize, 2, 4, 8, 16] {
             let mut data = input.clone();
             run(&table, &mut data, target);
-            assert_eq!(data, local_solutions(&fb, &input, target), "target {target}");
+            assert_eq!(
+                data,
+                local_solutions(&fb, &input, target),
+                "target {target}"
+            );
         }
     }
 
@@ -144,7 +151,7 @@ mod tests {
         // Paper: after iteration s, the first 2^s elements are final.
         let fb = [1i32, 1, 1];
         let table = CorrectionTable::generate(&fb, 32);
-        let input: Vec<i32> = (0..50).map(|i| (i as i32 % 5) - 2).collect();
+        let input: Vec<i32> = (0..50).map(|i| (i % 5) - 2).collect();
         let full = {
             let mut d = input.clone();
             serial::recursive_in_place(&fb, &mut d);
@@ -161,7 +168,7 @@ mod tests {
         // than k; the local-solution invariant must still hold.
         let fb = [1i32, -2, 3, -1];
         let table = CorrectionTable::generate(&fb, 8);
-        let input: Vec<i32> = (0..40).map(|i| ((i * 31) % 17) as i32 - 8).collect();
+        let input: Vec<i32> = (0..40).map(|i| ((i * 31) % 17) - 8).collect();
         let mut data = input.clone();
         run(&table, &mut data, 8);
         assert_eq!(data, local_solutions(&fb, &input, 8));

@@ -30,7 +30,11 @@ use crate::nacci::{carries_of, CorrectionTable};
 ///
 /// Panics if `m == 0` or `m` exceeds the correction table length.
 pub fn propagate_sequential<T: Element>(table: &CorrectionTable<T>, data: &mut [T], m: usize) {
-    assert!(m > 0 && m <= table.len(), "chunk size {m} outside table length {}", table.len());
+    assert!(
+        m > 0 && m <= table.len(),
+        "chunk size {m} outside table length {}",
+        table.len()
+    );
     let k = table.order();
     let n = data.len();
     let mut start = m;
@@ -64,8 +68,15 @@ pub fn propagate_decoupled<T: Element>(
     data: &mut [T],
     m: usize,
 ) -> usize {
-    assert!(m > 0 && m <= table.len(), "chunk size {m} outside table length {}", table.len());
-    assert!(m >= table.order(), "decoupled look-back requires chunk size >= order");
+    assert!(
+        m > 0 && m <= table.len(),
+        "chunk size {m} outside table length {}",
+        table.len()
+    );
+    assert!(
+        m >= table.order(),
+        "decoupled look-back requires chunk size >= order"
+    );
     let k = table.order();
     let n = data.len();
     if n <= m {
@@ -124,7 +135,11 @@ pub fn lookback_carries<T: Element>(
     locals: &[Vec<T>],
     chunk_lens: &[usize],
 ) -> Vec<T> {
-    assert_eq!(locals.len(), chunk_lens.len(), "one chunk length per local-carry set");
+    assert_eq!(
+        locals.len(),
+        chunk_lens.len(),
+        "one chunk length per local-carry set"
+    );
     let mut g = known_global.to_vec();
     for (local, &len) in locals.iter().zip(chunk_lens) {
         g = table.fixup_carries(&g, local, len);
@@ -168,11 +183,18 @@ mod tests {
 
     #[test]
     fn sequential_matches_serial_for_various_signatures() {
-        let cases: [(&str, usize); 5] =
-            [("1:1", 16), ("1:0,1", 8), ("1:2,-1", 16), ("1:3,-3,1", 32), ("1:0,0,1", 8)];
+        let cases: [(&str, usize); 5] = [
+            ("1:1", 16),
+            ("1:0,1", 8),
+            ("1:2,-1", 16),
+            ("1:3,-3,1", 32),
+            ("1:0,0,1", 8),
+        ];
         for (text, m) in cases {
             let sig: Signature<i64> = text.parse().unwrap();
-            let input: Vec<i64> = (0..137).map(|i| ((i * 2654435761u64 % 19) as i64) - 9).collect();
+            let input: Vec<i64> = (0..137)
+                .map(|i| ((i * 2654435761u64 % 19) as i64) - 9)
+                .collect();
             let expect = serial::run(&sig, &input);
             let got = run_two_phase(&sig, &input, m);
             assert_eq!(got, expect, "signature {text}");
@@ -210,7 +232,7 @@ mod tests {
     fn phase1_then_phase2_is_the_full_algorithm() {
         // End-to-end: Phase 1 doubling to m, then Phase 2, vs serial.
         let sig: Signature<i32> = "1: 2, -1".parse().unwrap();
-        let input: Vec<i32> = (0..500).map(|i| ((i * 37) % 41) as i32 - 20).collect();
+        let input: Vec<i32> = (0..500).map(|i| ((i * 37) % 41) - 20).collect();
         let m = 16;
         let table = CorrectionTable::generate(sig.feedback(), m);
         let mut data = input.clone();
@@ -233,14 +255,18 @@ mod tests {
         for c in locals_data.chunks_mut(m) {
             serial::recursive_in_place(&fb, c);
         }
-        let locals: Vec<Vec<i64>> =
-            locals_data.chunks(m).map(|c| carries_of(c, fb.len())).collect();
+        let locals: Vec<Vec<i64>> = locals_data
+            .chunks(m)
+            .map(|c| carries_of(c, fb.len()))
+            .collect();
 
         // Ground truth globals from the fully corrected sequence.
         let mut global_data = locals_data.clone();
         propagate_sequential(&table, &mut global_data, m);
-        let globals: Vec<Vec<i64>> =
-            global_data.chunks(m).map(|c| carries_of(c, fb.len())).collect();
+        let globals: Vec<Vec<i64>> = global_data
+            .chunks(m)
+            .map(|c| carries_of(c, fb.len()))
+            .collect();
 
         // Depth-4 look-back: from globals[1] through locals of chunks 2..=5.
         let lens = vec![m; 4];

@@ -81,14 +81,54 @@ pub fn catalog() -> Vec<CatalogEntry> {
         e("psum", "prefix sum", prefix_sum(), true),
         e("tuple2", "2-tuple prefix sum", tuple_prefix_sum(2), true),
         e("tuple3", "3-tuple prefix sum", tuple_prefix_sum(3), true),
-        e("order2", "2nd-order prefix sum", higher_order_prefix_sum(2), true),
-        e("order3", "3rd-order prefix sum", higher_order_prefix_sum(3), true),
-        e("lp1", "a 1-stage low-pass filter", filters::low_pass(0.8, 1), false),
-        e("lp2", "a 2-stage low-pass filter", filters::low_pass(0.8, 2), false),
-        e("lp3", "a 3-stage low-pass filter", filters::low_pass(0.8, 3), false),
-        e("hp1", "a 1-stage high-pass filter", filters::high_pass(0.8, 1), false),
-        e("hp2", "a 2-stage high-pass filter", filters::high_pass(0.8, 2), false),
-        e("hp3", "a 3-stage high-pass filter", filters::high_pass(0.8, 3), false),
+        e(
+            "order2",
+            "2nd-order prefix sum",
+            higher_order_prefix_sum(2),
+            true,
+        ),
+        e(
+            "order3",
+            "3rd-order prefix sum",
+            higher_order_prefix_sum(3),
+            true,
+        ),
+        e(
+            "lp1",
+            "a 1-stage low-pass filter",
+            filters::low_pass(0.8, 1),
+            false,
+        ),
+        e(
+            "lp2",
+            "a 2-stage low-pass filter",
+            filters::low_pass(0.8, 2),
+            false,
+        ),
+        e(
+            "lp3",
+            "a 3-stage low-pass filter",
+            filters::low_pass(0.8, 3),
+            false,
+        ),
+        e(
+            "hp1",
+            "a 1-stage high-pass filter",
+            filters::high_pass(0.8, 1),
+            false,
+        ),
+        e(
+            "hp2",
+            "a 2-stage high-pass filter",
+            filters::high_pass(0.8, 2),
+            false,
+        ),
+        e(
+            "hp3",
+            "a 3-stage high-pass filter",
+            filters::high_pass(0.8, 3),
+            false,
+        ),
     ]
 }
 
@@ -130,7 +170,10 @@ mod tests {
     fn higher_order_signatures_match_paper() {
         assert_eq!(higher_order_prefix_sum::<i32>(2).feedback(), &[2, -1]);
         assert_eq!(higher_order_prefix_sum::<i32>(3).feedback(), &[3, -3, 1]);
-        assert_eq!(higher_order_prefix_sum::<i32>(4).feedback(), &[4, -6, 4, -1]);
+        assert_eq!(
+            higher_order_prefix_sum::<i32>(4).feedback(),
+            &[4, -6, 4, -1]
+        );
         assert_eq!(higher_order_prefix_sum::<i32>(1).feedback(), &[1]);
     }
 

@@ -99,7 +99,10 @@ fn scale(a: Complex, s: f64) -> Complex {
 }
 fn div(a: Complex, b: Complex) -> Complex {
     let d = b.re * b.re + b.im * b.im;
-    Complex::new((a.re * b.re + a.im * b.im) / d, (a.im * b.re - a.re * b.im) / d)
+    Complex::new(
+        (a.re * b.re + a.im * b.im) / d,
+        (a.im * b.re - a.re * b.im) / d,
+    )
 }
 
 #[cfg(test)]
@@ -113,9 +116,15 @@ mod tests {
     fn low_pass_passes_dc_and_blocks_nyquist() {
         for stages in 1..=3 {
             let lp = filters::low_pass(0.8, stages);
-            assert!((magnitude(&lp, 0.0) - 1.0).abs() < 1e-12, "{stages} stages at DC");
+            assert!(
+                (magnitude(&lp, 0.0) - 1.0).abs() < 1e-12,
+                "{stages} stages at DC"
+            );
             let nyq = magnitude(&lp, PI);
-            assert!(nyq < 0.12f64.powi(stages as i32 - 1) * 0.12, "{stages} stages: {nyq}");
+            assert!(
+                nyq < 0.12f64.powi(stages as i32 - 1) * 0.12,
+                "{stages} stages: {nyq}"
+            );
         }
     }
 

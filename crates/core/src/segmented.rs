@@ -53,7 +53,9 @@ impl Segments {
     /// Panics if `len == 0`.
     pub fn uniform(len: usize, n: usize) -> Self {
         assert!(len > 0, "segment length must be positive");
-        Segments { starts: (0..n.max(1)).step_by(len).collect() }
+        Segments {
+            starts: (0..n.max(1)).step_by(len).collect(),
+        }
     }
 
     /// The segment start indices (first is always 0).
@@ -72,11 +74,7 @@ impl Segments {
 
 /// Computes the recurrence over `input` with history reset at each segment
 /// start, serially (the reference implementation).
-pub fn run_serial<T: Element>(
-    sig: &Signature<T>,
-    segments: &Segments,
-    input: &[T],
-) -> Vec<T> {
+pub fn run_serial<T: Element>(sig: &Signature<T>, segments: &Segments, input: &[T]) -> Vec<T> {
     let mut out = Vec::with_capacity(input.len());
     let mut bounds = segments.starts().to_vec();
     bounds.push(input.len());
@@ -108,7 +106,10 @@ pub fn run_chunked<T: Element>(
     input: &[T],
     chunk_size: usize,
 ) -> Result<Vec<T>, EngineError> {
-    assert!(sig.is_pure_feedback(), "apply the map stage first (Signature::split)");
+    assert!(
+        sig.is_pure_feedback(),
+        "apply the map stage first (Signature::split)"
+    );
     let k = sig.order();
     if chunk_size == 0 || chunk_size < k {
         return Err(EngineError::InvalidChunkSize { chunk_size });
@@ -147,7 +148,10 @@ pub fn run_chunked<T: Element>(
         // Carries are valid only if no boundary sits at/just before start…
         let carry_segment = segments.segment_start(start - 1);
         let (prev, rest) = data.split_at_mut(start);
-        let carries = carries_of(&prev[carry_segment.max(start.saturating_sub(chunk_size))..], k);
+        let carries = carries_of(
+            &prev[carry_segment.max(start.saturating_sub(chunk_size))..],
+            k,
+        );
         // …and the correction stops at the first boundary inside the chunk.
         let stop = segments
             .starts()

@@ -76,11 +76,7 @@ pub fn recursive_in_place<T: Element>(feedback: &[T], data: &mut [T]) {
 ///
 /// This is the building block chunked executors use for their local solves
 /// and for the sequential gold model of Phase 2.
-pub fn recursive_in_place_with_history<T: Element>(
-    feedback: &[T],
-    history: &[T],
-    data: &mut [T],
-) {
+pub fn recursive_in_place_with_history<T: Element>(feedback: &[T], history: &[T], data: &mut [T]) {
     let k = feedback.len();
     for i in 0..data.len() {
         let mut acc = data[i];

@@ -78,7 +78,10 @@ impl<T: Element> Signature<T> {
         if feedback.is_empty() {
             return Err(SignatureError::ZeroFeedback);
         }
-        Ok(Self { feedforward, feedback })
+        Ok(Self {
+            feedforward,
+            feedback,
+        })
     }
 
     /// The feed-forward coefficients `a0, a-1, …, a-p` (trailing zeros trimmed).
@@ -127,8 +130,16 @@ impl<T: Element> Signature<T> {
     /// computed in `f64` convert to `f32` this way).
     pub fn cast<U: Element>(&self) -> Signature<U> {
         Signature {
-            feedforward: self.feedforward.iter().map(|c| U::from_f64(c.to_f64())).collect(),
-            feedback: self.feedback.iter().map(|c| U::from_f64(c.to_f64())).collect(),
+            feedforward: self
+                .feedforward
+                .iter()
+                .map(|c| U::from_f64(c.to_f64()))
+                .collect(),
+            feedback: self
+                .feedback
+                .iter()
+                .map(|c| U::from_f64(c.to_f64()))
+                .collect(),
         }
     }
 
@@ -190,7 +201,10 @@ impl<T: Element> FromStr for Signature<T> {
     /// * the [`Signature::new`] validation errors.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let s = s.strip_prefix('(').and_then(|t| t.strip_suffix(')')).unwrap_or(s);
+        let s = s
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .unwrap_or(s);
         let mut halves = s.split(':');
         let (ff, fb) = match (halves.next(), halves.next(), halves.next()) {
             (Some(a), Some(b), None) => (a, b),
@@ -200,7 +214,9 @@ impl<T: Element> FromStr for Signature<T> {
             part.split(|c: char| c == ',' || c.is_whitespace())
                 .filter(|t| !t.is_empty())
                 .map(|t| {
-                    T::parse_token(t).ok_or_else(|| SignatureError::InvalidToken { token: t.to_owned() })
+                    T::parse_token(t).ok_or_else(|| SignatureError::InvalidToken {
+                        token: t.to_owned(),
+                    })
                 })
                 .collect()
         };

@@ -40,12 +40,18 @@ impl Complex {
     }
 
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     fn div(self, o: Complex) -> Complex {
         let d = o.re * o.re + o.im * o.im;
-        Complex::new((self.re * o.re + self.im * o.im) / d, (self.im * o.re - self.re * o.im) / d)
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
     }
 }
 
@@ -73,7 +79,11 @@ impl StabilityReport {
     /// `log(threshold) / log(ρ)` with ρ the spectral radius.
     pub fn decay_length(&self, threshold: f64) -> Option<usize> {
         if !self.is_stable() || self.spectral_radius == 0.0 {
-            return if self.spectral_radius == 0.0 { Some(self.poles.len() + 1) } else { None };
+            return if self.spectral_radius == 0.0 {
+                Some(self.poles.len() + 1)
+            } else {
+                None
+            };
         }
         let n = threshold.ln() / self.spectral_radius.ln();
         Some(n.ceil().max(1.0) as usize)
@@ -86,7 +96,10 @@ impl StabilityReport {
 ///
 /// Panics if `feedback` is empty.
 pub fn analyze<T: Element>(feedback: &[T]) -> StabilityReport {
-    assert!(!feedback.is_empty(), "stability analysis needs at least one coefficient");
+    assert!(
+        !feedback.is_empty(),
+        "stability analysis needs at least one coefficient"
+    );
     // Characteristic polynomial, monic, highest degree first:
     // z^k - b1 z^(k-1) - ... - bk
     let k = feedback.len();
@@ -94,7 +107,10 @@ pub fn analyze<T: Element>(feedback: &[T]) -> StabilityReport {
     coeffs.extend(feedback.iter().map(|b| -b.to_f64()));
     let poles = roots(&coeffs, k);
     let spectral_radius = poles.iter().map(|p| p.abs()).fold(0.0, f64::max);
-    StabilityReport { poles, spectral_radius }
+    StabilityReport {
+        poles,
+        spectral_radius,
+    }
 }
 
 /// Durand–Kerner root finding for a monic polynomial given highest-degree
@@ -112,7 +128,9 @@ fn roots(coeffs: &[f64], deg: usize) -> Vec<Complex> {
         })
         .collect();
     let eval = |x: Complex| -> Complex {
-        coeffs.iter().fold(Complex::default(), |acc, &c| acc.mul(x).add(Complex::new(c, 0.0)))
+        coeffs.iter().fold(Complex::default(), |acc, &c| {
+            acc.mul(x).add(Complex::new(c, 0.0))
+        })
     };
     for _ in 0..200 {
         let mut max_step = 0.0f64;

@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn blocked_equals_whole_for_fir_filters() {
-        let input: Vec<f64> = (0..300).map(|i| ((i * 7) % 23) as f64 * 0.5 - 5.0).collect();
+        let input: Vec<f64> = (0..300)
+            .map(|i| ((i * 7) % 23) as f64 * 0.5 - 5.0)
+            .collect();
         let sig: Signature<f64> = "0.729,-2.187,2.187,-0.729:2.4,-1.92,0.512".parse().unwrap();
         check_blocked(&sig, &input, &[1], 1e-9);
         check_blocked(&sig, &input, &[2, 5, 31], 1e-9);
@@ -175,8 +177,7 @@ mod tests {
     fn fir_history_spans_multiple_tiny_blocks() {
         // p = 3 with 1-element blocks: x history must accumulate across
         // several calls, not just the previous one.
-        let sig: Signature<i64> =
-            Signature::new(vec![1, 10, 100, 1000], vec![1]).unwrap();
+        let sig: Signature<i64> = Signature::new(vec![1, 10, 100, 1000], vec![1]).unwrap();
         let input: Vec<i64> = (1..=10).collect();
         check_blocked(&sig, &input, &[1], 0.0);
     }

@@ -143,7 +143,7 @@ mod tests {
         for i in 0..input.len() {
             let mut acc = input[i];
             for (j, &b) in feedback.iter().enumerate() {
-                if j + 1 <= i {
+                if j < i {
                     acc = acc.max(b + y[i - j - 1]);
                 }
             }
@@ -193,9 +193,13 @@ mod tests {
     #[test]
     fn engine_computes_tropical_recurrences_in_chunks() {
         // The full two-phase machinery over the tropical semiring.
-        let input: Vec<MaxPlus> =
-            (0..5000).map(|i| MaxPlus(((i * 131) % 47) as f64 - 23.0)).collect();
-        for fb in [vec![MaxPlus::new(-0.5)], vec![MaxPlus::new(-0.3), MaxPlus::new(-1.1)]] {
+        let input: Vec<MaxPlus> = (0..5000)
+            .map(|i| MaxPlus(((i * 131) % 47) as f64 - 23.0))
+            .collect();
+        for fb in [
+            vec![MaxPlus::new(-0.5)],
+            vec![MaxPlus::new(-0.3), MaxPlus::new(-1.1)],
+        ] {
             let sig = Signature::new(vec![MaxPlus::one()], fb).unwrap();
             let expect = serial::run(&sig, &input);
             for carry in [CarryPropagation::Sequential, CarryPropagation::Decoupled] {
@@ -210,8 +214,7 @@ mod tests {
                 )
                 .unwrap();
                 let got = engine.run(&input).unwrap();
-                validate(&expect, &got, 1e-12)
-                    .unwrap_or_else(|e| panic!("{sig} {carry:?}: {e}"));
+                validate(&expect, &got, 1e-12).unwrap_or_else(|e| panic!("{sig} {carry:?}: {e}"));
             }
         }
     }

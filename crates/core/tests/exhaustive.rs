@@ -30,7 +30,9 @@ fn all_feedbacks() -> Vec<Vec<i64>> {
 
 /// A deterministic input that exercises sign changes and zeros.
 fn input(n: usize) -> Vec<i64> {
-    (0..n).map(|i| ((i as i64).wrapping_mul(7) % 5) - 2).collect()
+    (0..n)
+        .map(|i| ((i as i64).wrapping_mul(7) % 5) - 2)
+        .collect()
 }
 
 #[test]
@@ -47,9 +49,7 @@ fn every_small_signature_and_length_matches_serial() {
                     continue;
                 }
                 for local in [LocalSolve::HierarchicalDoubling, LocalSolve::Serial] {
-                    for carry in
-                        [CarryPropagation::Sequential, CarryPropagation::Decoupled]
-                    {
+                    for carry in [CarryPropagation::Sequential, CarryPropagation::Decoupled] {
                         let engine = Engine::with_config(
                             sig.clone(),
                             EngineConfig {
@@ -61,10 +61,7 @@ fn every_small_signature_and_length_matches_serial() {
                         )
                         .unwrap();
                         let got = engine.run(&x).unwrap();
-                        assert_eq!(
-                            got, expect,
-                            "fb {fb:?} n {n} m {m} {local:?} {carry:?}"
-                        );
+                        assert_eq!(got, expect, "fb {fb:?} n {n} m {m} {local:?} {carry:?}");
                     }
                 }
             }
@@ -89,8 +86,16 @@ fn every_small_merge_is_exact() {
                 let table = CorrectionTable::generate(&fb, right.len());
                 let carries = plr_core::nacci::carries_of(&left, fb.len());
                 table.correct_chunk(&mut right, &carries);
-                assert_eq!(&whole[..split], left.as_slice(), "fb {fb:?} n {n} split {split}");
-                assert_eq!(&whole[split..], right.as_slice(), "fb {fb:?} n {n} split {split}");
+                assert_eq!(
+                    &whole[..split],
+                    left.as_slice(),
+                    "fb {fb:?} n {n} split {split}"
+                );
+                assert_eq!(
+                    &whole[split..],
+                    right.as_slice(),
+                    "fb {fb:?} n {n} split {split}"
+                );
             }
         }
     }
@@ -136,12 +141,16 @@ fn every_lookback_window_is_exact() {
         for c in locals.chunks_mut(m) {
             serial::recursive_in_place(&fb, c);
         }
-        let local_carries: Vec<Vec<i64>> =
-            locals.chunks(m).map(|c| plr_core::nacci::carries_of(c, k)).collect();
+        let local_carries: Vec<Vec<i64>> = locals
+            .chunks(m)
+            .map(|c| plr_core::nacci::carries_of(c, k))
+            .collect();
         let mut global = locals.clone();
         phase2::propagate_sequential(&table, &mut global, m);
-        let global_carries: Vec<Vec<i64>> =
-            global.chunks(m).map(|c| plr_core::nacci::carries_of(c, k)).collect();
+        let global_carries: Vec<Vec<i64>> = global
+            .chunks(m)
+            .map(|c| plr_core::nacci::carries_of(c, k))
+            .collect();
         for c in 1..8usize {
             for depth in 1..=c {
                 let lens = vec![m; depth];
@@ -151,7 +160,10 @@ fn every_lookback_window_is_exact() {
                     &local_carries[c - depth + 1..=c],
                     &lens,
                 );
-                assert_eq!(derived, global_carries[c], "fb {fb:?} chunk {c} depth {depth}");
+                assert_eq!(
+                    derived, global_carries[c],
+                    "fb {fb:?} chunk {c} depth {depth}"
+                );
             }
         }
     }

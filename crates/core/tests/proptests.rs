@@ -18,7 +18,7 @@ use proptest::prelude::*;
 /// coefficients.
 fn int_signature() -> impl Strategy<Value = Signature<i64>> {
     let coeff = -3i64..=3;
-    let nonzero = prop_oneof![(-3i64..=-1), (1i64..=3)];
+    let nonzero = prop_oneof![-3i64..=-1, 1i64..=3];
     (
         proptest::collection::vec(coeff.clone(), 0..3),
         nonzero.clone(),

@@ -3,40 +3,68 @@
 //! The paper's future work lists "multiple dimensions"; the 2D codes it
 //! compares against (Alg3, Rec) filter image rows. This runner applies one
 //! signature to a batch of independent sequences — image rows, audio
-//! channels, per-key streams — distributing whole sequences across worker
-//! threads. Within a sequence the serial loop is optimal on a CPU thread;
-//! across sequences the batch is embarrassingly parallel, and for batches
-//! with few long rows the workers fall back to chunked decoupled look-back
-//! within a row (via [`ParallelRunner`]).
+//! channels, per-key streams — distributing whole sequences across the
+//! same persistent [`WorkerPool`] the intra-row runner uses. Within a
+//! sequence the serial loop is optimal on a CPU thread; across sequences
+//! the batch is embarrassingly parallel, and for batches with few long
+//! rows the workers fall back to chunked decoupled look-back within a row
+//! (via a cached [`ParallelRunner`] — its correction table and its pool
+//! survive across `run_rows` calls and are only rebuilt when the row
+//! geometry changes the chunk size).
 
-use crate::runner::{ParallelRunner, RunnerConfig};
+use crate::pool::{resolve_threads, SendPtr, Tickets, WorkerPool};
+use crate::runner::{fir_in_place, ParallelRunner, RunnerConfig};
 use crate::stats::RunStats;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
 use plr_core::serial;
 use plr_core::signature::Signature;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The intra-row runner cached between `run_rows` calls, keyed by the
+/// chunk size its correction table was generated for.
+#[derive(Debug)]
+struct CachedInner<T> {
+    chunk_size: usize,
+    runner: ParallelRunner<T>,
+}
 
 /// A batched executor for one signature.
 #[derive(Debug)]
 pub struct BatchRunner<T> {
     signature: Signature<T>,
+    fir: Vec<T>,
     threads: usize,
-    _marker: std::marker::PhantomData<T>,
+    /// Persistent workers, spawned on first use and shared with the
+    /// cached intra-row runner.
+    pool: OnceLock<Arc<WorkerPool>>,
+    inner: Mutex<Option<CachedInner<T>>>,
 }
 
 impl<T: Element> BatchRunner<T> {
     /// Creates a batch runner; `threads == 0` means one per CPU.
     pub fn new(signature: Signature<T>, threads: usize) -> Self {
-        BatchRunner { signature, threads, _marker: std::marker::PhantomData }
+        let (fir, _) = signature.split();
+        BatchRunner {
+            signature,
+            fir,
+            threads,
+            pool: OnceLock::new(),
+            inner: Mutex::new(None),
+        }
     }
 
     /// The worker count (resolving 0 to the CPU count).
     pub fn threads(&self) -> usize {
-        if self.threads == 0 {
-            std::thread::available_parallelism().map_or(4, |n| n.get())
-        } else {
-            self.threads
-        }
+        resolve_threads(self.threads)
+    }
+
+    /// The persistent pool, spawning it on first use.
+    fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.threads())))
     }
 
     /// Applies the recurrence to each row of a row-major matrix in place.
@@ -46,7 +74,7 @@ impl<T: Element> BatchRunner<T> {
     /// Returns [`EngineError::UnsupportedSignature`] when `width == 0` or
     /// the data length is not a multiple of `width`.
     pub fn run_rows(&self, data: &mut [T], width: usize) -> Result<RunStats, EngineError> {
-        if width == 0 || data.len() % width != 0 {
+        if width == 0 || !data.len().is_multiple_of(width) {
             return Err(EngineError::UnsupportedSignature {
                 reason: format!(
                     "row width {width} does not divide the data length {}",
@@ -58,52 +86,91 @@ impl<T: Element> BatchRunner<T> {
         let threads = self.threads().max(1);
 
         if rows >= threads || rows == 0 {
-            // Whole rows per worker: embarrassingly parallel.
-            let sig = &self.signature;
-            std::thread::scope(|scope| {
-                let (tx, rx) = crossbeam::channel::bounded::<&mut [T]>(threads);
-                for _ in 0..threads {
-                    let rx = rx.clone();
-                    scope.spawn(move || {
-                        while let Ok(row) = rx.recv() {
-                            let out = serial::run(sig, row);
-                            row.copy_from_slice(&out);
-                        }
-                    });
-                }
-                drop(rx);
-                for row in data.chunks_mut(width) {
-                    tx.send(row).expect("workers outlive the feed");
-                }
-                drop(tx);
-            });
-            Ok(RunStats {
-                chunks: rows as u64,
-                lookback_hops: 0,
-                spin_waits: 0,
-                max_lookback_depth: 0,
-                threads: threads as u64,
-            })
+            Ok(self.run_whole_rows(data, width, rows))
         } else {
-            // Few long rows: parallelize inside each row instead.
-            let runner = ParallelRunner::with_config(
-                self.signature.clone(),
-                RunnerConfig {
-                    chunk_size: (width / (threads * 4)).max(self.signature.order()).max(64),
-                    threads,
-                    ..Default::default()
-                },
-            )?;
-            let mut stats = RunStats { threads: threads as u64, ..RunStats::default() };
-            for row in data.chunks_mut(width) {
-                let s = runner.run_in_place(row)?;
-                stats.chunks += s.chunks;
-                stats.lookback_hops += s.lookback_hops;
-                stats.spin_waits += s.spin_waits;
-                stats.max_lookback_depth = stats.max_lookback_depth.max(s.max_lookback_depth);
-            }
-            Ok(stats)
+            // Few long rows: parallelize inside each row instead, through
+            // the cached intra-row runner (correction table reused).
+            self.run_long_rows(data, width, threads)
         }
+    }
+
+    /// Whole rows per worker: embarrassingly parallel, fully in place
+    /// (in-place FIR + in-place feedback solve; rows are independent so
+    /// there are no cross-boundary inputs to stash).
+    fn run_whole_rows(&self, data: &mut [T], width: usize, rows: usize) -> RunStats {
+        let pool = self.pool();
+        let pure = self.signature.is_pure_feedback();
+        let feedback = self.signature.feedback();
+        let fir = &self.fir;
+        let fir_nanos = AtomicU64::new(0);
+        let solve_nanos = AtomicU64::new(0);
+        let tickets = Tickets::new(rows);
+        let base = SendPtr::new(data.as_mut_ptr());
+        pool.run(|_worker| {
+            let (mut fir_ns, mut solve_ns) = (0u64, 0u64);
+            while let Some(r) = tickets.claim() {
+                // SAFETY: unique tickets make the rows disjoint; `data`
+                // outlives the blocking `pool.run` call.
+                let row =
+                    unsafe { std::slice::from_raw_parts_mut(base.ptr().add(r * width), width) };
+                if !pure {
+                    let start = Instant::now();
+                    fir_in_place(fir, &[], 0, row);
+                    fir_ns += start.elapsed().as_nanos() as u64;
+                }
+                let start = Instant::now();
+                serial::recursive_in_place(feedback, row);
+                solve_ns += start.elapsed().as_nanos() as u64;
+            }
+            fir_nanos.fetch_add(fir_ns, Ordering::Relaxed);
+            solve_nanos.fetch_add(solve_ns, Ordering::Relaxed);
+        });
+        RunStats {
+            chunks: rows as u64,
+            threads: pool.width() as u64,
+            fir_nanos: fir_nanos.load(Ordering::Relaxed),
+            solve_nanos: solve_nanos.load(Ordering::Relaxed),
+            ..RunStats::default()
+        }
+    }
+
+    /// Few long rows: chunked decoupled look-back inside each row via the
+    /// cached runner (rebuilt only when the chunk size changes).
+    fn run_long_rows(
+        &self,
+        data: &mut [T],
+        width: usize,
+        threads: usize,
+    ) -> Result<RunStats, EngineError> {
+        let chunk_size = (width / (threads * 4)).max(self.signature.order()).max(64);
+        let mut cache = self.inner.lock().unwrap();
+        let rebuild = match cache.as_ref() {
+            Some(inner) => inner.chunk_size != chunk_size,
+            None => true,
+        };
+        if rebuild {
+            *cache = Some(CachedInner {
+                chunk_size,
+                runner: ParallelRunner::with_config_and_pool(
+                    self.signature.clone(),
+                    RunnerConfig {
+                        chunk_size,
+                        threads,
+                        ..Default::default()
+                    },
+                    Arc::clone(self.pool()),
+                )?,
+            });
+        }
+        let runner = &cache.as_ref().expect("cache filled above").runner;
+        let mut stats = RunStats {
+            threads: threads as u64,
+            ..RunStats::default()
+        };
+        for row in data.chunks_mut(width) {
+            stats.absorb(&runner.run_in_place(row)?);
+        }
+        Ok(stats)
     }
 }
 
@@ -125,13 +192,34 @@ mod tests {
         let sig: Signature<f32> = "0.2:0.8".parse().unwrap();
         let width = 64;
         let rows = 50;
-        let data: Vec<f32> =
-            (0..width * rows).map(|i| ((i % 23) as f32) * 0.5 - 5.0).collect();
+        let data: Vec<f32> = (0..width * rows)
+            .map(|i| ((i % 23) as f32) * 0.5 - 5.0)
+            .collect();
         let mut got = data.clone();
         let runner = BatchRunner::new(sig.clone(), 4);
         let stats = runner.run_rows(&mut got, width).unwrap();
         assert_eq!(stats.chunks, rows as u64);
         validate(&reference(&sig, &data, width), &got, 1e-4).unwrap();
+    }
+
+    #[test]
+    fn fir_rows_match_reference() {
+        // A signature with a real map stage exercises the in-place FIR on
+        // the whole-rows path.
+        let sig: Signature<f64> = "0.81,-1.62,0.81:1.6,-0.64".parse().unwrap();
+        let width = 96;
+        let rows = 40;
+        let data: Vec<f64> = (0..width * rows)
+            .map(|i| ((i % 19) as f64) * 0.3 - 2.5)
+            .collect();
+        let mut got = data.clone();
+        let runner = BatchRunner::new(sig.clone(), 4);
+        let stats = runner.run_rows(&mut got, width).unwrap();
+        assert!(
+            stats.fir_nanos > 0,
+            "FIR stage must be timed on the rows path"
+        );
+        validate(&reference(&sig, &data, width), &got, 1e-9).unwrap();
     }
 
     #[test]
@@ -143,8 +231,29 @@ mod tests {
         let mut got = data.clone();
         let runner = BatchRunner::new(sig.clone(), 8);
         let stats = runner.run_rows(&mut got, width).unwrap();
-        assert!(stats.lookback_hops > 0, "long rows must go through the look-back path");
+        assert!(
+            stats.lookback_hops > 0,
+            "long rows must go through the look-back path"
+        );
         assert_eq!(got, reference(&sig, &data, width));
+    }
+
+    #[test]
+    fn repeated_long_row_calls_reuse_the_cached_runner() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let width = 100_000;
+        let runner = BatchRunner::new(sig.clone(), 8);
+        for _ in 0..3 {
+            let data: Vec<i64> = (0..width * 2).map(|i| (i % 7) as i64 - 3).collect();
+            let mut got = data.clone();
+            runner.run_rows(&mut got, width).unwrap();
+            assert_eq!(got, reference(&sig, &data, width));
+        }
+        let cache = runner.inner.lock().unwrap();
+        assert!(
+            cache.is_some(),
+            "the intra-row runner must be cached across calls"
+        );
     }
 
     #[test]
@@ -159,7 +268,9 @@ mod tests {
     fn rejects_mismatched_width() {
         let sig: Signature<i32> = "1:1".parse().unwrap();
         let mut data = vec![1i32; 10];
-        assert!(BatchRunner::new(sig.clone(), 2).run_rows(&mut data, 0).is_err());
+        assert!(BatchRunner::new(sig.clone(), 2)
+            .run_rows(&mut data, 0)
+            .is_err());
         assert!(BatchRunner::new(sig, 2).run_rows(&mut data, 3).is_err());
     }
 
@@ -169,5 +280,6 @@ mod tests {
         let mut data: Vec<i32> = vec![];
         let stats = BatchRunner::new(sig, 2).run_rows(&mut data, 4).unwrap();
         assert_eq!(stats.chunks, 0);
+        assert_eq!(stats.threads, 2);
     }
 }

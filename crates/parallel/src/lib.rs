@@ -10,6 +10,40 @@
 //! paper's Phase 2: local carries published early, variable look-back with
 //! `O(k²)` n-nacci fix-ups, bounded spin waits.
 //!
+//! ## Execution model: the persistent worker pool
+//!
+//! The paper's Phase 2 pipeline overlaps carry propagation with local
+//! solves on execution units that are *already resident* — GPU blocks
+//! scheduled once per kernel, not once per chunk. This crate mirrors that
+//! with a persistent [`pool::WorkerPool`]:
+//!
+//! - **Spawn once, run many.** A [`ParallelRunner`] (or [`BatchRunner`])
+//!   lazily spawns its workers on the first `run()` and parks them on a
+//!   condvar between calls; repeated runs pay a wake-up, not a spawn. The
+//!   calling thread participates as worker 0, so one-thread configs run
+//!   inline with zero synchronization.
+//! - **Ticket scheduling.** Within a run, workers claim chunk indices
+//!   from an atomic ticket counter. Claims are strictly increasing, which
+//!   preserves the decoupled look-back progress argument: when a worker
+//!   waits on a predecessor's carries, the predecessor's owner is already
+//!   running, and the chain bottoms out at chunk 0 (which publishes
+//!   unconditionally). At most `pool width` chunks are in flight, so
+//!   look-back depth — the paper's dynamic `c` — is bounded by the worker
+//!   count.
+//! - **In-place map stage.** Signatures with a feed-forward part apply
+//!   the FIR filter in place, fused into the same chunk pass as the local
+//!   solve: each chunk's few cross-boundary inputs are stashed up front,
+//!   and the chunk is mapped right-to-left so every read still sees
+//!   original input. No second full-size buffer, no copy-back — the map
+//!   costs one traversal instead of three.
+//! - **Shared infrastructure.** [`BatchRunner`] runs whole rows on the
+//!   same pool, and its intra-row fallback caches a [`ParallelRunner`]
+//!   (correction table included) across `run_rows` calls, rebuilding only
+//!   when the row geometry changes the chunk size.
+//!
+//! Per-phase wall times (FIR map, local solve, look-back, correction) are
+//! accumulated per worker and reported through [`RunStats`].
+//!
 //! ```
 //! use plr_parallel::{ParallelRunner, RunnerConfig};
 //! use plr_core::signature::Signature;
@@ -19,7 +53,9 @@
 //!     sig,
 //!     RunnerConfig { chunk_size: 1 << 14, threads: 4, ..Default::default() },
 //! )?;
+//! // Repeated calls reuse the same warm worker threads.
 //! assert_eq!(runner.run(&[1, 2, 3, 4])?, vec![1, 3, 6, 10]);
+//! assert_eq!(runner.run(&[2, 2, 2, 2])?, vec![2, 4, 6, 8]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -27,9 +63,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod pool;
 pub mod runner;
 pub mod stats;
 
 pub use batch::BatchRunner;
+pub use pool::{resolve_threads, WorkerPool};
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
 pub use stats::RunStats;

@@ -1,0 +1,338 @@
+//! A persistent worker pool: threads are spawned once and reused across
+//! `run()` calls.
+//!
+//! The paper's Phase 2 pipeline assumes *resident* execution units — GPU
+//! blocks that are already scheduled when chunks start flowing. The seed
+//! CPU mapping instead paid a full `std::thread::scope` spawn/join plus a
+//! bounded-channel handshake on every call, which dominates small and
+//! medium runs and caps steady-state throughput. This pool keeps the
+//! workers parked on a condvar between calls:
+//!
+//! - [`WorkerPool::new`] spawns `width - 1` OS threads (the thread that
+//!   calls [`WorkerPool::run`] participates as worker 0, so `width == 1`
+//!   spawns nothing and runs jobs inline with zero synchronization).
+//! - [`WorkerPool::run`] publishes one type-erased job, wakes the workers,
+//!   executes the job on the calling thread too, and blocks until every
+//!   worker has finished. Job submission is serialized internally, so a
+//!   pool shared by several runners is safe (calls queue up).
+//! - Work distribution inside a job is the callers' business; the runner
+//!   uses an atomic ticket counter over chunk indices, which preserves the
+//!   in-order claiming the decoupled look-back progress argument needs
+//!   (a chunk is only claimed after every earlier chunk has been claimed).
+//!
+//! # Safety
+//!
+//! `run` erases the job closure's lifetime to park it in shared state the
+//! worker threads can reach. This is sound because `run` does not return
+//! until every clone of the erased closure has been dropped: the workers
+//! drop theirs before reporting completion, and the shared slot is cleared
+//! under the lock before `run` returns — so the closure (and everything it
+//! borrows from the caller's stack) never outlives the call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Resolves a configured thread count: `0` means one worker per available
+/// CPU (falling back to 4 when the CPU count is unknown).
+///
+/// Shared by [`crate::ParallelRunner`] and [`crate::BatchRunner`] so the
+/// two fallbacks cannot drift.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// The type-erased job executed by every worker; the argument is the
+/// worker id in `0..width`.
+type Job = Arc<dyn Fn(usize) + Send + Sync + 'static>;
+
+struct PoolState {
+    /// The current job, present only while a generation is in flight.
+    job: Option<Job>,
+    /// Bumped once per submitted job so a worker never runs one twice.
+    generation: u64,
+    /// Spawned workers still executing the current job.
+    running: usize,
+    /// Set by `Drop` to retire the workers.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals workers that a new job (or shutdown) is available.
+    work_ready: Condvar,
+    /// Signals the submitter that `running` reached zero.
+    work_done: Condvar,
+}
+
+/// A fixed-width pool of persistent worker threads (see the module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes job submission so concurrent `run` calls cannot overlap.
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of total width `width` (the calling thread counts as
+    /// one worker, so `width - 1` threads are spawned).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                generation: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (1..width)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("plr-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Total worker count including the thread that calls [`run`](Self::run).
+    pub fn width(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `job(worker_id)` on every worker — ids `1..width` on the pool
+    /// threads, id `0` on the calling thread — returning once all have
+    /// finished.
+    pub fn run<F>(&self, job: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if self.handles.is_empty() {
+            job(0);
+            return;
+        }
+        let _submission = self.submit.lock().unwrap();
+        // SAFETY: see the module docs — every clone of the erased Arc is
+        // dropped before this function returns, so the closure's borrows
+        // stay within this frame.
+        let erased: Arc<dyn Fn(usize) + Send + Sync + '_> = Arc::new(job);
+        let erased: Job = unsafe { std::mem::transmute(erased) };
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            debug_assert!(state.job.is_none() && state.running == 0);
+            state.job = Some(Arc::clone(&erased));
+            state.generation += 1;
+            state.running = self.handles.len();
+            self.shared.work_ready.notify_all();
+        }
+        erased(0);
+        drop(erased);
+        let mut state = self.shared.state.lock().unwrap();
+        while state.running > 0 {
+            state = self.shared.work_done.wait(state).unwrap();
+        }
+        state.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation != seen_generation {
+                    if let Some(job) = &state.job {
+                        seen_generation = state.generation;
+                        break Arc::clone(job);
+                    }
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+        job(id);
+        // The clone must die before completion is reported: `run` treats
+        // `running == 0` as "no live borrows of the caller's stack".
+        drop(job);
+        let mut state = shared.state.lock().unwrap();
+        state.running -= 1;
+        if state.running == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+/// A `Send + Sync` wrapper for a raw base pointer, so pool jobs can carve
+/// disjoint `&mut` chunks out of one buffer by ticket index.
+///
+/// The field is private on purpose: closures must capture the wrapper
+/// itself (not the raw pointer, which edition-2021 disjoint capture would
+/// otherwise grab field-by-field, losing the `Send + Sync` impls).
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    pub(crate) fn ptr(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the wrapper only moves the pointer between threads; callers are
+// responsible for deriving disjoint slices from it (the ticket counter
+// guarantees each chunk index is claimed exactly once).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// An atomic take-a-number dispenser over `0..limit`; claims are strictly
+/// increasing, which is what keeps the look-back pipeline deadlock-free.
+pub(crate) struct Tickets {
+    next: AtomicUsize,
+    limit: usize,
+}
+
+impl Tickets {
+    pub(crate) fn new(limit: usize) -> Self {
+        Tickets {
+            next: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Claims the next index, or `None` when all are taken.
+    pub(crate) fn claim(&self) -> Option<usize> {
+        let t = self.next.fetch_add(1, Ordering::Relaxed);
+        (t < self.limit).then_some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn resolve_threads_passes_nonzero_through() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn all_workers_run_the_job_once() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicU64::new(0);
+        let ids = Mutex::new(Vec::new());
+        pool.run(|id| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            ids.lock().unwrap().push(id);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        let mut ids = ids.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_same_threads() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn width_one_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.width(), 1);
+        let mut hit = false;
+        let hit_ref = std::sync::Mutex::new(&mut hit);
+        pool.run(|id| {
+            assert_eq!(id, 0);
+            **hit_ref.lock().unwrap() = true;
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 1024];
+        let base = SendPtr::new(data.as_mut_ptr());
+        let tickets = Tickets::new(16);
+        pool.run(|_| {
+            while let Some(t) = tickets.claim() {
+                // SAFETY: tickets are unique, so the 64-element chunks are
+                // disjoint.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(t * 64), 64) };
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (t * 64 + i) as u64;
+                }
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn tickets_are_exhaustive_and_unique() {
+        let pool = WorkerPool::new(8);
+        let tickets = Tickets::new(1000);
+        let seen: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|_| {
+            while let Some(t) = tickets.claim() {
+                seen[t].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_cleanly() {
+        let pool = WorkerPool::new(4);
+        pool.run(|_| {});
+        drop(pool);
+    }
+}

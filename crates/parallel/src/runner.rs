@@ -1,20 +1,24 @@
 //! The multithreaded runner: chunked decoupled look-back on real threads.
 //!
 //! This is the paper's algorithm mapped onto the parallelism we actually
-//! have in this reproduction environment — CPU threads. Each worker claims
-//! chunks in order from a work channel, solves its chunk locally (serial
-//! within a chunk is optimal when there are no intra-chunk lanes), publishes
-//! the chunk's *local* carries, derives its predecessor's *global* carries
-//! by variable look-back over already-published carries, corrects its chunk
-//! with the precomputed n-nacci factors, and publishes its own global
-//! carries.
+//! have in this reproduction environment — CPU threads. Workers live in a
+//! persistent [`WorkerPool`] (spawned lazily on the first run, reused by
+//! every later one) and claim chunks in order from an atomic ticket
+//! counter. Each worker applies the FIR map stage *in place* on its chunk
+//! (cross-boundary inputs are stashed up front), solves its chunk locally
+//! (serial within a chunk is optimal when there are no intra-chunk lanes),
+//! publishes the chunk's *local* carries, derives its predecessor's
+//! *global* carries by variable look-back over already-published carries,
+//! corrects its chunk with the precomputed n-nacci factors, and publishes
+//! its own global carries.
 //!
-//! Progress argument (same as the GPU kernel's): chunks enter the pipeline
-//! in order, every in-flight chunk publishes its local carries *before* any
+//! Progress argument (same as the GPU kernel's): tickets are claimed in
+//! order, every in-flight chunk publishes its local carries *before* any
 //! waiting, and the oldest in-flight chunk's predecessor globals always
-//! exist — so the look-back chain can always be resolved and the spin waits
-//! are bounded by the pipeline depth (the worker count).
+//! exist — so the look-back chain can always be resolved and the spin
+//! waits are bounded by the pipeline depth (the pool width).
 
+use crate::pool::{resolve_threads, SendPtr, Tickets, WorkerPool};
 use crate::stats::RunStats;
 use plr_core::element::Element;
 use plr_core::engine::MAX_INPUT_LEN;
@@ -23,7 +27,8 @@ use plr_core::nacci::{carries_of, CorrectionTable};
 use plr_core::serial;
 use plr_core::signature::Signature;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// How the runner schedules the carry propagation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,11 +59,16 @@ pub struct RunnerConfig {
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        RunnerConfig { chunk_size: 1 << 16, threads: 0, strategy: Strategy::default() }
+        RunnerConfig {
+            chunk_size: 1 << 16,
+            threads: 0,
+            strategy: Strategy::default(),
+        }
     }
 }
 
-/// A multithreaded executor for one signature (factors precomputed once).
+/// A multithreaded executor for one signature (factors precomputed once,
+/// worker threads spawned once and reused across runs).
 ///
 /// # Examples
 ///
@@ -78,6 +88,9 @@ pub struct ParallelRunner<T> {
     fir: Vec<T>,
     table: CorrectionTable<T>,
     config: RunnerConfig,
+    /// The persistent pool, created on first use (or inherited from a
+    /// [`crate::BatchRunner`] so both share one set of threads).
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 /// Per-chunk carry slots, published lock-free through [`OnceLock`].
@@ -88,8 +101,47 @@ struct Slot<T> {
 
 impl<T> Slot<T> {
     fn new() -> Self {
-        Slot { local: OnceLock::new(), global: OnceLock::new() }
+        Slot {
+            local: OnceLock::new(),
+            global: OnceLock::new(),
+        }
     }
+}
+
+/// Atomic accumulators for the per-phase wall times in [`RunStats`].
+#[derive(Default)]
+struct PhaseClocks {
+    fir: AtomicU64,
+    solve: AtomicU64,
+    lookback: AtomicU64,
+    correct: AtomicU64,
+}
+
+/// Per-worker nanosecond tallies, flushed to the shared clocks once per
+/// job to keep atomic traffic off the per-chunk path.
+#[derive(Default)]
+struct PhaseTally {
+    fir: u64,
+    solve: u64,
+    lookback: u64,
+    correct: u64,
+}
+
+impl PhaseTally {
+    fn flush(&self, clocks: &PhaseClocks) {
+        clocks.fir.fetch_add(self.fir, Ordering::Relaxed);
+        clocks.solve.fetch_add(self.solve, Ordering::Relaxed);
+        clocks.lookback.fetch_add(self.lookback, Ordering::Relaxed);
+        clocks.correct.fetch_add(self.correct, Ordering::Relaxed);
+    }
+}
+
+/// Times one closure, adding the elapsed nanoseconds to `slot`.
+fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = f();
+    *slot += start.elapsed().as_nanos() as u64;
+    out
 }
 
 impl<T: Element> ParallelRunner<T> {
@@ -109,34 +161,50 @@ impl<T: Element> ParallelRunner<T> {
     /// Returns [`EngineError::InvalidChunkSize`] when the chunk size is
     /// zero or smaller than the recurrence order (a chunk must hold all
     /// `k` published carries).
-    pub fn with_config(
-        signature: Signature<T>,
-        config: RunnerConfig,
-    ) -> Result<Self, EngineError> {
+    pub fn with_config(signature: Signature<T>, config: RunnerConfig) -> Result<Self, EngineError> {
         if config.chunk_size == 0 || config.chunk_size < signature.order() {
-            return Err(EngineError::InvalidChunkSize { chunk_size: config.chunk_size });
+            return Err(EngineError::InvalidChunkSize {
+                chunk_size: config.chunk_size,
+            });
         }
         let (fir, recursive) = signature.split();
-        let table = CorrectionTable::generate_with(
-            recursive.feedback(),
-            config.chunk_size,
-            T::IS_FLOAT,
-        );
-        Ok(ParallelRunner { signature, fir, table, config })
+        let table =
+            CorrectionTable::generate_with(recursive.feedback(), config.chunk_size, T::IS_FLOAT);
+        Ok(ParallelRunner {
+            signature,
+            fir,
+            table,
+            config,
+            pool: OnceLock::new(),
+        })
+    }
+
+    /// Like [`ParallelRunner::with_config`], but executing on an existing
+    /// pool instead of lazily spawning a private one.
+    pub(crate) fn with_config_and_pool(
+        signature: Signature<T>,
+        config: RunnerConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Self, EngineError> {
+        let runner = Self::with_config(signature, config)?;
+        let _ = runner.pool.set(pool);
+        Ok(runner)
     }
 
     /// The configured worker count (resolving `0` to the CPU count).
     pub fn threads(&self) -> usize {
-        if self.config.threads == 0 {
-            std::thread::available_parallelism().map_or(4, |n| n.get())
-        } else {
-            self.config.threads
-        }
+        resolve_threads(self.config.threads)
     }
 
     /// The runner's configuration.
     pub fn config(&self) -> &RunnerConfig {
         &self.config
+    }
+
+    /// The persistent pool, spawning it on first use.
+    fn pool(&self) -> &Arc<WorkerPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.threads())))
     }
 
     /// Computes the recurrence over `input`, allocating the output.
@@ -157,114 +225,170 @@ impl<T: Element> ParallelRunner<T> {
     /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements.
     pub fn run_in_place(&self, data: &mut [T]) -> Result<RunStats, EngineError> {
         if data.len() > MAX_INPUT_LEN {
-            return Err(EngineError::InputTooLarge { len: data.len(), max: MAX_INPUT_LEN });
+            return Err(EngineError::InputTooLarge {
+                len: data.len(),
+                max: MAX_INPUT_LEN,
+            });
         }
+        if data.is_empty() {
+            // Report the worker count the run would have used; every other
+            // path resolves it the same way.
+            return Ok(RunStats {
+                threads: self.threads() as u64,
+                ..RunStats::default()
+            });
+        }
+        let pool = self.pool();
+        let stats = match self.config.strategy {
+            Strategy::LookbackPipeline => self.run_lookback(data, pool),
+            Strategy::TwoPass => self.run_two_pass(data, pool),
+        };
+        Ok(stats)
+    }
+
+    /// Stashes, for every chunk after the first, the original inputs its
+    /// in-place FIR needs from across its left boundary (the `p - 1`
+    /// values before the chunk start; fewer near the front of the data).
+    ///
+    /// The stash is what lets the map stage run in place: by the time a
+    /// worker reads across its left boundary, the owner of that data may
+    /// already have overwritten it with mapped values.
+    fn stash_boundaries(&self, data: &[T], m: usize, num_chunks: usize) -> Vec<Vec<T>> {
+        let p = self.fir.len();
+        if self.signature.is_pure_feedback() || p <= 1 {
+            return Vec::new();
+        }
+        (1..num_chunks)
+            .map(|c| {
+                let start = c * m;
+                data[start.saturating_sub(p - 1)..start].to_vec()
+            })
+            .collect()
+    }
+
+    /// The FIR map for chunk `c` (`start = c·m`), in place. `boundaries`
+    /// comes from [`Self::stash_boundaries`].
+    fn fir_chunk(&self, chunk: &mut [T], c: usize, start: usize, boundaries: &[Vec<T>]) {
+        if self.signature.is_pure_feedback() {
+            return;
+        }
+        // `boundaries` is empty when `p <= 1`: a one-tap FIR never reads
+        // across a chunk boundary.
+        let prev: &[T] = if c == 0 || boundaries.is_empty() {
+            &[]
+        } else {
+            &boundaries[c - 1]
+        };
+        fir_in_place(&self.fir, prev, start, chunk);
+    }
+
+    /// The single-pass decoupled look-back pipeline on the pool.
+    fn run_lookback(&self, data: &mut [T], pool: &WorkerPool) -> RunStats {
         let m = self.config.chunk_size;
-        let threads = self.threads().max(1);
         let n = data.len();
-        if n == 0 {
-            return Ok(RunStats::default());
-        }
-
-        // Stage 1: the map operation, parallel over chunks (each chunk
-        // reads up to `p` input values across its left boundary, so the
-        // mapped values are produced into a fresh buffer).
-        if !self.signature.is_pure_feedback() {
-            let mapped = self.parallel_fir(data, threads);
-            data.copy_from_slice(&mapped);
-        }
-
-        if self.config.strategy == Strategy::TwoPass {
-            return Ok(self.run_two_pass(data, threads));
-        }
-
         let k = self.signature.order();
         let feedback = self.signature.feedback();
         let num_chunks = n.div_ceil(m);
+        let boundaries = self.stash_boundaries(data, m, num_chunks);
+
         let slots: Vec<Slot<T>> = (0..num_chunks).map(|_| Slot::new()).collect();
         let hops = AtomicU64::new(0);
         let spins = AtomicU64::new(0);
         let max_depth = AtomicU64::new(0);
+        let clocks = PhaseClocks::default();
+        let tickets = Tickets::new(num_chunks);
+        let base = SendPtr::new(data.as_mut_ptr());
 
-        std::thread::scope(|scope| {
-            let (tx, rx) = crossbeam::channel::bounded::<(usize, &mut [T])>(threads);
-            let slots = &slots;
-            let table = &self.table;
-            let hops = &hops;
-            let spins = &spins;
-            let max_depth = &max_depth;
-            for _ in 0..threads {
-                let rx = rx.clone();
-                scope.spawn(move || {
-                    while let Ok((c, chunk)) = rx.recv() {
-                        // Local solve, then publish local carries.
-                        serial::recursive_in_place(feedback, chunk);
-                        let locals = carries_of(chunk, k);
-                        slots[c].local.set(locals.clone()).expect("sole producer of local carries");
-                        if c == 0 {
-                            slots[0]
-                                .global
-                                .set(locals)
-                                .expect("sole producer of chunk 0 globals");
-                            continue;
-                        }
-                        // Variable look-back: walk back to the most recent
-                        // published globals, then fix forward through the
-                        // published locals.
-                        let g = resolve_global(table, slots, c - 1, m, n, hops, spins, max_depth);
-                        table.correct_chunk(chunk, &g);
-                        let globals = carries_of(chunk, k);
-                        // A deeper look-back by a successor may already
-                        // have derived (and published) our globals.
-                        let _ = slots[c].global.set(globals);
-                    }
+        pool.run(|_worker| {
+            let mut tally = PhaseTally::default();
+            while let Some(c) = tickets.claim() {
+                let start = c * m;
+                let len = m.min(n - start);
+                // SAFETY: tickets are unique, so chunk `c` is exclusively
+                // ours; `base` outlives `pool.run` (it blocks until every
+                // worker finishes).
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), len) };
+                timed(&mut tally.fir, || {
+                    self.fir_chunk(chunk, c, start, &boundaries)
                 });
+                // Local solve, then publish local carries.
+                timed(&mut tally.solve, || {
+                    serial::recursive_in_place(feedback, chunk)
+                });
+                let locals = carries_of(chunk, k);
+                slots[c]
+                    .local
+                    .set(locals.clone())
+                    .expect("sole producer of local carries");
+                if c == 0 {
+                    slots[0]
+                        .global
+                        .set(locals)
+                        .expect("sole producer of chunk 0 globals");
+                    continue;
+                }
+                // Variable look-back: walk back to the most recent
+                // published globals, then fix forward through the
+                // published locals.
+                let g = timed(&mut tally.lookback, || {
+                    resolve_global(&self.table, &slots, c - 1, m, n, &hops, &spins, &max_depth)
+                });
+                timed(&mut tally.correct, || self.table.correct_chunk(chunk, &g));
+                let globals = carries_of(chunk, k);
+                // A deeper look-back by a successor may already have
+                // derived (and published) our globals.
+                let _ = slots[c].global.set(globals);
             }
-            drop(rx);
-            for item in data.chunks_mut(m).enumerate() {
-                tx.send(item).expect("workers outlive the feed");
-            }
-            drop(tx);
+            tally.flush(&clocks);
         });
 
-        Ok(RunStats {
+        RunStats {
             chunks: num_chunks as u64,
             lookback_hops: hops.load(Ordering::Relaxed),
             spin_waits: spins.load(Ordering::Relaxed),
             max_lookback_depth: max_depth.load(Ordering::Relaxed),
-            threads: threads as u64,
-        })
+            threads: pool.width() as u64,
+            fir_nanos: clocks.fir.load(Ordering::Relaxed),
+            solve_nanos: clocks.solve.load(Ordering::Relaxed),
+            lookback_nanos: clocks.lookback.load(Ordering::Relaxed),
+            correct_nanos: clocks.correct.load(Ordering::Relaxed),
+        }
     }
 
-    /// The two-pass strategy: parallel local solves, one sequential carry
-    /// chain, parallel correction (the dependency structure of
+    /// The two-pass strategy: parallel map + local solves, one sequential
+    /// carry chain, parallel correction (the dependency structure of
     /// [`plr_core::phase2::propagate_decoupled`] on real threads).
-    fn run_two_pass(&self, data: &mut [T], threads: usize) -> RunStats {
+    fn run_two_pass(&self, data: &mut [T], pool: &WorkerPool) -> RunStats {
         let m = self.config.chunk_size;
         let k = self.signature.order();
         let feedback = self.signature.feedback();
         let n = data.len();
         let num_chunks = n.div_ceil(m);
+        let boundaries = self.stash_boundaries(data, m, num_chunks);
+        let clocks = PhaseClocks::default();
 
-        // Pass A: local solves in parallel via a work channel.
-        std::thread::scope(|scope| {
-            let (tx, rx) = crossbeam::channel::bounded::<&mut [T]>(threads);
-            for _ in 0..threads {
-                let rx = rx.clone();
-                scope.spawn(move || {
-                    while let Ok(chunk) = rx.recv() {
-                        serial::recursive_in_place(feedback, chunk);
-                    }
+        // Pass A: in-place map + local solves in parallel.
+        let tickets = Tickets::new(num_chunks);
+        let base = SendPtr::new(data.as_mut_ptr());
+        pool.run(|_worker| {
+            let mut tally = PhaseTally::default();
+            while let Some(c) = tickets.claim() {
+                let start = c * m;
+                let len = m.min(n - start);
+                // SAFETY: unique tickets make the chunks disjoint.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), len) };
+                timed(&mut tally.fir, || {
+                    self.fir_chunk(chunk, c, start, &boundaries)
+                });
+                timed(&mut tally.solve, || {
+                    serial::recursive_in_place(feedback, chunk)
                 });
             }
-            drop(rx);
-            for chunk in data.chunks_mut(m) {
-                tx.send(chunk).expect("workers outlive the feed");
-            }
-            drop(tx);
+            tally.flush(&clocks);
         });
 
         // Sequential chain: globals of chunk c from globals of c-1.
+        let chain_start = Instant::now();
         let mut hops = 0u64;
         let mut globals: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
         globals.push(carries_of(&data[..m.min(n)], k));
@@ -272,31 +396,32 @@ impl<T: Element> ParallelRunner<T> {
             let start = c * m;
             let end = (start + m).min(n);
             let locals = carries_of(&data[start..end], k);
-            globals.push(self.table.fixup_carries(&globals[c - 1], &locals, end - start));
+            globals.push(
+                self.table
+                    .fixup_carries(&globals[c - 1], &locals, end - start),
+            );
             hops += 1;
         }
+        let lookback_nanos = chain_start.elapsed().as_nanos() as u64;
 
         // Pass B: correct every chunk with its predecessor's globals, in
-        // parallel.
-        std::thread::scope(|scope| {
-            let (tx, rx) = crossbeam::channel::bounded::<(usize, &mut [T])>(threads);
-            let globals = &globals;
-            let table = &self.table;
-            for _ in 0..threads {
-                let rx = rx.clone();
-                scope.spawn(move || {
-                    while let Ok((c, chunk)) = rx.recv() {
-                        if c > 0 {
-                            table.correct_chunk(chunk, &globals[c - 1]);
-                        }
-                    }
+        // parallel (chunk 0 is already global).
+        let tickets = Tickets::new(num_chunks.saturating_sub(1));
+        let base = SendPtr::new(data.as_mut_ptr());
+        let globals = &globals;
+        pool.run(|_worker| {
+            let mut tally = PhaseTally::default();
+            while let Some(t) = tickets.claim() {
+                let c = t + 1;
+                let start = c * m;
+                let len = m.min(n - start);
+                // SAFETY: unique tickets make the chunks disjoint.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), len) };
+                timed(&mut tally.correct, || {
+                    self.table.correct_chunk(chunk, &globals[c - 1])
                 });
             }
-            drop(rx);
-            for item in data.chunks_mut(m).enumerate() {
-                tx.send(item).expect("workers outlive the feed");
-            }
-            drop(tx);
+            tally.flush(&clocks);
         });
 
         RunStats {
@@ -304,35 +429,41 @@ impl<T: Element> ParallelRunner<T> {
             lookback_hops: hops,
             spin_waits: 0,
             max_lookback_depth: 1,
-            threads: threads as u64,
+            threads: pool.width() as u64,
+            fir_nanos: clocks.fir.load(Ordering::Relaxed),
+            solve_nanos: clocks.solve.load(Ordering::Relaxed),
+            lookback_nanos,
+            correct_nanos: clocks.correct.load(Ordering::Relaxed),
         }
     }
+}
 
-    /// Parallel FIR map over chunks of the (immutable) input.
-    fn parallel_fir(&self, input: &[T], threads: usize) -> Vec<T> {
-        let n = input.len();
-        let chunk = n.div_ceil(threads).max(1);
-        let mut out = vec![T::zero(); n];
-        std::thread::scope(|scope| {
-            for (idx, slice) in out.chunks_mut(chunk).enumerate() {
-                let fir = &self.fir;
-                scope.spawn(move || {
-                    let start = idx * chunk;
-                    for (off, v) in slice.iter_mut().enumerate() {
-                        let i = start + off;
-                        let mut acc = T::zero();
-                        for (j, &a) in fir.iter().enumerate() {
-                            if j > i {
-                                break;
-                            }
-                            acc = acc.add(a.mul(input[i - j]));
-                        }
-                        *v = acc;
-                    }
-                });
+/// Applies the FIR map `out[i] = Σ_j fir[j]·x[i-j]` to `chunk` in place,
+/// walking right-to-left so every read of `chunk` sees original input.
+///
+/// `prev` holds the original inputs immediately left of the chunk, most
+/// recent last (`prev[prev.len() - 1]` is `x[start - 1]`); `start` is the
+/// chunk's global offset, used to zero terms that reach before the data.
+pub(crate) fn fir_in_place<T: Element>(fir: &[T], prev: &[T], start: usize, chunk: &mut [T]) {
+    for i in (0..chunk.len()).rev() {
+        let mut acc = T::zero();
+        for (j, &a) in fir.iter().enumerate() {
+            if j > start + i {
+                break;
             }
-        });
-        out
+            let x = if j <= i {
+                chunk[i - j]
+            } else {
+                let back = j - i; // reaches `back` elements before the chunk
+                if back <= prev.len() {
+                    prev[prev.len() - back]
+                } else {
+                    T::zero()
+                }
+            };
+            acc = acc.add(a.mul(x));
+        }
+        chunk[i] = acc;
     }
 }
 
@@ -364,11 +495,15 @@ fn resolve_global<T: Element>(
         }
         start -= 1;
     }
-    let mut g = slots[start].global.get().expect("checked or awaited above").clone();
+    let mut g = slots[start]
+        .global
+        .get()
+        .expect("checked or awaited above")
+        .clone();
     hops.fetch_add(1, Ordering::Relaxed);
     max_depth.fetch_max((j - start + 1) as u64, Ordering::Relaxed);
-    for h in start + 1..=j {
-        let locals = wait_for(&slots[h].local, spins);
+    for (h, slot) in slots.iter().enumerate().take(j + 1).skip(start + 1) {
+        let locals = wait_for(&slot.local, spins);
         let chunk_len = m.min(n - h * m);
         g = table.fixup_carries(&g, locals, chunk_len);
         hops.fetch_add(1, Ordering::Relaxed);
@@ -387,7 +522,7 @@ fn wait_for<'a, T>(cell: &'a OnceLock<Vec<T>>, spins: &AtomicU64) -> &'a Vec<T> 
             return v;
         }
         tries += 1;
-        if tries % 64 == 0 {
+        if tries.is_multiple_of(64) {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
@@ -406,7 +541,9 @@ mod tests {
         <Signature<T> as std::str::FromStr>::Err: std::fmt::Debug,
     {
         let sig: Signature<T> = sig_text.parse().unwrap();
-        let input: Vec<T> = (0..n).map(|i| T::from_i32(((i * 29) % 19) as i32 - 9)).collect();
+        let input: Vec<T> = (0..n)
+            .map(|i| T::from_i32(((i * 29) % 19) as i32 - 9))
+            .collect();
         let runner = ParallelRunner::with_config(sig.clone(), config).unwrap();
         let got = runner.run(&input).unwrap();
         let expect = serial::run(&sig, &input);
@@ -420,7 +557,11 @@ mod tests {
                 check::<i64>(
                     text,
                     100_000,
-                    RunnerConfig { chunk_size: 1 << 10, threads, strategy: Strategy::default() },
+                    RunnerConfig {
+                        chunk_size: 1 << 10,
+                        threads,
+                        strategy: Strategy::default(),
+                    },
                     0.0,
                 );
             }
@@ -430,16 +571,61 @@ mod tests {
     #[test]
     fn float_filters_within_tolerance() {
         for text in ["0.2:0.8", "0.04:1.6,-0.64", "0.9,-0.9:0.8"] {
-            check::<f32>(text, 50_000, RunnerConfig { chunk_size: 4096, threads: 4, strategy: Strategy::default() }, 1e-3);
+            check::<f32>(
+                text,
+                50_000,
+                RunnerConfig {
+                    chunk_size: 4096,
+                    threads: 4,
+                    strategy: Strategy::default(),
+                },
+                1e-3,
+            );
         }
     }
 
     #[test]
     fn ragged_and_tiny_inputs() {
-        check::<i64>("1:2,-1", 1, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
-        check::<i64>("1:2,-1", 63, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
-        check::<i64>("1:2,-1", 65, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
-        check::<i64>("1:2,-1", 6400 + 17, RunnerConfig { chunk_size: 64, threads: 4, strategy: Strategy::default() }, 0.0);
+        check::<i64>(
+            "1:2,-1",
+            1,
+            RunnerConfig {
+                chunk_size: 64,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
+            0.0,
+        );
+        check::<i64>(
+            "1:2,-1",
+            63,
+            RunnerConfig {
+                chunk_size: 64,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
+            0.0,
+        );
+        check::<i64>(
+            "1:2,-1",
+            65,
+            RunnerConfig {
+                chunk_size: 64,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
+            0.0,
+        );
+        check::<i64>(
+            "1:2,-1",
+            6400 + 17,
+            RunnerConfig {
+                chunk_size: 64,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
+            0.0,
+        );
     }
 
     #[test]
@@ -450,12 +636,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_reports_resolved_workers() {
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let runner = ParallelRunner::with_config(
+            sig,
+            RunnerConfig {
+                chunk_size: 64,
+                threads: 3,
+                strategy: Strategy::default(),
+            },
+        )
+        .unwrap();
+        let stats = runner.run_in_place(&mut []).unwrap();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(stats.chunks, 0);
+
+        let sig: Signature<i32> = "1:1".parse().unwrap();
+        let auto = ParallelRunner::new(sig).unwrap();
+        let stats = auto.run_in_place(&mut []).unwrap();
+        assert_eq!(stats.threads, auto.threads() as u64);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
     fn deterministic_for_integers() {
         let sig: Signature<i64> = "1:3,-3,1".parse().unwrap();
         let input: Vec<i64> = (0..200_000).map(|i| (i % 23) as i64 - 11).collect();
         let runner = ParallelRunner::with_config(
             sig,
-            RunnerConfig { chunk_size: 2048, threads: 8, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 2048,
+                threads: 8,
+                strategy: Strategy::default(),
+            },
         )
         .unwrap();
         let a = runner.run(&input).unwrap();
@@ -469,7 +682,11 @@ mod tests {
         let sig: Signature<i64> = "1:1".parse().unwrap();
         let runner = ParallelRunner::with_config(
             sig,
-            RunnerConfig { chunk_size: 1024, threads: 4, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 1024,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
         )
         .unwrap();
         let mut data: Vec<i64> = (0..100_000).map(|i| i as i64 % 7).collect();
@@ -480,14 +697,102 @@ mod tests {
     }
 
     #[test]
+    fn phase_timings_are_populated() {
+        let sig: Signature<f64> = "0.81,-1.62,0.81:1.6,-0.64".parse().unwrap();
+        let mut input: Vec<f64> = (0..200_000)
+            .map(|i| ((i % 13) as f64) * 0.1 - 0.6)
+            .collect();
+        for strategy in [Strategy::LookbackPipeline, Strategy::TwoPass] {
+            let runner = ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 4096,
+                    threads: 4,
+                    strategy,
+                },
+            )
+            .unwrap();
+            let stats = runner.run_in_place(&mut input).unwrap();
+            assert!(
+                stats.solve_nanos > 0,
+                "{strategy:?}: local solve must be timed"
+            );
+            assert!(stats.fir_nanos > 0, "{strategy:?}: FIR stage must be timed");
+            assert!(
+                stats.correct_nanos > 0,
+                "{strategy:?}: correction must be timed"
+            );
+            assert!(
+                stats.busy_nanos() >= stats.solve_nanos,
+                "{strategy:?}: total covers the parts"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_feedback_skips_the_fir_phase() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let runner = ParallelRunner::with_config(
+            sig,
+            RunnerConfig {
+                chunk_size: 1024,
+                threads: 2,
+                strategy: Strategy::default(),
+            },
+        )
+        .unwrap();
+        let mut data: Vec<i64> = (0..50_000).map(|i| (i % 5) as i64).collect();
+        let stats = runner.run_in_place(&mut data).unwrap();
+        assert!(stats.solve_nanos > 0);
+    }
+
+    #[test]
+    fn repeated_runs_on_one_runner_stay_correct() {
+        // The pool is reused across calls; results must stay identical and
+        // correct for differently sized inputs on the same runner.
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let runner = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig {
+                chunk_size: 512,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
+        )
+        .unwrap();
+        for n in [0usize, 1, 511, 512, 513, 10_000, 70_001] {
+            let input: Vec<i64> = (0..n).map(|i| (i % 11) as i64 - 5).collect();
+            assert_eq!(
+                runner.run(&input).unwrap(),
+                serial::run(&sig, &input),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
     fn config_validation() {
         let sig: Signature<i32> = "1:3,-3,1".parse().unwrap();
         assert!(matches!(
-            ParallelRunner::with_config(sig.clone(), RunnerConfig { chunk_size: 2, threads: 1, strategy: Strategy::default() }),
+            ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 2,
+                    threads: 1,
+                    strategy: Strategy::default()
+                }
+            ),
             Err(EngineError::InvalidChunkSize { .. })
         ));
-        assert!(ParallelRunner::with_config(sig, RunnerConfig { chunk_size: 3, threads: 1, strategy: Strategy::default() })
-            .is_ok());
+        assert!(ParallelRunner::with_config(
+            sig,
+            RunnerConfig {
+                chunk_size: 3,
+                threads: 1,
+                strategy: Strategy::default()
+            }
+        )
+        .is_ok());
     }
 
     #[test]
@@ -495,9 +800,60 @@ mod tests {
         check::<f64>(
             "0.81,-1.62,0.81:1.6,-0.64",
             30_000,
-            RunnerConfig { chunk_size: 1024, threads: 4, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 1024,
+                threads: 4,
+                strategy: Strategy::default(),
+            },
             1e-6,
         );
+    }
+
+    #[test]
+    fn fir_wider_than_chunk_reaches_across_several_chunks() {
+        // p - 1 > m: the boundary stash must reach past the immediately
+        // preceding chunk into earlier ones.
+        let sig: Signature<i64> = "1,1,1,1,1,1,1:1".parse().unwrap();
+        for strategy in [Strategy::LookbackPipeline, Strategy::TwoPass] {
+            let input: Vec<i64> = (0..1000).map(|i| (i % 9) as i64 - 4).collect();
+            let runner = ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 4,
+                    threads: 4,
+                    strategy,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                runner.run(&input).unwrap(),
+                serial::run(&sig, &input),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fir_in_place_matches_fir_map() {
+        let fir = [3i64, -2, 5, 7];
+        let input: Vec<i64> = (0..100).map(|i| (i % 7) as i64 - 3).collect();
+        let expect = serial::fir_map(&fir, &input);
+        for m in [1usize, 3, 8, 33, 100, 200] {
+            let mut data = input.clone();
+            let num_chunks = data.len().div_ceil(m);
+            let boundaries: Vec<Vec<i64>> = (1..num_chunks)
+                .map(|c| data[(c * m).saturating_sub(fir.len() - 1)..c * m].to_vec())
+                .collect();
+            for c in (0..num_chunks).rev() {
+                // Process in arbitrary (here reverse) order: the stash must
+                // make order irrelevant.
+                let start = c * m;
+                let end = (start + m).min(input.len());
+                let prev: &[i64] = if c == 0 { &[] } else { &boundaries[c - 1] };
+                fir_in_place(&fir, prev, start, &mut data[start..end]);
+            }
+            assert_eq!(data, expect, "chunk size {m}");
+        }
     }
 
     #[test]
@@ -522,10 +878,23 @@ mod tests {
     fn two_pass_and_lookback_agree_exactly_on_ints() {
         let sig: Signature<i64> = "1:3,-3,1".parse().unwrap();
         let input: Vec<i64> = (0..120_000).map(|i| (i % 17) as i64 - 8).collect();
-        let base = RunnerConfig { chunk_size: 4096, threads: 4, strategy: Strategy::default() };
-        let a = ParallelRunner::with_config(sig.clone(), base).unwrap().run(&input).unwrap();
-        let two = RunnerConfig { strategy: Strategy::TwoPass, ..base };
-        let b = ParallelRunner::with_config(sig, two).unwrap().run(&input).unwrap();
+        let base = RunnerConfig {
+            chunk_size: 4096,
+            threads: 4,
+            strategy: Strategy::default(),
+        };
+        let a = ParallelRunner::with_config(sig.clone(), base)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let two = RunnerConfig {
+            strategy: Strategy::TwoPass,
+            ..base
+        };
+        let b = ParallelRunner::with_config(sig, two)
+            .unwrap()
+            .run(&input)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -534,7 +903,11 @@ mod tests {
         let sig: Signature<i64> = "1:1".parse().unwrap();
         let runner = ParallelRunner::with_config(
             sig,
-            RunnerConfig { chunk_size: 512, threads: 8, strategy: Strategy::TwoPass },
+            RunnerConfig {
+                chunk_size: 512,
+                threads: 8,
+                strategy: Strategy::TwoPass,
+            },
         )
         .unwrap();
         let mut data: Vec<i64> = (0..50_000).map(|i| i as i64 % 5).collect();
@@ -549,14 +922,22 @@ mod tests {
         let input: Vec<i64> = (0..50_000).map(|i| (i % 31) as i64 - 15).collect();
         let one = ParallelRunner::with_config(
             sig.clone(),
-            RunnerConfig { chunk_size: 4096, threads: 1, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 4096,
+                threads: 1,
+                strategy: Strategy::default(),
+            },
         )
         .unwrap()
         .run(&input)
         .unwrap();
         let many = ParallelRunner::with_config(
             sig,
-            RunnerConfig { chunk_size: 4096, threads: 8, strategy: Strategy::default() },
+            RunnerConfig {
+                chunk_size: 4096,
+                threads: 8,
+                strategy: Strategy::default(),
+            },
         )
         .unwrap()
         .run(&input)

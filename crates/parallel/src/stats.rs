@@ -17,6 +17,19 @@ pub struct RunStats {
     pub max_lookback_depth: u64,
     /// Worker threads used.
     pub threads: u64,
+    /// Wall time spent in the FIR map stage, summed across workers
+    /// (nanoseconds; zero for pure-feedback signatures).
+    pub fir_nanos: u64,
+    /// Wall time spent in per-chunk local solves, summed across workers
+    /// (nanoseconds).
+    pub solve_nanos: u64,
+    /// Wall time spent resolving global carries — the look-back walk in
+    /// the pipeline strategy, the sequential chain in two-pass — summed
+    /// across workers (nanoseconds).
+    pub lookback_nanos: u64,
+    /// Wall time spent applying n-nacci corrections, summed across
+    /// workers (nanoseconds).
+    pub correct_nanos: u64,
 }
 
 impl RunStats {
@@ -28,6 +41,38 @@ impl RunStats {
         } else {
             self.lookback_hops as f64 / (self.chunks - 1) as f64
         }
+    }
+
+    /// Total per-phase busy time across all workers, nanoseconds.
+    ///
+    /// This is CPU-side *work* time, not elapsed wall time: with `w`
+    /// workers saturated it is up to `w×` the wall clock.
+    pub fn busy_nanos(&self) -> u64 {
+        self.fir_nanos + self.solve_nanos + self.lookback_nanos + self.correct_nanos
+    }
+
+    /// The share of busy time spent in a phase, in `[0, 1]` (zero when
+    /// nothing was timed).
+    pub fn phase_fraction(&self, phase_nanos: u64) -> f64 {
+        let total = self.busy_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            phase_nanos as f64 / total as f64
+        }
+    }
+
+    /// Folds another run's counters into this one (used by batched
+    /// execution to aggregate over rows).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.chunks += other.chunks;
+        self.lookback_hops += other.lookback_hops;
+        self.spin_waits += other.spin_waits;
+        self.max_lookback_depth = self.max_lookback_depth.max(other.max_lookback_depth);
+        self.fir_nanos += other.fir_nanos;
+        self.solve_nanos += other.solve_nanos;
+        self.lookback_nanos += other.lookback_nanos;
+        self.correct_nanos += other.correct_nanos;
     }
 }
 
@@ -44,7 +89,49 @@ mod tests {
             spin_waits: 0,
             max_lookback_depth: 3,
             threads: 4,
+            ..RunStats::default()
         };
         assert!((s.mean_lookback_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_time_sums_the_phases() {
+        let s = RunStats {
+            fir_nanos: 10,
+            solve_nanos: 20,
+            lookback_nanos: 30,
+            correct_nanos: 40,
+            ..RunStats::default()
+        };
+        assert_eq!(s.busy_nanos(), 100);
+        assert!((s.phase_fraction(s.solve_nanos) - 0.2).abs() < 1e-12);
+        assert_eq!(RunStats::default().phase_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates_and_maxes() {
+        let mut a = RunStats {
+            chunks: 2,
+            lookback_hops: 1,
+            max_lookback_depth: 3,
+            solve_nanos: 5,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            chunks: 3,
+            lookback_hops: 2,
+            spin_waits: 7,
+            max_lookback_depth: 2,
+            solve_nanos: 5,
+            fir_nanos: 1,
+            ..RunStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.chunks, 5);
+        assert_eq!(a.lookback_hops, 3);
+        assert_eq!(a.spin_waits, 7);
+        assert_eq!(a.max_lookback_depth, 3);
+        assert_eq!(a.solve_nanos, 10);
+        assert_eq!(a.fir_nanos, 1);
     }
 }

@@ -31,7 +31,10 @@ impl Cache {
         assert!(line_bytes.is_power_of_two() && line_bytes > 0);
         assert!(ways > 0 && ways <= 255);
         let lines = capacity_bytes / line_bytes;
-        assert!(lines % ways == 0, "capacity must divide evenly into sets");
+        assert!(
+            lines.is_multiple_of(ways),
+            "capacity must divide evenly into sets"
+        );
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -108,7 +111,10 @@ impl Cache {
             if is_read {
                 self.read_hits += 1;
             }
-            let pos = order.iter().position(|&w| w == way as u8).expect("way tracked in LRU");
+            let pos = order
+                .iter()
+                .position(|&w| w == way as u8)
+                .expect("way tracked in LRU");
             let w = order.remove(pos);
             order.push(w);
         } else {

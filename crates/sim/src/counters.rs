@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn merge_accumulates_every_field() {
-        let mut a = Counters { global_read_bytes: 1, flops: 2, ..Counters::new() };
+        let mut a = Counters {
+            global_read_bytes: 1,
+            flops: 2,
+            ..Counters::new()
+        };
         let b = Counters {
             global_read_bytes: 10,
             global_write_bytes: 20,

@@ -54,7 +54,11 @@ impl FactorAccess {
     pub fn unoptimized(k: usize, table_len: usize, element_bytes: u64, buffer: BufferId) -> Self {
         FactorAccess {
             lists: vec![
-                FactorListSpec { inline: false, shared_limit: 0, active_len: table_len };
+                FactorListSpec {
+                    inline: false,
+                    shared_limit: 0,
+                    active_len: table_len
+                };
                 k
             ],
             buffer: Some(buffer),
@@ -77,12 +81,16 @@ impl FactorAccess {
             .patterns
             .iter()
             .map(|p| match p {
-                FactorPattern::AllZero => {
-                    FactorListSpec { inline: true, shared_limit: 0, active_len: 0 }
-                }
-                FactorPattern::Constant(_) | FactorPattern::ZeroOne(_) => {
-                    FactorListSpec { inline: true, shared_limit: 0, active_len: table_len }
-                }
+                FactorPattern::AllZero => FactorListSpec {
+                    inline: true,
+                    shared_limit: 0,
+                    active_len: 0,
+                },
+                FactorPattern::Constant(_) | FactorPattern::ZeroOne(_) => FactorListSpec {
+                    inline: true,
+                    shared_limit: 0,
+                    active_len: table_len,
+                },
                 FactorPattern::Periodic { period } => FactorListSpec {
                     // One period lives comfortably in shared memory.
                     inline: false,
@@ -101,7 +109,12 @@ impl FactorAccess {
                 },
             })
             .collect();
-        FactorAccess { lists, buffer, element_bytes, table_len }
+        FactorAccess {
+            lists,
+            buffer,
+            element_bytes,
+            table_len,
+        }
     }
 
     /// Accounts one factor load of list `r`, entry `i` (periodic lists wrap
@@ -244,12 +257,18 @@ pub fn block_local_solve<T: Element>(
     access: &FactorAccess,
     mem: &mut GlobalMemory,
 ) {
-    assert!(data.len() <= table.len(), "chunk larger than the correction table");
+    assert!(
+        data.len() <= table.len(),
+        "chunk larger than the correction table"
+    );
     thread_local_solve(feedback, data, x, mem);
     let mut chunk = x;
     while chunk < data.len() {
-        let exchange =
-            if chunk < warp_size * x { Exchange::Shuffle } else { Exchange::SharedMemory };
+        let exchange = if chunk < warp_size * x {
+            Exchange::Shuffle
+        } else {
+            Exchange::SharedMemory
+        };
         merge_step(table, data, chunk, exchange, access, mem);
         chunk *= 2;
     }
@@ -267,7 +286,14 @@ mod tests {
 
     fn inline_access(k: usize, m: usize) -> FactorAccess {
         FactorAccess {
-            lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: m }; k],
+            lists: vec![
+                FactorListSpec {
+                    inline: true,
+                    shared_limit: 0,
+                    active_len: m
+                };
+                k
+            ],
             buffer: None,
             element_bytes: 4,
             table_len: m,
@@ -289,7 +315,7 @@ mod tests {
         let m = 64; // x = 2, "warp" of 4 lanes -> shuffle until chunk 8
         let table = CorrectionTable::generate(&fb, m);
         let access = inline_access(2, m);
-        let input: Vec<i32> = (0..200).map(|i| ((i * 13) % 17) as i32 - 8).collect();
+        let input: Vec<i32> = (0..200).map(|i| ((i * 13) % 17) - 8).collect();
         let mut data = input.clone();
         let mut mem = mem();
         for chunk in data.chunks_mut(m) {
@@ -298,7 +324,10 @@ mod tests {
         assert_eq!(data, expected_local(&fb, &input, m));
         let c = mem.counters();
         assert!(c.shuffles > 0, "warp-level iterations should shuffle");
-        assert!(c.shared_accesses > 0, "cross-warp iterations should use shared memory");
+        assert!(
+            c.shared_accesses > 0,
+            "cross-warp iterations should use shared memory"
+        );
         assert!(c.flops > 0);
     }
 
@@ -340,12 +369,19 @@ mod tests {
         let buf = mem.alloc((2 * m * 4) as u64, "factors");
         // Buffer only the first 4 entries of each list in shared memory.
         let access = FactorAccess {
-            lists: vec![FactorListSpec { inline: false, shared_limit: 4, active_len: m }; 2],
+            lists: vec![
+                FactorListSpec {
+                    inline: false,
+                    shared_limit: 4,
+                    active_len: m
+                };
+                2
+            ],
             buffer: Some(buf),
             element_bytes: 4,
             table_len: m,
         };
-        let input: Vec<i32> = (0..16).map(|i| i as i32).collect();
+        let input: Vec<i32> = (0..16).collect();
         let mut data = input.clone();
         block_local_solve(&fb, &table, &mut data, 1, 4, &access, &mut mem);
         assert_eq!(data, expected_local(&fb, &input, m));

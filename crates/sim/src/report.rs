@@ -64,8 +64,8 @@ mod tests {
                 registers_per_thread: 32,
                 exposed_hops: 32,
                 launches: 1,
-            compute_efficiency: 1.0,
-            bandwidth_efficiency: 1.0,
+                compute_efficiency: 1.0,
+                bandwidth_efficiency: 1.0,
             },
             peak_bytes: 0,
         };
@@ -79,7 +79,10 @@ mod tests {
     fn without_output_clears_values_only() {
         let report = RunReport {
             output: vec![1, 2, 3],
-            counters: Counters { flops: 7, ..Counters::new() },
+            counters: Counters {
+                flops: 7,
+                ..Counters::new()
+            },
             workload: Workload {
                 elements: 3,
                 blocks: 1,
@@ -87,8 +90,8 @@ mod tests {
                 registers_per_thread: 32,
                 exposed_hops: 0,
                 launches: 1,
-            compute_efficiency: 1.0,
-            bandwidth_efficiency: 1.0,
+                compute_efficiency: 1.0,
+                bandwidth_efficiency: 1.0,
             },
             peak_bytes: 9,
         };

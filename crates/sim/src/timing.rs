@@ -43,7 +43,13 @@ pub struct OpWeights {
 
 impl Default for OpWeights {
     fn default() -> Self {
-        OpWeights { flop: 1.0, shuffle: 1.0, shared: 1.0, global_word: 2.0, atomic: 30.0 }
+        OpWeights {
+            flop: 1.0,
+            shuffle: 1.0,
+            shared: 1.0,
+            global_word: 2.0,
+            atomic: 30.0,
+        }
     }
 }
 
@@ -121,7 +127,10 @@ pub struct TimeEstimate {
 impl CostModel {
     /// A model for `config` with default instruction weights.
     pub fn new(config: DeviceConfig) -> Self {
-        CostModel { config, weights: OpWeights::default() }
+        CostModel {
+            config,
+            weights: OpWeights::default(),
+        }
     }
 
     /// Overrides the instruction weights.
@@ -185,7 +194,12 @@ impl CostModel {
         let serial_time = workload.launches as f64 * cfg.launch_overhead
             + workload.exposed_hops as f64 * cfg.hop_latency;
         let total = serial_time + memory_time.max(compute_time);
-        TimeEstimate { memory_time, compute_time, serial_time, total }
+        TimeEstimate {
+            memory_time,
+            compute_time,
+            serial_time,
+            total,
+        }
     }
 
     /// Throughput in elements/second for a time estimate.
@@ -288,7 +302,10 @@ mod tests {
         let w = workload(n, 9 * 1024);
         // 400 ops per element: far beyond what the 4-byte traffic needs
         // (the roof crossover on this device sits near 103 ops/element).
-        let c = Counters { flops: n * 400, ..streaming_counters(n) };
+        let c = Counters {
+            flops: n * 400,
+            ..streaming_counters(n)
+        };
         let est = m.time(&c, &w);
         assert!(est.compute_time > est.memory_time);
     }
@@ -297,7 +314,10 @@ mod tests {
     fn underutilization_penalizes_few_blocks() {
         let m = model();
         // Same total ops, once in 2 blocks, once spread over 96.
-        let c = Counters { flops: 1 << 24, ..Counters::new() };
+        let c = Counters {
+            flops: 1 << 24,
+            ..Counters::new()
+        };
         let mut w_few = workload(1 << 20, 1 << 19); // 2 blocks
         let mut w_many = workload(1 << 20, 1 << 14); // 64 blocks
         w_few.exposed_hops = 0;
@@ -311,8 +331,14 @@ mod tests {
     fn atomics_cost_more_than_flops() {
         let m = model();
         let w = workload(1 << 20, 1 << 10);
-        let flops = Counters { flops: 1 << 20, ..Counters::new() };
-        let atomics = Counters { atomics: 1 << 20, ..Counters::new() };
+        let flops = Counters {
+            flops: 1 << 20,
+            ..Counters::new()
+        };
+        let atomics = Counters {
+            atomics: 1 << 20,
+            ..Counters::new()
+        };
         assert!(m.time(&atomics, &w).compute_time > m.time(&flops, &w).compute_time);
     }
 }

@@ -57,9 +57,8 @@ impl<T: Element> Warp<T> {
     /// `__shfl_down_sync`: lane `i` receives lane `i + delta`'s value.
     pub fn shfl_down(&self, delta: usize) -> Self {
         let mut out = self.0;
-        for i in 0..WARP_SIZE.saturating_sub(delta) {
-            out[i] = self.0[i + delta];
-        }
+        let keep = WARP_SIZE.saturating_sub(delta);
+        out[..keep].copy_from_slice(&self.0[delta..delta + keep]);
         Warp(out)
     }
 
@@ -94,7 +93,10 @@ impl<T: Element> Warp<T> {
 /// After the call, the warp holds the local recurrence solution of its 32
 /// values.
 pub fn warp_recurrence_merge<T: Element>(warp: &mut Warp<T>, table: &CorrectionTable<T>) -> u64 {
-    assert!(table.len() >= WARP_SIZE / 2, "table must cover the widest merge");
+    assert!(
+        table.len() >= WARP_SIZE / 2,
+        "table must cover the widest merge"
+    );
     let k = table.order();
     let mut shuffles = 0u64;
     let mut width = 1usize;
@@ -156,7 +158,13 @@ mod tests {
 
     #[test]
     fn warp_merge_solves_the_recurrence_for_every_order() {
-        for fb in [&[1i64][..], &[1, 1][..], &[2, -1][..], &[3, -3, 1][..], &[0, 0, 1][..]] {
+        for fb in [
+            &[1i64][..],
+            &[1, 1][..],
+            &[2, -1][..],
+            &[3, -3, 1][..],
+            &[0, 0, 1][..],
+        ] {
             let table = CorrectionTable::generate(fb, 16);
             let values: Vec<i64> = (0..32).map(|i| ((i * 37) % 11) as i64 - 5).collect();
             let mut warp = Warp::load(&values, 0);
@@ -192,7 +200,14 @@ mod tests {
 
         let mut slice = values.clone();
         let access = FactorAccess {
-            lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: 16 }; 3],
+            lists: vec![
+                FactorListSpec {
+                    inline: true,
+                    shared_limit: 0,
+                    active_len: 16
+                };
+                3
+            ],
             buffer: None,
             element_bytes: 8,
             table_len: 16,
@@ -200,7 +215,14 @@ mod tests {
         let mut mem = GlobalMemory::new(crate::device::DeviceConfig::titan_x());
         let mut chunk = 1;
         while chunk < 32 {
-            fabric::merge_step(&table, &mut slice, chunk, fabric::Exchange::Shuffle, &access, &mut mem);
+            fabric::merge_step(
+                &table,
+                &mut slice,
+                chunk,
+                fabric::Exchange::Shuffle,
+                &access,
+                &mut mem,
+            );
             chunk *= 2;
         }
         let mut got = vec![0i64; 32];

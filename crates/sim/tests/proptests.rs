@@ -9,7 +9,14 @@ use proptest::prelude::*;
 
 fn inline_access(k: usize, m: usize) -> FactorAccess {
     FactorAccess {
-        lists: vec![FactorListSpec { inline: true, shared_limit: 0, active_len: m }; k],
+        lists: vec![
+            FactorListSpec {
+                inline: true,
+                shared_limit: 0,
+                active_len: m
+            };
+            k
+        ],
         buffer: None,
         element_bytes: 4,
         table_len: m,

@@ -46,14 +46,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    println!("input:  {} samples, rms {:.3}, mean {:+.3}", n, rms(&signal), mean(&signal));
+    println!(
+        "input:  {} samples, rms {:.3}, mean {:+.3}",
+        n,
+        rms(&signal),
+        mean(&signal)
+    );
 
     // --- Low-pass: keep the tone, strip the noise ------------------------
     let lp: Signature<f32> = filters::low_pass(0.8, 2).cast();
     println!("\nlow-pass  {lp}");
     let runner = ParallelRunner::with_config(
         lp.clone(),
-        RunnerConfig { chunk_size: 1 << 15, threads: 0, strategy: Strategy::default() },
+        RunnerConfig {
+            chunk_size: 1 << 15,
+            threads: 0,
+            strategy: Strategy::default(),
+        },
     )?;
     let start = Instant::now();
     let smoothed = runner.run(&signal)?;
@@ -64,19 +73,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         elapsed.as_secs_f64() * 1e3,
         n as f64 / elapsed.as_secs_f64() / 1e6
     );
-    println!("  rms {:.3} -> {:.3} (noise stripped), mean {:+.3} (DC kept)",
-        rms(&signal), rms(&smoothed), mean(&smoothed));
+    println!(
+        "  rms {:.3} -> {:.3} (noise stripped), mean {:+.3} (DC kept)",
+        rms(&signal),
+        rms(&smoothed),
+        mean(&smoothed)
+    );
 
     // --- High-pass: remove the DC offset ---------------------------------
     let hp: Signature<f32> = filters::high_pass(0.8, 1).cast();
     println!("\nhigh-pass {hp}");
     let runner = ParallelRunner::with_config(
         hp.clone(),
-        RunnerConfig { chunk_size: 1 << 15, threads: 0, strategy: Strategy::default() },
+        RunnerConfig {
+            chunk_size: 1 << 15,
+            threads: 0,
+            strategy: Strategy::default(),
+        },
     )?;
     let centered = runner.run(&smoothed)?;
     validate::validate(&serial::run(&hp, &smoothed), &centered, 1e-3)?;
-    println!("  mean {:+.3} -> {:+.5} (DC removed)", mean(&smoothed), mean(&centered));
+    println!(
+        "  mean {:+.3} -> {:+.5} (DC removed)",
+        mean(&smoothed),
+        mean(&centered)
+    );
 
     // --- Why the factors decay: stability analysis -----------------------
     let report = plr::core::stability::analyze(lp.feedback());

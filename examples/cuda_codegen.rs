@@ -33,11 +33,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (arrays, lines, m) = if entry.integral {
             let sig: Signature<i64> = entry.signature.cast();
             let c = Plr::new().compile(&sig, n);
-            (c.plan.materialized_lists(), c.cuda.lines().count(), c.plan.chunk_size())
+            (
+                c.plan.materialized_lists(),
+                c.cuda.lines().count(),
+                c.plan.chunk_size(),
+            )
         } else {
             let sig: Signature<f32> = entry.signature.cast();
             let c = Plr::new().compile(&sig, n);
-            (c.plan.materialized_lists(), c.cuda.lines().count(), c.plan.chunk_size())
+            (
+                c.plan.materialized_lists(),
+                c.cuda.lines().count(),
+                c.plan.chunk_size(),
+            )
         };
         println!(
             "{:<42} {:>6} {:>7} {:>10} {:>12}",
@@ -53,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sig: Signature<f32> = "0.04 : 1.6, -0.64".parse()?;
     let on = Plr::new().compile(&sig, 1 << 24);
     let off = Plr::new()
-        .with_options(LowerOptions { opts: Optimizations::none(), ..Default::default() })
+        .with_options(LowerOptions {
+            opts: Optimizations::none(),
+            ..Default::default()
+        })
         .compile(&sig, 1 << 24);
     println!(
         "\n2-stage low-pass factor arrays: optimized {} lines of CUDA \

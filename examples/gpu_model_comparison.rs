@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input: Vec<i64> = (0..n).map(|i| (i % 19) as i64 - 9).collect();
     let expected = serial::run(&sig, &input);
 
-    println!("2-tuple prefix sum {sig}, n = 2^20, device: {}\n", device.name);
+    println!(
+        "2-tuple prefix sum {sig}, n = 2^20, device: {}\n",
+        device.name
+    );
     println!(
         "{:<8} {:>12} {:>14} {:>14} {:>12}",
         "code", "model GB/s*", "global rd MB", "global wr MB", "l2 miss MB"

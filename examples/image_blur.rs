@@ -16,12 +16,16 @@ use std::time::Instant;
 fn blur_rows(image: &mut [f32], width: usize, sig: &Signature<f32>, threads: usize) {
     // Causal pass over every row in parallel…
     let runner = BatchRunner::new(sig.clone(), threads);
-    runner.run_rows(image, width).expect("width divides the image");
+    runner
+        .run_rows(image, width)
+        .expect("width divides the image");
     // …then the anticausal pass: reverse each row, filter, reverse back.
     for row in image.chunks_mut(width) {
         row.reverse();
     }
-    runner.run_rows(image, width).expect("width divides the image");
+    runner
+        .run_rows(image, width)
+        .expect("width divides the image");
     for row in image.chunks_mut(width) {
         row.reverse();
     }
@@ -75,5 +79,8 @@ fn main() {
         edge(&image)
     );
     let serial_row = serial::run(&sig, &original[..w]);
-    println!("  (causal-only row mean {:.3} for reference)", serial_row.iter().sum::<f32>() / w as f32);
+    println!(
+        "  (causal-only row mean {:.3} for reference)",
+        serial_row.iter().sum::<f32>() / w as f32
+    );
 }

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let runner = ParallelRunner::with_config(
         sig,
-        RunnerConfig { chunk_size: 1 << 16, threads: 0, strategy: Strategy::default() },
+        RunnerConfig {
+            chunk_size: 1 << 16,
+            threads: 0,
+            strategy: Strategy::default(),
+        },
     )?;
 
     let start = Instant::now();
@@ -54,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sequential = sequential_lcg(seed, n);
     let t_seq = start.elapsed();
 
-    assert_eq!(parallel, sequential, "the parallel stream must match bit for bit");
+    assert_eq!(
+        parallel, sequential,
+        "the parallel stream must match bit for bit"
+    );
 
     println!("reproduced {n} MMIX LCG states bit-exactly");
     println!("  sequential: {:7.1} ms", t_seq.as_secs_f64() * 1e3);
@@ -70,9 +77,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // exactly the classic LCG leapfrogging trick, rediscovered as n-nacci
     // correction factors.
     let table = plr::core::nacci::CorrectionTable::generate(&[A], 4);
-    println!(
-        "  factor list (powers of A mod 2^64): {:x?}",
-        table.list(0)
-    );
+    println!("  factor list (powers of A mod 2^64): {:x?}", table.list(0));
     Ok(())
 }

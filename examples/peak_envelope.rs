@@ -24,20 +24,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // y[i] = max(x[i], y[i-1] - λ)  ≡  (one : -λ) over (max, +).
-    let sig: Signature<MaxPlus> =
-        Signature::new(vec![MaxPlus::one()], vec![MaxPlus::new(-decay)])?;
+    let sig: Signature<MaxPlus> = Signature::new(vec![MaxPlus::one()], vec![MaxPlus::new(-decay)])?;
 
     let runner = ParallelRunner::with_config(
         sig.clone(),
-        RunnerConfig { chunk_size: 1 << 14, threads: 0, strategy: Strategy::TwoPass },
+        RunnerConfig {
+            chunk_size: 1 << 14,
+            threads: 0,
+            strategy: Strategy::TwoPass,
+        },
     )?;
     let envelope = runner.run(&signal)?;
     validate::validate(&serial::run(&sig, &signal), &envelope, 1e-9)?;
 
-    let peak = envelope.iter().map(|v| v.value()).fold(f64::NEG_INFINITY, f64::max);
+    let peak = envelope
+        .iter()
+        .map(|v| v.value())
+        .fold(f64::NEG_INFINITY, f64::max);
     let at_end = envelope.last().unwrap().value();
     println!("peak-envelope follower over {n} samples (λ = {decay}/sample)");
-    println!("  computed in parallel on {} threads, validated vs serial", runner.threads());
+    println!(
+        "  computed in parallel on {} threads, validated vs serial",
+        runner.threads()
+    );
     println!("  max envelope {peak:.2}, envelope at end {at_end:.3}");
 
     // The tropical correction factors for this recurrence: -λ·(i+1), the

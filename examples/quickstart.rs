@@ -49,7 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|l| l.contains("__global__"))
         .expect("kernel present");
     println!("\ncuda kernel   {kernel_line}");
-    println!("              ({} lines of CUDA generated)", compiled.cuda.lines().count());
-    println!("chunk size m  {} (x = {})", compiled.plan.chunk_size(), compiled.plan.x);
+    println!(
+        "              ({} lines of CUDA generated)",
+        compiled.cuda.lines().count()
+    );
+    println!(
+        "chunk size m  {} (x = {})",
+        compiled.plan.chunk_size(),
+        compiled.plan.x
+    );
     Ok(())
 }

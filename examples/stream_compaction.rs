@@ -22,7 +22,11 @@ fn compact(data: &[u32], keep: impl Fn(u32) -> bool + Sync) -> Vec<u32> {
 
     let runner = ParallelRunner::with_config(
         prefix::prefix_sum::<i64>(),
-        RunnerConfig { chunk_size: 1 << 16, threads: 0, strategy: Strategy::default() },
+        RunnerConfig {
+            chunk_size: 1 << 16,
+            threads: 0,
+            strategy: Strategy::default(),
+        },
     )
     .expect("valid config");
     let offsets = runner.run(&flags).expect("within size limits");
@@ -41,8 +45,10 @@ fn compact(data: &[u32], keep: impl Fn(u32) -> bool + Sync) -> Vec<u32> {
 fn main() {
     let n = 1 << 22;
     // Deterministic pseudo-random input.
-    let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
-    let keep = |v: u32| v % 5 == 0;
+    let data: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
+    let keep = |v: u32| v.is_multiple_of(5);
 
     let start = Instant::now();
     let compacted = compact(&data, keep);
@@ -50,7 +56,10 @@ fn main() {
 
     // Validate against the obvious sequential filter.
     let expected: Vec<u32> = data.iter().copied().filter(|&v| keep(v)).collect();
-    assert_eq!(compacted, expected, "compaction must preserve order and content");
+    assert_eq!(
+        compacted, expected,
+        "compaction must preserve order and content"
+    );
 
     println!(
         "compacted {} of {} elements in {:.1} ms ({:.1} M elements/s)",
@@ -59,6 +68,9 @@ fn main() {
         elapsed.as_secs_f64() * 1e3,
         n as f64 / elapsed.as_secs_f64() / 1e6,
     );
-    println!("first survivors: {:?}", &compacted[..8.min(compacted.len())]);
+    println!(
+        "first survivors: {:?}",
+        &compacted[..8.min(compacted.len())]
+    );
     println!("validated against the sequential filter");
 }

@@ -13,7 +13,9 @@ use plr_bench::PlrExecutor;
 
 fn check_catalog_entry<T: Element>(sig: &Signature<T>, tol: f64) {
     let n = 30_000;
-    let input: Vec<T> = (0..n).map(|i| T::from_i32(((i * 31) % 21) as i32 - 10)).collect();
+    let input: Vec<T> = (0..n)
+        .map(|i| T::from_i32(((i * 31) % 21) as i32 - 10))
+        .collect();
     let expected = serial::run(sig, &input);
 
     // Two-phase engine, both local-solve strategies.
@@ -44,7 +46,11 @@ fn check_catalog_entry<T: Element>(sig: &Signature<T>, tol: f64) {
     // Real threads.
     let runner = ParallelRunner::with_config(
         sig.clone(),
-        RunnerConfig { chunk_size: 2048, threads: 4, strategy: Strategy::default() },
+        RunnerConfig {
+            chunk_size: 2048,
+            threads: 4,
+            strategy: Strategy::default(),
+        },
     )
     .unwrap();
     let got = runner.run(&input).unwrap();
@@ -67,7 +73,11 @@ fn float_catalog_agrees_across_all_paths() {
         // The 3-stage high-pass is the worst-conditioned catalog entry in
         // f32 (see plr-codegen's exec tests); a slightly looser bound
         // covers its hierarchical reassociation noise.
-        let tol = if sig.order() == 3 && sig.fir_order() > 0 { 5e-3 } else { 1e-3 };
+        let tol = if sig.order() == 3 && sig.fir_order() > 0 {
+            5e-3
+        } else {
+            1e-3
+        };
         check_catalog_entry(&sig, tol);
     }
 }
@@ -76,9 +86,11 @@ fn float_catalog_agrees_across_all_paths() {
 fn plr_executor_matches_direct_compilation() {
     let device = DeviceConfig::titan_x();
     let sig: Signature<i32> = "1: 3, -3, 1".parse().unwrap();
-    let input: Vec<i32> = (0..25_000).map(|i| (i % 7) as i32 - 3).collect();
+    let input: Vec<i32> = (0..25_000).map(|i| (i % 7) - 3).collect();
     let via_executor = PlrExecutor::default().run(&sig, &input, &device).unwrap();
-    let via_compiler = Plr::new().compile(&sig, input.len()).execute(&input, &device);
+    let via_compiler = Plr::new()
+        .compile(&sig, input.len())
+        .execute(&input, &device);
     assert_eq!(via_executor.output, via_compiler.output);
     assert_eq!(
         via_executor.counters.global_read_bytes,
@@ -89,9 +101,8 @@ fn plr_executor_matches_direct_compilation() {
 #[test]
 fn all_four_data_types_work_end_to_end() {
     fn run_one<T: Element>() {
-        let sig: Signature<T> =
-            Signature::new(vec![T::one()], vec![T::one()]).unwrap();
-        let input: Vec<T> = (0..5000).map(|i| T::from_i32((i % 11) as i32 - 5)).collect();
+        let sig: Signature<T> = Signature::new(vec![T::one()], vec![T::one()]).unwrap();
+        let input: Vec<T> = (0..5000).map(|i| T::from_i32((i % 11) - 5)).collect();
         let engine = Engine::new(sig.clone()).unwrap();
         let got = engine.run(&input).unwrap();
         let expected = serial::run(&sig, &input);

@@ -18,8 +18,12 @@ fn device() -> DeviceConfig {
 fn prefix_family_executors_agree() {
     let n = 40_000;
     let input: Vec<i64> = (0..n).map(|i| (i % 23) as i64 - 11).collect();
-    let executors: Vec<Box<dyn RecurrenceExecutor<i64>>> =
-        vec![Box::new(PlrExecutor::default()), Box::new(Cub), Box::new(Sam), Box::new(Scan)];
+    let executors: Vec<Box<dyn RecurrenceExecutor<i64>>> = vec![
+        Box::new(PlrExecutor::default()),
+        Box::new(Cub),
+        Box::new(Sam),
+        Box::new(Scan),
+    ];
     for sig in [
         prefix::prefix_sum::<i64>(),
         prefix::tuple_prefix_sum::<i64>(2),
@@ -31,9 +35,9 @@ fn prefix_family_executors_agree() {
     ] {
         let expected = serial::run(&sig, &input);
         for exec in &executors {
-            let report = exec.run(&sig, &input, &device()).unwrap_or_else(|e| {
-                panic!("{} should support {sig}: {e}", exec.name())
-            });
+            let report = exec
+                .run(&sig, &input, &device())
+                .unwrap_or_else(|e| panic!("{} should support {sig}: {e}", exec.name()));
             validate::validate(&expected, &report.output, 0.0)
                 .unwrap_or_else(|e| panic!("{} on {sig}: {e}", exec.name()));
         }
@@ -76,7 +80,9 @@ fn capability_matrix_matches_the_paper() {
     assert!(Rec.supports(&high, 100).is_err());
 
     // Everyone has the paper's size caps.
-    assert!(Cub.supports(&prefix::prefix_sum::<i32>(), (1 << 30) + 1).is_err());
+    assert!(Cub
+        .supports(&prefix::prefix_sum::<i32>(), (1 << 30) + 1)
+        .is_err());
     assert!(Alg3.supports(&filt, (1 << 29) + 1).is_err()); // 2 GB of f32
     assert!(Rec.supports(&filt, (1 << 28) + 1).is_err()); // 1 GB of f32
     assert!(Scan.supports(&psum32, 1 << 30).is_err()); // O(nk²) memory

@@ -12,7 +12,10 @@ fn device() -> DeviceConfig {
 }
 
 fn series<'a>(fig: &'a figures::Figure, name: &str) -> &'a figures::Series {
-    fig.series.iter().find(|s| s.name == name).expect("series present")
+    fig.series
+        .iter()
+        .find(|s| s.name == name)
+        .expect("series present")
 }
 
 #[test]
@@ -25,7 +28,10 @@ fn abstract_claim_prefix_sums_reach_memcpy() {
         let n = 1 << 30;
         let mc = value_at(series(&fig, "memcpy"), n).unwrap();
         let plr = value_at(series(&fig, plr_name), n).unwrap();
-        assert!(plr > 0.95 * mc, "figure {fig_no}: PLR {plr:.1} vs memcpy {mc:.1}");
+        assert!(
+            plr > 0.95 * mc,
+            "figure {fig_no}: PLR {plr:.1} vs memcpy {mc:.1}"
+        );
     }
 }
 
@@ -51,7 +57,10 @@ fn abstract_claim_tuple_advantage() {
             let s = series(&fig, other);
             let (n_max, v) = *s.points.last().unwrap();
             let plr = value_at(series(&fig, "PLR"), n_max).unwrap();
-            assert!(plr > v, "figure {fig_no} at {n_max}: PLR {plr:.1} vs {other} {v:.1}");
+            assert!(
+                plr > v,
+                "figure {fig_no} at {n_max}: PLR {plr:.1} vs {other} {v:.1}"
+            );
         }
     }
 }
@@ -68,7 +77,11 @@ fn section_6_1_2_tuple_percentages() {
         .unwrap()
         .max(value_at(series(&fig2, "SAM"), n).unwrap());
     let adv2 = plr2 / best2 - 1.0;
-    assert!((0.20..0.40).contains(&adv2), "2-tuple advantage {:.0}%", adv2 * 100.0);
+    assert!(
+        (0.20..0.40).contains(&adv2),
+        "2-tuple advantage {:.0}%",
+        adv2 * 100.0
+    );
 
     let fig3 = figures::figure(3, &d);
     let plr3 = value_at(series(&fig3, "PLR"), n).unwrap();
@@ -76,7 +89,11 @@ fn section_6_1_2_tuple_percentages() {
         .unwrap()
         .max(value_at(series(&fig3, "SAM"), n).unwrap());
     let adv3 = plr3 / best3 - 1.0;
-    assert!((0.10..0.25).contains(&adv3), "3-tuple advantage {:.0}%", adv3 * 100.0);
+    assert!(
+        (0.10..0.25).contains(&adv3),
+        "3-tuple advantage {:.0}%",
+        adv3 * 100.0
+    );
 }
 
 #[test]
@@ -90,13 +107,24 @@ fn section_6_1_3_higher_order_ordering_and_gap() {
         let sam = value_at(series(&fig, "SAM"), n).unwrap();
         let plr = value_at(series(&fig, "PLR"), n).unwrap();
         let cub = value_at(series(&fig, "CUB"), n).unwrap();
-        assert!(sam > plr && plr > cub, "figure {fig_no}: {sam:.1} / {plr:.1} / {cub:.1}");
+        assert!(
+            sam > plr && plr > cub,
+            "figure {fig_no}: {sam:.1} / {plr:.1} / {cub:.1}"
+        );
         sam / plr - 1.0
     };
     let gap2 = gap(4);
     let gap3 = gap(5);
-    assert!((0.35..0.65).contains(&gap2), "order-2 SAM lead {:.0}%", gap2 * 100.0);
-    assert!((0.25..0.50).contains(&gap3), "order-3 SAM lead {:.0}%", gap3 * 100.0);
+    assert!(
+        (0.35..0.65).contains(&gap2),
+        "order-2 SAM lead {:.0}%",
+        gap2 * 100.0
+    );
+    assert!(
+        (0.25..0.50).contains(&gap3),
+        "order-3 SAM lead {:.0}%",
+        gap3 * 100.0
+    );
     assert!(gap3 < gap2, "SAM's lead must shrink with the order");
 }
 
@@ -136,11 +164,14 @@ fn section_6_2_2_high_pass_cost_is_consistent() {
         let fig = figures::figure(f, &d);
         value_at(series(&fig, "PLR"), n).unwrap()
     });
-    let high = ["PLR1", "PLR2", "PLR3"]
-        .map(|name| value_at(series(&fig9, name), n).unwrap());
+    let high = ["PLR1", "PLR2", "PLR3"].map(|name| value_at(series(&fig9, name), n).unwrap());
     for (l, h) in low.iter().zip(&high) {
         let drop = 1.0 - h / l;
-        assert!((0.10..0.25).contains(&drop), "map-stage cost {:.0}%", drop * 100.0);
+        assert!(
+            (0.10..0.25).contains(&drop),
+            "map-stage cost {:.0}%",
+            drop * 100.0
+        );
     }
 }
 
@@ -167,17 +198,27 @@ fn not_shown_claims_about_4_tuples_and_4th_order() {
     let plr4 = tput(&PlrExecutor::default(), prefix::tuple_prefix_sum(4));
     assert!(plr4 > plr3, "PLR 4-tuple {plr4:.2e} vs 3-tuple {plr3:.2e}");
 
-    for (name, exec) in [("CUB", &Cub as &dyn RecurrenceExecutor<i32>), ("SAM", &Sam as _)] {
+    for (name, exec) in [
+        ("CUB", &Cub as &dyn RecurrenceExecutor<i32>),
+        ("SAM", &Sam as _),
+    ] {
         let t2 = tput(exec, prefix::tuple_prefix_sum(2));
         let t3 = tput(exec, prefix::tuple_prefix_sum(3));
         let t4 = tput(exec, prefix::tuple_prefix_sum(4));
-        assert!(t2 > t3 && t3 > t4, "{name} must decrease: {t2:.2e} {t3:.2e} {t4:.2e}");
+        assert!(
+            t2 > t3 && t3 > t4,
+            "{name} must decrease: {t2:.2e} {t3:.2e} {t4:.2e}"
+        );
     }
 
     let sam4 = tput(&Sam, prefix::higher_order_prefix_sum(4));
     let plr4o = tput(&PlrExecutor::default(), prefix::higher_order_prefix_sum(4));
     let gap4 = sam4 / plr4o - 1.0;
-    assert!((0.15..0.50).contains(&gap4), "order-4 SAM lead {:.0}%", gap4 * 100.0);
+    assert!(
+        (0.15..0.50).contains(&gap4),
+        "order-4 SAM lead {:.0}%",
+        gap4 * 100.0
+    );
 }
 
 #[test]
@@ -194,7 +235,10 @@ fn table_2_and_3_structure() {
         let scan: f64 = t2.rows[row].1[col("Scan")].parse().unwrap();
         let k = (row + 1) as f64;
         let expect = 109.5 + 256.0 * 2.0 * (k * k + k);
-        assert!((scan - expect).abs() / expect < 0.02, "Scan row {row}: {scan} vs {expect}");
+        assert!(
+            (scan - expect).abs() / expect < 0.02,
+            "Scan row {row}: {scan} vs {expect}"
+        );
     }
 
     let t3 = tables::table3(&d);

@@ -13,7 +13,13 @@ fn envelope(decay: f64) -> Signature<MaxPlus> {
 
 fn bursty(n: usize) -> Vec<MaxPlus> {
     (0..n)
-        .map(|i| MaxPlus::new(if i % 97 == 0 { 5.0 + (i % 11) as f64 } else { 0.0 }))
+        .map(|i| {
+            MaxPlus::new(if i % 97 == 0 {
+                5.0 + (i % 11) as f64
+            } else {
+                0.0
+            })
+        })
         .collect()
 }
 
@@ -25,7 +31,11 @@ fn parallel_runtime_computes_tropical_recurrences() {
     for strategy in [Strategy::LookbackPipeline, Strategy::TwoPass] {
         let runner = ParallelRunner::with_config(
             sig.clone(),
-            RunnerConfig { chunk_size: 1024, threads: 4, strategy },
+            RunnerConfig {
+                chunk_size: 1024,
+                threads: 4,
+                strategy,
+            },
         )
         .unwrap();
         let got = runner.run(&input).unwrap();
@@ -57,7 +67,9 @@ fn segmented_tropical_resets_the_envelope() {
     let sig = envelope(1.0);
     let segments = segmented::Segments::uniform(4, 8).starts().to_vec();
     let segments = segmented::Segments::from_starts(segments).unwrap();
-    let input: Vec<MaxPlus> = [9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0].map(MaxPlus::new).to_vec();
+    let input: Vec<MaxPlus> = [9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        .map(MaxPlus::new)
+        .to_vec();
     let out = segmented::run_serial(&sig, &segments, &input);
     let values: Vec<f64> = out.iter().map(|v| v.value()).collect();
     // The envelope decays inside segment 1; segment 2 restarts and the

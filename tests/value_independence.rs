@@ -22,7 +22,10 @@ fn int_inputs(n: usize) -> Vec<Vec<i64>> {
 
 fn assert_same_counters(name: &str, counters: &[Counters]) {
     for c in &counters[1..] {
-        assert_eq!(c, &counters[0], "{name}: counters must not depend on input values");
+        assert_eq!(
+            c, &counters[0],
+            "{name}: counters must not depend on input values"
+        );
     }
 }
 
@@ -36,7 +39,12 @@ fn plr_counters_are_value_independent() {
     ] {
         let counters: Vec<Counters> = int_inputs(n)
             .iter()
-            .map(|input| PlrExecutor::default().run(&sig, input, &device()).unwrap().counters)
+            .map(|input| {
+                PlrExecutor::default()
+                    .run(&sig, input, &device())
+                    .unwrap()
+                    .counters
+            })
             .collect();
         assert_same_counters("PLR", &counters);
     }
@@ -46,8 +54,11 @@ fn plr_counters_are_value_independent() {
 fn baseline_counters_are_value_independent() {
     let n = 30_000;
     let sig = prefix::higher_order_prefix_sum::<i64>(2);
-    let execs: Vec<(&str, Box<dyn RecurrenceExecutor<i64>>)> =
-        vec![("CUB", Box::new(Cub)), ("SAM", Box::new(Sam)), ("Scan", Box::new(Scan))];
+    let execs: Vec<(&str, Box<dyn RecurrenceExecutor<i64>>)> = vec![
+        ("CUB", Box::new(Cub)),
+        ("SAM", Box::new(Sam)),
+        ("Scan", Box::new(Scan)),
+    ];
     for (name, exec) in &execs {
         let counters: Vec<Counters> = int_inputs(n)
             .iter()
@@ -65,18 +76,28 @@ fn float_filter_counters_are_value_independent() {
     let inputs: [Vec<f32>; 3] = [
         vec![0.0; n],
         (0..n).map(|i| (i % 100) as f32 * 0.01).collect(),
-        (0..n).map(|i| if i % 2 == 0 { 1e6 } else { -1e6 }).collect(),
+        (0..n)
+            .map(|i| if i % 2 == 0 { 1e6 } else { -1e6 })
+            .collect(),
     ];
     let all: Vec<Counters> = inputs
         .iter()
-        .map(|input| PlrExecutor::default().run(&sig, input, &device()).unwrap().counters)
+        .map(|input| {
+            PlrExecutor::default()
+                .run(&sig, input, &device())
+                .unwrap()
+                .counters
+        })
         .collect();
     assert_same_counters("PLR f32 filter", &all);
-    for (name, exec) in
-        [("Alg3", &Alg3 as &dyn RecurrenceExecutor<f32>), ("Rec", &Rec as _)]
-    {
-        let counters: Vec<Counters> =
-            inputs.iter().map(|input| exec.run(&sig, input, &device()).unwrap().counters).collect();
+    for (name, exec) in [
+        ("Alg3", &Alg3 as &dyn RecurrenceExecutor<f32>),
+        ("Rec", &Rec as _),
+    ] {
+        let counters: Vec<Counters> = inputs
+            .iter()
+            .map(|input| exec.run(&sig, input, &device()).unwrap().counters)
+            .collect();
         assert_same_counters(name, &counters);
     }
 }

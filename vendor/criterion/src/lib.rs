@@ -1,0 +1,389 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, one calibration iteration sizes a
+//! batch so each sample takes ≥ ~2 ms, then `sample_size` samples are
+//! timed (capped at ~3 s per benchmark). Mean / min / max per-iteration
+//! wall times are printed, and — when the `CRITERION_JSON` environment
+//! variable names a file — appended to it as a JSON array so baselines
+//! can be committed (no statistics beyond that; there is no gnuplot, no
+//! HTML report, no outlier analysis).
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time for one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+/// Cap on total measurement time for one benchmark.
+const MAX_BENCH_TIME: Duration = Duration::from_secs(3);
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Optional elements-per-iteration for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Record {
+    fn render(&self) -> String {
+        let thr = match self.elements {
+            Some(e) if self.mean_ns > 0.0 => {
+                format!("  {:10.1} Melem/s", e as f64 / self.mean_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        format!(
+            "{:<48} time: [{} .. {} .. {}]{}",
+            self.id,
+            fmt_ns(self.min_ns),
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.max_ns),
+            thr
+        )
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{},\"elements\":{}}}",
+            self.id.replace('"', "'"),
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters_per_sample,
+            self.elements.map_or("null".to_string(), |e| e.to_string()),
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            elements: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let record = measure(id.into_benchmark_id(), 10, None, &mut f);
+        println!("{}", record.render());
+        self.records.push(record);
+    }
+
+    /// Prints the summary and, when `CRITERION_JSON` is set, writes all
+    /// records to that file as a JSON array. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let body: Vec<String> = self
+                    .records
+                    .iter()
+                    .map(|r| format!("  {}", r.to_json()))
+                    .collect();
+                let json = format!("[\n{}\n]\n", body.join(",\n"));
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("criterion stub: cannot write {path}: {e}");
+                } else {
+                    println!(
+                        "criterion stub: wrote {} records to {path}",
+                        self.records.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, throughput, and sample
+/// count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    elements: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.elements = Some(match t {
+            Throughput::Elements(e) => e,
+            Throughput::Bytes(b) => b,
+        });
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let record = measure(full, self.sample_size, self.elements, &mut f);
+        println!("{}", record.render());
+        self.criterion.records.push(record);
+        self
+    }
+
+    /// Ends the group (retained for API compatibility; drop would do).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` `iters` times and records the total wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+
+    /// Runs `routine` on a fresh `setup()` value per iteration; only the
+    /// routine is timed. The batch-size hint is ignored (every iteration
+    /// gets its own input).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = Some(total);
+    }
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup over iterations. The
+/// stub constructs one input per iteration regardless, so the variants
+/// are distinguished in name only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are small; real criterion batches many per allocation.
+    SmallInput,
+    /// Inputs are large; real criterion allocates one per iteration.
+    LargeInput,
+    /// One input per iteration, setup excluded from timing.
+    PerIteration,
+}
+
+fn measure<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    elements: Option<u64>,
+    f: &mut F,
+) -> Record {
+    // Calibration: one iteration to size the batch.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: None,
+    };
+    f(&mut b);
+    let once = b
+        .elapsed
+        .expect("Bencher::iter was not called")
+        .max(Duration::from_nanos(1));
+    let iters_per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+    let budget_start = Instant::now();
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: None,
+        };
+        f(&mut b);
+        let d = b.elapsed.expect("Bencher::iter was not called");
+        per_iter_ns.push(d.as_nanos() as f64 / iters_per_sample as f64);
+        if budget_start.elapsed() > MAX_BENCH_TIME {
+            break;
+        }
+    }
+    let n = per_iter_ns.len() as f64;
+    Record {
+        id,
+        mean_ns: per_iter_ns.iter().sum::<f64>() / n,
+        min_ns: per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: per_iter_ns.iter().copied().fold(0.0, f64::max),
+        samples: per_iter_ns.len(),
+        iters_per_sample,
+        elements,
+    }
+}
+
+/// A benchmark name parameterized by a value, e.g. a thread count.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter, e.g. for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Conversion into the string id criterion records benchmarks under.
+pub trait IntoBenchmarkId {
+    /// The `group/function` id fragment for this value.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration work used for throughput lines in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(64)).sample_size(3);
+        g.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].mean_ns > 0.0);
+        assert_eq!(c.records[0].id, "g/f/1");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = Record {
+            id: "a/b".into(),
+            mean_ns: 1.5,
+            min_ns: 1.0,
+            max_ns: 2.0,
+            samples: 3,
+            iters_per_sample: 7,
+            elements: None,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"id\":\"a/b\",\"mean_ns\":1.5,\"min_ns\":1.0,\"max_ns\":2.0,\"samples\":3,\"iters_per_sample\":7,\"elements\":null}"
+        );
+    }
+}

@@ -1,0 +1,636 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides the subset of the proptest API that the
+//! workspace's property tests use: deterministic pseudo-random case
+//! generation through [`strategy::Strategy`], the [`proptest!`] macro, the
+//! `prop_*` assertion macros, range / tuple / vector / boolean / string
+//! strategies, and the `prop_map` / `prop_filter` / `prop_filter_map`
+//! combinators.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its assertion message (which
+//!   includes the relevant values) but is not minimized.
+//! - **No failure persistence.** `*.proptest-regressions` files are ignored.
+//! - **Deterministic seeding.** The RNG is seeded from the test's module
+//!   path and name, so runs are reproducible without a seed file.
+//! - **String strategies** support only the small regex subset the
+//!   workspace uses: `\PC*` (arbitrary printable text) and a single
+//!   character class with an optional `{lo,hi}` / `*` / `+` repetition.
+
+#![warn(rust_2018_idioms)]
+
+pub mod test_runner {
+    //! Configuration and per-case error plumbing for [`crate::proptest!`].
+
+    /// Mirror of proptest's run configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` (does not count as a
+        /// success; the runner draws a replacement case).
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (assumption-violating) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Small deterministic xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (FNV-1a), typically the test name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant for test-case generation.
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating pseudo-random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` yields the
+    /// final value directly and nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred` (regenerating otherwise).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Filters and maps in one step (regenerating on `None`).
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// How many times a filter may reject before the test aborts.
+    const MAX_FILTER_REJECTS: u32 = 65_536;
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_REJECTS {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected every candidate", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..MAX_FILTER_REJECTS {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map {:?} rejected every candidate", self.whence);
+        }
+    }
+
+    /// Union of two strategies over the same value type; used by
+    /// [`crate::prop_oneof!`], which nests it for longer lists (so later
+    /// alternatives get geometrically smaller weight — acceptable for a
+    /// stub whose callers use two-alternative unions).
+    #[derive(Debug, Clone)]
+    pub struct Union<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A, B> Union<A, B> {
+        /// Combines two strategies, each drawn with probability 1/2.
+        pub fn new(a: A, b: B) -> Self {
+            Union { a, b }
+        }
+    }
+
+    impl<A: Strategy, B: Strategy<Value = A::Value>> Strategy for Union<A, B> {
+        type Value = A::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> A::Value {
+            if rng.next_u64() & 1 == 0 {
+                self.a.generate(rng)
+            } else {
+                self.b.generate(rng)
+            }
+        }
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (*self.start() as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_ranges!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_ranges!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&str` strategies: a tiny regex subset (`\PC*`, or one character
+    /// class with an optional repetition) generating matching strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        if pattern == "\\PC*" {
+            // Arbitrary printable text: mostly ASCII with some multibyte.
+            let len = rng.below(48) as usize;
+            return (0..len)
+                .map(|_| match rng.below(8) {
+                    0 => char::from_u32(0xA1 + rng.below(0x200) as u32).unwrap_or('¿'),
+                    1 => char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('中'),
+                    _ => (0x20 + rng.below(0x5F) as u8) as char,
+                })
+                .collect();
+        }
+        if let Some(rest) = pattern.strip_prefix('[') {
+            if let Some(close) = rest.find(']') {
+                let class = parse_class(&rest[..close]);
+                let (lo, hi) = parse_repeat(&rest[close + 1..]);
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                if !class.is_empty() {
+                    return (0..len)
+                        .map(|_| class[rng.below(class.len() as u64) as usize])
+                        .collect();
+                }
+            }
+        }
+        // Fallback: the pattern taken literally.
+        pattern.to_string()
+    }
+
+    fn parse_class(body: &str) -> Vec<char> {
+        let chars: Vec<char> = body.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                for c in a..=b {
+                    if let Some(c) = char::from_u32(c) {
+                        out.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn parse_repeat(suffix: &str) -> (usize, usize) {
+        match suffix {
+            "*" => (0, 32),
+            "+" => (1, 32),
+            "" => (1, 1),
+            _ => {
+                if let Some(body) = suffix.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                            return (lo, hi);
+                        }
+                    } else if let Ok(n) = body.trim().parse::<usize>() {
+                        return (n, n);
+                    }
+                }
+                (1, 1)
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The strategy generating arbitrary booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 0
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, …)`
+/// becomes a normal `#[test]` that draws and runs `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            // Strategy objects, evaluated once (shadowed per-case below).
+            $(let $arg = $strat;)*
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            while accepted < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)*
+                let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > config.cases.saturating_mul(256) {
+                            panic!("too many rejected cases ({rejected}): {why}");
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            accepted + 1,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Chooses among strategies (nested unions; roughly uniform for the
+/// two-alternative uses in this workspace).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($a:expr $(,)?) => { $a };
+    ($a:expr, $($rest:expr),+ $(,)?) => {
+        $crate::strategy::Union::new($a, $crate::prop_oneof!($($rest),+))
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Rejects the current case (drawing a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-3i64..=3), &mut rng);
+            assert!((-3..=3).contains(&v));
+            let w = Strategy::generate(&(2usize..9), &mut rng);
+            assert!((2..9).contains(&w));
+            let f = Strategy::generate(&(-0.9f64..0.9), &mut rng);
+            assert!((-0.9..0.9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_honour_the_range() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0i32..5, 1..4), &mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern_generates_matching_text() {
+        let mut rng = TestRng::from_name("class");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[-0-9.,: ()]{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| "-0123456789.,: ()".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(
+            x in 0i64..100,
+            v in crate::collection::vec(-5i32..5, 0..10),
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}
