@@ -1,0 +1,134 @@
+//! Scalar vs register-blocked serial solve kernels.
+//!
+//! The scalar feedback loop carries a per-element dependency (each output
+//! feeds the next multiply-add), so its throughput is capped by the
+//! multiply-add latency chain regardless of how wide the machine is. The
+//! blocked kernel's local solution is dependency-free inside each
+//! [`BLOCK`]-element block, leaving only a once-per-block carry
+//! dependency — this bench quantifies what that buys per order and size.
+//!
+//! Orders 1–4 use the cascaded low-pass feedback families from the
+//! paper's evaluation (stable, so values stay in range however many
+//! samples run). `PLR_BENCH_QUICK=1` shrinks the sweep to one small size
+//! with few samples — the CI smoke mode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use plr_core::blocked::BlockedKernel;
+use plr_core::serial;
+use std::hint::black_box;
+
+/// Stable feedback vectors: 1–4 cascaded `(1 : 0.8)` stages.
+const FEEDBACKS: [(&str, &[f64]); 4] = [
+    ("order1", &[0.8]),
+    ("order2", &[1.6, -0.64]),
+    ("order3", &[2.4, -1.92, 0.512]),
+    ("order4", &[3.2, -3.84, 2.048, -0.4096]),
+];
+
+fn noise(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 997) as f64 / 499.0 - 1.0)
+        .collect()
+}
+
+fn bench_solve_kernels(c: &mut Criterion) {
+    let quick = std::env::var("PLR_BENCH_QUICK").is_ok();
+    let sizes: &[usize] = if quick {
+        &[1 << 16]
+    } else {
+        &[1 << 16, 1 << 20, 1 << 23]
+    };
+    for (name, feedback) in FEEDBACKS {
+        let kernel = BlockedKernel::try_new(feedback).expect("orders 1-4 are blocked");
+
+        // The comparison is only meaningful if the kernels agree.
+        let check_in = noise(10_000);
+        let mut scalar_out = check_in.clone();
+        serial::recursive_in_place(feedback, &mut scalar_out);
+        let mut blocked_out = check_in;
+        kernel.solve_in_place(&mut blocked_out);
+        for (a, b) in scalar_out.iter().zip(&blocked_out) {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "{name}: blocked kernel disagrees with the scalar loop: {a} vs {b}"
+            );
+        }
+
+        for &n in sizes {
+            let input = noise(n);
+            let mut g = c.benchmark_group(format!("serial_kernels_{}_{}k", name, n >> 10));
+            g.throughput(Throughput::Elements(n as u64));
+            g.sample_size(if quick { 5 } else { 20 });
+            g.bench_function("scalar", |b| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut buf| {
+                        serial::recursive_in_place(black_box(feedback), black_box(&mut buf));
+                        buf
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+            g.bench_function("blocked", |b| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut buf| {
+                        kernel.solve_in_place(black_box(&mut buf));
+                        buf
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+            g.finish();
+        }
+    }
+}
+
+fn bench_solve_kernels_int(c: &mut Criterion) {
+    // One integer group: exact arithmetic, same dependency structure. The
+    // second-order prefix sum is the paper's Section 2.3 workhorse.
+    let quick = std::env::var("PLR_BENCH_QUICK").is_ok();
+    let feedback: &[i64] = &[2, -1];
+    let kernel = BlockedKernel::try_new(feedback).expect("order 2 is blocked");
+    let n: usize = if quick { 1 << 16 } else { 1 << 20 };
+    let input: Vec<i64> = (0..n)
+        .map(|i| ((i as i64).wrapping_mul(31) % 17) - 8)
+        .collect();
+
+    let mut scalar_out = input.clone();
+    serial::recursive_in_place(feedback, &mut scalar_out);
+    let mut blocked_out = input.clone();
+    kernel.solve_in_place(&mut blocked_out);
+    assert_eq!(
+        scalar_out, blocked_out,
+        "integer kernels must agree exactly"
+    );
+
+    let mut g = c.benchmark_group(format!("serial_kernels_i64_order2_{}k", n >> 10));
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(if quick { 5 } else { 20 });
+    g.bench_function("scalar", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut buf| {
+                serial::recursive_in_place(black_box(feedback), black_box(&mut buf));
+                buf
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("blocked", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut buf| {
+                kernel.solve_in_place(black_box(&mut buf));
+                buf
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve_kernels, bench_solve_kernels_int);
+criterion_main!(benches);

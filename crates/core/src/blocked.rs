@@ -1,0 +1,434 @@
+//! Register-blocked serial kernels: level 0 of the paper's hierarchy.
+//!
+//! The paper's central trick — correct a chunk by multiplying its
+//! predecessor's `k` carries with precomputed n-nacci factors — applies one
+//! level below where the chunked executors use it: at *register-block*
+//! granularity. A [`BlockedKernel`] processes the pure-feedback recurrence
+//! in fixed [`BLOCK`]-element blocks:
+//!
+//! 1. **Local solution** — inside a block, the solution that assumes zero
+//!    incoming history is a *triangular FIR* over the block's inputs,
+//!    `y[i] = Σ_{j ≤ i} h[j]·t[i-j]`, where `h` is the recurrence's
+//!    impulse response ([`crate::nacci::impulse_response`]). Every output
+//!    is an independent dot product — no loop-carried dependency, so the
+//!    compiler can keep multiple multiply-add chains in flight and
+//!    autovectorize.
+//! 2. **Carry application** — the incoming `k` carries are folded in with
+//!    a precomputed `BLOCK×k` factor table (a length-[`BLOCK`] prefix of
+//!    the same [`CorrectionTable`] the chunked executors use):
+//!    `y[i] += Σ_r F_r[i]·c_r`, again dependency-free across the block.
+//!
+//! The per-element loop-carried dependency of the scalar loop becomes a
+//! once-per-block dependency (the `k` carries read from the previous
+//! block's tail), mirroring how the paper's GPU kernels break the
+//! dependency at warp granularity.
+//!
+//! The rewrite is an identity in any commutative semiring (superposition of
+//! the linear recurrence), so it is **exact** for the wrapping integers.
+//! For floats it reassociates additions, giving ULP-level differences —
+//! well inside the paper's 1e-3 validation bound. Element types that want
+//! the scalar reference path verbatim (e.g. the max-plus semiring in
+//! [`crate::tropical`]) opt out via [`Element::BLOCKABLE`].
+//!
+//! [`SolveKernel`] is the dispatch layer the executors embed: it selects
+//! the blocked kernel by order (`1..=`[`MAX_BLOCKED_ORDER`]) and element
+//! type (floats, whose multiply-add chains are latency-bound), and falls
+//! back to the scalar loops of [`crate::serial`] for high orders,
+//! integers, and exotic elements. [`fir_in_place`] is the matching
+//! map-stage kernel: a branch-free steady-state loop with unrolled
+//! specializations for small tap counts.
+
+use crate::element::Element;
+use crate::nacci::{impulse_response, CorrectionTable};
+use crate::serial;
+
+/// Elements per register block (`U` in the design notes).
+///
+/// Chosen so a block of `f64` spans a handful of SIMD registers: large
+/// enough to amortize the once-per-block carry dependency, small enough
+/// that the `O(BLOCK²/2)` local FIR stays cheap per element.
+pub const BLOCK: usize = 16;
+
+/// Highest recurrence order served by the blocked kernels.
+///
+/// Beyond order 4 the carry application and the factor table stop paying
+/// for themselves and [`SolveKernel`] falls back to the scalar loop.
+pub const MAX_BLOCKED_ORDER: usize = 4;
+
+/// A register-blocked solver for one pure-feedback recurrence
+/// `y[i] = t[i] + Σ b-j·y[i-j]` of order `1..=`[`MAX_BLOCKED_ORDER`].
+///
+/// Construction precomputes the truncated impulse response and the
+/// intra-block carry factor table; [`BlockedKernel::solve_in_place`] then
+/// does only multiply-adds.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::blocked::BlockedKernel;
+/// use plr_core::serial;
+///
+/// let fb = [2i64, -1];
+/// let kernel = BlockedKernel::try_new(&fb).unwrap();
+/// let input: Vec<i64> = (0..100).map(|i| (i % 7) - 3).collect();
+/// let mut blocked = input.clone();
+/// kernel.solve_in_place(&mut blocked);
+/// let mut scalar = input;
+/// serial::recursive_in_place(&fb, &mut scalar);
+/// assert_eq!(blocked, scalar); // exact for integers
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockedKernel<T> {
+    feedback: Vec<T>,
+    /// `h[0..BLOCK]` — impulse response of `(1 : b…)`; `h[0]` is one.
+    impulse: [T; BLOCK],
+    /// `factors[r][i]` — factor for carry `r` at block offset `i` (the
+    /// length-[`BLOCK`] prefix of [`CorrectionTable::list`]).
+    factors: Vec<[T; BLOCK]>,
+}
+
+impl<T: Element> BlockedKernel<T> {
+    /// Builds the kernel, or `None` when the blocked form does not apply:
+    /// order zero or above [`MAX_BLOCKED_ORDER`], or an element type that
+    /// opted out via [`Element::BLOCKABLE`].
+    pub fn try_new(feedback: &[T]) -> Option<Self> {
+        let k = feedback.len();
+        if !T::BLOCKABLE || k == 0 || k > MAX_BLOCKED_ORDER {
+            return None;
+        }
+        let mut impulse = [T::zero(); BLOCK];
+        impulse.copy_from_slice(&impulse_response(feedback, BLOCK));
+        let table = CorrectionTable::generate(feedback, BLOCK);
+        let factors = (0..k)
+            .map(|r| {
+                let mut f = [T::zero(); BLOCK];
+                f.copy_from_slice(table.list(r));
+                f
+            })
+            .collect();
+        Some(BlockedKernel {
+            feedback: feedback.to_vec(),
+            impulse,
+            factors,
+        })
+    }
+
+    /// The recurrence order `k`.
+    pub fn order(&self) -> usize {
+        self.feedback.len()
+    }
+
+    /// Solves `y[i] = t[i] + Σ b-j·y[i-j]` in place with zero history,
+    /// matching [`serial::recursive_in_place`].
+    pub fn solve_in_place(&self, data: &mut [T]) {
+        self.solve_in_place_with_history(&[], data);
+    }
+
+    /// Solves in place continuing from explicit history (`history[0]` is
+    /// the value just before `data[0]`), matching
+    /// [`serial::recursive_in_place_with_history`].
+    pub fn solve_in_place_with_history(&self, history: &[T], data: &mut [T]) {
+        let k = self.feedback.len();
+        let mut carries = [T::zero(); MAX_BLOCKED_ORDER];
+        for (c, &h) in carries.iter_mut().zip(history.iter().take(k)) {
+            *c = h;
+        }
+        let mut blocks = data.chunks_exact_mut(BLOCK);
+        for block in blocks.by_ref() {
+            let block: &mut [T; BLOCK] =
+                block.try_into().expect("exact chunks have BLOCK elements");
+            self.solve_block(block, &carries);
+            for (r, c) in carries.iter_mut().enumerate().take(k) {
+                *c = block[BLOCK - 1 - r];
+            }
+        }
+        let tail = blocks.into_remainder();
+        if !tail.is_empty() {
+            serial::recursive_in_place_with_history(&self.feedback, &carries[..k], tail);
+        }
+    }
+
+    /// One block: triangular-FIR local solution, then carry application.
+    #[inline]
+    fn solve_block(&self, block: &mut [T; BLOCK], carries: &[T; MAX_BLOCKED_ORDER]) {
+        let t = *block;
+        // h[0] = 1: every input contributes itself; start from a copy and
+        // add the j ≥ 1 impulse taps. Each j-pass is dependency-free.
+        let mut acc = t;
+        for j in 1..BLOCK {
+            let hj = self.impulse[j];
+            for i in 0..BLOCK - j {
+                acc[i + j] = acc[i + j].add(hj.mul(t[i]));
+            }
+        }
+        // Incoming carries, once per block — the only serial dependency.
+        for (f, &c) in self.factors.iter().zip(carries) {
+            for (a, &fi) in acc.iter_mut().zip(f) {
+                *a = a.add(fi.mul(c));
+            }
+        }
+        *block = acc;
+    }
+}
+
+/// The solve-kernel dispatch the executors embed: blocked where the
+/// register-blocked form applies, scalar reference loop everywhere else.
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::blocked::SolveKernel;
+///
+/// assert!(SolveKernel::select(&[1.6f64, -0.64]).is_blocked());
+/// assert!(!SolveKernel::select(&[0.1f64; 5]).is_blocked()); // order > 4
+/// ```
+#[derive(Debug, Clone)]
+pub enum SolveKernel<T> {
+    /// Register-blocked kernel (orders `1..=`[`MAX_BLOCKED_ORDER`],
+    /// blockable element types).
+    Blocked(BlockedKernel<T>),
+    /// The scalar loops of [`crate::serial`] over this feedback vector
+    /// (high orders, order zero, and elements with
+    /// [`Element::BLOCKABLE`]` == false`).
+    Scalar(Vec<T>),
+}
+
+impl<T: Element> SolveKernel<T> {
+    /// Picks the kernel for a feedback vector: blocked for floating-point
+    /// elements of order `1..=`[`MAX_BLOCKED_ORDER`], scalar otherwise.
+    ///
+    /// Integers keep the scalar loop even though the blocked form is exact
+    /// for them: the blocked local solution spends `BLOCK/2` multiplies
+    /// per element, and wide wrapping-integer multiplies don't vectorize
+    /// profitably (the `serial_kernels` bench measures the i64 blocked
+    /// kernel ~25% *slower* than the scalar chain, vs ~3x *faster* for
+    /// `f64`, whose multiply-add chains are latency-bound).
+    pub fn select(feedback: &[T]) -> Self {
+        let profitable = T::IS_FLOAT;
+        match BlockedKernel::try_new(feedback).filter(|_| profitable) {
+            Some(kernel) => SolveKernel::Blocked(kernel),
+            None => SolveKernel::Scalar(feedback.to_vec()),
+        }
+    }
+
+    /// `true` when the register-blocked kernel was selected.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, SolveKernel::Blocked(_))
+    }
+
+    /// The feedback vector this kernel solves.
+    pub fn feedback(&self) -> &[T] {
+        match self {
+            SolveKernel::Blocked(k) => &k.feedback,
+            SolveKernel::Scalar(fb) => fb,
+        }
+    }
+
+    /// Solves the pure-feedback recurrence in place with zero history.
+    pub fn solve_in_place(&self, data: &mut [T]) {
+        match self {
+            SolveKernel::Blocked(k) => k.solve_in_place(data),
+            SolveKernel::Scalar(fb) => serial::recursive_in_place(fb, data),
+        }
+    }
+
+    /// Solves in place continuing from explicit history (`history[0]` is
+    /// the value just before `data[0]`; missing entries are zero).
+    pub fn solve_in_place_with_history(&self, history: &[T], data: &mut [T]) {
+        match self {
+            SolveKernel::Blocked(k) => k.solve_in_place_with_history(history, data),
+            SolveKernel::Scalar(fb) => serial::recursive_in_place_with_history(fb, history, data),
+        }
+    }
+}
+
+/// Applies the FIR map `out[i] = Σ_j fir[j]·x[i-j]` to `chunk` in place,
+/// walking right-to-left so every read of `chunk` sees original input.
+///
+/// `prev` holds the original inputs immediately left of the chunk, most
+/// recent last (`prev[prev.len() - 1]` is `x[start - 1]`); `start` is the
+/// chunk's global offset, used to zero terms that reach before the data.
+///
+/// The steady state (`i ≥ p - 1`, all taps inside the chunk) runs
+/// branch-free, with fully unrolled specializations for 1–4 taps; only
+/// the `p - 1` leading elements take the boundary-checking prologue.
+pub fn fir_in_place<T: Element>(fir: &[T], prev: &[T], start: usize, chunk: &mut [T]) {
+    let p = fir.len();
+    if p == 0 {
+        // An empty tap list maps everything to zero (no terms to sum).
+        for v in chunk.iter_mut() {
+            *v = T::zero();
+        }
+        return;
+    }
+    let head = (p - 1).min(chunk.len());
+    // Steady state first: it reads only chunk[i - j] for j < p ≤ i + 1,
+    // all untouched original inputs at this point in the backward walk.
+    match p {
+        1 => fir_steady_rev::<T, 1>(fir, chunk, head),
+        2 => fir_steady_rev::<T, 2>(fir, chunk, head),
+        3 => fir_steady_rev::<T, 3>(fir, chunk, head),
+        4 => fir_steady_rev::<T, 4>(fir, chunk, head),
+        _ => {
+            for i in (head..chunk.len()).rev() {
+                let mut acc = fir[0].mul(chunk[i]);
+                for (j, &a) in fir.iter().enumerate().skip(1) {
+                    acc = acc.add(a.mul(chunk[i - j]));
+                }
+                chunk[i] = acc;
+            }
+        }
+    }
+    // Prologue: the leading elements whose taps cross the chunk boundary
+    // (into `prev`) or reach before the start of the data entirely.
+    for i in (0..head).rev() {
+        let mut acc = T::zero();
+        for (j, &a) in fir.iter().enumerate() {
+            if j > start + i {
+                break;
+            }
+            let x = if j <= i {
+                chunk[i - j]
+            } else {
+                let back = j - i; // reaches `back` elements before the chunk
+                if back <= prev.len() {
+                    prev[prev.len() - back]
+                } else {
+                    T::zero()
+                }
+            };
+            acc = acc.add(a.mul(x));
+        }
+        chunk[i] = acc;
+    }
+}
+
+/// The branch-free steady state of [`fir_in_place`] with a compile-time
+/// tap count, so the inner loop fully unrolls.
+fn fir_steady_rev<T: Element, const P: usize>(fir: &[T], chunk: &mut [T], head: usize) {
+    let taps: [T; P] = fir.try_into().expect("dispatched on fir.len()");
+    for i in (head..chunk.len()).rev() {
+        let mut acc = taps[0].mul(chunk[i]);
+        for j in 1..P {
+            acc = acc.add(taps[j].mul(chunk[i - j]));
+        }
+        chunk[i] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tropical::MaxPlus;
+
+    fn solve_ref<T: Element>(fb: &[T], history: &[T], input: &[T]) -> Vec<T> {
+        let mut data = input.to_vec();
+        serial::recursive_in_place_with_history(fb, history, &mut data);
+        data
+    }
+
+    #[test]
+    fn blocked_matches_scalar_exactly_for_ints() {
+        let input: Vec<i64> = (0..200).map(|i| ((i * 37) % 23) - 11).collect();
+        for fb in [
+            vec![1i64],
+            vec![2, -1],
+            vec![1, 1],
+            vec![3, -3, 1],
+            vec![1, 0, 0, 1],
+        ] {
+            let kernel = BlockedKernel::try_new(&fb).unwrap();
+            for n in [0, 1, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK + 7, 200] {
+                let mut got = input[..n].to_vec();
+                kernel.solve_in_place(&mut got);
+                assert_eq!(got, solve_ref(&fb, &[], &input[..n]), "{fb:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_history_matches_scalar() {
+        let fb = [2i64, -1];
+        let kernel = BlockedKernel::try_new(&fb).unwrap();
+        let input: Vec<i64> = (0..100).map(|i| (i % 13) - 6).collect();
+        for history in [vec![], vec![7], vec![7, -3]] {
+            let mut got = input.clone();
+            kernel.solve_in_place_with_history(&history, &mut got);
+            assert_eq!(got, solve_ref(&fb, &history, &input), "history {history:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_floats_stay_within_tolerance() {
+        let fb = [1.6f64, -0.64];
+        let kernel = BlockedKernel::try_new(&fb).unwrap();
+        let input: Vec<f64> = (0..500)
+            .map(|i| ((i * 7) % 23) as f64 * 0.3 - 3.0)
+            .collect();
+        let mut got = input.clone();
+        kernel.solve_in_place(&mut got);
+        let expect = solve_ref(&fb, &[], &input);
+        for (a, b) in expect.iter().zip(&got) {
+            assert!(a.approx_eq(*b, 1e-9), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dispatch_by_order_and_element() {
+        assert!(SolveKernel::select(&[0.8f32]).is_blocked());
+        assert!(SolveKernel::select(&[1.6f64, -0.64, 0.1, -0.2]).is_blocked());
+        // Order above the cap and order zero fall back.
+        assert!(!SolveKernel::select(&[0.1f64; MAX_BLOCKED_ORDER + 1]).is_blocked());
+        assert!(!SolveKernel::select(&[] as &[f64]).is_blocked());
+        // Integers are exact under blocking (BlockedKernel works) but the
+        // scalar chain wins on wide wrapping multiplies, so selection
+        // keeps them scalar.
+        assert!(BlockedKernel::try_new(&[1i32, 2, 3, 4]).is_some());
+        assert!(!SolveKernel::select(&[1i32, 2, 3, 4]).is_blocked());
+        // Exotic elements (max-plus semiring) opt out of blocking
+        // entirely via `Element::BLOCKABLE`.
+        assert!(BlockedKernel::try_new(&[MaxPlus::new(1.0)]).is_none());
+        assert!(!SolveKernel::select(&[MaxPlus::new(1.0)]).is_blocked());
+    }
+
+    #[test]
+    fn scalar_fallback_solves_high_orders() {
+        let fb = vec![1i64, 0, 0, 0, 0, 1]; // order 6
+        let kernel = SolveKernel::select(&fb);
+        let input: Vec<i64> = (0..80).map(|i| (i % 5) - 2).collect();
+        let mut got = input.clone();
+        kernel.solve_in_place(&mut got);
+        assert_eq!(got, solve_ref(&fb, &[], &input));
+        assert_eq!(kernel.feedback(), fb.as_slice());
+    }
+
+    #[test]
+    fn fir_in_place_specializations_match_reference() {
+        let input: Vec<i64> = (0..120).map(|i| (i % 11) - 5).collect();
+        for p in 1..=6 {
+            let fir: Vec<i64> = (0..p).map(|j| (j as i64) * 2 - 3).collect();
+            let expect = serial::fir_map(&fir, &input);
+            for m in [1usize, 7, BLOCK, 50, 120, 300] {
+                let mut data = input.clone();
+                let num_chunks = data.len().div_ceil(m);
+                let stash: Vec<Vec<i64>> = (1..num_chunks)
+                    .map(|c| data[(c * m).saturating_sub(p - 1)..c * m].to_vec())
+                    .collect();
+                for c in (0..num_chunks).rev() {
+                    let start = c * m;
+                    let end = (start + m).min(input.len());
+                    let prev: &[i64] = if c == 0 { &[] } else { &stash[c - 1] };
+                    fir_in_place(&fir, prev, start, &mut data[start..end]);
+                }
+                assert_eq!(data, expect, "p={p} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn fir_in_place_empty_taps_zeroes() {
+        let mut data = vec![3i32, -4, 5];
+        fir_in_place(&[], &[], 0, &mut data);
+        assert_eq!(data, vec![0, 0, 0]);
+    }
+}

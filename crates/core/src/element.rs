@@ -33,6 +33,13 @@ pub trait Element:
 {
     /// `true` for IEEE-754 types, `false` for two's-complement integers.
     const IS_FLOAT: bool;
+    /// Whether the register-blocked kernels in [`crate::blocked`] may be
+    /// used for this type. Blocking reorders additions — an identity for
+    /// the wrapping integers, ULP-level reassociation for IEEE floats —
+    /// so the built-in scalars opt in; exotic semiring elements (e.g. the
+    /// max-plus numbers of [`crate::tropical`]) keep the default `false`
+    /// and take the scalar reference path verbatim.
+    const BLOCKABLE: bool = false;
     /// Width of the element in bytes (used by the memory-traffic model).
     const BYTES: usize;
     /// Human-readable type name used by the CUDA emitter (`"int"`, `"float"`, ...).
@@ -92,6 +99,7 @@ macro_rules! impl_int_element {
     ($t:ty, $bytes:expr, $cuda:expr) => {
         impl Element for $t {
             const IS_FLOAT: bool = false;
+            const BLOCKABLE: bool = true;
             const BYTES: usize = $bytes;
             const CUDA_NAME: &'static str = $cuda;
 
@@ -136,6 +144,7 @@ macro_rules! impl_float_element {
     ($t:ty, $bytes:expr, $cuda:expr, $min_positive:expr) => {
         impl Element for $t {
             const IS_FLOAT: bool = true;
+            const BLOCKABLE: bool = true;
             const BYTES: usize = $bytes;
             const CUDA_NAME: &'static str = $cuda;
 

@@ -6,12 +6,12 @@
 //! `plr-parallel`'s multithreaded runtime, and the benchmarks all agree
 //! with; its own correctness is anchored to [`crate::serial`].
 
+use crate::blocked::{self, SolveKernel};
 use crate::element::Element;
 use crate::error::EngineError;
 use crate::nacci::CorrectionTable;
 use crate::phase1;
 use crate::phase2;
-use crate::serial;
 use crate::signature::Signature;
 
 /// Maximum supported sequence length: 2^30 words (the paper's 4 GB cap).
@@ -90,6 +90,9 @@ pub struct Engine<T> {
     signature: Signature<T>,
     fir: Vec<T>,
     table: CorrectionTable<T>,
+    /// Serial-solve kernel for [`LocalSolve::Serial`] chunks (register-
+    /// blocked for low orders, scalar fallback otherwise).
+    solve: SolveKernel<T>,
     config: EngineConfig,
 }
 
@@ -128,10 +131,12 @@ impl<T: Element> Engine<T> {
             config.chunk_size,
             config.flush_denormals && T::IS_FLOAT,
         );
+        let solve = SolveKernel::select(recursive.feedback());
         Ok(Engine {
             signature,
             fir,
             table,
+            solve,
             config,
         })
     }
@@ -178,20 +183,19 @@ impl<T: Element> Engine<T> {
             });
         }
         // Stage 1: the map operation eliminating the non-recursive
-        // coefficients (paper equation (2)).
+        // coefficients (paper equation (2)), in place — the whole input is
+        // one "chunk" with nothing to its left.
         if !self.signature.is_pure_feedback() {
-            let mapped = serial::fir_map(&self.fir, data);
-            data.copy_from_slice(&mapped);
+            blocked::fir_in_place(&self.fir, &[], 0, data);
         }
         let m = self.config.chunk_size;
-        let feedback = self.signature.feedback();
 
         // Stage 2: local solutions per chunk.
         match self.config.local_solve {
             LocalSolve::HierarchicalDoubling => phase1::run(&self.table, data, m),
             LocalSolve::Serial => {
                 for chunk in data.chunks_mut(m) {
-                    serial::recursive_in_place(feedback, chunk);
+                    self.solve.solve_in_place(chunk);
                 }
             }
         }
@@ -210,6 +214,7 @@ impl<T: Element> Engine<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serial;
     use crate::validate::validate;
 
     fn check_all_strategies<T: Element>(sig: &Signature<T>, input: &[T], m: usize, tol: f64) {

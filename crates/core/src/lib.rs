@@ -22,6 +22,9 @@
 //! * [`serial`] — the serial reference implementations;
 //! * [`nacci`] — generalized-Fibonacci correction-factor tables, the
 //!   paper's key precomputation;
+//! * [`blocked`] — register-blocked serial kernels: the carry-correction
+//!   trick applied at register-block granularity ("level 0" of the
+//!   hierarchy), breaking the per-element dependency for orders ≤ 4;
 //! * [`phase1`] / [`phase2`] — hierarchical doubling merge and chunked
 //!   carry propagation (sequential and decoupled-look-back forms);
 //! * [`engine`] — the end-to-end two-phase executor;
@@ -56,6 +59,7 @@
 
 pub mod analysis;
 pub mod anticausal;
+pub mod blocked;
 pub mod companion;
 pub mod compose;
 pub mod element;

@@ -53,6 +53,39 @@ pub fn generate<T: Element>(feedback: &[T], seed: &[T], len: usize) -> Vec<T> {
     out
 }
 
+/// The first `len` values of the impulse response of `(1 : feedback…)`:
+/// `h[0] = 1`, `h[i] = Σ b-j·h[i-j]`.
+///
+/// This is the kernel of the recurrence viewed as a filter: the local
+/// solution of `y[i] = t[i] + Σ b-j·y[i-j]` with zero history is the FIR
+/// `y[i] = Σ_{j ≤ i} h[j]·t[i-j]`, which is what the register-blocked
+/// kernels in [`crate::blocked`] evaluate per block. `h` shifted by one is
+/// the carry-distance-1 factor list ([`CorrectionTable::list`]`(0)`).
+///
+/// # Examples
+///
+/// ```
+/// use plr_core::nacci::impulse_response;
+///
+/// // Fibonacci-with-leading-one for (1: 1, 1).
+/// assert_eq!(impulse_response(&[1i64, 1], 6), vec![1, 1, 2, 3, 5, 8]);
+/// ```
+pub fn impulse_response<T: Element>(feedback: &[T], len: usize) -> Vec<T> {
+    if len == 0 {
+        return Vec::new();
+    }
+    // h[1..] continues the recurrence from the single seed h[0] = 1, which
+    // is exactly the unit-seed n-nacci sequence at carry distance 1.
+    let mut seed = vec![T::zero(); feedback.len()];
+    if let Some(s) = seed.first_mut() {
+        *s = T::one();
+    }
+    let mut h = Vec::with_capacity(len);
+    h.push(T::one());
+    h.extend(generate(feedback, &seed, len - 1));
+    h
+}
+
 /// The `k` precomputed correction-factor lists for a feedback recurrence.
 ///
 /// `list(r)[i]` is the factor by which carry `r` (0-based: `r = 0` is the
@@ -215,6 +248,19 @@ mod tests {
         // (1: d): factors d, d², d³, … (paper Section 2.1).
         let t = CorrectionTable::generate(&[3i64], 5);
         assert_eq!(t.list(0), &[3, 9, 27, 81, 243]);
+    }
+
+    #[test]
+    fn impulse_response_is_shifted_first_factor_list() {
+        for fb in [vec![3i64], vec![2, -1], vec![1, 1, 1], vec![1, -2, 3, -4]] {
+            let h = impulse_response(&fb, 9);
+            assert_eq!(h[0], 1, "{fb:?}");
+            let t = CorrectionTable::generate(&fb, 8);
+            assert_eq!(&h[1..], t.list(0), "{fb:?}");
+        }
+        assert_eq!(impulse_response(&[1i64, 1], 0), Vec::<i64>::new());
+        // Order zero: the impulse never propagates.
+        assert_eq!(impulse_response(&[] as &[i64], 4), vec![1, 0, 0, 0]);
     }
 
     #[test]

@@ -30,13 +30,21 @@ pub fn run<T: Element>(sig: &Signature<T>, input: &[T]) -> Vec<T> {
 /// This is an FIR filter and embarrassingly parallel; missing terms
 /// (`x[j]` for `j < 0`) are zero.
 pub fn fir_map<T: Element>(feedforward: &[T], input: &[T]) -> Vec<T> {
+    let p = feedforward.len();
     let mut out = Vec::with_capacity(input.len());
-    for i in 0..input.len() {
+    // Prologue: the leading edge, where taps would reach before x[0].
+    let head = p.saturating_sub(1).min(input.len());
+    for i in 0..head {
+        let mut acc = T::zero();
+        for (j, &a) in feedforward.iter().enumerate().take(i + 1) {
+            acc = acc.add(a.mul(input[i - j]));
+        }
+        out.push(acc);
+    }
+    // Steady state: every tap lands inside the input, no edge test.
+    for i in head..input.len() {
         let mut acc = T::zero();
         for (j, &a) in feedforward.iter().enumerate() {
-            if j > i {
-                break;
-            }
             acc = acc.add(a.mul(input[i - j]));
         }
         out.push(acc);
@@ -78,14 +86,16 @@ pub fn recursive_in_place<T: Element>(feedback: &[T], data: &mut [T]) {
 /// and for the sequential gold model of Phase 2.
 pub fn recursive_in_place_with_history<T: Element>(feedback: &[T], history: &[T], data: &mut [T]) {
     let k = feedback.len();
-    for i in 0..data.len() {
+    // Prologue: the first k elements, whose look-back can reach into
+    // `history` (element y[i - dist] with i - dist < 0).
+    let head = k.min(data.len());
+    for i in 0..head {
         let mut acc = data[i];
-        for (j, &b) in feedback.iter().enumerate().take(k) {
+        for (j, &b) in feedback.iter().enumerate() {
             let dist = j + 1;
             let term = if dist <= i {
                 data[i - dist]
             } else {
-                // Reach into history: element y[i - dist] with i - dist < 0.
                 let h = dist - i - 1;
                 if h < history.len() {
                     history[h]
@@ -94,6 +104,14 @@ pub fn recursive_in_place_with_history<T: Element>(feedback: &[T], history: &[T]
                 }
             };
             acc = acc.add(b.mul(term));
+        }
+        data[i] = acc;
+    }
+    // Steady state: i >= k, so every look-back stays inside `data`.
+    for i in head..data.len() {
+        let mut acc = data[i];
+        for (j, &b) in feedback.iter().enumerate() {
+            acc = acc.add(b.mul(data[i - j - 1]));
         }
         data[i] = acc;
     }

@@ -15,9 +15,9 @@
 use crate::pool::{resolve_threads, SendPtr, Tickets, WorkerPool};
 use crate::runner::{fir_in_place, ParallelRunner, RunnerConfig};
 use crate::stats::RunStats;
+use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
-use plr_core::serial;
 use plr_core::signature::Signature;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -36,6 +36,9 @@ struct CachedInner<T> {
 pub struct BatchRunner<T> {
     signature: Signature<T>,
     fir: Vec<T>,
+    /// Per-row local-solve kernel (register-blocked for orders ≤ 4 on the
+    /// built-in scalars, scalar loop otherwise).
+    solve: SolveKernel<T>,
     threads: usize,
     /// Persistent workers, spawned on first use and shared with the
     /// cached intra-row runner.
@@ -46,10 +49,12 @@ pub struct BatchRunner<T> {
 impl<T: Element> BatchRunner<T> {
     /// Creates a batch runner; `threads == 0` means one per CPU.
     pub fn new(signature: Signature<T>, threads: usize) -> Self {
-        let (fir, _) = signature.split();
+        let (fir, recursive) = signature.split();
+        let solve = SolveKernel::select(recursive.feedback());
         BatchRunner {
             signature,
             fir,
+            solve,
             threads,
             pool: OnceLock::new(),
             inner: Mutex::new(None),
@@ -100,7 +105,7 @@ impl<T: Element> BatchRunner<T> {
     fn run_whole_rows(&self, data: &mut [T], width: usize, rows: usize) -> RunStats {
         let pool = self.pool();
         let pure = self.signature.is_pure_feedback();
-        let feedback = self.signature.feedback();
+        let solve = &self.solve;
         let fir = &self.fir;
         let fir_nanos = AtomicU64::new(0);
         let solve_nanos = AtomicU64::new(0);
@@ -119,7 +124,7 @@ impl<T: Element> BatchRunner<T> {
                     fir_ns += start.elapsed().as_nanos() as u64;
                 }
                 let start = Instant::now();
-                serial::recursive_in_place(feedback, row);
+                solve.solve_in_place(row);
                 solve_ns += start.elapsed().as_nanos() as u64;
             }
             fir_nanos.fetch_add(fir_ns, Ordering::Relaxed);
@@ -177,6 +182,7 @@ impl<T: Element> BatchRunner<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plr_core::serial;
     use plr_core::validate::validate;
 
     fn reference<T: Element>(sig: &Signature<T>, data: &[T], width: usize) -> Vec<T> {

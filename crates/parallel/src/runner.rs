@@ -20,11 +20,11 @@
 
 use crate::pool::{resolve_threads, SendPtr, Tickets, WorkerPool};
 use crate::stats::RunStats;
+use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
 use plr_core::engine::MAX_INPUT_LEN;
 use plr_core::error::EngineError;
 use plr_core::nacci::{carries_of, CorrectionTable};
-use plr_core::serial;
 use plr_core::signature::Signature;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -87,6 +87,9 @@ pub struct ParallelRunner<T> {
     signature: Signature<T>,
     fir: Vec<T>,
     table: CorrectionTable<T>,
+    /// Per-chunk local-solve kernel (register-blocked for orders ≤ 4 on
+    /// the built-in scalars, scalar loop otherwise).
+    solve: SolveKernel<T>,
     config: RunnerConfig,
     /// The persistent pool, created on first use (or inherited from a
     /// [`crate::BatchRunner`] so both share one set of threads).
@@ -170,10 +173,12 @@ impl<T: Element> ParallelRunner<T> {
         let (fir, recursive) = signature.split();
         let table =
             CorrectionTable::generate_with(recursive.feedback(), config.chunk_size, T::IS_FLOAT);
+        let solve = SolveKernel::select(recursive.feedback());
         Ok(ParallelRunner {
             signature,
             fir,
             table,
+            solve,
             config,
             pool: OnceLock::new(),
         })
@@ -287,7 +292,6 @@ impl<T: Element> ParallelRunner<T> {
         let m = self.config.chunk_size;
         let n = data.len();
         let k = self.signature.order();
-        let feedback = self.signature.feedback();
         let num_chunks = n.div_ceil(m);
         let boundaries = self.stash_boundaries(data, m, num_chunks);
 
@@ -312,9 +316,7 @@ impl<T: Element> ParallelRunner<T> {
                     self.fir_chunk(chunk, c, start, &boundaries)
                 });
                 // Local solve, then publish local carries.
-                timed(&mut tally.solve, || {
-                    serial::recursive_in_place(feedback, chunk)
-                });
+                timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
                 let locals = carries_of(chunk, k);
                 slots[c]
                     .local
@@ -361,7 +363,6 @@ impl<T: Element> ParallelRunner<T> {
     fn run_two_pass(&self, data: &mut [T], pool: &WorkerPool) -> RunStats {
         let m = self.config.chunk_size;
         let k = self.signature.order();
-        let feedback = self.signature.feedback();
         let n = data.len();
         let num_chunks = n.div_ceil(m);
         let boundaries = self.stash_boundaries(data, m, num_chunks);
@@ -380,9 +381,7 @@ impl<T: Element> ParallelRunner<T> {
                 timed(&mut tally.fir, || {
                     self.fir_chunk(chunk, c, start, &boundaries)
                 });
-                timed(&mut tally.solve, || {
-                    serial::recursive_in_place(feedback, chunk)
-                });
+                timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
             }
             tally.flush(&clocks);
         });
@@ -438,34 +437,10 @@ impl<T: Element> ParallelRunner<T> {
     }
 }
 
-/// Applies the FIR map `out[i] = Σ_j fir[j]·x[i-j]` to `chunk` in place,
-/// walking right-to-left so every read of `chunk` sees original input.
-///
-/// `prev` holds the original inputs immediately left of the chunk, most
-/// recent last (`prev[prev.len() - 1]` is `x[start - 1]`); `start` is the
-/// chunk's global offset, used to zero terms that reach before the data.
-pub(crate) fn fir_in_place<T: Element>(fir: &[T], prev: &[T], start: usize, chunk: &mut [T]) {
-    for i in (0..chunk.len()).rev() {
-        let mut acc = T::zero();
-        for (j, &a) in fir.iter().enumerate() {
-            if j > start + i {
-                break;
-            }
-            let x = if j <= i {
-                chunk[i - j]
-            } else {
-                let back = j - i; // reaches `back` elements before the chunk
-                if back <= prev.len() {
-                    prev[prev.len() - back]
-                } else {
-                    T::zero()
-                }
-            };
-            acc = acc.add(a.mul(x));
-        }
-        chunk[i] = acc;
-    }
-}
+// The in-place FIR kernel moved into plr-core's register-blocked kernel
+// layer (branch-free steady state, unrolled small tap counts); the runner
+// and the batch executor share it from there.
+pub(crate) use plr_core::blocked::fir_in_place;
 
 /// Derives the global carries of chunk `j` from published state: walks back
 /// to the nearest chunk with published globals (spinning on chunk 0's if
@@ -533,6 +508,7 @@ fn wait_for<'a, T>(cell: &'a OnceLock<Vec<T>>, spins: &AtomicU64) -> &'a Vec<T> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plr_core::serial;
     use plr_core::validate::validate;
 
     fn check<T: Element>(sig_text: &str, n: usize, config: RunnerConfig, tol: f64)
