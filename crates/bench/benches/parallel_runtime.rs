@@ -36,6 +36,7 @@ fn bench_speedup_int(c: &mut Criterion) {
                 chunk_size: 1 << 16,
                 threads,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -63,6 +64,7 @@ fn bench_speedup_filter(c: &mut Criterion) {
                 chunk_size: 1 << 16,
                 threads,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -89,6 +91,7 @@ fn bench_prefix_sum(c: &mut Criterion) {
             chunk_size: 1 << 17,
             threads: 0,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -117,6 +120,7 @@ fn bench_strategies(c: &mut Criterion) {
                 chunk_size: 1 << 16,
                 threads: 0,
                 strategy,
+                ..Default::default()
             },
         )
         .unwrap();

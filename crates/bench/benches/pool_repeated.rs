@@ -163,6 +163,7 @@ fn bench_repeated_runs(c: &mut Criterion) {
             chunk_size: m,
             threads,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )
     .unwrap();
@@ -219,6 +220,7 @@ fn bench_single_shot_large(c: &mut Criterion) {
             chunk_size: m,
             threads,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )
     .unwrap();

@@ -111,6 +111,31 @@ pub enum EngineError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A worker thread (or the calling thread acting as worker 0) panicked
+    /// while executing a parallel run.
+    ///
+    /// The decoupled look-back progress argument assumes every execution
+    /// unit eventually publishes its carries; a panicking worker breaks
+    /// that assumption, so the runtime aborts the run, converts the panic
+    /// into this error, and leaves the pool reusable for the next call.
+    WorkerPanicked {
+        /// Id of the worker that panicked (`0` is the calling thread).
+        worker: usize,
+        /// The panic payload, stringified (`<non-string panic payload>`
+        /// when the payload was not a `&str` or `String`).
+        payload: String,
+    },
+    /// An opt-in finiteness check found a NaN or infinite carry after a
+    /// chunk's local solve or correction.
+    ///
+    /// Unstable float signatures (spectral radius > 1) can overflow to
+    /// `inf`/NaN mid-run; without this check the garbage silently
+    /// propagates through every later chunk via the look-back chain.
+    NonFiniteCarry {
+        /// Index of the first chunk observed with a non-finite carry (under
+        /// concurrent execution, not necessarily the lowest such index).
+        chunk: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -127,6 +152,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::UnsupportedSignature { reason } => {
                 write!(f, "unsupported signature: {reason}")
+            }
+            EngineError::WorkerPanicked { worker, payload } => {
+                write!(f, "worker {worker} panicked: {payload}")
+            }
+            EngineError::NonFiniteCarry { chunk } => {
+                write!(f, "non-finite carry produced by chunk {chunk}")
             }
         }
     }
@@ -174,6 +205,14 @@ mod tests {
             reason: "p > 0".into(),
         };
         assert!(e.to_string().contains("p > 0"));
+        let e = EngineError::WorkerPanicked {
+            worker: 3,
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(e.to_string().contains("boom"));
+        let e = EngineError::NonFiniteCarry { chunk: 7 };
+        assert!(e.to_string().contains("chunk 7"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! survive across `run_rows` calls and are only rebuilt when the row
 //! geometry changes the chunk size).
 
-use crate::pool::{resolve_threads, SendPtr, Tickets, WorkerPool};
+use crate::pool::{lock_recover, resolve_threads, SendPtr, Tickets, WorkerPanic, WorkerPool};
 use crate::runner::{fir_in_place, ParallelRunner, RunnerConfig};
 use crate::stats::RunStats;
 use plr_core::blocked::SolveKernel;
@@ -77,7 +77,10 @@ impl<T: Element> BatchRunner<T> {
     /// # Errors
     ///
     /// Returns [`EngineError::UnsupportedSignature`] when `width == 0` or
-    /// the data length is not a multiple of `width`.
+    /// the data length is not a multiple of `width`, and
+    /// [`EngineError::WorkerPanicked`] when a worker (or the calling
+    /// thread) panicked mid-run — the pool survives and the batch runner
+    /// stays usable, but `data` is left partially processed.
     pub fn run_rows(&self, data: &mut [T], width: usize) -> Result<RunStats, EngineError> {
         if width == 0 || !data.len().is_multiple_of(width) {
             return Err(EngineError::UnsupportedSignature {
@@ -91,7 +94,7 @@ impl<T: Element> BatchRunner<T> {
         let threads = self.threads().max(1);
 
         if rows >= threads || rows == 0 {
-            Ok(self.run_whole_rows(data, width, rows))
+            self.run_whole_rows(data, width, rows)
         } else {
             // Few long rows: parallelize inside each row instead, through
             // the cached intra-row runner (correction table reused).
@@ -102,18 +105,29 @@ impl<T: Element> BatchRunner<T> {
     /// Whole rows per worker: embarrassingly parallel, fully in place
     /// (in-place FIR + in-place feedback solve; rows are independent so
     /// there are no cross-boundary inputs to stash).
-    fn run_whole_rows(&self, data: &mut [T], width: usize, rows: usize) -> RunStats {
+    fn run_whole_rows(
+        &self,
+        data: &mut [T],
+        width: usize,
+        rows: usize,
+    ) -> Result<RunStats, EngineError> {
         let pool = self.pool();
         let pure = self.signature.is_pure_feedback();
         let solve = &self.solve;
         let fir = &self.fir;
         let fir_nanos = AtomicU64::new(0);
         let solve_nanos = AtomicU64::new(0);
+        let aborts = AtomicU64::new(0);
+        let recovered_before = pool.recovered_workers();
         let tickets = Tickets::new(rows);
         let base = SendPtr::new(data.as_mut_ptr());
-        pool.run(|_worker| {
+        pool.run(|_worker, abort| {
             let (mut fir_ns, mut solve_ns) = (0u64, 0u64);
             while let Some(r) = tickets.claim() {
+                if abort.is_aborted() {
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 // SAFETY: unique tickets make the rows disjoint; `data`
                 // outlives the blocking `pool.run` call.
                 let row =
@@ -123,20 +137,25 @@ impl<T: Element> BatchRunner<T> {
                     fir_in_place(fir, &[], 0, row);
                     fir_ns += start.elapsed().as_nanos() as u64;
                 }
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, r);
                 let start = Instant::now();
                 solve.solve_in_place(row);
                 solve_ns += start.elapsed().as_nanos() as u64;
             }
             fir_nanos.fetch_add(fir_ns, Ordering::Relaxed);
             solve_nanos.fetch_add(solve_ns, Ordering::Relaxed);
-        });
-        RunStats {
+        })
+        .map_err(WorkerPanic::into_engine_error)?;
+        Ok(RunStats {
             chunks: rows as u64,
             threads: pool.width() as u64,
+            aborts: aborts.load(Ordering::Relaxed),
+            workers_recovered: pool.recovered_workers() - recovered_before,
             fir_nanos: fir_nanos.load(Ordering::Relaxed),
             solve_nanos: solve_nanos.load(Ordering::Relaxed),
             ..RunStats::default()
-        }
+        })
     }
 
     /// Few long rows: chunked decoupled look-back inside each row via the
@@ -148,7 +167,7 @@ impl<T: Element> BatchRunner<T> {
         threads: usize,
     ) -> Result<RunStats, EngineError> {
         let chunk_size = (width / (threads * 4)).max(self.signature.order()).max(64);
-        let mut cache = self.inner.lock().unwrap();
+        let mut cache = lock_recover(&self.inner);
         let rebuild = match cache.as_ref() {
             Some(inner) => inner.chunk_size != chunk_size,
             None => true,
@@ -255,7 +274,7 @@ mod tests {
             runner.run_rows(&mut got, width).unwrap();
             assert_eq!(got, reference(&sig, &data, width));
         }
-        let cache = runner.inner.lock().unwrap();
+        let cache = lock_recover(&runner.inner);
         assert!(
             cache.is_some(),
             "the intra-row runner must be cached across calls"

@@ -44,6 +44,29 @@
 //! Per-phase wall times (FIR map, local solve, look-back, correction) are
 //! accumulated per worker and reported through [`RunStats`].
 //!
+//! ## Failure model
+//!
+//! The execution layer fails by returning errors, never by hanging or by
+//! unwinding across the pool's lifetime-erasure boundary:
+//!
+//! - **Panics become errors.** Every job invocation runs under
+//!   `catch_unwind`; the first panic (on a spawned worker *or* on the
+//!   calling thread) trips a per-run [`pool::AbortSignal`], every ticket
+//!   loop and carry spin-wait bails out at its next poll, and
+//!   `run`/`run_in_place`/`run_rows` return
+//!   [`EngineError::WorkerPanicked`](plr_core::error::EngineError::WorkerPanicked).
+//! - **The pool survives.** Worker threads outlive job panics; a worker
+//!   that genuinely dies is respawned lazily at the next submission, and
+//!   threads that failed to spawn in the first place are retried there
+//!   too ([`RunStats::threads`] reports the effective width).
+//! - **Opt-in value validation.** [`RunnerConfig::check_finite`] aborts
+//!   float runs whose carries go NaN/Inf instead of propagating garbage
+//!   through the look-back chain.
+//! - **Deterministic fault injection.** The `fault-inject` cargo feature
+//!   compiles a process-global [`fault::FaultPlan`] harness that can kill
+//!   any pipeline stage (by chunk, worker, or call count) to test all of
+//!   the above; its consult sites are inert unless a plan is armed.
+//!
 //! ```
 //! use plr_parallel::{ParallelRunner, RunnerConfig};
 //! use plr_core::signature::Signature;
@@ -63,11 +86,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod pool;
 pub mod runner;
 pub mod stats;
 
 pub use batch::BatchRunner;
-pub use pool::{resolve_threads, WorkerPool};
+pub use pool::{resolve_threads, AbortSignal, WorkerPanic, WorkerPool};
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
 pub use stats::RunStats;

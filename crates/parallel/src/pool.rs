@@ -10,7 +10,10 @@
 //!
 //! - [`WorkerPool::new`] spawns `width - 1` OS threads (the thread that
 //!   calls [`WorkerPool::run`] participates as worker 0, so `width == 1`
-//!   spawns nothing and runs jobs inline with zero synchronization).
+//!   spawns nothing and runs jobs inline). Spawn failures degrade
+//!   gracefully: the pool keeps the workers that did spawn, [`width`]
+//!   shrinks accordingly, and the missing workers are retried lazily on
+//!   every later submission.
 //! - [`WorkerPool::run`] publishes one type-erased job, wakes the workers,
 //!   executes the job on the calling thread too, and blocks until every
 //!   worker has finished. Job submission is serialized internally, so a
@@ -20,18 +23,58 @@
 //!   in-order claiming the decoupled look-back progress argument needs
 //!   (a chunk is only claimed after every earlier chunk has been claimed).
 //!
+//! # Failure model
+//!
+//! Every job invocation — on the spawned workers *and* on the calling
+//! thread — runs under `catch_unwind`. The first panic is recorded, the
+//! per-run [`AbortSignal`] (passed to every job invocation) is tripped so
+//! cooperative loops and spin waits can bail out, and [`WorkerPool::run`]
+//! returns `Err(`[`WorkerPanic`]`)` once every worker has quiesced. A
+//! worker thread never dies from a job panic; the one exception is the
+//! [`WorkerExit`] sentinel payload (used by fault injection to simulate
+//! thread death), after which the dead worker is respawned lazily on the
+//! next submission. The pool stays fully reusable after any failure.
+//!
+//! [`width`]: WorkerPool::width
+//!
 //! # Safety
 //!
 //! `run` erases the job closure's lifetime to park it in shared state the
-//! worker threads can reach. This is sound because `run` does not return
-//! until every clone of the erased closure has been dropped: the workers
-//! drop theirs before reporting completion, and the shared slot is cleared
-//! under the lock before `run` returns — so the closure (and everything it
-//! borrows from the caller's stack) never outlives the call.
+//! worker threads can reach. This is sound because of an unwind-ordering
+//! invariant: **no exit path of `run` — including the caller's own closure
+//! invocation panicking — returns or resumes an unwind before every clone
+//! of the erased closure has been dropped.** Concretely:
+//!
+//! - each worker drops its clone *before* reporting completion, and the
+//!   decrement that reports completion sits in a drop guard, so it happens
+//!   even if the panic-recording machinery itself unwinds;
+//! - the calling thread invokes its clone under `catch_unwind`, and on a
+//!   caller-side panic it trips the abort signal and still *waits for
+//!   `running` to reach zero* before converting the panic into an error —
+//!   the caller's stack frame (which the closure borrows) cannot be torn
+//!   down while any worker may still hold a clone;
+//! - the shared job slot is cleared under the lock before `run` returns.
+//!
+//! Together these guarantee the closure (and everything it borrows from
+//! the caller's stack) never outlives the `run` call, on the success path
+//! and on every failure path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// With every job invocation wrapped in `catch_unwind`, a poisoned pool
+/// mutex can only mean a panic in the tiny bookkeeping sections below —
+/// whose state is valid at every intermediate point — so recovering the
+/// guard is always sound and keeps one panic from masquerading as a
+/// second, unrelated one.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Resolves a configured thread count: `0` means one worker per available
 /// CPU (falling back to 4 when the CPU count is unknown).
@@ -46,9 +89,91 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// The type-erased job executed by every worker; the argument is the
-/// worker id in `0..width`.
-type Job = Arc<dyn Fn(usize) + Send + Sync + 'static>;
+/// Per-run cooperative cancellation flag, passed to every job invocation.
+///
+/// The pool trips it when any worker panics; jobs may also trip it
+/// themselves (e.g. the runner's finiteness check). Ticket loops and spin
+/// waits are expected to poll [`is_aborted`](Self::is_aborted) and bail
+/// out promptly — that is what turns a dead worker into a clean error
+/// instead of a hang in the decoupled look-back pipeline.
+#[derive(Debug, Default)]
+pub struct AbortSignal(AtomicBool);
+
+impl AbortSignal {
+    /// Whether this run has been aborted (a single relaxed load — cheap
+    /// enough for per-chunk and per-spin polling).
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Trips the abort flag; every cooperating loop in the current run
+    /// will bail out at its next poll.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+}
+
+/// The first panic captured during a [`WorkerPool::run`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Id of the worker whose job invocation panicked (`0` is the calling
+    /// thread).
+    pub worker: usize,
+    /// The panic payload, stringified.
+    pub payload: String,
+}
+
+impl WorkerPanic {
+    pub(crate) fn from_payload(worker: usize, payload: &(dyn Any + Send)) -> Self {
+        let payload = if payload.is::<WorkerExit>() {
+            "worker exited (injected thread death)".to_string()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        WorkerPanic { worker, payload }
+    }
+
+    /// Converts into the engine-level error the runners surface.
+    pub fn into_engine_error(self) -> plr_core::error::EngineError {
+        plr_core::error::EngineError::WorkerPanicked {
+            worker: self.worker,
+            payload: self.payload,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.payload)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Sentinel panic payload that makes a pool worker exit its loop after
+/// reporting, simulating thread death (the execution-unit loss the
+/// decoupled look-back liveness argument must survive).
+///
+/// Used by the `fault-inject` harness via `std::panic::panic_any`; the
+/// dead worker is respawned lazily on the pool's next submission.
+#[derive(Debug)]
+pub struct WorkerExit;
+
+/// The type-erased job executed by every worker; the arguments are the
+/// worker id in `0..width` and the run's abort signal.
+type Job = BorrowedJob<'static>;
+
+/// [`Job`] before its lifetime is erased in [`WorkerPool::run`].
+type BorrowedJob<'a> = Arc<dyn Fn(usize, &AbortSignal) + Send + Sync + 'a>;
 
 struct PoolState {
     /// The current job, present only while a generation is in flight.
@@ -57,6 +182,13 @@ struct PoolState {
     generation: u64,
     /// Spawned workers still executing the current job.
     running: usize,
+    /// Spawned workers currently inside their loop (dead ones excluded).
+    alive: usize,
+    /// Worker ids that exited their loop (via [`WorkerExit`]); joined and
+    /// respawned on the next submission.
+    dead: Vec<usize>,
+    /// First panic captured in the current generation.
+    panic: Option<WorkerPanic>,
     /// Set by `Drop` to retire the workers.
     shutdown: bool,
 }
@@ -67,14 +199,36 @@ struct Shared {
     work_ready: Condvar,
     /// Signals the submitter that `running` reached zero.
     work_done: Condvar,
+    /// Per-run cooperative cancellation flag (reset at each submission).
+    abort: AbortSignal,
+    /// Cumulative count of workers respawned after death or a failed
+    /// earlier spawn; see [`WorkerPool::recovered_workers`].
+    recovered: AtomicU64,
+}
+
+impl Shared {
+    /// Records the first panic of the current generation and trips the
+    /// abort signal so the surviving workers bail out of their loops.
+    fn record_panic(&self, worker: usize, payload: &(dyn Any + Send)) {
+        self.abort.trigger();
+        let mut state = lock_recover(&self.state);
+        if state.panic.is_none() {
+            state.panic = Some(WorkerPanic::from_payload(worker, payload));
+        }
+    }
+}
+
+/// Per-worker slots; index `i` holds the handle for worker id `i + 1`
+/// (`None` while that worker could not be spawned). Doubles as the
+/// submission lock: holding it serializes `run` calls.
+struct Workers {
+    handles: Vec<Option<JoinHandle<()>>>,
 }
 
 /// A fixed-width pool of persistent worker threads (see the module docs).
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-    /// Serializes job submission so concurrent `run` calls cannot overlap.
-    submit: Mutex<()>,
+    workers: Mutex<Workers>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -85,9 +239,21 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("plr-worker-{id}"))
+        .spawn(move || worker_loop(&shared, id))
+}
+
 impl WorkerPool {
     /// Creates a pool of total width `width` (the calling thread counts as
     /// one worker, so `width - 1` threads are spawned).
+    ///
+    /// Thread-spawn failures are not fatal: the pool keeps whatever did
+    /// spawn (worst case only the calling thread), [`width`](Self::width)
+    /// reports the effective count, and the missing workers are retried on
+    /// every later [`run`](Self::run) submission.
     pub fn new(width: usize) -> Self {
         let width = width.max(1);
         let shared = Arc::new(Shared {
@@ -95,76 +261,173 @@ impl WorkerPool {
                 job: None,
                 generation: 0,
                 running: 0,
+                alive: 0,
+                dead: Vec::new(),
+                panic: None,
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
+            abort: AbortSignal::default(),
+            recovered: AtomicU64::new(0),
         });
-        let handles = (1..width)
-            .map(|id| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("plr-worker-{id}"))
-                    .spawn(move || worker_loop(&shared, id))
-                    .expect("spawning pool worker")
-            })
+        let handles: Vec<Option<JoinHandle<()>>> = (1..width)
+            .map(|id| spawn_worker(&shared, id).ok())
             .collect();
+        lock_recover(&shared.state).alive = handles.iter().flatten().count();
         WorkerPool {
             shared,
-            handles,
-            submit: Mutex::new(()),
+            workers: Mutex::new(Workers { handles }),
         }
     }
 
-    /// Total worker count including the thread that calls [`run`](Self::run).
+    /// Effective worker count, including the thread that calls
+    /// [`run`](Self::run) (live spawned workers plus one). Shrinks when a
+    /// spawn failed or a worker died, grows back when a later submission
+    /// respawns it.
     pub fn width(&self) -> usize {
-        self.handles.len() + 1
+        lock_recover(&self.shared.state).alive + 1
     }
 
-    /// Runs `job(worker_id)` on every worker — ids `1..width` on the pool
-    /// threads, id `0` on the calling thread — returning once all have
-    /// finished.
-    pub fn run<F>(&self, job: F)
-    where
-        F: Fn(usize) + Send + Sync,
-    {
-        if self.handles.is_empty() {
-            job(0);
-            return;
+    /// Cumulative number of workers revived by lazy respawning — dead
+    /// workers joined and replaced, or initially-failed spawns that later
+    /// succeeded.
+    pub fn recovered_workers(&self) -> u64 {
+        self.shared.recovered.load(Ordering::Relaxed)
+    }
+
+    /// Reaps dead workers and retries every missing slot; called at each
+    /// submission with the submission lock held.
+    fn heal(&self, workers: &mut Workers) {
+        let dead = {
+            let mut state = lock_recover(&self.shared.state);
+            std::mem::take(&mut state.dead)
+        };
+        for id in dead {
+            // The worker marked itself dead as its final locked action, so
+            // the join only waits out thread teardown.
+            if let Some(handle) = workers.handles[id - 1].take() {
+                let _ = handle.join();
+            }
         }
-        let _submission = self.submit.lock().unwrap();
+        for (i, slot) in workers.handles.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Ok(handle) = spawn_worker(&self.shared, i + 1) {
+                    *slot = Some(handle);
+                    lock_recover(&self.shared.state).alive += 1;
+                    self.shared.recovered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Runs `job(worker_id, abort)` on every worker — ids `1..width` on
+    /// the pool threads, id `0` on the calling thread — returning once all
+    /// have finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WorkerPanic`] when any invocation (including
+    /// the calling thread's) panicked. The run's [`AbortSignal`] is
+    /// tripped as soon as the panic is caught so cooperative loops bail
+    /// out; `run` still waits for every worker to finish before returning
+    /// (see the module-level safety discussion), and the pool remains
+    /// reusable afterwards.
+    pub fn run<F>(&self, job: F) -> Result<(), WorkerPanic>
+    where
+        F: Fn(usize, &AbortSignal) + Send + Sync,
+    {
+        let mut workers = lock_recover(&self.workers);
+        self.heal(&mut workers);
+        let live = lock_recover(&self.shared.state).alive;
+        self.shared.abort.reset();
+        if live == 0 {
+            // No spawned workers: run inline. Panics still become errors
+            // so callers see one failure surface regardless of width.
+            return match catch_unwind(AssertUnwindSafe(|| job(0, &self.shared.abort))) {
+                Ok(()) => Ok(()),
+                Err(payload) => Err(WorkerPanic::from_payload(0, payload.as_ref())),
+            };
+        }
         // SAFETY: see the module docs — every clone of the erased Arc is
-        // dropped before this function returns, so the closure's borrows
-        // stay within this frame.
-        let erased: Arc<dyn Fn(usize) + Send + Sync + '_> = Arc::new(job);
+        // dropped before this function returns on every exit path
+        // (including panics), so the closure's borrows stay within this
+        // frame.
+        let erased: BorrowedJob<'_> = Arc::new(job);
         let erased: Job = unsafe { std::mem::transmute(erased) };
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_recover(&self.shared.state);
             debug_assert!(state.job.is_none() && state.running == 0);
             state.job = Some(Arc::clone(&erased));
             state.generation += 1;
-            state.running = self.handles.len();
+            state.running = live;
+            state.panic = None;
             self.shared.work_ready.notify_all();
         }
-        erased(0);
+        let caller = catch_unwind(AssertUnwindSafe(|| erased(0, &self.shared.abort)));
+        if caller.is_err() {
+            // Workers may be spinning on carries this thread will never
+            // publish; make them bail before we wait on them.
+            self.shared.abort.trigger();
+        }
         drop(erased);
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_recover(&self.shared.state);
         while state.running > 0 {
-            state = self.shared.work_done.wait(state).unwrap();
+            state = self
+                .shared
+                .work_done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         state.job = None;
+        let worker_panic = state.panic.take();
+        drop(state);
+        // All clones are dead; only now is it safe to surface any panic.
+        match caller {
+            Err(payload) => Err(WorkerPanic::from_payload(0, payload.as_ref())),
+            Ok(()) => match worker_panic {
+                Some(p) => Err(p),
+                None => Ok(()),
+            },
+        }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_recover(&self.shared.state);
             state.shutdown = true;
             self.shared.work_ready.notify_all();
         }
-        for handle in self.handles.drain(..) {
+        let mut workers = lock_recover(&self.workers);
+        for handle in workers.handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Drop guard that reports one worker's completion: decrements `running`
+/// (waking the submitter at zero) even if the code between its creation
+/// and its drop unwinds, and — when the worker is exiting — retires it in
+/// the same critical section, so a submitter can never observe the
+/// decrement without the death.
+struct CompletionGuard<'a> {
+    shared: &'a Shared,
+    id: usize,
+    exiting: bool,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = lock_recover(&self.shared.state);
+        state.running -= 1;
+        if self.exiting {
+            state.alive -= 1;
+            state.dead.push(self.id);
+        }
+        if state.running == 0 {
+            self.shared.work_done.notify_all();
         }
     }
 }
@@ -173,7 +436,7 @@ fn worker_loop(shared: &Shared, id: usize) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_recover(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -184,17 +447,34 @@ fn worker_loop(shared: &Shared, id: usize) {
                         break Arc::clone(job);
                     }
                 }
-                state = shared.work_ready.wait(state).unwrap();
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job(id);
+        let mut guard = CompletionGuard {
+            shared,
+            id,
+            exiting: false,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(id, &shared.abort)));
         // The clone must die before completion is reported: `run` treats
         // `running == 0` as "no live borrows of the caller's stack".
         drop(job);
-        let mut state = shared.state.lock().unwrap();
-        state.running -= 1;
-        if state.running == 0 {
-            shared.work_done.notify_all();
+        let exiting = match outcome {
+            Ok(()) => false,
+            Err(payload) => {
+                // Record before the guard's decrement so the submitter
+                // sees the panic the moment `running` hits zero.
+                shared.record_panic(id, payload.as_ref());
+                payload.is::<WorkerExit>()
+            }
+        };
+        guard.exiting = exiting;
+        drop(guard);
+        if exiting {
+            return;
         }
     }
 }
@@ -251,6 +531,26 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
+    /// Silences the default panic-hook output for the injected panics
+    /// these tests provoke on purpose (real failures still print).
+    fn quiet_expected_panics() {
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let payload = info.payload();
+                let s = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .unwrap_or("");
+                if !s.contains("deliberate") && !payload.is::<WorkerExit>() {
+                    default(info);
+                }
+            }));
+        });
+    }
+
     #[test]
     fn resolve_threads_passes_nonzero_through() {
         assert_eq!(resolve_threads(3), 3);
@@ -262,10 +562,11 @@ mod tests {
         let pool = WorkerPool::new(4);
         let hits = AtomicU64::new(0);
         let ids = Mutex::new(Vec::new());
-        pool.run(|id| {
+        pool.run(|id, _abort| {
             hits.fetch_add(1, Ordering::Relaxed);
             ids.lock().unwrap().push(id);
-        });
+        })
+        .unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 4);
         let mut ids = ids.into_inner().unwrap();
         ids.sort_unstable();
@@ -277,9 +578,10 @@ mod tests {
         let pool = WorkerPool::new(3);
         let total = AtomicU64::new(0);
         for _ in 0..100 {
-            pool.run(|_| {
+            pool.run(|_, _| {
                 total.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 300);
     }
@@ -290,10 +592,11 @@ mod tests {
         assert_eq!(pool.width(), 1);
         let mut hit = false;
         let hit_ref = std::sync::Mutex::new(&mut hit);
-        pool.run(|id| {
+        pool.run(|id, _abort| {
             assert_eq!(id, 0);
             **hit_ref.lock().unwrap() = true;
-        });
+        })
+        .unwrap();
         assert!(hit);
     }
 
@@ -303,7 +606,7 @@ mod tests {
         let mut data = vec![0u64; 1024];
         let base = SendPtr::new(data.as_mut_ptr());
         let tickets = Tickets::new(16);
-        pool.run(|_| {
+        pool.run(|_, _| {
             while let Some(t) = tickets.claim() {
                 // SAFETY: tickets are unique, so the 64-element chunks are
                 // disjoint.
@@ -312,7 +615,8 @@ mod tests {
                     *v = (t * 64 + i) as u64;
                 }
             }
-        });
+        })
+        .unwrap();
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
     }
 
@@ -321,18 +625,156 @@ mod tests {
         let pool = WorkerPool::new(8);
         let tickets = Tickets::new(1000);
         let seen: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
-        pool.run(|_| {
+        pool.run(|_, _| {
             while let Some(t) = tickets.claim() {
                 seen[t].fetch_add(1, Ordering::Relaxed);
             }
-        });
+        })
+        .unwrap();
         assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
     fn dropping_the_pool_joins_cleanly() {
         let pool = WorkerPool::new(4);
-        pool.run(|_| {});
+        pool.run(|_, _| {}).unwrap();
         drop(pool);
+    }
+
+    #[test]
+    fn worker_panic_returns_err_and_pool_survives() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(4);
+        for round in 0..3 {
+            let tickets = Tickets::new(64);
+            let err = pool
+                .run(|_, _| {
+                    while let Some(t) = tickets.claim() {
+                        if t == 13 {
+                            panic!("deliberate pool test panic {round}");
+                        }
+                    }
+                })
+                .unwrap_err();
+            assert!(err.payload.contains("deliberate"), "{err}");
+            // A fault-free run on the same pool must still work.
+            let hits = AtomicU64::new(0);
+            pool.run(|_, _| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert_eq!(hits.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    #[test]
+    fn caller_panic_waits_for_workers_then_errors() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(4);
+        // The job borrows this stack buffer; worker 0 (the caller) panics
+        // while spawned workers are still writing through the pointer. The
+        // unwind-ordering invariant says `run` must not return before they
+        // finish — otherwise these writes would be use-after-free.
+        let mut data = vec![0u64; 4096];
+        let base = SendPtr::new(data.as_mut_ptr());
+        let tickets = Tickets::new(64);
+        let err = pool
+            .run(|id, _abort| {
+                if id == 0 {
+                    panic!("deliberate caller panic");
+                }
+                while let Some(t) = tickets.claim() {
+                    // SAFETY: unique tickets, disjoint 64-element chunks.
+                    let chunk =
+                        unsafe { std::slice::from_raw_parts_mut(base.ptr().add(t * 64), 64) };
+                    for v in chunk.iter_mut() {
+                        *v = 7;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.worker, 0);
+        assert!(err.payload.contains("deliberate caller panic"));
+        // Every chunk was either fully written or untouched — and the
+        // buffer is still valid to read, which is the point.
+        assert!(data.chunks(64).all(|c| c.iter().all(|&v| v == 7 || v == 0)));
+        // The pool is reusable after a caller-side panic.
+        pool.run(|_, _| {}).unwrap();
+    }
+
+    #[test]
+    fn inline_pool_converts_panics_to_errors() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(1);
+        let err = pool
+            .run(|_, _| panic!("deliberate inline panic"))
+            .unwrap_err();
+        assert_eq!(err.worker, 0);
+        assert!(err.payload.contains("deliberate inline panic"));
+        pool.run(|_, _| {}).unwrap();
+    }
+
+    #[test]
+    fn panic_trips_the_abort_signal_for_other_workers() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(4);
+        let bailed = AtomicU64::new(0);
+        let err = pool
+            .run(|id, abort| {
+                if id == 1 {
+                    panic!("deliberate abort-signal panic");
+                }
+                // Everyone else waits for the abort instead of spinning
+                // forever — the cooperative protocol under test.
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+                bailed.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert!(err.payload.contains("abort-signal"));
+        assert_eq!(bailed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn worker_exit_is_respawned_on_next_submission() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.width(), 4);
+        let err = pool
+            .run(|id, _abort| {
+                if id == 2 {
+                    std::panic::panic_any(WorkerExit);
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.worker, 2);
+        // The worker is gone until the next submission heals the pool.
+        assert_eq!(pool.width(), 3);
+        let hits = AtomicU64::new(0);
+        pool.run(|_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.width(), 4);
+        assert_eq!(pool.recovered_workers(), 1);
+    }
+
+    #[test]
+    fn first_panic_wins() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .run(|id, _abort| {
+                if id != 0 {
+                    panic!("deliberate panic from worker {id}");
+                }
+            })
+            .unwrap_err();
+        assert_ne!(err.worker, 0);
+        assert!(err.payload.contains("deliberate panic from worker"));
+        pool.run(|_, _| {}).unwrap();
     }
 }

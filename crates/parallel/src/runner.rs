@@ -18,7 +18,7 @@
 //! exist — so the look-back chain can always be resolved and the spin
 //! waits are bounded by the pipeline depth (the pool width).
 
-use crate::pool::{resolve_threads, SendPtr, Tickets, WorkerPool};
+use crate::pool::{resolve_threads, AbortSignal, SendPtr, Tickets, WorkerPanic, WorkerPool};
 use crate::stats::RunStats;
 use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
@@ -26,6 +26,7 @@ use plr_core::engine::MAX_INPUT_LEN;
 use plr_core::error::EngineError;
 use plr_core::nacci::{carries_of, CorrectionTable};
 use plr_core::signature::Signature;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -55,6 +56,13 @@ pub struct RunnerConfig {
     pub threads: usize,
     /// Carry-propagation strategy.
     pub strategy: Strategy,
+    /// Opt-in finiteness validation for float runs: after each chunk's
+    /// local solve and correction, scan its `k` carries for NaN/Inf and
+    /// abort the run with [`EngineError::NonFiniteCarry`] instead of
+    /// silently propagating garbage through the look-back chain. Only
+    /// the carries are scanned (`O(k)` per chunk, off the element-wise
+    /// hot path); a no-op for integer elements. Default `false`.
+    pub check_finite: bool,
 }
 
 impl Default for RunnerConfig {
@@ -63,6 +71,7 @@ impl Default for RunnerConfig {
             chunk_size: 1 << 16,
             threads: 0,
             strategy: Strategy::default(),
+            check_finite: false,
         }
     }
 }
@@ -216,7 +225,13 @@ impl<T: Element> ParallelRunner<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements.
+    /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements,
+    /// [`EngineError::WorkerPanicked`] when a worker (or the calling
+    /// thread) panicked mid-run, and [`EngineError::NonFiniteCarry`] when
+    /// [`RunnerConfig::check_finite`] is on and a chunk produced a NaN or
+    /// infinite carry. On error the pool survives and the runner stays
+    /// usable; the input buffer's contents are unspecified (partially
+    /// processed).
     pub fn run(&self, input: &[T]) -> Result<Vec<T>, EngineError> {
         let mut data = input.to_vec();
         self.run_in_place(&mut data)?;
@@ -227,7 +242,8 @@ impl<T: Element> ParallelRunner<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements.
+    /// See [`ParallelRunner::run`]; additionally, on error `data` is left
+    /// partially processed.
     pub fn run_in_place(&self, data: &mut [T]) -> Result<RunStats, EngineError> {
         if data.len() > MAX_INPUT_LEN {
             return Err(EngineError::InputTooLarge {
@@ -244,11 +260,10 @@ impl<T: Element> ParallelRunner<T> {
             });
         }
         let pool = self.pool();
-        let stats = match self.config.strategy {
+        match self.config.strategy {
             Strategy::LookbackPipeline => self.run_lookback(data, pool),
             Strategy::TwoPass => self.run_two_pass(data, pool),
-        };
-        Ok(stats)
+        }
     }
 
     /// Stashes, for every chunk after the first, the original inputs its
@@ -288,36 +303,54 @@ impl<T: Element> ParallelRunner<T> {
     }
 
     /// The single-pass decoupled look-back pipeline on the pool.
-    fn run_lookback(&self, data: &mut [T], pool: &WorkerPool) -> RunStats {
+    fn run_lookback(&self, data: &mut [T], pool: &WorkerPool) -> Result<RunStats, EngineError> {
         let m = self.config.chunk_size;
         let n = data.len();
         let k = self.signature.order();
         let num_chunks = n.div_ceil(m);
         let boundaries = self.stash_boundaries(data, m, num_chunks);
+        let check_finite = self.config.check_finite && T::IS_FLOAT;
 
         let slots: Vec<Slot<T>> = (0..num_chunks).map(|_| Slot::new()).collect();
         let hops = AtomicU64::new(0);
         let spins = AtomicU64::new(0);
         let max_depth = AtomicU64::new(0);
+        let aborts = AtomicU64::new(0);
         let clocks = PhaseClocks::default();
+        let failure: OnceLock<EngineError> = OnceLock::new();
         let tickets = Tickets::new(num_chunks);
         let base = SendPtr::new(data.as_mut_ptr());
+        let recovered_before = pool.recovered_workers();
 
-        pool.run(|_worker| {
+        let outcome = pool.run(|_worker, abort| {
             let mut tally = PhaseTally::default();
             while let Some(c) = tickets.claim() {
+                if abort.is_aborted() {
+                    // A worker died or a check failed: stop touching data
+                    // so the run can surface its error promptly.
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 let start = c * m;
                 let len = m.min(n - start);
                 // SAFETY: tickets are unique, so chunk `c` is exclusively
                 // ours; `base` outlives `pool.run` (it blocks until every
-                // worker finishes).
+                // worker finishes, even when one of them panics).
                 let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), len) };
                 timed(&mut tally.fir, || {
                     self.fir_chunk(chunk, c, start, &boundaries)
                 });
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, c);
                 // Local solve, then publish local carries.
                 timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
                 let locals = carries_of(chunk, k);
+                if check_finite && !all_finite(&locals) {
+                    let _ = failure.set(EngineError::NonFiniteCarry { chunk: c });
+                    abort.trigger();
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 slots[c]
                     .local
                     .set(locals.clone())
@@ -329,14 +362,36 @@ impl<T: Element> ParallelRunner<T> {
                         .expect("sole producer of chunk 0 globals");
                     continue;
                 }
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Lookback, _worker, c);
                 // Variable look-back: walk back to the most recent
                 // published globals, then fix forward through the
-                // published locals.
-                let g = timed(&mut tally.lookback, || {
-                    resolve_global(&self.table, &slots, c - 1, m, n, &hops, &spins, &max_depth)
-                });
+                // published locals. `None` means the run was aborted while
+                // we waited on carries that will never be published.
+                let Some(g) = timed(&mut tally.lookback, || {
+                    resolve_global(
+                        &self.table,
+                        &slots,
+                        c - 1,
+                        m,
+                        n,
+                        &hops,
+                        &spins,
+                        &max_depth,
+                        abort,
+                    )
+                }) else {
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                };
                 timed(&mut tally.correct, || self.table.correct_chunk(chunk, &g));
                 let globals = carries_of(chunk, k);
+                if check_finite && !all_finite(&globals) {
+                    let _ = failure.set(EngineError::NonFiniteCarry { chunk: c });
+                    abort.trigger();
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 // A deeper look-back by a successor may already have
                 // derived (and published) our globals.
                 let _ = slots[c].global.set(globals);
@@ -344,36 +399,49 @@ impl<T: Element> ParallelRunner<T> {
             tally.flush(&clocks);
         });
 
-        RunStats {
+        outcome.map_err(WorkerPanic::into_engine_error)?;
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        Ok(RunStats {
             chunks: num_chunks as u64,
             lookback_hops: hops.load(Ordering::Relaxed),
             spin_waits: spins.load(Ordering::Relaxed),
             max_lookback_depth: max_depth.load(Ordering::Relaxed),
             threads: pool.width() as u64,
+            aborts: aborts.load(Ordering::Relaxed),
+            workers_recovered: pool.recovered_workers() - recovered_before,
             fir_nanos: clocks.fir.load(Ordering::Relaxed),
             solve_nanos: clocks.solve.load(Ordering::Relaxed),
             lookback_nanos: clocks.lookback.load(Ordering::Relaxed),
             correct_nanos: clocks.correct.load(Ordering::Relaxed),
-        }
+        })
     }
 
     /// The two-pass strategy: parallel map + local solves, one sequential
     /// carry chain, parallel correction (the dependency structure of
     /// [`plr_core::phase2::propagate_decoupled`] on real threads).
-    fn run_two_pass(&self, data: &mut [T], pool: &WorkerPool) -> RunStats {
+    fn run_two_pass(&self, data: &mut [T], pool: &WorkerPool) -> Result<RunStats, EngineError> {
         let m = self.config.chunk_size;
         let k = self.signature.order();
         let n = data.len();
         let num_chunks = n.div_ceil(m);
         let boundaries = self.stash_boundaries(data, m, num_chunks);
+        let check_finite = self.config.check_finite && T::IS_FLOAT;
         let clocks = PhaseClocks::default();
+        let aborts = AtomicU64::new(0);
+        let recovered_before = pool.recovered_workers();
 
         // Pass A: in-place map + local solves in parallel.
         let tickets = Tickets::new(num_chunks);
         let base = SendPtr::new(data.as_mut_ptr());
-        pool.run(|_worker| {
+        pool.run(|_worker, abort| {
             let mut tally = PhaseTally::default();
             while let Some(c) = tickets.claim() {
+                if abort.is_aborted() {
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 let start = c * m;
                 let len = m.min(n - start);
                 // SAFETY: unique tickets make the chunks disjoint.
@@ -381,26 +449,49 @@ impl<T: Element> ParallelRunner<T> {
                 timed(&mut tally.fir, || {
                     self.fir_chunk(chunk, c, start, &boundaries)
                 });
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, c);
                 timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
             }
             tally.flush(&clocks);
-        });
+        })
+        .map_err(WorkerPanic::into_engine_error)?;
 
-        // Sequential chain: globals of chunk c from globals of c-1.
+        // Sequential chain: globals of chunk c from globals of c-1. This
+        // is worker 0's look-back stage; it runs outside the pool, so it
+        // gets its own unwind guard to keep the "panics become errors"
+        // contract uniform across strategies.
         let chain_start = Instant::now();
-        let mut hops = 0u64;
-        let mut globals: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
-        globals.push(carries_of(&data[..m.min(n)], k));
-        for c in 1..num_chunks {
-            let start = c * m;
-            let end = (start + m).min(n);
-            let locals = carries_of(&data[start..end], k);
-            globals.push(
-                self.table
-                    .fixup_carries(&globals[c - 1], &locals, end - start),
-            );
-            hops += 1;
-        }
+        let chain = catch_unwind(AssertUnwindSafe(
+            || -> Result<(Vec<Vec<T>>, u64), EngineError> {
+                let mut hops = 0u64;
+                let mut globals: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
+                globals.push(carries_of(&data[..m.min(n)], k));
+                for c in 1..num_chunks {
+                    #[cfg(feature = "fault-inject")]
+                    crate::fault::check(crate::fault::FaultSite::Lookback, 0, c);
+                    let start = c * m;
+                    let end = (start + m).min(n);
+                    let locals = carries_of(&data[start..end], k);
+                    if check_finite && !all_finite(&locals) {
+                        return Err(EngineError::NonFiniteCarry { chunk: c });
+                    }
+                    globals.push(
+                        self.table
+                            .fixup_carries(&globals[c - 1], &locals, end - start),
+                    );
+                    hops += 1;
+                }
+                Ok((globals, hops))
+            },
+        ));
+        let (globals, hops) = match chain {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Err(WorkerPanic::from_payload(0, payload.as_ref()).into_engine_error())
+            }
+        };
         let lookback_nanos = chain_start.elapsed().as_nanos() as u64;
 
         // Pass B: correct every chunk with its predecessor's globals, in
@@ -408,9 +499,13 @@ impl<T: Element> ParallelRunner<T> {
         let tickets = Tickets::new(num_chunks.saturating_sub(1));
         let base = SendPtr::new(data.as_mut_ptr());
         let globals = &globals;
-        pool.run(|_worker| {
+        pool.run(|_worker, abort| {
             let mut tally = PhaseTally::default();
             while let Some(t) = tickets.claim() {
+                if abort.is_aborted() {
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 let c = t + 1;
                 let start = c * m;
                 let len = m.min(n - start);
@@ -421,20 +516,29 @@ impl<T: Element> ParallelRunner<T> {
                 });
             }
             tally.flush(&clocks);
-        });
+        })
+        .map_err(WorkerPanic::into_engine_error)?;
 
-        RunStats {
+        Ok(RunStats {
             chunks: num_chunks as u64,
             lookback_hops: hops,
             spin_waits: 0,
             max_lookback_depth: 1,
             threads: pool.width() as u64,
+            aborts: aborts.load(Ordering::Relaxed),
+            workers_recovered: pool.recovered_workers() - recovered_before,
             fir_nanos: clocks.fir.load(Ordering::Relaxed),
             solve_nanos: clocks.solve.load(Ordering::Relaxed),
             lookback_nanos,
             correct_nanos: clocks.correct.load(Ordering::Relaxed),
-        }
+        })
     }
+}
+
+/// Whether every carry in the slice widens to a finite `f64` (always true
+/// for integer elements).
+fn all_finite<T: Element>(carries: &[T]) -> bool {
+    carries.iter().all(|&c| c.to_f64().is_finite())
 }
 
 // The in-place FIR kernel moved into plr-core's register-blocked kernel
@@ -445,6 +549,10 @@ pub(crate) use plr_core::blocked::fir_in_place;
 /// Derives the global carries of chunk `j` from published state: walks back
 /// to the nearest chunk with published globals (spinning on chunk 0's if
 /// necessary), then fixes forward through published local carries.
+///
+/// Returns `None` when the run was aborted while waiting on carries that
+/// will never be published (a dead worker claimed the chunk that owned
+/// them) — the caller must stop processing its chunk.
 #[allow(clippy::too_many_arguments)]
 fn resolve_global<T: Element>(
     table: &CorrectionTable<T>,
@@ -455,7 +563,8 @@ fn resolve_global<T: Element>(
     hops: &AtomicU64,
     spins: &AtomicU64,
     max_depth: &AtomicU64,
-) -> Vec<T> {
+    abort: &AbortSignal,
+) -> Option<Vec<T>> {
     // Find the deepest published globals at or before j.
     let mut start = j;
     loop {
@@ -464,8 +573,8 @@ fn resolve_global<T: Element>(
         }
         if start == 0 {
             // Chunk 0 publishes unconditionally right after its local
-            // solve; spin until it lands.
-            wait_for(&slots[0].global, spins);
+            // solve; spin until it lands (or the run dies).
+            wait_for(&slots[0].global, spins, abort)?;
             break;
         }
         start -= 1;
@@ -478,26 +587,36 @@ fn resolve_global<T: Element>(
     hops.fetch_add(1, Ordering::Relaxed);
     max_depth.fetch_max((j - start + 1) as u64, Ordering::Relaxed);
     for (h, slot) in slots.iter().enumerate().take(j + 1).skip(start + 1) {
-        let locals = wait_for(&slot.local, spins);
+        let locals = wait_for(&slot.local, spins, abort)?;
         let chunk_len = m.min(n - h * m);
         g = table.fixup_carries(&g, locals, chunk_len);
         hops.fetch_add(1, Ordering::Relaxed);
     }
-    g
+    Some(g)
 }
 
-/// Spins (with yields) until a carry set is published.
-fn wait_for<'a, T>(cell: &'a OnceLock<Vec<T>>, spins: &AtomicU64) -> &'a Vec<T> {
+/// Spins (with yields) until a carry set is published, or `None` once the
+/// run is aborted. The abort flag is polled only on the yield slots (every
+/// 64th iteration), keeping the fast path a pure `spin_loop`.
+fn wait_for<'a, T>(
+    cell: &'a OnceLock<Vec<T>>,
+    spins: &AtomicU64,
+    abort: &AbortSignal,
+) -> Option<&'a Vec<T>> {
     let mut tries = 0u64;
     loop {
         if let Some(v) = cell.get() {
             if tries > 0 {
                 spins.fetch_add(tries, Ordering::Relaxed);
             }
-            return v;
+            return Some(v);
         }
         tries += 1;
         if tries.is_multiple_of(64) {
+            if abort.is_aborted() {
+                spins.fetch_add(tries, Ordering::Relaxed);
+                return None;
+            }
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
@@ -537,6 +656,7 @@ mod tests {
                         chunk_size: 1 << 10,
                         threads,
                         strategy: Strategy::default(),
+                        ..Default::default()
                     },
                     0.0,
                 );
@@ -554,10 +674,64 @@ mod tests {
                     chunk_size: 4096,
                     threads: 4,
                     strategy: Strategy::default(),
+                    ..Default::default()
                 },
                 1e-3,
             );
         }
+    }
+
+    #[test]
+    fn check_finite_flags_divergent_float_runs() {
+        // y_i = 2·y_{i-1} + x_i diverges; f32 overflows to +inf inside the
+        // first chunk, so every strategy must report a non-finite carry.
+        let sig: Signature<f32> = "1:2".parse().unwrap();
+        let input = vec![1.0f32; 4096];
+        let num_chunks = input.len() / 256;
+        for strategy in [Strategy::LookbackPipeline, Strategy::TwoPass] {
+            let strict = ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 256,
+                    threads: 4,
+                    strategy,
+                    check_finite: true,
+                },
+            )
+            .unwrap();
+            match strict.run(&input) {
+                Err(EngineError::NonFiniteCarry { chunk }) => assert!(chunk < num_chunks),
+                other => panic!("expected NonFiniteCarry ({strategy:?}), got {other:?}"),
+            }
+            // The check is opt-in: by default the same run completes and
+            // silently propagates the non-finite values.
+            let lax = ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 256,
+                    threads: 4,
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let out = lax.run(&input).unwrap();
+            assert!(!out.last().unwrap().is_finite(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn check_finite_passes_stable_runs_untouched() {
+        // Stable float filter and (vacuously) an integer signature: the
+        // scan must not reject finite runs or cost integer paths anything.
+        let finite_cfg = RunnerConfig {
+            chunk_size: 1024,
+            threads: 4,
+            check_finite: true,
+            ..Default::default()
+        };
+        check::<f32>("0.2:0.8", 10_000, finite_cfg, 1e-3);
+        check::<i64>("1:2,-1", 10_000, finite_cfg, 0.0);
     }
 
     #[test]
@@ -569,6 +743,7 @@ mod tests {
                 chunk_size: 64,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
             0.0,
         );
@@ -579,6 +754,7 @@ mod tests {
                 chunk_size: 64,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
             0.0,
         );
@@ -589,6 +765,7 @@ mod tests {
                 chunk_size: 64,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
             0.0,
         );
@@ -599,6 +776,7 @@ mod tests {
                 chunk_size: 64,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
             0.0,
         );
@@ -620,6 +798,7 @@ mod tests {
                 chunk_size: 64,
                 threads: 3,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -644,6 +823,7 @@ mod tests {
                 chunk_size: 2048,
                 threads: 8,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -662,6 +842,7 @@ mod tests {
                 chunk_size: 1024,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -685,6 +866,7 @@ mod tests {
                     chunk_size: 4096,
                     threads: 4,
                     strategy,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -714,6 +896,7 @@ mod tests {
                 chunk_size: 1024,
                 threads: 2,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -733,6 +916,7 @@ mod tests {
                 chunk_size: 512,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -755,7 +939,8 @@ mod tests {
                 RunnerConfig {
                     chunk_size: 2,
                     threads: 1,
-                    strategy: Strategy::default()
+                    strategy: Strategy::default(),
+                    ..Default::default()
                 }
             ),
             Err(EngineError::InvalidChunkSize { .. })
@@ -765,7 +950,8 @@ mod tests {
             RunnerConfig {
                 chunk_size: 3,
                 threads: 1,
-                strategy: Strategy::default()
+                strategy: Strategy::default(),
+                ..Default::default()
             }
         )
         .is_ok());
@@ -780,6 +966,7 @@ mod tests {
                 chunk_size: 1024,
                 threads: 4,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
             1e-6,
         );
@@ -798,6 +985,7 @@ mod tests {
                     chunk_size: 4,
                     threads: 4,
                     strategy,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -843,6 +1031,7 @@ mod tests {
                         chunk_size: 1024,
                         threads,
                         strategy: Strategy::TwoPass,
+                        ..Default::default()
                     },
                     0.0,
                 );
@@ -858,6 +1047,7 @@ mod tests {
             chunk_size: 4096,
             threads: 4,
             strategy: Strategy::default(),
+            ..Default::default()
         };
         let a = ParallelRunner::with_config(sig.clone(), base)
             .unwrap()
@@ -883,6 +1073,7 @@ mod tests {
                 chunk_size: 512,
                 threads: 8,
                 strategy: Strategy::TwoPass,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -902,6 +1093,7 @@ mod tests {
                 chunk_size: 4096,
                 threads: 1,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap()
@@ -913,6 +1105,7 @@ mod tests {
                 chunk_size: 4096,
                 threads: 8,
                 strategy: Strategy::default(),
+                ..Default::default()
             },
         )
         .unwrap()

@@ -15,8 +15,19 @@ pub struct RunStats {
     /// reports "c is typically much smaller than 32" because each chunk
     /// uses the most recent available global carries).
     pub max_lookback_depth: u64,
-    /// Worker threads used.
+    /// Worker threads used (the pool's effective width for this run,
+    /// which shrinks when worker threads could not be spawned).
     pub threads: u64,
+    /// Worker loops that bailed out early because the run was aborted
+    /// (a worker panicked, died, or a finiteness check failed). Always
+    /// zero for a successful run; nonzero only in aggregated stats that
+    /// absorbed an aborted sub-run.
+    pub aborts: u64,
+    /// Workers revived by the pool at this run's submission — dead
+    /// workers respawned after an injected thread death, or previously
+    /// failed spawns that succeeded this time. (Approximate when several
+    /// runners share one pool concurrently.)
+    pub workers_recovered: u64,
     /// Wall time spent in the FIR map stage, summed across workers
     /// (nanoseconds; zero for pure-feedback signatures).
     pub fir_nanos: u64,
@@ -69,6 +80,8 @@ impl RunStats {
         self.lookback_hops += other.lookback_hops;
         self.spin_waits += other.spin_waits;
         self.max_lookback_depth = self.max_lookback_depth.max(other.max_lookback_depth);
+        self.aborts += other.aborts;
+        self.workers_recovered += other.workers_recovered;
         self.fir_nanos += other.fir_nanos;
         self.solve_nanos += other.solve_nanos;
         self.lookback_nanos += other.lookback_nanos;
@@ -124,6 +137,8 @@ mod tests {
             max_lookback_depth: 2,
             solve_nanos: 5,
             fir_nanos: 1,
+            aborts: 2,
+            workers_recovered: 1,
             ..RunStats::default()
         };
         a.absorb(&b);
@@ -133,5 +148,7 @@ mod tests {
         assert_eq!(a.max_lookback_depth, 3);
         assert_eq!(a.solve_nanos, 10);
         assert_eq!(a.fir_nanos, 1);
+        assert_eq!(a.aborts, 2);
+        assert_eq!(a.workers_recovered, 1);
     }
 }

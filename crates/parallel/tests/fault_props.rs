@@ -1,0 +1,382 @@
+//! Fault-injection property tests (require `--features fault-inject`).
+//!
+//! Every test injects a fault into some stage of the parallel pipeline
+//! and asserts the three recovery guarantees of the execution layer:
+//!
+//! 1. the run returns `EngineError::WorkerPanicked` — it never hangs
+//!    (every faulted run is bounded by a watchdog timeout);
+//! 2. the same pool instance survives and a fault-free rerun completes;
+//! 3. the rerun's output still validates against the serial reference.
+#![cfg(feature = "fault-inject")]
+
+use plr_core::error::EngineError;
+use plr_core::serial;
+use plr_core::signature::Signature;
+use plr_parallel::fault::{self, FaultKind, FaultPlan, FaultSite};
+use plr_parallel::{BatchRunner, ParallelRunner, RunnerConfig, Strategy as RunStrategy};
+use proptest::prelude::*;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// The fault plan is process-global: tests must not interleave arming.
+/// Recovering from poisoning matters here — a failed assertion under the
+/// lock must not cascade into every later test.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Silences the default panic-hook output for panics this suite injects
+/// on purpose; everything else still prints.
+fn quiet_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let s = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("");
+            if !s.contains("injected fault") && !payload.is::<plr_parallel::pool::WorkerExit>() {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` on a helper thread, panicking if it does not finish within
+/// `secs` — the bound that turns "the pipeline hangs" into a test
+/// failure instead of a stuck CI job.
+fn watchdog<R: Send + 'static>(secs: u64, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(r) => {
+            let _ = worker.join();
+            r
+        }
+        Err(_) => panic!("watchdog: faulted run did not return within {secs}s (hang)"),
+    }
+}
+
+const N: usize = 16_384;
+const CHUNK: usize = 256;
+const NUM_CHUNKS: usize = N / CHUNK;
+const THREADS: usize = 4;
+
+fn input(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i * 29) % 19) as i64 - 9).collect()
+}
+
+/// Arms `plan`, runs the runner under a watchdog, and asserts the
+/// fault → `WorkerPanicked` → recovery → revalidation contract.
+fn assert_fault_contract(
+    sig: Signature<i64>,
+    config: RunnerConfig,
+    plan: FaultPlan,
+) -> Result<(), TestCaseError> {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let runner = ParallelRunner::with_config(sig.clone(), config).unwrap();
+    let data = input(N);
+    let expect = serial::run(&sig, &data);
+
+    // Warm the pool first so the fault hits resident, parked workers —
+    // the steady state a service would be in.
+    let warm = runner.run(&data).unwrap();
+    prop_assert_eq!(&warm, &expect, "fault-free warm-up must validate");
+
+    fault::arm(plan.clone());
+    let (runner, faulted) = watchdog(60, move || {
+        let r = runner.run(&data);
+        (runner, r)
+    });
+    let fired = !fault::is_armed();
+    fault::disarm();
+    prop_assert!(fired, "plan never fired: {plan:?}");
+    match faulted {
+        Err(EngineError::WorkerPanicked { .. }) => {}
+        other => {
+            return Err(TestCaseError::fail(format!(
+                "expected WorkerPanicked, got {other:?} for plan {plan:?}"
+            )))
+        }
+    }
+
+    // The same pool instance must complete a fault-free rerun correctly.
+    let data = input(N);
+    let (stats, got) = watchdog(60, move || {
+        let mut data2 = data;
+        let stats = runner.run_in_place(&mut data2);
+        (stats, data2)
+    });
+    let stats = stats.expect("fault-free rerun must succeed");
+    prop_assert_eq!(&got, &expect, "rerun after fault must validate");
+    prop_assert_eq!(
+        stats.threads,
+        THREADS as u64,
+        "pool width must be healed after the fault (recovered {})",
+        stats.workers_recovered
+    );
+    prop_assert_eq!(stats.aborts, 0, "fault-free rerun must not abort");
+    Ok(())
+}
+
+/// Integer signatures of order 1–4 with a 1–2 tap FIR part.
+fn signature() -> impl Strategy<Value = Signature<i64>> {
+    let nonzero = prop_oneof![-2i64..=-1, 1i64..=2];
+    (
+        proptest::collection::vec(-2i64..=2, 0..2),
+        nonzero.clone(),
+        proptest::collection::vec(-2i64..=2, 0..4),
+        nonzero,
+    )
+        .prop_map(|(mut ff, ff_last, mut fb, fb_last)| {
+            ff.push(ff_last);
+            fb.push(fb_last);
+            Signature::new(ff, fb).expect("nonzero trailing coefficients")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (signature, strategy, site, chunk, kind) combination obeys the
+    /// fault → error → recovery contract.
+    #[test]
+    fn injected_faults_error_and_recover(
+        sig in signature(),
+        two_pass in proptest::bool::ANY,
+        lookback_site in proptest::bool::ANY,
+        position in 0usize..3,
+        exit_worker in proptest::bool::ANY,
+    ) {
+        let strategy = if two_pass { RunStrategy::TwoPass } else { RunStrategy::LookbackPipeline };
+        let site = if lookback_site { FaultSite::Lookback } else { FaultSite::Solve };
+        // First / middle / last chunk — except the look-back site, which
+        // chunk 0 never consults (it has no predecessor).
+        let chunk = match position {
+            0 if site == FaultSite::Solve => 0,
+            0 => 1,
+            1 => NUM_CHUNKS / 2,
+            _ => NUM_CHUNKS - 1,
+        };
+        let plan = if exit_worker {
+            FaultPlan::exit_at_chunk(site, chunk)
+        } else {
+            FaultPlan::panic_at_chunk(site, chunk)
+        };
+        let config = RunnerConfig {
+            chunk_size: CHUNK,
+            threads: THREADS,
+            strategy,
+            ..Default::default()
+        };
+        assert_fault_contract(sig, config, plan)?;
+    }
+
+    /// Call-count targeting (the K-th consultation) also errors and
+    /// recovers — the "call K" axis of the plan.
+    #[test]
+    fn kth_call_faults_error_and_recover(
+        sig in signature(),
+        k in 1u64..40,
+        two_pass in proptest::bool::ANY,
+    ) {
+        let strategy = if two_pass { RunStrategy::TwoPass } else { RunStrategy::LookbackPipeline };
+        let config = RunnerConfig {
+            chunk_size: CHUNK,
+            threads: THREADS,
+            strategy,
+            ..Default::default()
+        };
+        assert_fault_contract(sig, config, FaultPlan::panic_at_call(FaultSite::Solve, k))?;
+    }
+}
+
+/// Worker 0 (the calling thread) is just another worker: a fault pinned
+/// to it must come back as `WorkerPanicked { worker: 0 }` on a width-1
+/// pool, where the caller is provably the one consulting.
+#[test]
+fn worker_zero_fault_is_an_error_not_an_unwind() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let runner = ParallelRunner::with_config(
+        sig,
+        RunnerConfig {
+            chunk_size: CHUNK,
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let data = input(N);
+    fault::arm(FaultPlan::panic_at_worker(FaultSite::Solve, 0));
+    let (runner, result) = watchdog(60, move || {
+        let r = runner.run(&data);
+        (runner, r)
+    });
+    fault::disarm();
+    match result {
+        Err(EngineError::WorkerPanicked { worker, payload }) => {
+            assert_eq!(worker, 0);
+            assert!(payload.contains("injected fault"), "{payload}");
+        }
+        other => panic!("expected WorkerPanicked from worker 0, got {other:?}"),
+    }
+    assert!(runner.run(&input(100)).is_ok());
+}
+
+/// A simulated thread death mid-pipeline is healed by the next
+/// submission: the pool respawns the dead worker and reports it.
+#[test]
+fn dead_worker_is_respawned_and_reported() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:1".parse().unwrap();
+    let runner = ParallelRunner::with_config(
+        sig.clone(),
+        RunnerConfig {
+            chunk_size: CHUNK,
+            threads: THREADS,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let data = input(N);
+    // Warm up, then kill whichever worker claims a middle chunk.
+    runner.run(&data).unwrap();
+    fault::arm(FaultPlan::exit_at_chunk(FaultSite::Solve, NUM_CHUNKS / 2));
+    let (runner, result) = watchdog(60, move || {
+        let r = runner.run(&data);
+        (runner, r)
+    });
+    fault::disarm();
+    assert!(
+        matches!(result, Err(EngineError::WorkerPanicked { .. })),
+        "{result:?}"
+    );
+    let mut data = input(N);
+    let stats = runner.run_in_place(&mut data).unwrap();
+    assert_eq!(data, serial::run(&sig, &input(N)));
+    // Whether the victim was a spawned worker (now respawned) or the
+    // caller (nothing to respawn), the effective width is back to full.
+    assert_eq!(stats.threads, THREADS as u64);
+    assert!(stats.workers_recovered <= 1);
+}
+
+/// Delay injection stalls chunk 0's solve so every other worker lands in
+/// the look-back spin path; the run must still complete and validate.
+#[test]
+fn delay_injection_covers_the_spin_path() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let runner = ParallelRunner::with_config(
+        sig.clone(),
+        RunnerConfig {
+            chunk_size: CHUNK,
+            threads: THREADS,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Solve,
+        0,
+        Duration::from_millis(50),
+    ));
+    let data = input(N);
+    let (stats, got) = watchdog(60, move || {
+        let mut d = data;
+        let stats = runner.run_in_place(&mut d).unwrap();
+        (stats, d)
+    });
+    assert!(!fault::is_armed(), "delay plan must have fired");
+    assert_eq!(got, serial::run(&sig, &input(N)));
+    assert_eq!(stats.aborts, 0, "a delay is a stall, not a failure");
+}
+
+/// The batch executor's whole-rows path obeys the same contract.
+#[test]
+fn batch_row_fault_errors_and_recovers() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let batch = BatchRunner::new(sig.clone(), THREADS);
+    let width = 512;
+    let rows = 64;
+    let data: Vec<i64> = input(width * rows);
+    let reference: Vec<i64> = data
+        .chunks(width)
+        .flat_map(|row| serial::run(&sig, row))
+        .collect();
+    let mut batch = batch;
+    for kind in [FaultKind::Panic, FaultKind::ExitWorker] {
+        // Warm the pool so the fault hits resident, parked workers.
+        let mut warm = data.clone();
+        batch.run_rows(&mut warm, width).unwrap();
+        assert_eq!(warm, reference);
+
+        fault::arm(FaultPlan {
+            site: FaultSite::Solve,
+            worker: None,
+            chunk: Some(rows / 2),
+            nth_call: None,
+            kind,
+        });
+        let (returned, result) = {
+            let b = batch;
+            let mut d = data.clone();
+            watchdog(60, move || {
+                let r = b.run_rows(&mut d, width);
+                (b, r)
+            })
+        };
+        batch = returned;
+        fault::disarm();
+        assert!(
+            matches!(result, Err(EngineError::WorkerPanicked { .. })),
+            "{result:?}"
+        );
+
+        // The same batch runner (same pool) must rerun cleanly.
+        let mut d = data.clone();
+        let stats = batch.run_rows(&mut d, width).unwrap();
+        assert_eq!(d, reference, "batch rerun after fault must validate");
+        assert_eq!(stats.threads, THREADS as u64);
+    }
+}
+
+/// With the feature compiled in but no plan armed, the instrumented
+/// sites are inert: results match the serial reference exactly.
+#[test]
+fn unarmed_harness_is_inert() {
+    let _serial = serialize();
+    fault::disarm();
+    let sig: Signature<i64> = "1,1:3,-3,1".parse().unwrap();
+    for strategy in [RunStrategy::LookbackPipeline, RunStrategy::TwoPass] {
+        let runner = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig {
+                chunk_size: CHUNK,
+                threads: THREADS,
+                strategy,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let data = input(N);
+        assert_eq!(
+            runner.run(&data).unwrap(),
+            serial::run(&sig, &data),
+            "{strategy:?}"
+        );
+    }
+}

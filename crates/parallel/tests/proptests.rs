@@ -37,7 +37,7 @@ proptest! {
     ) {
         let strategy =
             if two_pass { RunStrategy::TwoPass } else { RunStrategy::LookbackPipeline };
-        let config = RunnerConfig { chunk_size: 1 << chunk_pow, threads, strategy };
+        let config = RunnerConfig { chunk_size: 1 << chunk_pow, threads, strategy, ..Default::default() };
         let runner = ParallelRunner::with_config(sig.clone(), config).unwrap();
         let got = runner.run(&input).unwrap();
         let expect = serial::run(&sig, &input);
@@ -50,7 +50,7 @@ proptest! {
         threads in 1usize..9,
     ) {
         let sig: Signature<i64> = "1:2,-1".parse().unwrap();
-        let config = RunnerConfig { chunk_size: 64, threads, strategy: RunStrategy::default() };
+        let config = RunnerConfig { chunk_size: 64, threads, strategy: RunStrategy::default(), ..Default::default() };
         let runner = ParallelRunner::with_config(sig, config).unwrap();
         let mut data = input;
         let stats = runner.run_in_place(&mut data).unwrap();

@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chunk_size: 1 << 15,
             threads: 0,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )?;
     let start = Instant::now();
@@ -89,6 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chunk_size: 1 << 15,
             threads: 0,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )?;
     let centered = runner.run(&smoothed)?;

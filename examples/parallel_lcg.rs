@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chunk_size: 1 << 16,
             threads: 0,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )?;
 

@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chunk_size: 1 << 14,
             threads: 0,
             strategy: Strategy::TwoPass,
+            ..Default::default()
         },
     )?;
     let envelope = runner.run(&signal)?;

@@ -26,6 +26,7 @@ fn compact(data: &[u32], keep: impl Fn(u32) -> bool + Sync) -> Vec<u32> {
             chunk_size: 1 << 16,
             threads: 0,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )
     .expect("valid config");

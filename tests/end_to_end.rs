@@ -50,6 +50,7 @@ fn check_catalog_entry<T: Element>(sig: &Signature<T>, tol: f64) {
             chunk_size: 2048,
             threads: 4,
             strategy: Strategy::default(),
+            ..Default::default()
         },
     )
     .unwrap();

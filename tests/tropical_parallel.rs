@@ -35,6 +35,7 @@ fn parallel_runtime_computes_tropical_recurrences() {
                 chunk_size: 1024,
                 threads: 4,
                 strategy,
+                ..Default::default()
             },
         )
         .unwrap();
