@@ -4,7 +4,9 @@
 //! the pool existed. The interesting number is the repeated-call mean —
 //! warm parked workers vs per-call `std::thread::scope` — plus a
 //! single-shot large-input group confirming the pool costs nothing when
-//! spawn overhead amortizes anyway.
+//! spawn overhead amortizes anyway. `PLR_BENCH_QUICK=1` shrinks the sweep
+//! to one small size with few samples and skips the 8M single-shot group —
+//! the CI smoke mode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use plr_core::element::Element;
@@ -176,12 +178,14 @@ fn bench_repeated_runs(c: &mut Criterion) {
         "seed-style baseline disagrees with the serial reference"
     );
 
-    for pow in [16usize, 18, 20] {
+    let quick = std::env::var("PLR_BENCH_QUICK").is_ok();
+    let pows: &[usize] = if quick { &[16] } else { &[16, 18, 20] };
+    for &pow in pows {
         let n = 1usize << pow;
         let mut buf = int_input(n);
         let mut g = c.benchmark_group(format!("pool_repeated_{}k", n >> 10));
         g.throughput(Throughput::Elements(n as u64));
-        g.sample_size(30);
+        g.sample_size(if quick { 10 } else { 30 });
         g.bench_function(BenchmarkId::new("pooled", threads), |b| {
             b.iter(|| runner.run_in_place(black_box(&mut buf)).unwrap());
         });
@@ -195,6 +199,12 @@ fn bench_repeated_runs(c: &mut Criterion) {
 
 fn bench_single_shot_large(c: &mut Criterion) {
     // At 8M elements the spawn cost amortizes; the pool must not be slower.
+    // The quick smoke skips this group outright — on a CI runner the 8M
+    // input dominates wall time without exercising anything the repeated
+    // group doesn't.
+    if std::env::var("PLR_BENCH_QUICK").is_ok() {
+        return;
+    }
     let sig: Signature<i64> = "2:1".parse().unwrap();
     let threads = resolve_threads(0);
     let m = 1 << 16;

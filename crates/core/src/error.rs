@@ -136,6 +136,23 @@ pub enum EngineError {
         /// concurrent execution, not necessarily the lowest such index).
         chunk: usize,
     },
+    /// The run was aborted through a caller-held cancellation token.
+    ///
+    /// Cancellation reuses the same cooperative bail-out paths a worker
+    /// panic does: every ticket loop and carry spin-wait polls the run's
+    /// abort flag and stops promptly, the output buffer is left partially
+    /// processed, and the pool stays reusable for the next call.
+    Cancelled,
+    /// The run exceeded its configured wall-clock deadline.
+    ///
+    /// The worker pool's watchdog converts a run that outlives its budget
+    /// — a wedged stage, an OS-starved worker, a hung spin-wait — into
+    /// this error instead of a hang, via the same cooperative abort
+    /// plumbing cancellation uses.
+    DeadlineExceeded {
+        /// The wall-clock budget that was exceeded.
+        deadline: core::time::Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -158,6 +175,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::NonFiniteCarry { chunk } => {
                 write!(f, "non-finite carry produced by chunk {chunk}")
+            }
+            EngineError::Cancelled => {
+                write!(f, "run cancelled by the caller")
+            }
+            EngineError::DeadlineExceeded { deadline } => {
+                write!(f, "run exceeded its deadline of {deadline:?}")
             }
         }
     }
@@ -213,6 +236,13 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = EngineError::NonFiniteCarry { chunk: 7 };
         assert!(e.to_string().contains("chunk 7"));
+        let e = EngineError::Cancelled;
+        assert!(e.to_string().contains("cancelled"));
+        let e = EngineError::DeadlineExceeded {
+            deadline: core::time::Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("deadline"), "{e}");
+        assert!(e.to_string().contains("250"), "{e}");
     }
 
     #[test]

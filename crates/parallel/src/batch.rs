@@ -12,13 +12,17 @@
 //! survive across `run_rows` calls and are only rebuilt when the row
 //! geometry changes the chunk size).
 
-use crate::pool::{lock_recover, resolve_threads, SendPtr, Tickets, WorkerPanic, WorkerPool};
+use crate::pool::{
+    lock_recover, resolve_threads, CancelToken, RunControl, RunError, SendPtr, Tickets,
+    WorkerPanic, WorkerPool,
+};
 use crate::runner::{fir_in_place, ParallelRunner, RunnerConfig};
 use crate::stats::RunStats;
 use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
 use plr_core::signature::Signature;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -82,6 +86,36 @@ impl<T: Element> BatchRunner<T> {
     /// thread) panicked mid-run — the pool survives and the batch runner
     /// stays usable, but `data` is left partially processed.
     pub fn run_rows(&self, data: &mut [T], width: usize) -> Result<RunStats, EngineError> {
+        self.run_rows_ctl(data, width, None)
+    }
+
+    /// Like [`BatchRunner::run_rows`], but observing a caller-held
+    /// [`CancelToken`]: cancelling any clone aborts the batch — mid-row
+    /// through the same cooperative bail-out paths a worker panic uses,
+    /// and between rows on the long-rows path — and the call returns
+    /// [`EngineError::Cancelled`]. Already-completed rows keep their
+    /// results; the rest of `data` is left partially processed. The
+    /// runner and its pool stay usable.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cancelled`] on cancellation, plus everything
+    /// [`BatchRunner::run_rows`] can return.
+    pub fn run_rows_with_cancel(
+        &self,
+        data: &mut [T],
+        width: usize,
+        cancel: &CancelToken,
+    ) -> Result<RunStats, EngineError> {
+        self.run_rows_ctl(data, width, Some(cancel))
+    }
+
+    fn run_rows_ctl(
+        &self,
+        data: &mut [T],
+        width: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunStats, EngineError> {
         if width == 0 || !data.len().is_multiple_of(width) {
             return Err(EngineError::UnsupportedSignature {
                 reason: format!(
@@ -94,11 +128,11 @@ impl<T: Element> BatchRunner<T> {
         let threads = self.threads().max(1);
 
         if rows >= threads || rows == 0 {
-            self.run_whole_rows(data, width, rows)
+            self.run_whole_rows(data, width, rows, cancel)
         } else {
             // Few long rows: parallelize inside each row instead, through
             // the cached intra-row runner (correction table reused).
-            self.run_long_rows(data, width, threads)
+            self.run_long_rows(data, width, threads, cancel)
         }
     }
 
@@ -110,8 +144,13 @@ impl<T: Element> BatchRunner<T> {
         data: &mut [T],
         width: usize,
         rows: usize,
+        cancel: Option<&CancelToken>,
     ) -> Result<RunStats, EngineError> {
         let pool = self.pool();
+        let mut ctl = RunControl::new();
+        if let Some(token) = cancel {
+            ctl = ctl.with_cancel(token);
+        }
         let pure = self.signature.is_pure_feedback();
         let solve = &self.solve;
         let fir = &self.fir;
@@ -121,7 +160,7 @@ impl<T: Element> BatchRunner<T> {
         let recovered_before = pool.recovered_workers();
         let tickets = Tickets::new(rows);
         let base = SendPtr::new(data.as_mut_ptr());
-        pool.run(|_worker, abort| {
+        pool.run_ctl(&ctl, |_worker, abort| {
             let (mut fir_ns, mut solve_ns) = (0u64, 0u64);
             while let Some(r) = tickets.claim() {
                 if abort.is_aborted() {
@@ -138,7 +177,7 @@ impl<T: Element> BatchRunner<T> {
                     fir_ns += start.elapsed().as_nanos() as u64;
                 }
                 #[cfg(feature = "fault-inject")]
-                crate::fault::check(crate::fault::FaultSite::Solve, _worker, r);
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, r, Some(abort));
                 let start = Instant::now();
                 solve.solve_in_place(row);
                 solve_ns += start.elapsed().as_nanos() as u64;
@@ -146,7 +185,7 @@ impl<T: Element> BatchRunner<T> {
             fir_nanos.fetch_add(fir_ns, Ordering::Relaxed);
             solve_nanos.fetch_add(solve_ns, Ordering::Relaxed);
         })
-        .map_err(WorkerPanic::into_engine_error)?;
+        .map_err(RunError::into_engine_error)?;
         Ok(RunStats {
             chunks: rows as u64,
             threads: pool.width() as u64,
@@ -165,6 +204,7 @@ impl<T: Element> BatchRunner<T> {
         data: &mut [T],
         width: usize,
         threads: usize,
+        cancel: Option<&CancelToken>,
     ) -> Result<RunStats, EngineError> {
         let chunk_size = (width / (threads * 4)).max(self.signature.order()).max(64);
         let mut cache = lock_recover(&self.inner);
@@ -191,8 +231,31 @@ impl<T: Element> BatchRunner<T> {
             threads: threads as u64,
             ..RunStats::default()
         };
-        for row in data.chunks_mut(width) {
-            stats.absorb(&runner.run_in_place(row)?);
+        // The row index feeds the fault harness's `Row` site; without the
+        // feature it is intentionally unused.
+        #[cfg_attr(not(feature = "fault-inject"), allow(clippy::unused_enumerate_index))]
+        for (_r, row) in data.chunks_mut(width).enumerate() {
+            // Rows run sequentially on this thread, so the inner runner's
+            // mid-run cancellation only covers the row in flight; check
+            // between rows too so a cancelled batch stops promptly.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(EngineError::Cancelled);
+            }
+            // The per-row dispatch happens on the calling thread, outside
+            // any `pool.run`; guard it so an injected fault here still
+            // honors the panics-become-errors contract (mirrors the
+            // two-pass sequential chain).
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Row, 0, _r, None);
+                runner.execute(row, cancel)
+            }));
+            match outcome {
+                Ok(row_stats) => stats.absorb(&row_stats?),
+                Err(payload) => {
+                    return Err(WorkerPanic::from_payload(0, payload.as_ref()).into_engine_error())
+                }
+            }
         }
         Ok(stats)
     }
@@ -306,5 +369,45 @@ mod tests {
         let stats = BatchRunner::new(sig, 2).run_rows(&mut data, 4).unwrap();
         assert_eq!(stats.chunks, 0);
         assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn pre_cancelled_token_rejects_both_row_paths() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let runner = BatchRunner::new(sig.clone(), 2);
+        let token = CancelToken::new();
+        token.cancel();
+        // Many short rows (whole-rows path).
+        let mut many: Vec<i64> = (0..64 * 8).map(|i| (i % 5) as i64).collect();
+        match runner.run_rows_with_cancel(&mut many, 64, &token) {
+            Err(EngineError::Cancelled) => {}
+            other => panic!("whole-rows path: expected Cancelled, got {other:?}"),
+        }
+        // One long row (long-rows path).
+        let mut long: Vec<i64> = (0..50_000).map(|i| (i % 5) as i64).collect();
+        match runner.run_rows_with_cancel(&mut long, 50_000, &token) {
+            Err(EngineError::Cancelled) => {}
+            other => panic!("long-rows path: expected Cancelled, got {other:?}"),
+        }
+        // A fresh token on the same runner still validates.
+        let data: Vec<i64> = (0..64 * 8).map(|i| (i % 5) as i64).collect();
+        let mut got = data.clone();
+        runner
+            .run_rows_with_cancel(&mut got, 64, &CancelToken::new())
+            .unwrap();
+        assert_eq!(got, reference(&sig, &data, 64));
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_run_rows() {
+        let sig: Signature<f64> = "0.2:0.8".parse().unwrap();
+        let runner = BatchRunner::new(sig.clone(), 4);
+        let width = 96;
+        let data: Vec<f64> = (0..width * 20).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let mut got = data.clone();
+        runner
+            .run_rows_with_cancel(&mut got, width, &CancelToken::new())
+            .unwrap();
+        validate(&reference(&sig, &data, width), &got, 1e-9).unwrap();
     }
 }

@@ -18,9 +18,9 @@
 //!
 //! [`EngineError::WorkerPanicked`]: plr_core::error::EngineError::WorkerPanicked
 
-use crate::pool::{lock_recover, WorkerExit};
+use crate::pool::{lock_recover, AbortSignal, WorkerExit};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which instrumented pipeline stage a plan targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,20 @@ pub enum FaultSite {
     /// strategy's variable look-back, or the two-pass strategy's
     /// sequential carry chain (consulted with worker id 0 there).
     Lookback,
+    /// At the start of [`RunHandle::wait`] / [`RunHandle::wait_timeout`]
+    /// — the *observer* side of a non-blocking submission (consulted with
+    /// worker id 0, chunk 0, no abort signal: a stalled waiter must not
+    /// be rescued by the run's own cancellation).
+    ///
+    /// [`RunHandle::wait`]: crate::RunHandle::wait
+    /// [`RunHandle::wait_timeout`]: crate::RunHandle::wait_timeout
+    HandleWait,
+    /// At the top of each per-row dispatch in
+    /// [`BatchRunner::run_rows`]'s long-rows path (the cached intra-row
+    /// runner; consulted with worker id 0 and the row index as `chunk`).
+    ///
+    /// [`BatchRunner::run_rows`]: crate::BatchRunner::run_rows
+    Row,
 }
 
 /// What happens when a plan fires.
@@ -46,8 +60,14 @@ pub enum FaultKind {
     /// it on the next submission.
     ExitWorker,
     /// Sleep instead of failing — stalls one pipeline stage so tests can
-    /// drive successors into their spin-wait paths without killing the
-    /// run.
+    /// drive successors into their spin-wait paths, or wedge a run long
+    /// enough for cancellation/deadline machinery to fire.
+    ///
+    /// The sleep is abort-aware: when the instrumented site passes the
+    /// run's [`AbortSignal`] to [`check`], the stall ends early (within a
+    /// few milliseconds) once the run is aborted — so a delay-wedged
+    /// worker still honors the pool's quiesce-before-return invariant
+    /// instead of pinning the run for the full planned duration.
     Delay(Duration),
 }
 
@@ -150,11 +170,16 @@ pub fn is_armed() -> bool {
 /// Consulted by the instrumented sites; fires (and disarms) the armed
 /// plan when every filter matches, otherwise returns immediately.
 ///
+/// `abort` is the consulting run's abort signal, when the site has one:
+/// a firing [`FaultKind::Delay`] polls it so an injected stall ends
+/// early once the run is cancelled, deadline-tripped, or panicking
+/// elsewhere. Pass `None` at sites outside any run (e.g. handle waits).
+///
 /// # Panics
 ///
 /// On purpose, when a [`FaultKind::Panic`] or [`FaultKind::ExitWorker`]
 /// plan fires — that is the injected fault.
-pub fn check(site: FaultSite, worker: usize, chunk: usize) {
+pub fn check(site: FaultSite, worker: usize, chunk: usize, abort: Option<&AbortSignal>) {
     let kind = {
         let mut guard = lock_recover(&PLAN);
         let Some(armed) = guard.as_mut() else { return };
@@ -184,7 +209,22 @@ pub fn check(site: FaultSite, worker: usize, chunk: usize) {
             panic!("injected fault at {site:?} (worker {worker}, chunk {chunk})")
         }
         FaultKind::ExitWorker => std::panic::panic_any(WorkerExit),
-        FaultKind::Delay(d) => std::thread::sleep(d),
+        FaultKind::Delay(d) => {
+            // Sleep in short slices so an aborted run reclaims the wedged
+            // worker promptly (see `FaultKind::Delay`).
+            const SLICE: Duration = Duration::from_millis(2);
+            let until = Instant::now() + d;
+            loop {
+                if abort.is_some_and(AbortSignal::is_aborted) {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= until {
+                    return;
+                }
+                std::thread::sleep(SLICE.min(until - now));
+            }
+        }
     }
 }
 
@@ -216,15 +256,15 @@ mod tests {
             chunk: Some(5),
             ..delay_plan(FaultSite::Solve)
         });
-        check(FaultSite::Lookback, 2, 5); // wrong site
+        check(FaultSite::Lookback, 2, 5, None); // wrong site
         assert!(is_armed());
-        check(FaultSite::Solve, 1, 5); // wrong worker
+        check(FaultSite::Solve, 1, 5, None); // wrong worker
         assert!(is_armed());
-        check(FaultSite::Solve, 2, 4); // wrong chunk
+        check(FaultSite::Solve, 2, 4, None); // wrong chunk
         assert!(is_armed());
-        check(FaultSite::Solve, 2, 5); // fires
+        check(FaultSite::Solve, 2, 5, None); // fires
         assert!(!is_armed());
-        check(FaultSite::Solve, 2, 5); // inert after firing
+        check(FaultSite::Solve, 2, 5, None); // inert after firing
         disarm();
     }
 
@@ -237,13 +277,30 @@ mod tests {
             ..delay_plan(FaultSite::Lookback)
         });
         for _ in 0..10 {
-            check(FaultSite::Lookback, 0, 0); // filtered out, not counted
+            check(FaultSite::Lookback, 0, 0, None); // filtered out, not counted
         }
         assert!(is_armed());
-        check(FaultSite::Lookback, 1, 0);
-        check(FaultSite::Lookback, 1, 1);
+        check(FaultSite::Lookback, 1, 0, None);
+        check(FaultSite::Lookback, 1, 1, None);
         assert!(is_armed(), "two matching calls must not fire a k=3 plan");
-        check(FaultSite::Lookback, 1, 2);
+        check(FaultSite::Lookback, 1, 2, None);
+        assert!(!is_armed());
+        disarm();
+    }
+
+    #[test]
+    fn delay_bails_out_when_the_run_is_already_aborted() {
+        let _serial = lock_recover(&SERIAL);
+        arm(FaultPlan {
+            kind: FaultKind::Delay(Duration::from_secs(120)),
+            ..delay_plan(FaultSite::Solve)
+        });
+        let abort = AbortSignal::default();
+        abort.trigger();
+        let start = Instant::now();
+        check(FaultSite::Solve, 0, 0, Some(&abort));
+        // A two-minute stall on an aborted run must return in one slice.
+        assert!(start.elapsed() < Duration::from_secs(10));
         assert!(!is_armed());
         disarm();
     }

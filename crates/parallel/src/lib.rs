@@ -44,7 +44,7 @@
 //! Per-phase wall times (FIR map, local solve, look-back, correction) are
 //! accumulated per worker and reported through [`RunStats`].
 //!
-//! ## Failure model
+//! ## Failure & cancellation model
 //!
 //! The execution layer fails by returning errors, never by hanging or by
 //! unwinding across the pool's lifetime-erasure boundary:
@@ -55,17 +55,43 @@
 //!   loop and carry spin-wait bails out at its next poll, and
 //!   `run`/`run_in_place`/`run_rows` return
 //!   [`EngineError::WorkerPanicked`](plr_core::error::EngineError::WorkerPanicked).
+//! - **Runs are cancellable from outside.** A caller-held, cloneable
+//!   [`CancelToken`] aborts in-flight runs through the same cooperative
+//!   bail-out paths ([`ParallelRunner::run_with_cancel`],
+//!   [`BatchRunner::run_rows_with_cancel`], or any [`RunControl`] at the
+//!   pool layer); the call returns
+//!   [`EngineError::Cancelled`](plr_core::error::EngineError::Cancelled).
+//! - **Runs are deadline-bounded.** [`RunnerConfig::deadline`] arms a
+//!   watchdog thread *inside the pool* that converts a run outliving its
+//!   wall-clock budget — a wedged stage, an OS-starved worker, a hung
+//!   spin-wait — into
+//!   [`EngineError::DeadlineExceeded`](plr_core::error::EngineError::DeadlineExceeded)
+//!   instead of a hang.
+//! - **Submission can be non-blocking.** [`WorkerPool::submit`] hands the
+//!   job to a donated driver thread (standing in for the caller's
+//!   worker-0 role) and returns a [`RunHandle`] whose completion is
+//!   signalled — poll it, wait with a timeout, or register a waker.
+//!   Dropping an unfinished handle cancels the run and blocks until it
+//!   quiesces.
 //! - **The pool survives.** Worker threads outlive job panics; a worker
 //!   that genuinely dies is respawned lazily at the next submission, and
 //!   threads that failed to spawn in the first place are retried there
-//!   too ([`RunStats::threads`] reports the effective width).
+//!   too ([`RunStats::threads`] reports the effective width). Panic,
+//!   cancel, and deadline outcomes are tallied in
+//!   [`PoolCounters`](stats::PoolCounters).
 //! - **Opt-in value validation.** [`RunnerConfig::check_finite`] aborts
 //!   float runs whose carries go NaN/Inf instead of propagating garbage
 //!   through the look-back chain.
 //! - **Deterministic fault injection.** The `fault-inject` cargo feature
 //!   compiles a process-global [`fault::FaultPlan`] harness that can kill
-//!   any pipeline stage (by chunk, worker, or call count) to test all of
-//!   the above; its consult sites are inert unless a plan is armed.
+//!   or stall any pipeline stage (by chunk, worker, or call count) — plus
+//!   batch-row dispatch and handle waits — to test all of the above; its
+//!   consult sites are inert unless a plan is armed.
+//!
+//! When several causes coincide, a recorded panic always wins; otherwise
+//! the first-tripped abort reason decides between cancelled and
+//! deadline-exceeded (see `pool`'s module docs for the full precedence
+//! rules).
 //!
 //! ```
 //! use plr_parallel::{ParallelRunner, RunnerConfig};
@@ -93,6 +119,9 @@ pub mod runner;
 pub mod stats;
 
 pub use batch::BatchRunner;
-pub use pool::{resolve_threads, AbortSignal, WorkerPanic, WorkerPool};
+pub use pool::{
+    resolve_threads, AbortReason, AbortSignal, CancelToken, RunControl, RunError, RunHandle,
+    WorkerPanic, WorkerPool,
+};
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
-pub use stats::RunStats;
+pub use stats::{PoolCounters, RunStats};

@@ -23,6 +23,33 @@
 //!   in-order claiming the decoupled look-back progress argument needs
 //!   (a chunk is only claimed after every earlier chunk has been claimed).
 //!
+//! # Run control: cancellation, deadlines, non-blocking submission
+//!
+//! [`WorkerPool::run_ctl`] extends `run` with a [`RunControl`]:
+//!
+//! - a caller-held [`CancelToken`] aborts the run from outside — the
+//!   token trips the run's [`AbortSignal`] directly, so every cooperative
+//!   loop bails at its next poll and the run returns
+//!   [`RunError::Cancelled`];
+//! - a wall-clock deadline is enforced by a lazily-spawned watchdog
+//!   thread *inside the pool*: when the budget expires mid-run, the
+//!   watchdog trips the abort signal and the run returns
+//!   [`RunError::DeadlineExceeded`] instead of hanging on a wedged stage
+//!   or an OS-starved worker.
+//!
+//! [`WorkerPool::submit`] is the non-blocking variant: the job (which
+//! must be `'static`) is handed to a lazily-spawned *driver* thread that
+//! plays the caller's worker-0 role — a donated worker standing in for
+//! the caller-participates design — and the caller gets a [`RunHandle`]
+//! whose completion is signalled (condvar + [`RunHandle::is_finished`] /
+//! [`RunHandle::wait_timeout`], plus an optional waker callback for
+//! async executors) instead of joined.
+//!
+//! **Handle-drop invariant.** Dropping a [`RunHandle`] before completion
+//! cancels the run and *blocks until its workers quiesce* — the same
+//! lifetime-erasure discipline as the caller-panic path below: a run must
+//! never be left executing with nobody obligated to wait for it.
+//!
 //! # Failure model
 //!
 //! Every job invocation — on the spawned workers *and* on the calling
@@ -34,6 +61,14 @@
 //! [`WorkerExit`] sentinel payload (used by fault injection to simulate
 //! thread death), after which the dead worker is respawned lazily on the
 //! next submission. The pool stays fully reusable after any failure.
+//!
+//! **Precedence.** When several abort causes coincide, a recorded panic
+//! always wins (it is the root-cause evidence); otherwise the *first*
+//! tripped reason decides between [`RunError::Cancelled`] and
+//! [`RunError::DeadlineExceeded`] — [`AbortSignal`] records only the
+//! first reason. A job-level abort (e.g. the runner's finiteness check)
+//! trips the generic [`AbortReason::WorkerFault`], which the pool does
+//! *not* convert into an error — the job's caller owns that diagnosis.
 //!
 //! [`width`]: WorkerPool::width
 //!
@@ -57,13 +92,20 @@
 //!
 //! Together these guarantee the closure (and everything it borrows from
 //! the caller's stack) never outlives the `run` call, on the success path
-//! and on every failure path.
+//! and on every failure path. Cancellation and deadlines do not weaken
+//! the invariant: they only *request* early bail-out through the abort
+//! flag; the submitter still waits for every worker before returning.
+//! ([`WorkerPool::submit`] sidesteps the question entirely by requiring
+//! `'static` jobs.)
 
+use crate::stats::PoolCounters;
 use std::any::Any;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Locks a mutex, recovering from poisoning.
 ///
@@ -76,45 +118,242 @@ pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Resolves a configured thread count: `0` means one worker per available
-/// CPU (falling back to 4 when the CPU count is unknown).
+/// Resolves a configured thread count: `0` means the `PLR_THREADS`
+/// environment variable when it is set to a positive integer, otherwise
+/// one worker per available CPU (falling back to 4 when the CPU count is
+/// unknown).
+///
+/// The env override is what lets CI pin the whole `plr-parallel` suite to
+/// a thread-count matrix (`PLR_THREADS=1,2,4`) without touching every
+/// test, and lets a deployment size the pool without recompiling.
 ///
 /// Shared by [`crate::ParallelRunner`] and [`crate::BatchRunner`] so the
 /// two fallbacks cannot drift.
 pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        requested
+    if requested != 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("PLR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Why a run's [`AbortSignal`] was tripped. Only the *first* trip is
+/// recorded; later causes are ignored (see the module docs on
+/// precedence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A worker panicked, died, or a job-level check failed (e.g. the
+    /// runner's finiteness validation). The pool reports panics as
+    /// [`RunError::Panicked`]; job-level faults are the job owner's to
+    /// diagnose.
+    WorkerFault,
+    /// A caller-held [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The pool's watchdog observed the run outliving its deadline.
+    DeadlineExceeded,
+}
+
+impl AbortReason {
+    fn code(self) -> u8 {
+        match self {
+            AbortReason::WorkerFault => 1,
+            AbortReason::Cancelled => 2,
+            AbortReason::DeadlineExceeded => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => None,
+            1 => Some(AbortReason::WorkerFault),
+            2 => Some(AbortReason::Cancelled),
+            3 => Some(AbortReason::DeadlineExceeded),
+            _ => unreachable!("invalid abort code {code}"),
+        }
     }
 }
 
 /// Per-run cooperative cancellation flag, passed to every job invocation.
 ///
-/// The pool trips it when any worker panics; jobs may also trip it
-/// themselves (e.g. the runner's finiteness check). Ticket loops and spin
-/// waits are expected to poll [`is_aborted`](Self::is_aborted) and bail
-/// out promptly — that is what turns a dead worker into a clean error
-/// instead of a hang in the decoupled look-back pipeline.
+/// The pool trips it when any worker panics, when a linked
+/// [`CancelToken`] is cancelled, or when the deadline watchdog fires;
+/// jobs may also trip it themselves (e.g. the runner's finiteness check).
+/// Ticket loops and spin waits are expected to poll
+/// [`is_aborted`](Self::is_aborted) and bail out promptly — that is what
+/// turns a dead worker into a clean error instead of a hang in the
+/// decoupled look-back pipeline.
 #[derive(Debug, Default)]
-pub struct AbortSignal(AtomicBool);
+pub struct AbortSignal(AtomicU8);
 
 impl AbortSignal {
     /// Whether this run has been aborted (a single relaxed load — cheap
     /// enough for per-chunk and per-spin polling).
     #[inline]
     pub fn is_aborted(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) != 0
     }
 
-    /// Trips the abort flag; every cooperating loop in the current run
-    /// will bail out at its next poll.
+    /// Trips the abort flag with [`AbortReason::WorkerFault`]; every
+    /// cooperating loop in the current run will bail out at its next poll.
     pub fn trigger(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.trip(AbortReason::WorkerFault);
     }
 
-    fn reset(&self) {
-        self.0.store(false, Ordering::Relaxed);
+    /// Trips the abort flag with an explicit reason. The first trip wins;
+    /// later trips (whatever their reason) are no-ops.
+    pub(crate) fn trip(&self, reason: AbortReason) {
+        let _ = self
+            .0
+            .compare_exchange(0, reason.code(), Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The first recorded abort reason, or `None` while the run is live.
+    pub fn reason(&self) -> Option<AbortReason> {
+        AbortReason::from_code(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A caller-held handle that cancels runs from outside the pool.
+///
+/// Clone it freely; all clones share one flag. [`cancel`](Self::cancel)
+/// is sticky: every run currently observing the token is aborted
+/// immediately (their [`AbortSignal`]s are tripped directly, so even
+/// spin-waiting workers bail within one poll interval), and every
+/// *future* run handed the token fails fast with [`RunError::Cancelled`]
+/// before doing any work.
+///
+/// ```
+/// use plr_parallel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let clone = token.clone();
+/// assert!(!token.is_cancelled());
+/// clone.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Abort signals of runs currently observing this token.
+    watchers: Mutex<Vec<Weak<AbortSignal>>>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Cancels every linked in-flight run and all future runs using this
+    /// token. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+        for watcher in lock_recover(&self.inner.watchers).iter() {
+            if let Some(abort) = watcher.upgrade() {
+                abort.trip(AbortReason::Cancelled);
+            }
+        }
+    }
+
+    /// Links a run's abort signal to this token for the run's duration.
+    /// The returned guard unlinks on drop. A token cancelled concurrently
+    /// with the attach still trips the signal (flag checked after
+    /// publication).
+    fn attach(&self, abort: &Arc<AbortSignal>) -> CancelAttachment<'_> {
+        {
+            let mut watchers = lock_recover(&self.inner.watchers);
+            watchers.retain(|w| w.strong_count() > 0);
+            watchers.push(Arc::downgrade(abort));
+        }
+        if self.is_cancelled() {
+            abort.trip(AbortReason::Cancelled);
+        }
+        CancelAttachment {
+            token: self,
+            abort: Arc::downgrade(abort),
+        }
+    }
+}
+
+/// Unlinks a run's abort signal from its [`CancelToken`] on drop.
+struct CancelAttachment<'a> {
+    token: &'a CancelToken,
+    abort: Weak<AbortSignal>,
+}
+
+impl Drop for CancelAttachment<'_> {
+    fn drop(&mut self) {
+        lock_recover(&self.token.inner.watchers).retain(|w| !w.ptr_eq(&self.abort));
+    }
+}
+
+/// Per-run control: an optional caller-held [`CancelToken`] and an
+/// optional wall-clock deadline, resolved to an absolute instant when the
+/// control is built (so a multi-pass run spends one budget, not one per
+/// pass).
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    pub(crate) cancel: Option<CancelToken>,
+    pub(crate) deadline: Option<(Instant, Duration)>,
+}
+
+impl RunControl {
+    /// An empty control: no cancellation, no deadline — behaviorally
+    /// identical to [`WorkerPool::run`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes `token` for the run's duration (a clone is stored; cancel
+    /// any clone to abort).
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Bounds the run's wall time: `budget` from *now* (the moment this
+    /// method is called, not the moment the run starts).
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some((Instant::now() + budget, budget));
+        self
+    }
+
+    /// Whether the linked token (if any) has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Fails fast when the control is already cancelled or past its
+    /// deadline; used by the pool before starting a run and by multi-pass
+    /// runners between (and inside) passes.
+    pub fn status(&self) -> Result<(), RunError> {
+        if self.is_cancelled() {
+            return Err(RunError::Cancelled);
+        }
+        if let Some((at, budget)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(RunError::DeadlineExceeded { deadline: budget });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +398,47 @@ impl std::fmt::Display for WorkerPanic {
 
 impl std::error::Error for WorkerPanic {}
 
+/// How a controlled run failed (see [`WorkerPool::run_ctl`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A worker (or the calling thread acting as worker 0) panicked.
+    Panicked(WorkerPanic),
+    /// The run was aborted through its [`CancelToken`].
+    Cancelled,
+    /// The run outlived its deadline and was aborted by the watchdog.
+    DeadlineExceeded {
+        /// The wall-clock budget that was exceeded.
+        deadline: Duration,
+    },
+}
+
+impl RunError {
+    /// Converts into the engine-level error the runners surface.
+    pub fn into_engine_error(self) -> plr_core::error::EngineError {
+        match self {
+            RunError::Panicked(p) => p.into_engine_error(),
+            RunError::Cancelled => plr_core::error::EngineError::Cancelled,
+            RunError::DeadlineExceeded { deadline } => {
+                plr_core::error::EngineError::DeadlineExceeded { deadline }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panicked(p) => p.fmt(f),
+            RunError::Cancelled => write!(f, "run cancelled by the caller"),
+            RunError::DeadlineExceeded { deadline } => {
+                write!(f, "run exceeded its deadline of {deadline:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Sentinel panic payload that makes a pool worker exit its loop after
 /// reporting, simulating thread death (the execution-unit loss the
 /// decoupled look-back liveness argument must survive).
@@ -178,6 +458,9 @@ type BorrowedJob<'a> = Arc<dyn Fn(usize, &AbortSignal) + Send + Sync + 'a>;
 struct PoolState {
     /// The current job, present only while a generation is in flight.
     job: Option<Job>,
+    /// The current run's abort signal (a fresh one per submission, so a
+    /// stale [`CancelToken`] link can never abort an unrelated later run).
+    abort: Arc<AbortSignal>,
     /// Bumped once per submitted job so a worker never runs one twice.
     generation: u64,
     /// Spawned workers still executing the current job.
@@ -199,19 +482,23 @@ struct Shared {
     work_ready: Condvar,
     /// Signals the submitter that `running` reached zero.
     work_done: Condvar,
-    /// Per-run cooperative cancellation flag (reset at each submission).
-    abort: AbortSignal,
     /// Cumulative count of workers respawned after death or a failed
     /// earlier spawn; see [`WorkerPool::recovered_workers`].
     recovered: AtomicU64,
+    /// Cumulative run-outcome counters; see [`WorkerPool::counters`].
+    runs: AtomicU64,
+    panicked_runs: AtomicU64,
+    cancelled_runs: AtomicU64,
+    deadlined_runs: AtomicU64,
 }
 
 impl Shared {
     /// Records the first panic of the current generation and trips the
-    /// abort signal so the surviving workers bail out of their loops.
+    /// run's abort signal so the surviving workers bail out of their
+    /// loops.
     fn record_panic(&self, worker: usize, payload: &(dyn Any + Send)) {
-        self.abort.trigger();
         let mut state = lock_recover(&self.state);
+        state.abort.trigger();
         if state.panic.is_none() {
             state.panic = Some(WorkerPanic::from_payload(worker, payload));
         }
@@ -225,10 +512,119 @@ struct Workers {
     handles: Vec<Option<JoinHandle<()>>>,
 }
 
+/// The deadline watchdog's shared state: at most one run is under watch
+/// at a time (submissions are serialized by the pool).
+struct WatchdogShared {
+    state: Mutex<WatchState>,
+    cv: Condvar,
+}
+
+struct WatchState {
+    /// `(id, deadline, run's abort)` for the run currently under watch.
+    watch: Option<(u64, Instant, Weak<AbortSignal>)>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+fn watchdog_loop(shared: &WatchdogShared) {
+    let mut state = lock_recover(&shared.state);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        match &state.watch {
+            None => {
+                state = shared
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            Some((_, at, weak)) => {
+                let now = Instant::now();
+                if now >= *at {
+                    // Tripping under the lock means a disarm (which takes
+                    // the same lock) can never race a trip for a run that
+                    // already completed and disarmed.
+                    if let Some(abort) = weak.upgrade() {
+                        abort.trip(AbortReason::DeadlineExceeded);
+                    }
+                    state.watch = None;
+                } else {
+                    let wait = *at - now;
+                    state = shared
+                        .cv
+                        .wait_timeout(state, wait)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+/// Disarms the watchdog for a completed run on drop.
+struct WatchGuard<'a> {
+    watchdog: &'a WatchdogShared,
+    id: u64,
+}
+
+impl Drop for WatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = lock_recover(&self.watchdog.state);
+        if state.watch.as_ref().is_some_and(|w| w.0 == self.id) {
+            state.watch = None;
+            self.watchdog.cv.notify_all();
+        }
+    }
+}
+
+/// One queued [`WorkerPool::submit`] task, executed by the driver thread.
+type Submission = Box<dyn FnOnce() + Send>;
+
+/// The submit driver's shared state.
+struct DriverShared {
+    state: Mutex<DriverState>,
+    cv: Condvar,
+}
+
+struct DriverState {
+    queue: VecDeque<Submission>,
+    shutdown: bool,
+}
+
+fn driver_loop(shared: &DriverShared) {
+    loop {
+        let task = {
+            let mut state = lock_recover(&shared.state);
+            loop {
+                // Drain the queue even during shutdown: every queued task
+                // completes a RunHandle somebody may be waiting on.
+                if let Some(task) = state.queue.pop_front() {
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        task();
+    }
+}
+
 /// A fixed-width pool of persistent worker threads (see the module docs).
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Mutex<Workers>,
+    watchdog: Arc<WatchdogShared>,
+    /// Lazily spawned on the first deadline-bearing run.
+    watchdog_thread: Mutex<Option<JoinHandle<()>>>,
+    driver: Arc<DriverShared>,
+    /// Lazily spawned on the first [`submit`](Self::submit).
+    driver_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -259,6 +655,7 @@ impl WorkerPool {
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
                 job: None,
+                abort: Arc::new(AbortSignal::default()),
                 generation: 0,
                 running: 0,
                 alive: 0,
@@ -268,8 +665,11 @@ impl WorkerPool {
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
-            abort: AbortSignal::default(),
             recovered: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            panicked_runs: AtomicU64::new(0),
+            cancelled_runs: AtomicU64::new(0),
+            deadlined_runs: AtomicU64::new(0),
         });
         let handles: Vec<Option<JoinHandle<()>>> = (1..width)
             .map(|id| spawn_worker(&shared, id).ok())
@@ -278,6 +678,23 @@ impl WorkerPool {
         WorkerPool {
             shared,
             workers: Mutex::new(Workers { handles }),
+            watchdog: Arc::new(WatchdogShared {
+                state: Mutex::new(WatchState {
+                    watch: None,
+                    next_id: 0,
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+            watchdog_thread: Mutex::new(None),
+            driver: Arc::new(DriverShared {
+                state: Mutex::new(DriverState {
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+            driver_thread: Mutex::new(None),
         }
     }
 
@@ -294,6 +711,29 @@ impl WorkerPool {
     /// succeeded.
     pub fn recovered_workers(&self) -> u64 {
         self.shared.recovered.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative run-outcome counters for this pool: total runs and how
+    /// many ended panicked, cancelled, or past their deadline.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            runs: self.shared.runs.load(Ordering::Relaxed),
+            panicked: self.shared.panicked_runs.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled_runs.load(Ordering::Relaxed),
+            deadline_exceeded: self.shared.deadlined_runs.load(Ordering::Relaxed),
+            workers_recovered: self.recovered_workers(),
+        }
+    }
+
+    fn note_outcome(&self, result: &Result<(), RunError>) {
+        self.shared.runs.fetch_add(1, Ordering::Relaxed);
+        let counter = match result {
+            Ok(()) => return,
+            Err(RunError::Panicked(_)) => &self.shared.panicked_runs,
+            Err(RunError::Cancelled) => &self.shared.cancelled_runs,
+            Err(RunError::DeadlineExceeded { .. }) => &self.shared.deadlined_runs,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reaps dead workers and retries every missing slot; called at each
@@ -321,6 +761,64 @@ impl WorkerPool {
         }
     }
 
+    /// Ensures the deadline watchdog thread is running; `false` when it
+    /// could not be spawned (the deadline is then only checked before the
+    /// run starts — graceful degradation, like worker-spawn failure).
+    fn ensure_watchdog(&self) -> bool {
+        let mut slot = lock_recover(&self.watchdog_thread);
+        if slot.is_some() {
+            return true;
+        }
+        let watchdog = Arc::clone(&self.watchdog);
+        match std::thread::Builder::new()
+            .name("plr-watchdog".to_string())
+            .spawn(move || watchdog_loop(&watchdog))
+        {
+            Ok(handle) => {
+                *slot = Some(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Puts the current run under deadline watch; the guard disarms on
+    /// drop. `None` when the watchdog thread could not be spawned.
+    fn watchdog_arm(&self, at: Instant, abort: &Arc<AbortSignal>) -> Option<WatchGuard<'_>> {
+        if !self.ensure_watchdog() {
+            return None;
+        }
+        let mut state = lock_recover(&self.watchdog.state);
+        let id = state.next_id;
+        state.next_id += 1;
+        state.watch = Some((id, at, Arc::downgrade(abort)));
+        self.watchdog.cv.notify_all();
+        Some(WatchGuard {
+            watchdog: &self.watchdog,
+            id,
+        })
+    }
+
+    /// Ensures the submit driver thread is running; `false` when it could
+    /// not be spawned (submissions then execute synchronously).
+    fn ensure_driver(&self) -> bool {
+        let mut slot = lock_recover(&self.driver_thread);
+        if slot.is_some() {
+            return true;
+        }
+        let driver = Arc::clone(&self.driver);
+        match std::thread::Builder::new()
+            .name("plr-driver".to_string())
+            .spawn(move || driver_loop(&driver))
+        {
+            Ok(handle) => {
+                *slot = Some(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Runs `job(worker_id, abort)` on every worker — ids `1..width` on
     /// the pool threads, id `0` on the calling thread — returning once all
     /// have finished.
@@ -337,18 +835,91 @@ impl WorkerPool {
     where
         F: Fn(usize, &AbortSignal) + Send + Sync,
     {
+        match self.run_ctl(&RunControl::new(), job) {
+            Ok(()) => Ok(()),
+            Err(RunError::Panicked(p)) => Err(p),
+            Err(other) => unreachable!("uncontrolled run cannot fail with {other:?}"),
+        }
+    }
+
+    /// Like [`run`](Self::run), but observing a [`RunControl`]: the run
+    /// can be cancelled from outside through a [`CancelToken`] and is
+    /// bounded by the control's deadline (enforced by the pool's watchdog
+    /// thread, so even a wedged stage or an OS-starved worker converts
+    /// into an error instead of a hang).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Panicked`] as for [`run`](Self::run);
+    /// [`RunError::Cancelled`] when the token was (or became) cancelled;
+    /// [`RunError::DeadlineExceeded`] when the deadline expired before
+    /// the run finished. A panic takes precedence over both; otherwise
+    /// the first-tripped reason wins. On every error path the submitter
+    /// still waits for all workers to quiesce before returning, and the
+    /// pool stays reusable.
+    pub fn run_ctl<F>(&self, ctl: &RunControl, job: F) -> Result<(), RunError>
+    where
+        F: Fn(usize, &AbortSignal) + Send + Sync,
+    {
         let mut workers = lock_recover(&self.workers);
         self.heal(&mut workers);
+        if let Err(e) = ctl.status() {
+            // Fail fast: cancelled or expired before any work started.
+            self.note_outcome(&Err(e.clone()));
+            return Err(e);
+        }
+        let abort = Arc::new(AbortSignal::default());
+        let attachment = ctl.cancel.as_ref().map(|t| t.attach(&abort));
+        let watch = ctl
+            .deadline
+            .and_then(|(at, _)| self.watchdog_arm(at, &abort));
         let live = lock_recover(&self.shared.state).alive;
-        self.shared.abort.reset();
-        if live == 0 {
+
+        let result = if live == 0 {
             // No spawned workers: run inline. Panics still become errors
             // so callers see one failure surface regardless of width.
-            return match catch_unwind(AssertUnwindSafe(|| job(0, &self.shared.abort))) {
+            match catch_unwind(AssertUnwindSafe(|| job(0, &abort))) {
                 Ok(()) => Ok(()),
-                Err(payload) => Err(WorkerPanic::from_payload(0, payload.as_ref())),
-            };
-        }
+                Err(payload) => Err(RunError::Panicked(WorkerPanic::from_payload(
+                    0,
+                    payload.as_ref(),
+                ))),
+            }
+        } else {
+            self.run_on_workers(live, &abort, job)
+        };
+        // Disarm before reading the abort reason so the window for a
+        // spurious post-completion deadline trip is as small as possible.
+        drop(watch);
+        drop(attachment);
+        let result = match result {
+            Ok(()) => match abort.reason() {
+                Some(AbortReason::Cancelled) => Err(RunError::Cancelled),
+                Some(AbortReason::DeadlineExceeded) => Err(RunError::DeadlineExceeded {
+                    deadline: ctl.deadline.map(|(_, b)| b).unwrap_or_default(),
+                }),
+                // A plain WorkerFault without a recorded panic is a
+                // job-level abort (e.g. check_finite); the job's caller
+                // owns that error, not the pool.
+                Some(AbortReason::WorkerFault) | None => Ok(()),
+            },
+            err => err,
+        };
+        self.note_outcome(&result);
+        result
+    }
+
+    /// The erased-lifetime fan-out on the spawned workers plus the
+    /// calling thread (see the module-level safety discussion).
+    fn run_on_workers<F>(
+        &self,
+        live: usize,
+        abort: &Arc<AbortSignal>,
+        job: F,
+    ) -> Result<(), RunError>
+    where
+        F: Fn(usize, &AbortSignal) + Send + Sync,
+    {
         // SAFETY: see the module docs — every clone of the erased Arc is
         // dropped before this function returns on every exit path
         // (including panics), so the closure's borrows stay within this
@@ -359,16 +930,17 @@ impl WorkerPool {
             let mut state = lock_recover(&self.shared.state);
             debug_assert!(state.job.is_none() && state.running == 0);
             state.job = Some(Arc::clone(&erased));
+            state.abort = Arc::clone(abort);
             state.generation += 1;
             state.running = live;
             state.panic = None;
             self.shared.work_ready.notify_all();
         }
-        let caller = catch_unwind(AssertUnwindSafe(|| erased(0, &self.shared.abort)));
+        let caller = catch_unwind(AssertUnwindSafe(|| erased(0, abort)));
         if caller.is_err() {
             // Workers may be spinning on carries this thread will never
             // publish; make them bail before we wait on them.
-            self.shared.abort.trigger();
+            abort.trigger();
         }
         drop(erased);
         let mut state = lock_recover(&self.shared.state);
@@ -384,17 +956,92 @@ impl WorkerPool {
         drop(state);
         // All clones are dead; only now is it safe to surface any panic.
         match caller {
-            Err(payload) => Err(WorkerPanic::from_payload(0, payload.as_ref())),
+            Err(payload) => Err(RunError::Panicked(WorkerPanic::from_payload(
+                0,
+                payload.as_ref(),
+            ))),
             Ok(()) => match worker_panic {
-                Some(p) => Err(p),
+                Some(p) => Err(RunError::Panicked(p)),
                 None => Ok(()),
             },
+        }
+    }
+
+    /// Submits `job` without blocking: a lazily-spawned driver thread
+    /// stands in for the caller as worker 0 (the donated-worker fallback
+    /// of the caller-participates design) and the returned [`RunHandle`]
+    /// signals completion instead of joining it.
+    ///
+    /// Submissions execute in order, serialized with blocking
+    /// [`run`](Self::run) calls on the same pool. If the driver thread
+    /// cannot be spawned, the run executes synchronously inside `submit`
+    /// and the returned handle is already finished (graceful
+    /// degradation).
+    ///
+    /// The handle's token (the control's, or a fresh one when the control
+    /// has none) cancels the run; *dropping the handle before completion
+    /// cancels the run and blocks until it quiesces* (see the module
+    /// docs).
+    pub fn submit<F>(self: &Arc<Self>, ctl: RunControl, job: F) -> RunHandle
+    where
+        F: Fn(usize, &AbortSignal) + Send + Sync + 'static,
+    {
+        let cancel = ctl.cancel.clone().unwrap_or_default();
+        let ctl = RunControl {
+            cancel: Some(cancel.clone()),
+            deadline: ctl.deadline,
+        };
+        let inner = Arc::new(HandleInner {
+            state: Mutex::new(HandleState {
+                result: None,
+                waker: None,
+            }),
+            done: Condvar::new(),
+        });
+        let task: Submission = {
+            let pool = Arc::clone(self);
+            let inner = Arc::clone(&inner);
+            Box::new(move || {
+                let result = pool.run_ctl(&ctl, job);
+                HandleInner::complete(&inner, result);
+            })
+        };
+        if self.ensure_driver() {
+            let mut state = lock_recover(&self.driver.state);
+            state.queue.push_back(task);
+            self.driver.cv.notify_all();
+        } else {
+            task();
+        }
+        RunHandle {
+            inner,
+            cancel,
+            _pool: Arc::clone(self),
         }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        // The driver goes first: queued submissions hold an `Arc` to this
+        // pool, so by the time `Drop` runs the queue is empty and the
+        // driver is parked (or never spawned).
+        {
+            let mut state = lock_recover(&self.driver.state);
+            state.shutdown = true;
+            self.driver.cv.notify_all();
+        }
+        if let Some(handle) = lock_recover(&self.driver_thread).take() {
+            let _ = handle.join();
+        }
+        {
+            let mut state = lock_recover(&self.watchdog.state);
+            state.shutdown = true;
+            self.watchdog.cv.notify_all();
+        }
+        if let Some(handle) = lock_recover(&self.watchdog_thread).take() {
+            let _ = handle.join();
+        }
         {
             let mut state = lock_recover(&self.shared.state);
             state.shutdown = true;
@@ -403,6 +1050,148 @@ impl Drop for WorkerPool {
         let mut workers = lock_recover(&self.workers);
         for handle in workers.handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
+        }
+    }
+}
+
+struct HandleState {
+    result: Option<Result<(), RunError>>,
+    waker: Option<Box<dyn FnOnce() + Send>>,
+}
+
+struct HandleInner {
+    state: Mutex<HandleState>,
+    done: Condvar,
+}
+
+impl HandleInner {
+    fn complete(inner: &Arc<HandleInner>, result: Result<(), RunError>) {
+        let waker = {
+            let mut state = lock_recover(&inner.state);
+            debug_assert!(state.result.is_none(), "a submission completes once");
+            state.result = Some(result);
+            inner.done.notify_all();
+            state.waker.take()
+        };
+        if let Some(wake) = waker {
+            wake();
+        }
+    }
+}
+
+/// A non-blocking run in flight (see [`WorkerPool::submit`]).
+///
+/// Completion is signalled, not joined: poll [`is_finished`]
+/// (`Self::is_finished`), block with [`wait`](Self::wait) /
+/// [`wait_timeout`](Self::wait_timeout), or register a waker callback
+/// with [`on_complete`](Self::on_complete) so an async executor can be
+/// woken to poll again.
+///
+/// Dropping the handle before completion **cancels the run and blocks
+/// until its workers quiesce** — the execution layer never leaves a run
+/// executing with nobody obligated to observe it (the same invariant the
+/// caller-panic path upholds for borrowed jobs).
+pub struct RunHandle {
+    inner: Arc<HandleInner>,
+    cancel: CancelToken,
+    /// Keeps the pool (and its driver) alive until the run is observed.
+    _pool: Arc<WorkerPool>,
+}
+
+impl std::fmt::Debug for RunHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHandle")
+            .field("finished", &self.is_finished())
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
+
+impl RunHandle {
+    /// Whether the run has completed (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        lock_recover(&self.inner.state).result.is_some()
+    }
+
+    /// Blocks until the run completes and returns its outcome. Callable
+    /// repeatedly; every call returns the same outcome.
+    pub fn wait(&self) -> Result<(), RunError> {
+        #[cfg(feature = "fault-inject")]
+        crate::fault::check(crate::fault::FaultSite::HandleWait, 0, 0, None);
+        let mut state = lock_recover(&self.inner.state);
+        while state.result.is_none() {
+            state = self
+                .inner
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.result.clone().expect("checked above")
+    }
+
+    /// Blocks up to `budget` for completion; `None` on timeout (the run
+    /// keeps going — pair with [`cancel`](Self::cancel) to give up on
+    /// it).
+    pub fn wait_timeout(&self, budget: Duration) -> Option<Result<(), RunError>> {
+        #[cfg(feature = "fault-inject")]
+        crate::fault::check(crate::fault::FaultSite::HandleWait, 0, 0, None);
+        let deadline = Instant::now() + budget;
+        let mut state = lock_recover(&self.inner.state);
+        while state.result.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            state = self
+                .inner
+                .done
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        Some(state.result.clone().expect("checked above"))
+    }
+
+    /// Cancels the run through its token (idempotent; the run still has
+    /// to quiesce, so follow with [`wait`](Self::wait) or let the drop
+    /// block).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the run's cancel token (cancel it from anywhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Registers a callback invoked exactly once when the run completes
+    /// (immediately if it already has) — the waker hook an async executor
+    /// needs to `poll` the handle without spinning. A second registration
+    /// replaces the first.
+    pub fn on_complete(&self, wake: impl FnOnce() + Send + 'static) {
+        let mut state = lock_recover(&self.inner.state);
+        if state.result.is_some() {
+            drop(state);
+            wake();
+        } else {
+            state.waker = Some(Box::new(wake));
+        }
+    }
+}
+
+impl Drop for RunHandle {
+    fn drop(&mut self) {
+        if self.is_finished() {
+            return;
+        }
+        self.cancel.cancel();
+        let mut state = lock_recover(&self.inner.state);
+        while state.result.is_none() {
+            state = self
+                .inner
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -435,7 +1224,7 @@ impl Drop for CompletionGuard<'_> {
 fn worker_loop(shared: &Shared, id: usize) {
     let mut seen_generation = 0u64;
     loop {
-        let job = {
+        let (job, abort) = {
             let mut state = lock_recover(&shared.state);
             loop {
                 if state.shutdown {
@@ -444,7 +1233,7 @@ fn worker_loop(shared: &Shared, id: usize) {
                 if state.generation != seen_generation {
                     if let Some(job) = &state.job {
                         seen_generation = state.generation;
-                        break Arc::clone(job);
+                        break (Arc::clone(job), Arc::clone(&state.abort));
                     }
                 }
                 state = shared
@@ -458,7 +1247,7 @@ fn worker_loop(shared: &Shared, id: usize) {
             id,
             exiting: false,
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| job(id, &shared.abort)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(id, &abort)));
         // The clone must die before completion is reported: `run` treats
         // `running == 0` as "no live borrows of the caller's stack".
         drop(job);
@@ -776,5 +1565,306 @@ mod tests {
         assert_ne!(err.worker, 0);
         assert!(err.payload.contains("deliberate panic from worker"));
         pool.run(|_, _| {}).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Run control: cancellation, deadlines, submission handles.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pre_cancelled_token_fails_fast() {
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicU64::new(0);
+        let err = pool
+            .run_ctl(&RunControl::new().with_cancel(&token), |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert_eq!(err, RunError::Cancelled);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no work may start");
+        assert_eq!(pool.counters().cancelled, 1);
+        pool.run(|_, _| {}).unwrap();
+    }
+
+    #[test]
+    fn cancel_token_aborts_a_running_job() {
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::new();
+        let bailed = AtomicU64::new(0);
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        // Every worker loops until the abort lands: the run can only end
+        // through the token, which makes the test deterministic.
+        let err = pool
+            .run_ctl(&RunControl::new().with_cancel(&token), |_, abort| {
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+                bailed.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err, RunError::Cancelled);
+        assert_eq!(bailed.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.counters().cancelled, 1);
+        // The pool (and later runs with a fresh token) are unaffected.
+        pool.run_ctl(
+            &RunControl::new().with_cancel(&CancelToken::new()),
+            |_, _| {},
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn cancel_works_on_an_inline_pool() {
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let err = pool
+            .run_ctl(&RunControl::new().with_cancel(&token), |_, abort| {
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err, RunError::Cancelled);
+    }
+
+    #[test]
+    fn deadline_converts_a_wedged_run_into_an_error() {
+        let pool = WorkerPool::new(4);
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        // The job only ever exits through the abort flag — without the
+        // watchdog this run would hang forever.
+        let err = pool
+            .run_ctl(&RunControl::new().with_deadline(budget), |_, abort| {
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, RunError::DeadlineExceeded { deadline: budget });
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "watchdog must fire near the deadline, not hang"
+        );
+        assert_eq!(pool.counters().deadline_exceeded, 1);
+        pool.run(|_, _| {}).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast() {
+        let pool = WorkerPool::new(2);
+        let ran = AtomicU64::new(0);
+        let err = pool
+            .run_ctl(&RunControl::new().with_deadline(Duration::ZERO), |_, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert!(matches!(err, RunError::DeadlineExceeded { .. }), "{err:?}");
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn fast_runs_beat_their_deadline() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..20 {
+            pool.run_ctl(
+                &RunControl::new().with_deadline(Duration::from_secs(30)),
+                |_, _| {},
+            )
+            .unwrap();
+        }
+        assert_eq!(pool.counters().deadline_exceeded, 0);
+        assert_eq!(pool.counters().runs, 20);
+    }
+
+    #[test]
+    fn panic_takes_precedence_over_cancellation() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::new();
+        let job_token = token.clone();
+        // Worker 0 cancels the run; worker 1 *then* panics (after
+        // observing the abort, so both causes are definitely present).
+        let err = pool
+            .run_ctl(&RunControl::new().with_cancel(&token), move |id, abort| {
+                if id == 0 {
+                    job_token.cancel();
+                }
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+                if id == 1 {
+                    panic!("deliberate panic after cancel");
+                }
+            })
+            .unwrap_err();
+        match err {
+            RunError::Panicked(p) => assert!(p.payload.contains("deliberate"), "{p}"),
+            other => panic!("panic must outrank cancellation, got {other:?}"),
+        }
+        pool.run(|_, _| {}).unwrap();
+    }
+
+    #[test]
+    fn stale_token_does_not_abort_later_runs() {
+        let pool = WorkerPool::new(4);
+        let token = CancelToken::new();
+        pool.run_ctl(&RunControl::new().with_cancel(&token), |_, _| {})
+            .unwrap();
+        // Cancelling after the linked run finished must not touch an
+        // unrelated follow-up run that uses no token.
+        token.cancel();
+        let bailed = AtomicU64::new(0);
+        pool.run(|_, abort| {
+            if abort.is_aborted() {
+                bailed.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+        assert_eq!(bailed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn submit_signals_completion_without_joining() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let hits = Arc::new(AtomicU64::new(0));
+        let job_hits = Arc::clone(&hits);
+        let handle = pool.submit(RunControl::new(), move |_, _| {
+            job_hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(handle.wait(), Ok(()));
+        assert!(handle.is_finished());
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        // wait() is idempotent.
+        assert_eq!(handle.wait(), Ok(()));
+    }
+
+    #[test]
+    fn submit_wait_timeout_expires_then_cancel_finishes() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let handle = pool.submit(RunControl::new(), |_, abort| {
+            while !abort.is_aborted() {
+                std::thread::yield_now();
+            }
+        });
+        // The job never finishes on its own: the timeout must expire.
+        assert_eq!(handle.wait_timeout(Duration::from_millis(30)), None);
+        assert!(!handle.is_finished());
+        handle.cancel();
+        assert_eq!(handle.wait(), Err(RunError::Cancelled));
+    }
+
+    #[test]
+    fn submit_invokes_the_waker_on_completion() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let token = CancelToken::new();
+        let handle = pool.submit(RunControl::new().with_cancel(&token), |_, abort| {
+            while !abort.is_aborted() {
+                std::thread::yield_now();
+            }
+        });
+        let woken = Arc::new(AtomicU64::new(0));
+        let waker_woken = Arc::clone(&woken);
+        handle.on_complete(move || {
+            waker_woken.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(woken.load(Ordering::Relaxed), 0, "not complete yet");
+        token.cancel();
+        assert_eq!(handle.wait(), Err(RunError::Cancelled));
+        // The waker runs outside the handle lock, so it may land a beat
+        // after wait() returns; give it a bounded moment.
+        let waker_deadline = Instant::now() + Duration::from_secs(10);
+        while woken.load(Ordering::Relaxed) == 0 && Instant::now() < waker_deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(woken.load(Ordering::Relaxed), 1);
+        // Registering after completion fires immediately.
+        let waker_woken = Arc::clone(&woken);
+        handle.on_complete(move || {
+            waker_woken.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(woken.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_handle_cancels_and_quiesces() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let entered = Arc::new(AtomicU64::new(0));
+        let exited = Arc::new(AtomicU64::new(0));
+        let (job_entered, job_exited) = (Arc::clone(&entered), Arc::clone(&exited));
+        let handle = pool.submit(RunControl::new(), move |_, abort| {
+            job_entered.fetch_add(1, Ordering::Relaxed);
+            while !abort.is_aborted() {
+                std::thread::yield_now();
+            }
+            job_exited.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(handle);
+        // Drop must have blocked until the run quiesced: every worker
+        // that entered the job has also left it.
+        assert_eq!(
+            entered.load(Ordering::Relaxed),
+            exited.load(Ordering::Relaxed)
+        );
+        assert_eq!(pool.counters().cancelled, 1);
+        pool.run(|_, _| {}).unwrap();
+    }
+
+    #[test]
+    fn submitted_runs_execute_in_order_with_blocking_runs() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        let h1 = pool.submit(RunControl::new(), move |id, _| {
+            if id == 0 {
+                l1.lock().unwrap().push(1);
+            }
+        });
+        h1.wait().unwrap();
+        pool.run(|id, _| {
+            if id == 0 {
+                log.lock().unwrap().push(2);
+            }
+        })
+        .unwrap();
+        let l3 = Arc::clone(&log);
+        let h3 = pool.submit(RunControl::new(), move |id, _| {
+            if id == 0 {
+                l3.lock().unwrap().push(3);
+            }
+        });
+        h3.wait().unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
+        assert_eq!(pool.counters().runs, 3);
+    }
+
+    #[test]
+    fn counters_track_panics() {
+        quiet_expected_panics();
+        let pool = WorkerPool::new(2);
+        let _ = pool.run(|_, _| panic!("deliberate counter panic"));
+        pool.run(|_, _| {}).unwrap();
+        let c = pool.counters();
+        assert_eq!(c.runs, 2);
+        assert_eq!(c.panicked, 1);
+        assert_eq!(c.cancelled, 0);
+        assert_eq!(c.deadline_exceeded, 0);
     }
 }

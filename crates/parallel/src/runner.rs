@@ -18,7 +18,10 @@
 //! exist — so the look-back chain can always be resolved and the spin
 //! waits are bounded by the pipeline depth (the pool width).
 
-use crate::pool::{resolve_threads, AbortSignal, SendPtr, Tickets, WorkerPanic, WorkerPool};
+use crate::pool::{
+    resolve_threads, AbortSignal, CancelToken, RunControl, RunError, SendPtr, Tickets, WorkerPanic,
+    WorkerPool,
+};
 use crate::stats::RunStats;
 use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
@@ -29,7 +32,7 @@ use plr_core::signature::Signature;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the runner schedules the carry propagation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +66,14 @@ pub struct RunnerConfig {
     /// the carries are scanned (`O(k)` per chunk, off the element-wise
     /// hot path); a no-op for integer elements. Default `false`.
     pub check_finite: bool,
+    /// Wall-clock budget per `run` call, enforced by the worker pool's
+    /// watchdog thread: a run that outlives it — even one wedged in a
+    /// spin-wait or starved by the OS — is aborted cooperatively and
+    /// returns [`EngineError::DeadlineExceeded`] instead of hanging. One
+    /// budget covers the whole call (both passes of
+    /// [`Strategy::TwoPass`], every chunk of the pipeline). Default
+    /// `None` (unbounded).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RunnerConfig {
@@ -72,6 +83,7 @@ impl Default for RunnerConfig {
             threads: 0,
             strategy: Strategy::default(),
             check_finite: false,
+            deadline: None,
         }
     }
 }
@@ -227,14 +239,37 @@ impl<T: Element> ParallelRunner<T> {
     ///
     /// Returns [`EngineError::InputTooLarge`] beyond 2^30 elements,
     /// [`EngineError::WorkerPanicked`] when a worker (or the calling
-    /// thread) panicked mid-run, and [`EngineError::NonFiniteCarry`] when
+    /// thread) panicked mid-run, [`EngineError::NonFiniteCarry`] when
     /// [`RunnerConfig::check_finite`] is on and a chunk produced a NaN or
-    /// infinite carry. On error the pool survives and the runner stays
-    /// usable; the input buffer's contents are unspecified (partially
-    /// processed).
+    /// infinite carry, and [`EngineError::DeadlineExceeded`] when
+    /// [`RunnerConfig::deadline`] is set and the run outlived it. On
+    /// error the pool survives and the runner stays usable; the input
+    /// buffer's contents are unspecified (partially processed).
     pub fn run(&self, input: &[T]) -> Result<Vec<T>, EngineError> {
         let mut data = input.to_vec();
         self.run_in_place(&mut data)?;
+        Ok(data)
+    }
+
+    /// Like [`ParallelRunner::run`], but observing a caller-held
+    /// [`CancelToken`]: cancelling any clone of `cancel` — before the
+    /// call or while it is executing — aborts the run cooperatively (the
+    /// same bail-out paths a worker panic uses; even carry spin-waits
+    /// notice within one poll interval) and the call returns
+    /// [`EngineError::Cancelled`]. The runner and its pool stay fully
+    /// usable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cancelled`] on cancellation, plus everything
+    /// [`ParallelRunner::run`] can return.
+    pub fn run_with_cancel(
+        &self,
+        input: &[T],
+        cancel: &CancelToken,
+    ) -> Result<Vec<T>, EngineError> {
+        let mut data = input.to_vec();
+        self.run_in_place_with_cancel(&mut data, cancel)?;
         Ok(data)
     }
 
@@ -245,6 +280,31 @@ impl<T: Element> ParallelRunner<T> {
     /// See [`ParallelRunner::run`]; additionally, on error `data` is left
     /// partially processed.
     pub fn run_in_place(&self, data: &mut [T]) -> Result<RunStats, EngineError> {
+        self.execute(data, None)
+    }
+
+    /// In-place variant of [`ParallelRunner::run_with_cancel`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelRunner::run_with_cancel`]; on error `data` is left
+    /// partially processed.
+    pub fn run_in_place_with_cancel(
+        &self,
+        data: &mut [T],
+        cancel: &CancelToken,
+    ) -> Result<RunStats, EngineError> {
+        self.execute(data, Some(cancel))
+    }
+
+    /// Shared entry point: builds the run's [`RunControl`] (cancel link +
+    /// deadline, resolved once so a multi-pass strategy spends a single
+    /// budget) and dispatches on the strategy.
+    pub(crate) fn execute(
+        &self,
+        data: &mut [T],
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunStats, EngineError> {
         if data.len() > MAX_INPUT_LEN {
             return Err(EngineError::InputTooLarge {
                 len: data.len(),
@@ -259,10 +319,17 @@ impl<T: Element> ParallelRunner<T> {
                 ..RunStats::default()
             });
         }
+        let mut ctl = RunControl::new();
+        if let Some(token) = cancel {
+            ctl = ctl.with_cancel(token);
+        }
+        if let Some(budget) = self.config.deadline {
+            ctl = ctl.with_deadline(budget);
+        }
         let pool = self.pool();
         match self.config.strategy {
-            Strategy::LookbackPipeline => self.run_lookback(data, pool),
-            Strategy::TwoPass => self.run_two_pass(data, pool),
+            Strategy::LookbackPipeline => self.run_lookback(data, pool, &ctl),
+            Strategy::TwoPass => self.run_two_pass(data, pool, &ctl),
         }
     }
 
@@ -303,7 +370,12 @@ impl<T: Element> ParallelRunner<T> {
     }
 
     /// The single-pass decoupled look-back pipeline on the pool.
-    fn run_lookback(&self, data: &mut [T], pool: &WorkerPool) -> Result<RunStats, EngineError> {
+    fn run_lookback(
+        &self,
+        data: &mut [T],
+        pool: &WorkerPool,
+        ctl: &RunControl,
+    ) -> Result<RunStats, EngineError> {
         let m = self.config.chunk_size;
         let n = data.len();
         let k = self.signature.order();
@@ -322,7 +394,7 @@ impl<T: Element> ParallelRunner<T> {
         let base = SendPtr::new(data.as_mut_ptr());
         let recovered_before = pool.recovered_workers();
 
-        let outcome = pool.run(|_worker, abort| {
+        let outcome = pool.run_ctl(ctl, |_worker, abort| {
             let mut tally = PhaseTally::default();
             while let Some(c) = tickets.claim() {
                 if abort.is_aborted() {
@@ -341,7 +413,7 @@ impl<T: Element> ParallelRunner<T> {
                     self.fir_chunk(chunk, c, start, &boundaries)
                 });
                 #[cfg(feature = "fault-inject")]
-                crate::fault::check(crate::fault::FaultSite::Solve, _worker, c);
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, c, Some(abort));
                 // Local solve, then publish local carries.
                 timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
                 let locals = carries_of(chunk, k);
@@ -363,7 +435,7 @@ impl<T: Element> ParallelRunner<T> {
                     continue;
                 }
                 #[cfg(feature = "fault-inject")]
-                crate::fault::check(crate::fault::FaultSite::Lookback, _worker, c);
+                crate::fault::check(crate::fault::FaultSite::Lookback, _worker, c, Some(abort));
                 // Variable look-back: walk back to the most recent
                 // published globals, then fix forward through the
                 // published locals. `None` means the run was aborted while
@@ -399,7 +471,7 @@ impl<T: Element> ParallelRunner<T> {
             tally.flush(&clocks);
         });
 
-        outcome.map_err(WorkerPanic::into_engine_error)?;
+        outcome.map_err(RunError::into_engine_error)?;
         if let Some(e) = failure.into_inner() {
             return Err(e);
         }
@@ -421,7 +493,12 @@ impl<T: Element> ParallelRunner<T> {
     /// The two-pass strategy: parallel map + local solves, one sequential
     /// carry chain, parallel correction (the dependency structure of
     /// [`plr_core::phase2::propagate_decoupled`] on real threads).
-    fn run_two_pass(&self, data: &mut [T], pool: &WorkerPool) -> Result<RunStats, EngineError> {
+    fn run_two_pass(
+        &self,
+        data: &mut [T],
+        pool: &WorkerPool,
+        ctl: &RunControl,
+    ) -> Result<RunStats, EngineError> {
         let m = self.config.chunk_size;
         let k = self.signature.order();
         let n = data.len();
@@ -435,7 +512,7 @@ impl<T: Element> ParallelRunner<T> {
         // Pass A: in-place map + local solves in parallel.
         let tickets = Tickets::new(num_chunks);
         let base = SendPtr::new(data.as_mut_ptr());
-        pool.run(|_worker, abort| {
+        pool.run_ctl(ctl, |_worker, abort| {
             let mut tally = PhaseTally::default();
             while let Some(c) = tickets.claim() {
                 if abort.is_aborted() {
@@ -450,12 +527,12 @@ impl<T: Element> ParallelRunner<T> {
                     self.fir_chunk(chunk, c, start, &boundaries)
                 });
                 #[cfg(feature = "fault-inject")]
-                crate::fault::check(crate::fault::FaultSite::Solve, _worker, c);
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, c, Some(abort));
                 timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
             }
             tally.flush(&clocks);
         })
-        .map_err(WorkerPanic::into_engine_error)?;
+        .map_err(RunError::into_engine_error)?;
 
         // Sequential chain: globals of chunk c from globals of c-1. This
         // is worker 0's look-back stage; it runs outside the pool, so it
@@ -468,8 +545,11 @@ impl<T: Element> ParallelRunner<T> {
                 let mut globals: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
                 globals.push(carries_of(&data[..m.min(n)], k));
                 for c in 1..num_chunks {
+                    // The chain runs outside the pool, so the watchdog
+                    // cannot see it; poll the control directly instead.
+                    ctl.status().map_err(RunError::into_engine_error)?;
                     #[cfg(feature = "fault-inject")]
-                    crate::fault::check(crate::fault::FaultSite::Lookback, 0, c);
+                    crate::fault::check(crate::fault::FaultSite::Lookback, 0, c, None);
                     let start = c * m;
                     let end = (start + m).min(n);
                     let locals = carries_of(&data[start..end], k);
@@ -499,7 +579,7 @@ impl<T: Element> ParallelRunner<T> {
         let tickets = Tickets::new(num_chunks.saturating_sub(1));
         let base = SendPtr::new(data.as_mut_ptr());
         let globals = &globals;
-        pool.run(|_worker, abort| {
+        pool.run_ctl(ctl, |_worker, abort| {
             let mut tally = PhaseTally::default();
             while let Some(t) = tickets.claim() {
                 if abort.is_aborted() {
@@ -517,7 +597,7 @@ impl<T: Element> ParallelRunner<T> {
             }
             tally.flush(&clocks);
         })
-        .map_err(WorkerPanic::into_engine_error)?;
+        .map_err(RunError::into_engine_error)?;
 
         Ok(RunStats {
             chunks: num_chunks as u64,
@@ -696,6 +776,7 @@ mod tests {
                     threads: 4,
                     strategy,
                     check_finite: true,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1112,5 +1193,86 @@ mod tests {
         .run(&input)
         .unwrap();
         assert_eq!(one, many);
+    }
+
+    #[test]
+    fn pre_cancelled_token_rejects_the_run() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let runner = ParallelRunner::new(sig).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let input: Vec<i64> = (0..10_000).map(|i| (i % 7) as i64).collect();
+        match runner.run_with_cancel(&input, &token) {
+            Err(EngineError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The runner (and its pool) are unaffected; a fresh token works.
+        let out = runner.run_with_cancel(&input, &CancelToken::new()).unwrap();
+        assert_eq!(out, serial::run(&"1:2,-1".parse().unwrap(), &input));
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let sig: Signature<i64> = "1:3,-3,1".parse().unwrap();
+        let input: Vec<i64> = (0..50_000).map(|i| (i % 13) as i64 - 6).collect();
+        for strategy in [Strategy::LookbackPipeline, Strategy::TwoPass] {
+            let runner = ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 1024,
+                    threads: 4,
+                    strategy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let token = CancelToken::new();
+            let got = runner.run_with_cancel(&input, &token).unwrap();
+            assert_eq!(got, serial::run(&sig, &input), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_rejects_the_run_for_both_strategies() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let input: Vec<i64> = (0..10_000).map(|i| (i % 5) as i64).collect();
+        for strategy in [Strategy::LookbackPipeline, Strategy::TwoPass] {
+            let runner = ParallelRunner::with_config(
+                sig.clone(),
+                RunnerConfig {
+                    chunk_size: 512,
+                    threads: 4,
+                    strategy,
+                    deadline: Some(Duration::ZERO),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            match runner.run(&input) {
+                Err(EngineError::DeadlineExceeded { deadline }) => {
+                    assert_eq!(deadline, Duration::ZERO, "{strategy:?}")
+                }
+                other => panic!("expected DeadlineExceeded ({strategy:?}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_results() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let input: Vec<i64> = (0..60_000).map(|i| (i % 9) as i64 - 4).collect();
+        let runner = ParallelRunner::with_config(
+            sig.clone(),
+            RunnerConfig {
+                chunk_size: 1024,
+                threads: 4,
+                deadline: Some(Duration::from_secs(120)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            assert_eq!(runner.run(&input).unwrap(), serial::run(&sig, &input));
+        }
     }
 }

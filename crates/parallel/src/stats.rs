@@ -1,4 +1,33 @@
-//! Runtime statistics reported by the parallel runner.
+//! Runtime statistics reported by the parallel runner and worker pool.
+
+/// Cumulative run-outcome counters for one [`WorkerPool`], reported by
+/// [`WorkerPool::counters`]: how many runs it executed and how many of
+/// them ended in each failure class. Monotonic over the pool's lifetime
+/// (unlike [`RunStats`], which describes a single run).
+///
+/// [`WorkerPool`]: crate::WorkerPool
+/// [`WorkerPool::counters`]: crate::WorkerPool::counters
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Total runs submitted to the pool (blocking and non-blocking),
+    /// including runs that failed fast before starting any work.
+    pub runs: u64,
+    /// Runs that ended with a worker (or caller-as-worker-0) panic.
+    pub panicked: u64,
+    /// Runs aborted through a caller-held [`CancelToken`], including
+    /// runs rejected because their token was already cancelled.
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    pub cancelled: u64,
+    /// Runs that outlived their deadline and were aborted by the pool's
+    /// watchdog (or rejected because the deadline had already passed).
+    pub deadline_exceeded: u64,
+    /// Workers revived by lazy respawning over the pool's lifetime (same
+    /// number as [`WorkerPool::recovered_workers`]).
+    ///
+    /// [`WorkerPool::recovered_workers`]: crate::WorkerPool::recovered_workers
+    pub workers_recovered: u64,
+}
 
 /// Counters describing one parallel run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,10 +47,15 @@ pub struct RunStats {
     /// Worker threads used (the pool's effective width for this run,
     /// which shrinks when worker threads could not be spawned).
     pub threads: u64,
-    /// Worker loops that bailed out early because the run was aborted
-    /// (a worker panicked, died, or a finiteness check failed). Always
-    /// zero for a successful run; nonzero only in aggregated stats that
-    /// absorbed an aborted sub-run.
+    /// Worker loops that bailed out early because the run was aborted —
+    /// for *any* reason: a worker panicked or died, a finiteness check
+    /// failed, a [`CancelToken`] was cancelled, or the deadline watchdog
+    /// fired. Always zero for a successful run; nonzero only in
+    /// aggregated stats that absorbed an aborted sub-run. To distinguish
+    /// the causes, look at the returned error (or, cumulatively, at
+    /// [`PoolCounters`]).
+    ///
+    /// [`CancelToken`]: crate::CancelToken
     pub aborts: u64,
     /// Workers revived by the pool at this run's submission — dead
     /// workers respawned after an injected thread death, or previously

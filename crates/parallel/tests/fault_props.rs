@@ -13,10 +13,13 @@ use plr_core::error::EngineError;
 use plr_core::serial;
 use plr_core::signature::Signature;
 use plr_parallel::fault::{self, FaultKind, FaultPlan, FaultSite};
-use plr_parallel::{BatchRunner, ParallelRunner, RunnerConfig, Strategy as RunStrategy};
+use plr_parallel::{
+    BatchRunner, CancelToken, ParallelRunner, RunControl, RunError, RunnerConfig,
+    Strategy as RunStrategy, WorkerPool,
+};
 use proptest::prelude::*;
-use std::sync::{Mutex, PoisonError};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The fault plan is process-global: tests must not interleave arming.
 /// Recovering from poisoning matters here — a failed assertion under the
@@ -67,7 +70,17 @@ fn watchdog<R: Send + 'static>(secs: u64, f: impl FnOnce() -> R + Send + 'static
 const N: usize = 16_384;
 const CHUNK: usize = 256;
 const NUM_CHUNKS: usize = N / CHUNK;
-const THREADS: usize = 4;
+
+/// Worker count for the suite: the `PLR_THREADS` CI matrix leg when set
+/// (1/2/4 in the workflow), otherwise 4 — so one test body covers the
+/// inline, two-worker, and oversubscribed schedules.
+fn threads() -> usize {
+    std::env::var("PLR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
 
 fn input(n: usize) -> Vec<i64> {
     (0..n).map(|i| ((i * 29) % 19) as i64 - 9).collect()
@@ -119,7 +132,7 @@ fn assert_fault_contract(
     prop_assert_eq!(&got, &expect, "rerun after fault must validate");
     prop_assert_eq!(
         stats.threads,
-        THREADS as u64,
+        threads() as u64,
         "pool width must be healed after the fault (recovered {})",
         stats.workers_recovered
     );
@@ -173,7 +186,7 @@ proptest! {
         };
         let config = RunnerConfig {
             chunk_size: CHUNK,
-            threads: THREADS,
+            threads: threads(),
             strategy,
             ..Default::default()
         };
@@ -191,7 +204,7 @@ proptest! {
         let strategy = if two_pass { RunStrategy::TwoPass } else { RunStrategy::LookbackPipeline };
         let config = RunnerConfig {
             chunk_size: CHUNK,
-            threads: THREADS,
+            threads: threads(),
             strategy,
             ..Default::default()
         };
@@ -244,7 +257,7 @@ fn dead_worker_is_respawned_and_reported() {
         sig.clone(),
         RunnerConfig {
             chunk_size: CHUNK,
-            threads: THREADS,
+            threads: threads(),
             ..Default::default()
         },
     )
@@ -267,7 +280,7 @@ fn dead_worker_is_respawned_and_reported() {
     assert_eq!(data, serial::run(&sig, &input(N)));
     // Whether the victim was a spawned worker (now respawned) or the
     // caller (nothing to respawn), the effective width is back to full.
-    assert_eq!(stats.threads, THREADS as u64);
+    assert_eq!(stats.threads, threads() as u64);
     assert!(stats.workers_recovered <= 1);
 }
 
@@ -282,7 +295,7 @@ fn delay_injection_covers_the_spin_path() {
         sig.clone(),
         RunnerConfig {
             chunk_size: CHUNK,
-            threads: THREADS,
+            threads: threads(),
             ..Default::default()
         },
     )
@@ -309,7 +322,7 @@ fn batch_row_fault_errors_and_recovers() {
     let _serial = serialize();
     quiet_injected_panics();
     let sig: Signature<i64> = "1:2,-1".parse().unwrap();
-    let batch = BatchRunner::new(sig.clone(), THREADS);
+    let batch = BatchRunner::new(sig.clone(), threads());
     let width = 512;
     let rows = 64;
     let data: Vec<i64> = input(width * rows);
@@ -350,7 +363,7 @@ fn batch_row_fault_errors_and_recovers() {
         let mut d = data.clone();
         let stats = batch.run_rows(&mut d, width).unwrap();
         assert_eq!(d, reference, "batch rerun after fault must validate");
-        assert_eq!(stats.threads, THREADS as u64);
+        assert_eq!(stats.threads, threads() as u64);
     }
 }
 
@@ -366,7 +379,7 @@ fn unarmed_harness_is_inert() {
             sig.clone(),
             RunnerConfig {
                 chunk_size: CHUNK,
-                threads: THREADS,
+                threads: threads(),
                 strategy,
                 ..Default::default()
             },
@@ -379,4 +392,294 @@ fn unarmed_harness_is_inert() {
             "{strategy:?}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Cancellation & deadline under injected wedges (ISSUE 4 acceptance).
+// ---------------------------------------------------------------------
+
+/// A run wedged by an injected delay is aborted through a caller-held
+/// `CancelToken`: the call returns `EngineError::Cancelled` long before
+/// the planned stall would end, the pool heals, and an immediate rerun
+/// validates bit-exactly against the serial reference.
+#[test]
+fn cancel_token_cancels_a_wedged_run() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let runner = ParallelRunner::with_config(
+        sig.clone(),
+        RunnerConfig {
+            chunk_size: CHUNK,
+            threads: threads(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let data = input(N);
+    runner.run(&data).unwrap(); // warm: resident, parked workers
+
+    // Wedge a mid-pipeline solve for 30s — far beyond what the test
+    // budget tolerates; only the token can end this run early.
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Solve,
+        NUM_CHUNKS / 2,
+        Duration::from_secs(30),
+    ));
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let (runner, result) = watchdog(60, move || {
+        let r = runner.run_with_cancel(&data, &token);
+        (runner, r)
+    });
+    canceller.join().unwrap();
+    let elapsed = start.elapsed();
+    fault::disarm();
+    match result {
+        Err(EngineError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "cancel must end a 30s wedge promptly, took {elapsed:?}"
+    );
+
+    // Healed pool, bit-exact rerun.
+    let mut rerun = input(N);
+    let stats = runner.run_in_place(&mut rerun).unwrap();
+    assert_eq!(rerun, serial::run(&sig, &input(N)));
+    assert_eq!(stats.threads, threads() as u64);
+    assert_eq!(stats.aborts, 0);
+}
+
+/// The same wedge is bounded by `RunnerConfig::deadline` alone: the
+/// pool's watchdog trips the abort, the call returns
+/// `EngineError::DeadlineExceeded` within the test budget, and the rerun
+/// validates bit-exactly.
+#[test]
+fn deadline_trips_a_wedged_run() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let budget = Duration::from_secs(2);
+    let runner = ParallelRunner::with_config(
+        sig.clone(),
+        RunnerConfig {
+            chunk_size: CHUNK,
+            threads: threads(),
+            deadline: Some(budget),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let data = input(N);
+    runner.run(&data).unwrap(); // warm (well under the deadline)
+
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Solve,
+        NUM_CHUNKS / 2,
+        Duration::from_secs(45),
+    ));
+    let start = Instant::now();
+    let (runner, result) = watchdog(60, move || {
+        let r = runner.run(&data);
+        (runner, r)
+    });
+    let elapsed = start.elapsed();
+    fault::disarm();
+    match result {
+        Err(EngineError::DeadlineExceeded { deadline }) => assert_eq!(deadline, budget),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "watchdog must fire near the 2s deadline, took {elapsed:?}"
+    );
+
+    let mut rerun = input(N);
+    let stats = runner.run_in_place(&mut rerun).unwrap();
+    assert_eq!(rerun, serial::run(&sig, &input(N)));
+    assert_eq!(stats.threads, threads() as u64);
+    assert_eq!(stats.aborts, 0);
+}
+
+/// Dropping a `RunHandle` without ever waiting on it — while its run is
+/// wedged in an injected 30s stall — cancels the run and blocks only
+/// until the workers quiesce; the pool is immediately reusable.
+#[test]
+fn dropped_handle_cancels_a_wedged_submission() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let pool = Arc::new(WorkerPool::new(threads()));
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Solve,
+        0,
+        Duration::from_secs(30),
+    ));
+    let start = Instant::now();
+    let reusable = {
+        let pool = Arc::clone(&pool);
+        watchdog(60, move || {
+            let handle = pool.submit(RunControl::new(), |worker, abort| {
+                // Worker 0 (the donated driver) hits the stall; everyone
+                // else waits for the abort like a spin-wait would.
+                if worker == 0 {
+                    plr_parallel::fault::check(FaultSite::Solve, worker, 0, Some(abort));
+                }
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+            });
+            drop(handle); // never waited on: must cancel + quiesce
+            pool.run(|_, _| {}).is_ok()
+        })
+    };
+    let elapsed = start.elapsed();
+    fault::disarm();
+    assert!(reusable, "pool must be reusable after a dropped handle");
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "handle drop must not ride out the 30s stall, took {elapsed:?}"
+    );
+    assert_eq!(pool.counters().cancelled, 1);
+}
+
+/// A stalled *observer* (delay injected at the handle-wait site) does not
+/// mask the run's own deadline: the watchdog lives in the pool, so by the
+/// time the observer recovers, the result is already DeadlineExceeded.
+#[test]
+fn handle_wait_stall_does_not_mask_the_deadline() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let pool = Arc::new(WorkerPool::new(threads()));
+    let budget = Duration::from_millis(500);
+    fault::arm(FaultPlan {
+        site: FaultSite::HandleWait,
+        worker: None,
+        chunk: None,
+        nth_call: None,
+        kind: FaultKind::Delay(Duration::from_secs(2)),
+    });
+    let result = {
+        let pool = Arc::clone(&pool);
+        watchdog(60, move || {
+            let handle = pool.submit(RunControl::new().with_deadline(budget), |_, abort| {
+                while !abort.is_aborted() {
+                    std::thread::yield_now();
+                }
+            });
+            handle.wait() // stalls 2s at the injected site first
+        })
+    };
+    fault::disarm();
+    assert_eq!(result, Err(RunError::DeadlineExceeded { deadline: budget }));
+    assert_eq!(pool.counters().deadline_exceeded, 1);
+    assert!(pool.run(|_, _| {}).is_ok());
+}
+
+/// The batch executor's *long-rows* path (cached intra-row runner) obeys
+/// the fault contract at every site it crosses: the per-row dispatch
+/// (`Row`), and the intra-row solve and look-back stages. A faulted row
+/// surfaces `WorkerPanicked`; subsequent calls on the healed pool
+/// validate against serial.
+#[test]
+fn long_rows_faults_error_and_recover() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    // The long-rows path requires rows < threads, which a PLR_THREADS=1
+    // leg can never satisfy — pin 4 workers so every leg covers it.
+    let batch_threads = 4;
+    let width = 50_000;
+    let rows = 2;
+    let batch = BatchRunner::new(sig.clone(), batch_threads);
+    let data = input(width * rows);
+    let reference: Vec<i64> = data
+        .chunks(width)
+        .flat_map(|row| serial::run(&sig, row))
+        .collect();
+
+    let mut batch = batch;
+    let plans = [
+        // Caller-thread dispatch of the second row.
+        FaultPlan::panic_at_chunk(FaultSite::Row, 1),
+        // Simulated thread death on the dispatch path.
+        FaultPlan::exit_at_chunk(FaultSite::Row, 0),
+        // Inside the cached intra-row runner's pipeline.
+        FaultPlan::panic_at_chunk(FaultSite::Solve, 5),
+        FaultPlan::panic_at_chunk(FaultSite::Lookback, 3),
+        FaultPlan::exit_at_chunk(FaultSite::Solve, 2),
+    ];
+    for plan in plans {
+        // Warm (also proves recovery from the previous iteration).
+        let mut warm = data.clone();
+        let stats = batch.run_rows(&mut warm, width).unwrap();
+        assert_eq!(warm, reference, "warm-up must validate ({plan:?})");
+        assert!(
+            stats.lookback_hops > 0,
+            "geometry must take the long-rows path"
+        );
+
+        fault::arm(plan.clone());
+        let (returned, result) = {
+            let b = batch;
+            let mut d = data.clone();
+            watchdog(60, move || {
+                let r = b.run_rows(&mut d, width);
+                (b, r)
+            })
+        };
+        batch = returned;
+        let fired = !fault::is_armed();
+        fault::disarm();
+        assert!(fired, "plan never fired: {plan:?}");
+        match result {
+            Err(EngineError::WorkerPanicked { worker, .. }) => {
+                if plan.site == FaultSite::Row {
+                    assert_eq!(worker, 0, "row dispatch runs on the caller");
+                }
+            }
+            other => panic!("expected WorkerPanicked for {plan:?}, got {other:?}"),
+        }
+    }
+
+    // Final rerun on the same (healed) batch runner.
+    let mut d = data.clone();
+    batch.run_rows(&mut d, width).unwrap();
+    assert_eq!(d, reference, "final rerun must validate");
+}
+
+/// Cancelling a batch between rows on the long-rows path stops promptly
+/// and leaves the runner reusable.
+#[test]
+fn long_rows_cancel_between_rows() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:1".parse().unwrap();
+    let batch = BatchRunner::new(sig.clone(), 4);
+    let width = 50_000;
+    let data = input(width * 2);
+    let token = CancelToken::new();
+    token.cancel();
+    let mut d = data.clone();
+    match batch.run_rows_with_cancel(&mut d, width, &token) {
+        Err(EngineError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let mut d = data.clone();
+    batch
+        .run_rows_with_cancel(&mut d, width, &CancelToken::new())
+        .unwrap();
+    let reference: Vec<i64> = data
+        .chunks(width)
+        .flat_map(|row| serial::run(&sig, row))
+        .collect();
+    assert_eq!(d, reference);
 }

@@ -1,0 +1,135 @@
+//! Bounded-latency recurrence runs — cancellation, deadlines, and
+//! non-blocking submission.
+//!
+//! A service that computes filters inline (audio effects, telemetry
+//! smoothing) cannot let one wedged run hold its request thread hostage.
+//! This example drives the three escape hatches the runtime provides:
+//!
+//! * a **deadline** in [`RunnerConfig`] that converts a run outliving its
+//!   wall-clock budget into an error instead of a hang,
+//! * a caller-held [`CancelToken`] that aborts an in-flight run from
+//!   another thread, and
+//! * [`WorkerPool::submit`], which hands a job to a donated driver thread
+//!   and returns a [`RunHandle`] the caller can poll with a timeout.
+//!
+//! Timing-dependent outcomes (did the cancel land before the run
+//! finished?) are printed either way — both are correct behaviour.
+//!
+//! ```text
+//! cargo run --release --example cancel_timeout
+//! ```
+
+use plr::parallel::{AbortSignal, RunError, WorkerPool};
+use plr::{CancelToken, ParallelRunner, RunControl, RunnerConfig, Signature};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sig: Signature<f64> = "1 : 0.999".parse()?; // a slow leaky integrator
+    let input: Vec<f64> = (0..1 << 22).map(|i| ((i % 64) as f64) / 64.0).collect();
+    let runner = ParallelRunner::with_config(
+        sig.clone(),
+        RunnerConfig {
+            chunk_size: 1 << 14,
+            threads: 0, // one worker per CPU
+            // Every run on this runner gets 10 seconds of wall clock; a
+            // wedged stage becomes EngineError::DeadlineExceeded, not a
+            // hung request thread.
+            deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        },
+    )?;
+
+    // 1. A healthy run finishes well inside its deadline.
+    let start = Instant::now();
+    let out = runner.run(&input)?;
+    println!(
+        "deadline-bounded run: {} elements in {:.1?} (budget 10s), y[last] = {:.3}",
+        out.len(),
+        start.elapsed(),
+        out.last().unwrap()
+    );
+
+    // An already-expired budget is rejected before any work is dispatched
+    // — the fail-fast path a load-shedding service would hit.
+    let strict = ParallelRunner::with_config(
+        sig.clone(),
+        RunnerConfig {
+            chunk_size: 1 << 14,
+            threads: 0,
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        },
+    )?;
+    match strict.run(&input) {
+        Err(e) => println!("zero budget rejected up front: {e}"),
+        Ok(_) => unreachable!("a zero deadline can never be met"),
+    }
+
+    // 2. Cancelling from another thread. The token is cloneable and
+    // thread-safe; whichever happens first — the run completing or the
+    // cancel landing — is a valid outcome, and the runner stays usable
+    // either way.
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    match runner.run_with_cancel(&input, &token) {
+        Ok(out) => println!(
+            "run beat the cancel ({:.1?}): y[last] = {:.3}",
+            start.elapsed(),
+            out.last().unwrap()
+        ),
+        Err(e) => println!("run cancelled after {:.1?}: {e}", start.elapsed()),
+    }
+    canceller.join().unwrap();
+    let out = runner.run(&input)?; // the pool healed; reruns are exact
+    println!("rerun after cancel: y[last] = {:.3}", out.last().unwrap());
+
+    // 3. Non-blocking submission at the pool layer: the caller keeps its
+    // thread, polls the handle with a timeout, and can give up (drop the
+    // handle) knowing the run will be cancelled and quiesced.
+    let pool = Arc::new(WorkerPool::new(4));
+    let progress = Arc::new(AtomicU64::new(0));
+    let handle = {
+        let progress = Arc::clone(&progress);
+        pool.submit(
+            RunControl::new(),
+            move |_worker: usize, abort: &AbortSignal| {
+                // Stand-in for a long pipeline stage: cooperative slices that
+                // poll the per-run abort signal between units of work.
+                for _ in 0..20 {
+                    if abort.is_aborted() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    progress.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        )
+    };
+    let mut polls = 0u32;
+    let verdict = loop {
+        polls += 1;
+        match handle.wait_timeout(Duration::from_millis(25)) {
+            Some(result) => break result,
+            None => println!(
+                "  still running after poll {polls} ({} slices done)",
+                progress.load(Ordering::Relaxed)
+            ),
+        }
+    };
+    match verdict {
+        Ok(()) => println!("submitted run finished after {polls} poll(s)"),
+        Err(RunError::Cancelled) => println!("submitted run was cancelled"),
+        Err(e) => println!("submitted run failed: {e}"),
+    }
+    println!("pool counters: {:?}", pool.counters());
+    Ok(())
+}

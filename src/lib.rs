@@ -48,4 +48,6 @@ pub use plr_parallel as parallel;
 pub use plr_sim as sim;
 
 pub use plr_core::{Element, Engine, Signature};
-pub use plr_parallel::{ParallelRunner, RunnerConfig, Strategy};
+pub use plr_parallel::{
+    BatchRunner, CancelToken, ParallelRunner, RunControl, RunHandle, RunnerConfig, Strategy,
+};
