@@ -13,11 +13,12 @@
 //! geometry changes the chunk size).
 
 use crate::pool::{
-    lock_recover, resolve_threads, CancelToken, RunControl, RunError, SendPtr, Tickets,
-    WorkerPanic, WorkerPool,
+    lock_recover, resolve_threads, AbortSignal, CancelToken, RunControl, RunError, SendPtr,
+    Tickets, WorkerPanic, WorkerPool,
 };
 use crate::runner::{fir_in_place, ParallelRunner, RunnerConfig};
 use crate::stats::RunStats;
+use crate::stream::RowStream;
 use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
@@ -35,14 +36,55 @@ struct CachedInner<T> {
     runner: ParallelRunner<T>,
 }
 
-/// A batched executor for one signature.
-#[derive(Debug)]
-pub struct BatchRunner<T> {
-    signature: Signature<T>,
+/// The per-row unit of work shared by the blocking whole-rows path and
+/// the streaming layer: in-place FIR map (skipped for pure-feedback
+/// signatures) followed by the in-place local solve, both timed.
+///
+/// Extracted from `run_whole_rows` so `BatchRunner::run_rows` and
+/// [`RowStream`] dispatch rows through literally the same code — a
+/// streamed row cannot drift from its blocking counterpart.
+#[derive(Debug, Clone)]
+pub(crate) struct RowTask<T> {
     fir: Vec<T>,
     /// Per-row local-solve kernel (register-blocked for orders ≤ 4 on the
     /// built-in scalars, scalar loop otherwise).
     solve: SolveKernel<T>,
+    /// Pure-feedback signatures have no FIR map stage at all.
+    pure: bool,
+}
+
+impl<T: Element> RowTask<T> {
+    /// Solves one row in place, returning `(fir_nanos, solve_nanos)`.
+    ///
+    /// The worker/row indices feed the fault harness's `Solve` site (the
+    /// same site the blocking path consults); they are unused otherwise.
+    pub(crate) fn apply(
+        &self,
+        row: &mut [T],
+        _worker: usize,
+        _index: usize,
+        _abort: Option<&AbortSignal>,
+    ) -> (u64, u64) {
+        let mut fir_ns = 0u64;
+        if !self.pure {
+            let start = Instant::now();
+            fir_in_place(&self.fir, &[], 0, row);
+            fir_ns = start.elapsed().as_nanos() as u64;
+        }
+        #[cfg(feature = "fault-inject")]
+        crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, _abort);
+        let start = Instant::now();
+        self.solve.solve_in_place(row);
+        (fir_ns, start.elapsed().as_nanos() as u64)
+    }
+}
+
+/// A batched executor for one signature.
+#[derive(Debug)]
+pub struct BatchRunner<T> {
+    signature: Signature<T>,
+    /// The shared per-row work unit (FIR + local solve).
+    task: RowTask<T>,
     threads: usize,
     /// Persistent workers, spawned on first use and shared with the
     /// cached intra-row runner.
@@ -55,10 +97,10 @@ impl<T: Element> BatchRunner<T> {
     pub fn new(signature: Signature<T>, threads: usize) -> Self {
         let (fir, recursive) = signature.split();
         let solve = SolveKernel::select(recursive.feedback());
+        let pure = signature.is_pure_feedback();
         BatchRunner {
             signature,
-            fir,
-            solve,
+            task: RowTask { fir, solve, pure },
             threads,
             pool: OnceLock::new(),
             inner: Mutex::new(None),
@@ -110,6 +152,35 @@ impl<T: Element> BatchRunner<T> {
         self.run_rows_ctl(data, width, Some(cancel))
     }
 
+    /// Opens a streaming submission channel: rows go in one at a time via
+    /// [`RowStream::push_row`], each returning a [`RowHandle`] that can be
+    /// polled, waited on, or `await`ed independently, while the pool's
+    /// workers drain rows concurrently in the background.
+    ///
+    /// The in-flight window defaults to `2 × threads` rows — enough to
+    /// keep every worker busy while the producer prepares the next row,
+    /// small enough that a slow consumer exerts backpressure instead of
+    /// buffering the whole batch. Use [`BatchRunner::stream_with_window`]
+    /// to pick a different bound.
+    ///
+    /// The stream occupies the pool until it is finished or dropped:
+    /// blocking `run_rows` calls on the same runner queue behind it.
+    /// Dropping the stream without calling [`RowStream::finish`] cancels
+    /// rows still queued or in flight (their handles resolve to
+    /// [`EngineError::Cancelled`]) and quiesces the workers.
+    ///
+    /// [`RowHandle`]: crate::RowHandle
+    pub fn stream(&self) -> RowStream<T> {
+        self.stream_with_window(2 * self.threads().max(1))
+    }
+
+    /// Like [`BatchRunner::stream`] with an explicit in-flight window
+    /// (clamped to at least 1): `push_row` blocks while `window` rows are
+    /// queued or being solved.
+    pub fn stream_with_window(&self, window: usize) -> RowStream<T> {
+        RowStream::launch(Arc::clone(self.pool()), self.task.clone(), window.max(1))
+    }
+
     fn run_rows_ctl(
         &self,
         data: &mut [T],
@@ -151,16 +222,14 @@ impl<T: Element> BatchRunner<T> {
         if let Some(token) = cancel {
             ctl = ctl.with_cancel(token);
         }
-        let pure = self.signature.is_pure_feedback();
-        let solve = &self.solve;
-        let fir = &self.fir;
+        let task = &self.task;
         let fir_nanos = AtomicU64::new(0);
         let solve_nanos = AtomicU64::new(0);
         let aborts = AtomicU64::new(0);
         let recovered_before = pool.recovered_workers();
         let tickets = Tickets::new(rows);
         let base = SendPtr::new(data.as_mut_ptr());
-        pool.run_ctl(&ctl, |_worker, abort| {
+        pool.run_ctl(&ctl, |worker, abort| {
             let (mut fir_ns, mut solve_ns) = (0u64, 0u64);
             while let Some(r) = tickets.claim() {
                 if abort.is_aborted() {
@@ -171,22 +240,16 @@ impl<T: Element> BatchRunner<T> {
                 // outlives the blocking `pool.run` call.
                 let row =
                     unsafe { std::slice::from_raw_parts_mut(base.ptr().add(r * width), width) };
-                if !pure {
-                    let start = Instant::now();
-                    fir_in_place(fir, &[], 0, row);
-                    fir_ns += start.elapsed().as_nanos() as u64;
-                }
-                #[cfg(feature = "fault-inject")]
-                crate::fault::check(crate::fault::FaultSite::Solve, _worker, r, Some(abort));
-                let start = Instant::now();
-                solve.solve_in_place(row);
-                solve_ns += start.elapsed().as_nanos() as u64;
+                let (f, s) = task.apply(row, worker, r, Some(abort));
+                fir_ns += f;
+                solve_ns += s;
             }
             fir_nanos.fetch_add(fir_ns, Ordering::Relaxed);
             solve_nanos.fetch_add(solve_ns, Ordering::Relaxed);
         })
         .map_err(RunError::into_engine_error)?;
         Ok(RunStats {
+            rows: rows as u64,
             chunks: rows as u64,
             threads: pool.width() as u64,
             aborts: aborts.load(Ordering::Relaxed),

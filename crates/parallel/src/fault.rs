@@ -32,18 +32,25 @@ pub enum FaultSite {
     /// sequential carry chain (consulted with worker id 0 there).
     Lookback,
     /// At the start of [`RunHandle::wait`] / [`RunHandle::wait_timeout`]
-    /// — the *observer* side of a non-blocking submission (consulted with
-    /// worker id 0, chunk 0, no abort signal: a stalled waiter must not
-    /// be rescued by the run's own cancellation).
+    /// and their [`RowHandle`] counterparts — the *observer* side of a
+    /// non-blocking submission (consulted with worker id 0 and no abort
+    /// signal: a stalled waiter must not be rescued by the run's own
+    /// cancellation; `chunk` is 0 for run handles, the row index for row
+    /// handles).
     ///
     /// [`RunHandle::wait`]: crate::RunHandle::wait
     /// [`RunHandle::wait_timeout`]: crate::RunHandle::wait_timeout
+    /// [`RowHandle`]: crate::RowHandle
     HandleWait,
-    /// At the top of each per-row dispatch in
-    /// [`BatchRunner::run_rows`]'s long-rows path (the cached intra-row
-    /// runner; consulted with worker id 0 and the row index as `chunk`).
+    /// At the top of each per-row dispatch: the long-rows path of
+    /// [`BatchRunner::run_rows`] (cached intra-row runner; worker id 0,
+    /// row index as `chunk`) and each popped row of a [`RowStream`]
+    /// (solving worker's id, submission index as `chunk`, the *per-row*
+    /// abort signal — so a Delay here ends early when that one row is
+    /// cancelled or deadline-tripped, not only when the stream dies).
     ///
     /// [`BatchRunner::run_rows`]: crate::BatchRunner::run_rows
+    /// [`RowStream`]: crate::RowStream
     Row,
 }
 

@@ -70,9 +70,16 @@
 //! - **Submission can be non-blocking.** [`WorkerPool::submit`] hands the
 //!   job to a donated driver thread (standing in for the caller's
 //!   worker-0 role) and returns a [`RunHandle`] whose completion is
-//!   signalled — poll it, wait with a timeout, or register a waker.
-//!   Dropping an unfinished handle cancels the run and blocks until it
-//!   quiesces.
+//!   signalled — poll it, wait with a timeout, register a waker, or
+//!   `await` it (the handle implements `IntoFuture`). Dropping an
+//!   unfinished handle cancels the run and blocks until it quiesces.
+//! - **Rows can be streamed.** [`BatchRunner::stream`] opens a
+//!   [`RowStream`]: rows go in one at a time under a bounded
+//!   backpressure window, each returning a [`RowHandle`] with its own
+//!   result, [`RunStats`], cancel token, and deadline; a failed row
+//!   resolves only its own handle. The [`stream`] module also provides
+//!   the runtime-agnostic `Future` adapters ([`RowFuture`],
+//!   [`RunFuture`], [`block_on`]) built on the waker hooks.
 //! - **The pool survives.** Worker threads outlive job panics; a worker
 //!   that genuinely dies is respawned lazily at the next submission, and
 //!   threads that failed to spawn in the first place are retried there
@@ -117,6 +124,7 @@ pub mod fault;
 pub mod pool;
 pub mod runner;
 pub mod stats;
+pub mod stream;
 
 pub use batch::BatchRunner;
 pub use pool::{
@@ -125,3 +133,4 @@ pub use pool::{
 };
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
 pub use stats::{PoolCounters, RunStats};
+pub use stream::{block_on, RowFuture, RowHandle, RowStream, RunFuture};

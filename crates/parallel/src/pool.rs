@@ -274,8 +274,9 @@ impl CancelToken {
     /// Links a run's abort signal to this token for the run's duration.
     /// The returned guard unlinks on drop. A token cancelled concurrently
     /// with the attach still trips the signal (flag checked after
-    /// publication).
-    fn attach(&self, abort: &Arc<AbortSignal>) -> CancelAttachment<'_> {
+    /// publication). Crate-visible so the streaming layer can link
+    /// per-row tokens to per-row abort signals the same way.
+    pub(crate) fn attach(&self, abort: &Arc<AbortSignal>) -> CancelAttachment<'_> {
         {
             let mut watchers = lock_recover(&self.inner.watchers);
             watchers.retain(|w| w.strong_count() > 0);
@@ -292,7 +293,7 @@ impl CancelToken {
 }
 
 /// Unlinks a run's abort signal from its [`CancelToken`] on drop.
-struct CancelAttachment<'a> {
+pub(crate) struct CancelAttachment<'a> {
     token: &'a CancelToken,
     abort: Weak<AbortSignal>,
 }
@@ -512,16 +513,19 @@ struct Workers {
     handles: Vec<Option<JoinHandle<()>>>,
 }
 
-/// The deadline watchdog's shared state: at most one run is under watch
-/// at a time (submissions are serialized by the pool).
+/// The deadline watchdog's shared state. Blocking submissions are
+/// serialized, so they arm at most one watch at a time — but a streamed
+/// row submission ([`crate::stream::RowStream`]) arms one watch *per
+/// in-flight row with a deadline*, so the watchdog tracks a set of
+/// watches and always sleeps until the earliest one.
 struct WatchdogShared {
     state: Mutex<WatchState>,
     cv: Condvar,
 }
 
 struct WatchState {
-    /// `(id, deadline, run's abort)` for the run currently under watch.
-    watch: Option<(u64, Instant, Weak<AbortSignal>)>,
+    /// `(id, deadline, abort signal)` for every run or row under watch.
+    watches: Vec<(u64, Instant, Weak<AbortSignal>)>,
     next_id: u64,
     shutdown: bool,
 }
@@ -532,38 +536,41 @@ fn watchdog_loop(shared: &WatchdogShared) {
         if state.shutdown {
             return;
         }
-        match &state.watch {
+        let now = Instant::now();
+        // Trip every expired watch under the lock: a disarm (which takes
+        // the same lock) can then never race a trip for a run that
+        // already completed and disarmed.
+        state.watches.retain(|(_, at, weak)| {
+            if now >= *at {
+                if let Some(abort) = weak.upgrade() {
+                    abort.trip(AbortReason::DeadlineExceeded);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        match state.watches.iter().map(|(_, at, _)| *at).min() {
             None => {
                 state = shared
                     .cv
                     .wait(state)
                     .unwrap_or_else(PoisonError::into_inner);
             }
-            Some((_, at, weak)) => {
-                let now = Instant::now();
-                if now >= *at {
-                    // Tripping under the lock means a disarm (which takes
-                    // the same lock) can never race a trip for a run that
-                    // already completed and disarmed.
-                    if let Some(abort) = weak.upgrade() {
-                        abort.trip(AbortReason::DeadlineExceeded);
-                    }
-                    state.watch = None;
-                } else {
-                    let wait = *at - now;
-                    state = shared
-                        .cv
-                        .wait_timeout(state, wait)
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .0;
-                }
+            Some(earliest) => {
+                let wait = earliest - now;
+                state = shared
+                    .cv
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
             }
         }
     }
 }
 
-/// Disarms the watchdog for a completed run on drop.
-struct WatchGuard<'a> {
+/// Disarms the watchdog for a completed run (or streamed row) on drop.
+pub(crate) struct WatchGuard<'a> {
     watchdog: &'a WatchdogShared,
     id: u64,
 }
@@ -571,8 +578,9 @@ struct WatchGuard<'a> {
 impl Drop for WatchGuard<'_> {
     fn drop(&mut self) {
         let mut state = lock_recover(&self.watchdog.state);
-        if state.watch.as_ref().is_some_and(|w| w.0 == self.id) {
-            state.watch = None;
+        let before = state.watches.len();
+        state.watches.retain(|w| w.0 != self.id);
+        if state.watches.len() != before {
             self.watchdog.cv.notify_all();
         }
     }
@@ -680,7 +688,7 @@ impl WorkerPool {
             workers: Mutex::new(Workers { handles }),
             watchdog: Arc::new(WatchdogShared {
                 state: Mutex::new(WatchState {
-                    watch: None,
+                    watches: Vec::new(),
                     next_id: 0,
                     shutdown: false,
                 }),
@@ -782,16 +790,22 @@ impl WorkerPool {
         }
     }
 
-    /// Puts the current run under deadline watch; the guard disarms on
-    /// drop. `None` when the watchdog thread could not be spawned.
-    fn watchdog_arm(&self, at: Instant, abort: &Arc<AbortSignal>) -> Option<WatchGuard<'_>> {
+    /// Puts a run — or one streamed row — under deadline watch; the guard
+    /// disarms on drop. Any number of watches may be armed concurrently
+    /// (the streaming layer arms one per in-flight row with a deadline).
+    /// `None` when the watchdog thread could not be spawned.
+    pub(crate) fn watchdog_arm(
+        &self,
+        at: Instant,
+        abort: &Arc<AbortSignal>,
+    ) -> Option<WatchGuard<'_>> {
         if !self.ensure_watchdog() {
             return None;
         }
         let mut state = lock_recover(&self.watchdog.state);
         let id = state.next_id;
         state.next_id += 1;
-        state.watch = Some((id, at, Arc::downgrade(abort)));
+        state.watches.push((id, at, Arc::downgrade(abort)));
         self.watchdog.cv.notify_all();
         Some(WatchGuard {
             watchdog: &self.watchdog,
@@ -1853,6 +1867,65 @@ mod tests {
         h3.wait().unwrap();
         assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
         assert_eq!(pool.counters().runs, 3);
+    }
+
+    /// Regression guard for `RunHandle::wait_timeout`: after any condvar
+    /// wakeup the loop must re-wait with the *remaining* budget, never
+    /// the full one, so the total wait is bounded by the budget plus
+    /// scheduling slack — not by `budget × wakeups`.
+    #[test]
+    fn wait_timeout_total_wait_is_bounded() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let handle = pool.submit(RunControl::new(), |_, abort| {
+            while !abort.is_aborted() {
+                std::thread::yield_now();
+            }
+        });
+        let budget = Duration::from_millis(80);
+        let start = Instant::now();
+        // Repeated expiring waits on the same never-finishing handle:
+        // each one must consume (roughly) its own budget and no more.
+        for _ in 0..3 {
+            assert_eq!(handle.wait_timeout(budget), None);
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= budget, "three waits cannot beat one budget");
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "timeouts must expire near their budget, took {elapsed:?}"
+        );
+        handle.cancel();
+        assert_eq!(handle.wait(), Err(RunError::Cancelled));
+    }
+
+    /// The watchdog tracks any number of concurrent watches (one per
+    /// streamed row with a deadline): the earliest trips first, disarmed
+    /// watches never trip, and later watches still fire.
+    #[test]
+    fn watchdog_handles_concurrent_watches() {
+        let pool = WorkerPool::new(2);
+        let early = Arc::new(AbortSignal::default());
+        let late = Arc::new(AbortSignal::default());
+        let disarmed = Arc::new(AbortSignal::default());
+        let now = Instant::now();
+        let g_early = pool.watchdog_arm(now + Duration::from_millis(30), &early);
+        let g_late = pool.watchdog_arm(now + Duration::from_millis(120), &late);
+        let g_disarmed = pool.watchdog_arm(now + Duration::from_millis(60), &disarmed);
+        assert!(g_early.is_some() && g_late.is_some() && g_disarmed.is_some());
+        drop(g_disarmed); // completed before its deadline
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while early.reason().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(early.reason(), Some(AbortReason::DeadlineExceeded));
+        assert_eq!(disarmed.reason(), None, "disarmed watch must not trip");
+        while late.reason().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(late.reason(), Some(AbortReason::DeadlineExceeded));
+        assert_eq!(disarmed.reason(), None);
+        drop(g_early);
+        drop(g_late);
     }
 
     #[test]

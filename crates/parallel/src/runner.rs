@@ -476,6 +476,7 @@ impl<T: Element> ParallelRunner<T> {
             return Err(e);
         }
         Ok(RunStats {
+            rows: 1,
             chunks: num_chunks as u64,
             lookback_hops: hops.load(Ordering::Relaxed),
             spin_waits: spins.load(Ordering::Relaxed),
@@ -600,6 +601,7 @@ impl<T: Element> ParallelRunner<T> {
         .map_err(RunError::into_engine_error)?;
 
         Ok(RunStats {
+            rows: 1,
             chunks: num_chunks as u64,
             lookback_hops: hops,
             spin_waits: 0,

@@ -32,6 +32,14 @@ pub struct PoolCounters {
 /// Counters describing one parallel run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
+    /// Rows solved. One for a single-sequence run, the row count for a
+    /// batched [`BatchRunner::run_rows`] call, and `1` in the per-row
+    /// stats a streamed [`RowHandle`] reports (so aggregates produced by
+    /// [`RunStats::absorb`] count rows correctly).
+    ///
+    /// [`BatchRunner::run_rows`]: crate::BatchRunner::run_rows
+    /// [`RowHandle`]: crate::RowHandle
+    pub rows: u64,
     /// Number of chunks processed.
     pub chunks: u64,
     /// Look-back hops performed (carry sets read while resolving
@@ -110,6 +118,7 @@ impl RunStats {
     /// Folds another run's counters into this one (used by batched
     /// execution to aggregate over rows).
     pub fn absorb(&mut self, other: &RunStats) {
+        self.rows += other.rows;
         self.chunks += other.chunks;
         self.lookback_hops += other.lookback_hops;
         self.spin_waits += other.spin_waits;
@@ -165,6 +174,7 @@ mod tests {
             ..RunStats::default()
         };
         let b = RunStats {
+            rows: 1,
             chunks: 3,
             lookback_hops: 2,
             spin_waits: 7,
@@ -176,6 +186,7 @@ mod tests {
             ..RunStats::default()
         };
         a.absorb(&b);
+        assert_eq!(a.rows, 1);
         assert_eq!(a.chunks, 5);
         assert_eq!(a.lookback_hops, 3);
         assert_eq!(a.spin_waits, 7);

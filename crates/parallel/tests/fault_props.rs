@@ -683,3 +683,232 @@ fn long_rows_cancel_between_rows() {
         .collect();
     assert_eq!(d, reference);
 }
+
+// ---------------------------------------------------------------------
+// Streaming legs: the `FaultSite::Row` consult at the top of every popped
+// `RowStream` row, plus per-row cancel and deadline control.
+// ---------------------------------------------------------------------
+
+/// Per-row inputs for the streaming legs: `rows` distinct rows of `width`.
+fn stream_rows(rows: usize, width: usize) -> Vec<Vec<i64>> {
+    (0..rows)
+        .map(|r| input(width).iter().map(|&v| v + r as i64).collect())
+        .collect()
+}
+
+/// A panic injected into one mid-stream row faults *only that row*: its
+/// handle resolves to `WorkerPanicked`, every other streamed row stays
+/// bit-exact against the serial reference, `finish` surfaces the error,
+/// and the same runner's pool heals for a blocking rerun.
+#[test]
+fn stream_row_panic_faults_only_that_row() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let runner = BatchRunner::new(sig.clone(), threads());
+    let rows = stream_rows(8, 512);
+    let expect: Vec<Vec<i64>> = rows.iter().map(|r| serial::run(&sig, r)).collect();
+
+    fault::arm(FaultPlan::panic_at_chunk(FaultSite::Row, 3));
+    let (runner, outcomes, finished) = {
+        let rows = rows.clone();
+        watchdog(60, move || {
+            let stream = runner.stream();
+            let handles: Vec<_> = rows.into_iter().map(|r| stream.push_row(r)).collect();
+            stream.close();
+            let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let finished = stream.finish();
+            (runner, outcomes, finished)
+        })
+    };
+    let fired = !fault::is_armed();
+    fault::disarm();
+    assert!(fired, "the Row-site plan must fire on the streamed row");
+    for (i, ((data, result), expect)) in outcomes.into_iter().zip(&expect).enumerate() {
+        if i == 3 {
+            match result {
+                Err(EngineError::WorkerPanicked { .. }) => {}
+                other => panic!("faulted row must be WorkerPanicked, got {other:?}"),
+            }
+        } else {
+            result.unwrap_or_else(|e| panic!("row {i} must survive the fault: {e:?}"));
+            assert_eq!(&data, expect, "row {i} must stay bit-exact");
+        }
+    }
+    match finished {
+        Err(EngineError::WorkerPanicked { .. }) => {}
+        other => panic!("finish must surface the row fault, got {other:?}"),
+    }
+
+    // The pool heals: a blocking batch on the same runner validates.
+    let mut rerun: Vec<i64> = rows.concat();
+    let stats = runner.run_rows(&mut rerun, 512).unwrap();
+    assert_eq!(rerun, expect.concat(), "post-fault blocking rerun");
+    assert_eq!(stats.threads, threads() as u64, "pool width must be healed");
+}
+
+/// A delay injected into a mid-stream row stalls that row but corrupts
+/// nothing: every handle still resolves `Ok` with bit-exact data and the
+/// aggregate stats count all rows.
+#[test]
+fn stream_row_delay_keeps_every_row_exact() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1,1:3,-3,1".parse().unwrap();
+    let runner = BatchRunner::new(sig.clone(), threads());
+    let rows = stream_rows(8, 384);
+    let expect: Vec<Vec<i64>> = rows.iter().map(|r| serial::run(&sig, r)).collect();
+
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Row,
+        2,
+        Duration::from_millis(300),
+    ));
+    let (outcomes, stats) = {
+        let rows = rows.clone();
+        watchdog(60, move || {
+            let stream = runner.stream();
+            let handles: Vec<_> = rows.into_iter().map(|r| stream.push_row(r)).collect();
+            stream.close();
+            let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let stats = stream.finish().expect("a delayed row still succeeds");
+            (outcomes, stats)
+        })
+    };
+    let fired = !fault::is_armed();
+    fault::disarm();
+    assert!(fired, "the delay plan must fire on the streamed row");
+    for (i, ((data, result), expect)) in outcomes.into_iter().zip(&expect).enumerate() {
+        result.unwrap_or_else(|e| panic!("row {i} must succeed through the stall: {e:?}"));
+        assert_eq!(&data, expect, "row {i} must stay bit-exact");
+    }
+    assert_eq!(stats.rows, 8);
+}
+
+/// Cancelling one streamed row through its own token ends an injected
+/// 30s wedge on that row promptly; only that row reports `Cancelled`,
+/// every other row is bit-exact, and the stream keeps flowing.
+#[test]
+fn stream_cancel_one_row_via_token() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:1".parse().unwrap();
+    let runner = BatchRunner::new(sig.clone(), threads());
+    let rows = stream_rows(6, 256);
+    let expect: Vec<Vec<i64>> = rows.iter().map(|r| serial::run(&sig, r)).collect();
+
+    // Wedge row 2 far beyond the test budget; only its token can end it.
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Row,
+        2,
+        Duration::from_secs(30),
+    ));
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let outcomes = {
+        let rows = rows.clone();
+        let token = token.clone();
+        watchdog(60, move || {
+            let stream = runner.stream();
+            let handles: Vec<_> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if i == 2 {
+                        stream.push_row_ctl(r, RunControl::new().with_cancel(&token))
+                    } else {
+                        stream.push_row(r)
+                    }
+                })
+                .collect();
+            stream.close();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        })
+    };
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    fault::disarm(); // in case the cancel won the race to the consult
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "per-row cancel must end a 30s wedge promptly, took {elapsed:?}"
+    );
+    for (i, ((data, result), expect)) in outcomes.into_iter().zip(&expect).enumerate() {
+        if i == 2 {
+            match result {
+                Err(EngineError::Cancelled) => {}
+                other => panic!("cancelled row must report Cancelled, got {other:?}"),
+            }
+        } else {
+            result.unwrap_or_else(|e| panic!("row {i} must survive the cancel: {e:?}"));
+            assert_eq!(&data, expect, "row {i} must stay bit-exact");
+        }
+    }
+}
+
+/// A per-row deadline (via `push_row_ctl`) bounds an injected 30s wedge:
+/// the wedged row resolves `DeadlineExceeded` with its own budget near
+/// that budget's expiry, and the rest of the stream is unaffected.
+#[test]
+fn stream_per_row_deadline_trips_the_wedged_row() {
+    let _serial = serialize();
+    quiet_injected_panics();
+    let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+    let runner = BatchRunner::new(sig.clone(), threads());
+    let rows = stream_rows(5, 256);
+    let expect: Vec<Vec<i64>> = rows.iter().map(|r| serial::run(&sig, r)).collect();
+    let budget = Duration::from_millis(500);
+
+    fault::arm(FaultPlan::delay_at_chunk(
+        FaultSite::Row,
+        1,
+        Duration::from_secs(30),
+    ));
+    let start = Instant::now();
+    let outcomes = {
+        let rows = rows.clone();
+        watchdog(60, move || {
+            let stream = runner.stream();
+            let handles: Vec<_> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if i == 1 {
+                        stream.push_row_ctl(r, RunControl::new().with_deadline(budget))
+                    } else {
+                        stream.push_row(r)
+                    }
+                })
+                .collect();
+            stream.close();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        })
+    };
+    let elapsed = start.elapsed();
+    let fired = !fault::is_armed();
+    fault::disarm();
+    assert!(fired, "the wedge must fire on the deadlined row");
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "the per-row deadline must end a 30s wedge promptly, took {elapsed:?}"
+    );
+    for (i, ((data, result), expect)) in outcomes.into_iter().zip(&expect).enumerate() {
+        if i == 1 {
+            match result {
+                Err(EngineError::DeadlineExceeded { deadline }) => {
+                    assert_eq!(deadline, budget, "the row's own budget is reported")
+                }
+                other => panic!("wedged row must be DeadlineExceeded, got {other:?}"),
+            }
+        } else {
+            result.unwrap_or_else(|e| panic!("row {i} must survive the deadline: {e:?}"));
+            assert_eq!(&data, expect, "row {i} must stay bit-exact");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Streaming row submission — push rows as they arrive, harvest results
+//! as they complete.
+//!
+//! A batch API wants all its rows up front; a service rarely has them.
+//! [`BatchRunner::stream`] opens a [`RowStream`]: each `push_row` hands
+//! one row to the worker pool and returns a [`RowHandle`] that resolves
+//! independently — poll it, wait on it, `await` it, cancel it, or give
+//! it its own deadline. A bounded in-flight window gives the producer
+//! backpressure instead of unbounded buffering, and one failed row
+//! resolves only its own handle: the rest of the stream keeps flowing.
+//!
+//! ```text
+//! cargo run --release --example stream_rows
+//! ```
+
+use plr::parallel::block_on;
+use plr::{BatchRunner, CancelToken, RowHandle, RunControl, Signature};
+use std::future::IntoFuture;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sig: Signature<f64> = "0.2 : 0.8".parse()?; // a smoothing one-pole
+    let runner = BatchRunner::new(sig, 4);
+
+    // 1. Rows trickle in; results come back per row, in completion
+    // order, not submission order. The window (2 x threads by default)
+    // blocks `push_row` once that many rows are queued or in flight.
+    let stream = runner.stream();
+    println!("window: {} rows in flight at most", stream.window());
+    let mut handles: Vec<RowHandle<f64>> = Vec::new();
+    for row in 0..8 {
+        // Stand-in for "the next request arriving": each row is a short
+        // burst with a different amplitude.
+        let data: Vec<f64> = (0..4096)
+            .map(|i| ((i % 97) as f64) * (row + 1) as f64)
+            .collect();
+        handles.push(stream.push_row(data));
+    }
+
+    // Harvest out of order: whichever row we ask for first, its handle
+    // blocks only for *that* row.
+    for handle in handles.into_iter().rev() {
+        let index = handle.index();
+        let (data, result) = handle.join();
+        let stats = result?;
+        println!(
+            "row {index}: {} samples solved in {:.1}us",
+            data.len(),
+            stats.solve_nanos as f64 / 1e3
+        );
+    }
+
+    // 2. Per-row control: one row gets a cancel token, another gets its
+    // own wall-clock budget. Neither touches the rows around it.
+    let token = CancelToken::new();
+    let cancelled = stream.push_row_ctl(vec![1.0; 1 << 20], RunControl::new().with_cancel(&token));
+    token.cancel(); // e.g. the client hung up
+    let deadlined = stream.push_row_ctl(
+        vec![1.0; 4096],
+        RunControl::new().with_deadline(Duration::from_secs(5)),
+    );
+    let normal = stream.push_row(vec![1.0; 4096]);
+    match cancelled.join().1 {
+        Err(e) => println!("cancelled row reports: {e}"),
+        Ok(_) => println!("cancelled row finished before the cancel landed"),
+    }
+    deadlined.join().1?; // 5s is plenty: resolves Ok
+    normal.join().1?;
+    println!("the rows around the cancelled one were untouched");
+
+    // 3. The handles are futures: `await` them from any executor — or
+    // from none, with the bundled park/unpark `block_on`.
+    let start = Instant::now();
+    let handle = stream.push_row((0..65_536).map(|i| i as f64).collect());
+    let (data, result) = block_on(handle.into_future());
+    result?;
+    println!(
+        "awaited row: {} samples in {:.1?}, y[last] = {:.3e}",
+        data.len(),
+        start.elapsed(),
+        data.last().unwrap()
+    );
+
+    // 4. `finish` closes the stream, drains the workers, and reports the
+    // aggregate: the cancelled row shows up as an abort, not a hang.
+    match stream.finish() {
+        Ok(stats) => println!("stream drained clean: {} rows", stats.rows),
+        Err(e) => println!("stream drained; first error was: {e}"),
+    }
+    Ok(())
+}

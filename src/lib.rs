@@ -49,5 +49,6 @@ pub use plr_sim as sim;
 
 pub use plr_core::{Element, Engine, Signature};
 pub use plr_parallel::{
-    BatchRunner, CancelToken, ParallelRunner, RunControl, RunHandle, RunnerConfig, Strategy,
+    BatchRunner, CancelToken, ParallelRunner, RowHandle, RowStream, RunControl, RunHandle,
+    RunnerConfig, Strategy,
 };
