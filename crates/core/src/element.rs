@@ -69,6 +69,20 @@ pub trait Element:
     /// Parse a single signature token (e.g. `"-1"`, `"0.8"`).
     fn parse_token(tok: &str) -> Option<Self>;
 
+    /// A stable 64-bit fingerprint of the value, used to key caches
+    /// (distinct values must map to distinct bits *within one type*; the
+    /// cache key also carries the `TypeId`, so cross-type collisions are
+    /// harmless). Floats use their IEEE bit pattern — `0.0` and `-0.0` are
+    /// deliberately distinct, and every NaN payload keys separately.
+    fn key_bits(self) -> u64;
+
+    /// The positive underflow threshold below which [`flush_denormal`]
+    /// zeroes a value (`f32::MIN_POSITIVE` / `f64::MIN_POSITIVE`), widened
+    /// to `f64`. Zero for integers, which never flush.
+    ///
+    /// [`flush_denormal`]: Element::flush_denormal
+    const FLUSH_THRESHOLD: f64 = 0.0;
+
     /// `self == 0`.
     fn is_zero(self) -> bool {
         self == Self::zero()
@@ -133,6 +147,9 @@ macro_rules! impl_int_element {
             fn parse_token(tok: &str) -> Option<Self> {
                 tok.parse().ok()
             }
+            fn key_bits(self) -> u64 {
+                self as i64 as u64
+            }
             fn approx_eq(self, other: Self, _tol: f64) -> bool {
                 self == other
             }
@@ -178,6 +195,10 @@ macro_rules! impl_float_element {
             fn parse_token(tok: &str) -> Option<Self> {
                 tok.parse().ok()
             }
+            fn key_bits(self) -> u64 {
+                self.to_bits() as u64
+            }
+            const FLUSH_THRESHOLD: f64 = $min_positive as f64;
             fn flush_denormal(self) -> Self {
                 if self != 0.0 && self.abs() < $min_positive {
                     0.0

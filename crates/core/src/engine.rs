@@ -6,12 +6,14 @@
 //! `plr-parallel`'s multithreaded runtime, and the benchmarks all agree
 //! with; its own correctness is anchored to [`crate::serial`].
 
-use crate::blocked::{self, SolveKernel};
+use std::sync::Arc;
+
+use crate::blocked;
 use crate::element::Element;
 use crate::error::EngineError;
 use crate::nacci::CorrectionTable;
 use crate::phase1;
-use crate::phase2;
+use crate::plan::{self, CorrectionPlan, PlanRequest};
 use crate::signature::Signature;
 
 /// Maximum supported sequence length: 2^30 words (the paper's 4 GB cap).
@@ -88,11 +90,9 @@ impl Default for EngineConfig {
 #[derive(Debug, Clone)]
 pub struct Engine<T> {
     signature: Signature<T>,
-    fir: Vec<T>,
-    table: CorrectionTable<T>,
-    /// Serial-solve kernel for [`LocalSolve::Serial`] chunks (register-
-    /// blocked for low orders, scalar fallback otherwise).
-    solve: SolveKernel<T>,
+    /// The cached correction plan: factor table (full-length when Phase 1
+    /// doubling needs it), per-list strategies, FIR and solve kernels.
+    plan: Arc<CorrectionPlan<T>>,
     config: EngineConfig,
 }
 
@@ -125,18 +125,19 @@ impl<T: Element> Engine<T> {
                 chunk_size: config.chunk_size,
             });
         }
-        let (fir, recursive) = signature.split();
-        let table = CorrectionTable::generate_with(
-            recursive.feedback(),
-            config.chunk_size,
-            config.flush_denormals && T::IS_FLOAT,
-        );
-        let solve = SolveKernel::select(recursive.feedback());
+        // Phase 1 doubling indexes the factor table at every merge width,
+        // so it needs the physically full table; the serial local solve
+        // can use a decay-truncated one.
+        let req = PlanRequest {
+            chunk_size: config.chunk_size,
+            flush: config.flush_denormals && T::IS_FLOAT,
+            full_table: config.local_solve == LocalSolve::HierarchicalDoubling,
+            ..PlanRequest::new::<T>(config.chunk_size)
+        };
+        let (plan, _) = plan::plan_for(&signature, req);
         Ok(Engine {
             signature,
-            fir,
-            table,
-            solve,
+            plan,
             config,
         })
     }
@@ -154,7 +155,13 @@ impl<T: Element> Engine<T> {
     /// The precomputed correction-factor table (exposed so that code
     /// generators and analyses can reuse the offline work; C-INTERMEDIATE).
     pub fn correction_table(&self) -> &CorrectionTable<T> {
-        &self.table
+        self.plan.table()
+    }
+
+    /// The correction plan this engine executes (strategy selection,
+    /// truncation depth, kernels) — shared through the global plan cache.
+    pub fn plan(&self) -> &CorrectionPlan<T> {
+        &self.plan
     }
 
     /// Computes the recurrence over `input`, allocating the output.
@@ -186,25 +193,26 @@ impl<T: Element> Engine<T> {
         // coefficients (paper equation (2)), in place — the whole input is
         // one "chunk" with nothing to its left.
         if !self.signature.is_pure_feedback() {
-            blocked::fir_in_place(&self.fir, &[], 0, data);
+            blocked::fir_in_place(self.plan.fir(), &[], 0, data);
         }
         let m = self.config.chunk_size;
 
         // Stage 2: local solutions per chunk.
         match self.config.local_solve {
-            LocalSolve::HierarchicalDoubling => phase1::run(&self.table, data, m),
+            LocalSolve::HierarchicalDoubling => phase1::run(self.plan.table(), data, m),
             LocalSolve::Serial => {
                 for chunk in data.chunks_mut(m) {
-                    self.solve.solve_in_place(chunk);
+                    self.plan.solve().solve_in_place(chunk);
                 }
             }
         }
 
-        // Stage 3: carry propagation.
+        // Stage 3: carry propagation, specialized per the plan's factor
+        // strategies (identical results to the dense phase2 forms).
         match self.config.carry_propagation {
-            CarryPropagation::Sequential => phase2::propagate_sequential(&self.table, data, m),
+            CarryPropagation::Sequential => self.plan.propagate_sequential(data),
             CarryPropagation::Decoupled => {
-                phase2::propagate_decoupled(&self.table, data, m);
+                self.plan.propagate_decoupled(data);
             }
         }
         Ok(())

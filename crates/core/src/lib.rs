@@ -30,6 +30,9 @@
 //! * [`engine`] — the end-to-end two-phase executor;
 //! * [`analysis`] — factor-pattern classification backing PLR's
 //!   domain-specific optimizations;
+//! * [`plan`] — runtime correction plans: cached per-signature strategy
+//!   selection (scalar fold / conditional add / periodic / decay-truncated
+//!   / dense) consulted by every executor;
 //! * [`poly`], [`filters`], [`stability`], [`prefix`] — filter design,
 //!   signature catalogs, and stability analysis;
 //! * [`compose`] — z-transform combination/decomposition of recurrences
@@ -69,6 +72,7 @@ pub mod filters;
 pub mod nacci;
 pub mod phase1;
 pub mod phase2;
+pub mod plan;
 pub mod poly;
 pub mod prefix;
 pub mod response;
@@ -82,4 +86,5 @@ pub mod validate;
 
 pub use element::Element;
 pub use engine::Engine;
+pub use plan::{CorrectionPlan, PlanKind, PlanMode};
 pub use signature::Signature;

@@ -62,6 +62,22 @@ pub struct StabilityReport {
     pub poles: Vec<Complex>,
     /// Largest pole magnitude.
     pub spectral_radius: f64,
+    /// `true` when the Durand–Kerner iteration reached its step tolerance.
+    /// When `false` the poles (and everything derived from them, including
+    /// [`decay_length`]) are untrusted estimates; callers that would commit
+    /// to an irreversible rewrite — truncating factor tables, skipping
+    /// look-back — must fall back to the dense path instead.
+    ///
+    /// [`decay_length`]: StabilityReport::decay_length
+    pub converged: bool,
+    /// Residual of the final Durand–Kerner step (the largest per-root
+    /// correction in the last iteration). Small (`< 1e-9`) when
+    /// [`converged`](StabilityReport::converged) is `true`.
+    pub residual: f64,
+    /// `Σ|b_j|` over the feedback coefficients, used as a seed-magnitude
+    /// margin when bounding the correction factors (every factor list is a
+    /// homogeneous solution whose seeds are drawn from the coefficients).
+    pub coeff_l1: f64,
 }
 
 impl StabilityReport {
@@ -71,22 +87,65 @@ impl StabilityReport {
         self.spectral_radius < 1.0
     }
 
-    /// Estimates after how many elements the correction factors decay below
-    /// `threshold`, or `None` for non-decaying recurrences.
+    /// Conservatively estimates after how many elements the correction
+    /// factors decay below `threshold`, or `None` for non-decaying
+    /// recurrences (or when root finding did not converge).
     ///
     /// The paper notes stable IIR impulse responses "decay below the
-    /// arithmetic precision after a few hundred elements"; this estimate is
-    /// `log(threshold) / log(ρ)` with ρ the spectral radius.
+    /// arithmetic precision after a few hundred elements". A naive estimate
+    /// is `log(threshold) / log(ρ)` with ρ the spectral radius, but that
+    /// ignores pole multiplicity: for a double pole the impulse response
+    /// grows like `n·ρⁿ` before decaying, so truncating at the naive depth
+    /// would drop non-zero factors. Instead we use the exact monomial-count
+    /// bound: the impulse response of an order-`k` all-pole recurrence is
+    /// the complete homogeneous symmetric polynomial of its poles,
+    ///
+    /// ```text
+    /// |h_n| ≤ C(n+k-1, k-1) · ρⁿ
+    /// ```
+    ///
+    /// which is uniform over every pole configuration — distinct, repeated,
+    /// or clustered. Solving `C(n+k-1,k-1)·B·ρⁿ ≤ threshold` in log space
+    /// (with `B = max(1, Σ|b_j|)` covering the factor-list seeds) by
+    /// fixed-point iteration gives the bound; `k` extra elements absorb the
+    /// seed offsets between the `k` factor lists, plus a small slack for
+    /// rounding in the pole magnitudes themselves.
     pub fn decay_length(&self, threshold: f64) -> Option<usize> {
-        if !self.is_stable() || self.spectral_radius == 0.0 {
-            return if self.spectral_radius == 0.0 {
-                Some(self.poles.len() + 1)
-            } else {
-                None
-            };
+        let k = self.poles.len();
+        if self.spectral_radius == 0.0 {
+            return Some(k + 1);
         }
-        let n = threshold.ln() / self.spectral_radius.ln();
-        Some(n.ceil().max(1.0) as usize)
+        // `is_finite && > 0` rather than `!(> 0)` so a NaN threshold
+        // (possible from an exotic Element's FLUSH_THRESHOLD) refuses too.
+        let usable_threshold = threshold.is_finite() && threshold > 0.0;
+        if !self.is_stable() || !self.converged || !usable_threshold {
+            return None;
+        }
+        // Inflate ρ slightly: Durand–Kerner magnitudes carry rounding error
+        // (worse for clustered roots). If the inflated radius reaches 1 the
+        // bound would never terminate — report "no usable decay".
+        let rho = self.spectral_radius * (1.0 + 1e-6) + 1e-12;
+        if rho >= 1.0 {
+            return None;
+        }
+        let ln_rho = rho.ln(); // < 0
+        let ln_th = threshold.ln();
+        let ln_b = self.coeff_l1.max(1.0).ln();
+        let kf = k as f64;
+        // Fixed point of n = (ln th - ln B - (k-1)·ln(n+k)) / ln ρ. The
+        // right-hand side is increasing and concave in n (log growth), so
+        // iterating from the margin-free solution converges from below.
+        let mut n = (ln_th / ln_rho).max(1.0);
+        for _ in 0..64 {
+            let margin = (kf - 1.0) * (n + kf).ln() + ln_b;
+            let next = ((ln_th - margin) / ln_rho).max(1.0);
+            if (next - n).abs() < 0.5 {
+                n = next;
+                break;
+            }
+            n = next;
+        }
+        Some(n.ceil() as usize + k + 2)
     }
 }
 
@@ -105,19 +164,32 @@ pub fn analyze<T: Element>(feedback: &[T]) -> StabilityReport {
     let k = feedback.len();
     let mut coeffs = vec![1.0];
     coeffs.extend(feedback.iter().map(|b| -b.to_f64()));
-    let poles = roots(&coeffs, k);
+    let (poles, residual) = roots(&coeffs, k);
     let spectral_radius = poles.iter().map(|p| p.abs()).fold(0.0, f64::max);
+    let coeff_l1 = feedback.iter().map(|b| b.to_f64().abs()).sum();
     StabilityReport {
         poles,
         spectral_radius,
+        converged: residual < CONVERGENCE_RESIDUAL && residual.is_finite(),
+        residual,
+        coeff_l1,
     }
 }
 
+/// Largest final Durand–Kerner step still considered converged. Looser than
+/// the iteration's own stopping tolerance (`1e-13`) so near-machine-precision
+/// stalls on clustered roots still count, but tight enough that a genuinely
+/// wandering iteration (or one that exhausted its 200 iterations far from a
+/// root) is flagged.
+const CONVERGENCE_RESIDUAL: f64 = 1e-8;
+
 /// Durand–Kerner root finding for a monic polynomial given highest-degree
-/// first coefficients (`coeffs[0] == 1`), of degree `deg`.
-fn roots(coeffs: &[f64], deg: usize) -> Vec<Complex> {
+/// first coefficients (`coeffs[0] == 1`), of degree `deg`. Returns the root
+/// estimates and the final iteration's largest per-root step (the
+/// convergence residual; `0.0` for degree zero).
+fn roots(coeffs: &[f64], deg: usize) -> (Vec<Complex>, f64) {
     if deg == 0 {
-        return vec![];
+        return (vec![], 0.0);
     }
     // Initial guesses: points on a non-real spiral (the classic choice).
     let mut z: Vec<Complex> = (0..deg)
@@ -132,6 +204,7 @@ fn roots(coeffs: &[f64], deg: usize) -> Vec<Complex> {
             acc.mul(x).add(Complex::new(c, 0.0))
         })
     };
+    let mut residual = f64::INFINITY;
     for _ in 0..200 {
         let mut max_step = 0.0f64;
         for i in 0..deg {
@@ -145,11 +218,12 @@ fn roots(coeffs: &[f64], deg: usize) -> Vec<Complex> {
             z[i] = z[i].sub(step);
             max_step = max_step.max(step.abs());
         }
+        residual = max_step;
         if max_step < 1e-13 {
             break;
         }
     }
-    z
+    (z, residual)
 }
 
 #[cfg(test)]
@@ -175,8 +249,12 @@ mod tests {
         let r = analyze(&[0.8f64]);
         assert!((r.spectral_radius - 0.8).abs() < 1e-9);
         assert!(r.is_stable());
-        // 0.8^n < 1e-7 at n ≈ 72.3 -> 73.
-        assert_eq!(r.decay_length(1e-7), Some(73));
+        assert!(r.converged);
+        // 0.8^n < 1e-7 at n ≈ 72.3; the conservative bound adds a small
+        // slack but must stay within a handful of elements for a single
+        // well-separated pole.
+        let est = r.decay_length(1e-7).unwrap();
+        assert!((73..=80).contains(&est), "estimate {est}");
     }
 
     #[test]
@@ -230,10 +308,53 @@ mod tests {
         let est = analyze(&fb).decay_length(f32::MIN_POSITIVE as f64).unwrap();
         let table = CorrectionTable::generate_with(&fb, 2 * est, true);
         let first_zero = table.list(0).iter().position(|&v| v == 0.0).unwrap();
-        // The estimate should land within a few elements of the actual
-        // underflow point (flush-to-zero can only shorten it).
-        assert!(first_zero <= est + 2, "estimate {est}, actual {first_zero}");
-        assert!(first_zero + 8 >= est, "estimate {est}, actual {first_zero}");
+        // The estimate must be conservative (truncating at `est` must not
+        // drop non-zero factors) but stay close to the actual underflow
+        // point for a single well-separated pole.
+        assert!(est >= first_zero, "estimate {est}, actual {first_zero}");
+        assert!(
+            est <= first_zero + 16,
+            "estimate {est}, actual {first_zero}"
+        );
+    }
+
+    #[test]
+    fn decay_length_covers_repeated_pole() {
+        use crate::nacci::CorrectionTable;
+        // (1: 1.6, -0.64): double pole at 0.8. The impulse response grows
+        // like n·0.8ⁿ, so the naive log(th)/log(ρ) estimate (~391 for f32)
+        // undershoots the actual underflow index (~418).
+        let fb = [1.6f32, -0.64];
+        let report = analyze(&fb);
+        assert!(report.converged);
+        let est = report.decay_length(f32::MIN_POSITIVE as f64).unwrap();
+        let table = CorrectionTable::generate_with(&fb, 2 * est, true);
+        for r in 0..table.order() {
+            let tail_start = table
+                .list(r)
+                .iter()
+                .rposition(|&v| v != 0.0)
+                .map_or(0, |i| i + 1);
+            assert!(
+                est >= tail_start,
+                "list {r}: estimate {est} < actual {tail_start}"
+            );
+        }
+        // Naive estimate for reference: this is the undershoot being fixed.
+        let naive = (f32::MIN_POSITIVE as f64).ln() / 0.8f64.ln();
+        let actual = table.list(0).iter().rposition(|&v| v != 0.0).unwrap() + 1;
+        assert!(
+            (naive as usize) < actual,
+            "naive {naive} unexpectedly covers actual {actual}"
+        );
+    }
+
+    #[test]
+    fn decay_length_refuses_non_converged_reports() {
+        let mut r = analyze(&[0.8f64]);
+        assert!(r.decay_length(1e-7).is_some());
+        r.converged = false;
+        assert_eq!(r.decay_length(1e-7), None);
     }
 
     #[test]

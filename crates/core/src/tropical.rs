@@ -111,6 +111,9 @@ impl Element for MaxPlus {
         }
         tok.parse().ok().map(MaxPlus)
     }
+    fn key_bits(self) -> u64 {
+        self.0.to_bits()
+    }
     fn approx_eq(self, other: Self, tol: f64) -> bool {
         if self.0 == other.0 {
             return true; // covers -inf == -inf

@@ -19,9 +19,9 @@ use crate::pool::{
 use crate::runner::{fir_in_place, ParallelRunner, RunnerConfig};
 use crate::stats::RunStats;
 use crate::stream::RowStream;
-use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
+use plr_core::plan::{self, CorrectionPlan, PlanKind, PlanRequest};
 use plr_core::signature::Signature;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,10 +45,11 @@ struct CachedInner<T> {
 /// streamed row cannot drift from its blocking counterpart.
 #[derive(Debug, Clone)]
 pub(crate) struct RowTask<T> {
-    fir: Vec<T>,
-    /// Per-row local-solve kernel (register-blocked for orders ≤ 4 on the
-    /// built-in scalars, scalar loop otherwise).
-    solve: SolveKernel<T>,
+    /// The whole-row plan (chunk size 0): the FIR coefficients and the
+    /// register-blocked local-solve kernel, shared through the plan cache.
+    plan: Arc<CorrectionPlan<T>>,
+    /// Whether the plan came from the shared cache (reported in stats).
+    cache_hit: bool,
     /// Pure-feedback signatures have no FIR map stage at all.
     pure: bool,
 }
@@ -68,14 +69,25 @@ impl<T: Element> RowTask<T> {
         let mut fir_ns = 0u64;
         if !self.pure {
             let start = Instant::now();
-            fir_in_place(&self.fir, &[], 0, row);
+            fir_in_place(self.plan.fir(), &[], 0, row);
             fir_ns = start.elapsed().as_nanos() as u64;
         }
         #[cfg(feature = "fault-inject")]
         crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, _abort);
         let start = Instant::now();
-        self.solve.solve_in_place(row);
+        self.plan.solve().solve_in_place(row);
         (fir_ns, start.elapsed().as_nanos() as u64)
+    }
+
+    /// Strategy summary reported in per-row stats ([`PlanKind::Unplanned`]
+    /// for whole-row plans, which never correct).
+    pub(crate) fn plan_kind(&self) -> PlanKind {
+        self.plan.kind()
+    }
+
+    /// Whether the task's plan was served from the shared cache.
+    pub(crate) fn cache_hit(&self) -> bool {
+        self.cache_hit
     }
 }
 
@@ -95,12 +107,18 @@ pub struct BatchRunner<T> {
 impl<T: Element> BatchRunner<T> {
     /// Creates a batch runner; `threads == 0` means one per CPU.
     pub fn new(signature: Signature<T>, threads: usize) -> Self {
-        let (fir, recursive) = signature.split();
-        let solve = SolveKernel::select(recursive.feedback());
+        // A chunk-size-0 plan: whole-row dispatch never corrects, so the
+        // plan only supplies the FIR and local-solve kernels (shared with
+        // every other consumer of this signature through the cache).
+        let (plan, cache_hit) = plan::plan_for(&signature, PlanRequest::new::<T>(0));
         let pure = signature.is_pure_feedback();
         BatchRunner {
             signature,
-            task: RowTask { fir, solve, pure },
+            task: RowTask {
+                plan,
+                cache_hit,
+                pure,
+            },
             threads,
             pool: OnceLock::new(),
             inner: Mutex::new(None),
@@ -256,6 +274,9 @@ impl<T: Element> BatchRunner<T> {
             workers_recovered: pool.recovered_workers() - recovered_before,
             fir_nanos: fir_nanos.load(Ordering::Relaxed),
             solve_nanos: solve_nanos.load(Ordering::Relaxed),
+            plan_cache_hits: self.task.cache_hit() as u64,
+            plan_cache_misses: !self.task.cache_hit() as u64,
+            plan_kind: self.task.plan_kind(),
             ..RunStats::default()
         })
     }
@@ -269,7 +290,24 @@ impl<T: Element> BatchRunner<T> {
         threads: usize,
         cancel: Option<&CancelToken>,
     ) -> Result<RunStats, EngineError> {
-        let chunk_size = (width / (threads * 4)).max(self.signature.order()).max(64);
+        // Chunk dispatch, re-tuned for the register-blocked kernels (sweep
+        // in `tune_long_rows`, recorded in EXPERIMENTS.md): per-chunk fixed
+        // costs make chunks under ~4 Ki elements lose throughput outright,
+        // and nothing improves past 64 Ki. Inside that band the correction
+        // plan decides the sweet spot — dense plans stream k·chunk factor
+        // words per chunk and prefer the small end, while decay-truncated
+        // plans touch only the decayed prefix and keep gaining from larger
+        // chunks. Probe the plan at the band's upper end (a cache hit on
+        // every repeated call) to pick the side.
+        let upper = (width / (threads * 2))
+            .clamp(1 << 12, 1 << 16)
+            .max(self.signature.order());
+        let (probe, _) = plan::plan_for(&self.signature, PlanRequest::new::<T>(upper));
+        let chunk_size = if probe.resets_carries(upper) {
+            upper
+        } else {
+            upper.min(1 << 12).max(self.signature.order())
+        };
         let mut cache = lock_recover(&self.inner);
         let rebuild = match cache.as_ref() {
             Some(inner) => inner.chunk_size != chunk_size,

@@ -23,11 +23,11 @@ use crate::pool::{
     WorkerPool,
 };
 use crate::stats::RunStats;
-use plr_core::blocked::SolveKernel;
 use plr_core::element::Element;
 use plr_core::engine::MAX_INPUT_LEN;
 use plr_core::error::EngineError;
-use plr_core::nacci::{carries_of, CorrectionTable};
+use plr_core::nacci::carries_of;
+use plr_core::plan::{self, CorrectionPlan, PlanMode, PlanRequest};
 use plr_core::signature::Signature;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +74,11 @@ pub struct RunnerConfig {
     /// [`Strategy::TwoPass`], every chunk of the pipeline). Default
     /// `None` (unbounded).
     pub deadline: Option<Duration>,
+    /// Correction-plan mode: [`PlanMode::Auto`] (default) picks the
+    /// cheapest sound strategy per factor list through the shared plan
+    /// cache; [`PlanMode::Dense`] forces the unspecialized full-table
+    /// path (the differential-testing and benchmarking baseline).
+    pub plan: PlanMode,
 }
 
 impl Default for RunnerConfig {
@@ -84,6 +89,7 @@ impl Default for RunnerConfig {
             strategy: Strategy::default(),
             check_finite: false,
             deadline: None,
+            plan: PlanMode::default(),
         }
     }
 }
@@ -106,11 +112,11 @@ impl Default for RunnerConfig {
 #[derive(Debug)]
 pub struct ParallelRunner<T> {
     signature: Signature<T>,
-    fir: Vec<T>,
-    table: CorrectionTable<T>,
-    /// Per-chunk local-solve kernel (register-blocked for orders ≤ 4 on
-    /// the built-in scalars, scalar loop otherwise).
-    solve: SolveKernel<T>,
+    /// The cached correction plan: factor table (decay-truncated when
+    /// sound), per-list strategies, FIR and local-solve kernels.
+    plan: Arc<CorrectionPlan<T>>,
+    /// Whether the plan came from the shared cache (reported in stats).
+    plan_cache_hit: bool,
     config: RunnerConfig,
     /// The persistent pool, created on first use (or inherited from a
     /// [`crate::BatchRunner`] so both share one set of threads).
@@ -191,15 +197,15 @@ impl<T: Element> ParallelRunner<T> {
                 chunk_size: config.chunk_size,
             });
         }
-        let (fir, recursive) = signature.split();
-        let table =
-            CorrectionTable::generate_with(recursive.feedback(), config.chunk_size, T::IS_FLOAT);
-        let solve = SolveKernel::select(recursive.feedback());
+        let req = PlanRequest {
+            mode: config.plan,
+            ..PlanRequest::new::<T>(config.chunk_size)
+        };
+        let (plan, plan_cache_hit) = plan::plan_for(&signature, req);
         Ok(ParallelRunner {
             signature,
-            fir,
-            table,
-            solve,
+            plan,
+            plan_cache_hit,
             config,
             pool: OnceLock::new(),
         })
@@ -225,6 +231,12 @@ impl<T: Element> ParallelRunner<T> {
     /// The runner's configuration.
     pub fn config(&self) -> &RunnerConfig {
         &self.config
+    }
+
+    /// The correction plan this runner executes (strategy selection,
+    /// truncation depth, kernels) — shared through the global plan cache.
+    pub fn plan(&self) -> &CorrectionPlan<T> {
+        &self.plan
     }
 
     /// The persistent pool, spawning it on first use.
@@ -316,6 +328,10 @@ impl<T: Element> ParallelRunner<T> {
             // path resolves it the same way.
             return Ok(RunStats {
                 threads: self.threads() as u64,
+                plan_cache_hits: self.plan_cache_hit as u64,
+                plan_cache_misses: !self.plan_cache_hit as u64,
+                plan_kind: self.plan.kind(),
+                correction_taps: self.plan.correction_taps() as u64,
                 ..RunStats::default()
             });
         }
@@ -341,7 +357,7 @@ impl<T: Element> ParallelRunner<T> {
     /// worker reads across its left boundary, the owner of that data may
     /// already have overwritten it with mapped values.
     fn stash_boundaries(&self, data: &[T], m: usize, num_chunks: usize) -> Vec<Vec<T>> {
-        let p = self.fir.len();
+        let p = self.plan.fir().len();
         if self.signature.is_pure_feedback() || p <= 1 {
             return Vec::new();
         }
@@ -366,7 +382,7 @@ impl<T: Element> ParallelRunner<T> {
         } else {
             &boundaries[c - 1]
         };
-        fir_in_place(&self.fir, prev, start, chunk);
+        fir_in_place(self.plan.fir(), prev, start, chunk);
     }
 
     /// The single-pass decoupled look-back pipeline on the pool.
@@ -387,6 +403,7 @@ impl<T: Element> ParallelRunner<T> {
         let hops = AtomicU64::new(0);
         let spins = AtomicU64::new(0);
         let max_depth = AtomicU64::new(0);
+        let resets = AtomicU64::new(0);
         let aborts = AtomicU64::new(0);
         let clocks = PhaseClocks::default();
         let failure: OnceLock<EngineError> = OnceLock::new();
@@ -415,7 +432,7 @@ impl<T: Element> ParallelRunner<T> {
                 #[cfg(feature = "fault-inject")]
                 crate::fault::check(crate::fault::FaultSite::Solve, _worker, c, Some(abort));
                 // Local solve, then publish local carries.
-                timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
+                timed(&mut tally.solve, || self.plan.solve().solve_in_place(chunk));
                 let locals = carries_of(chunk, k);
                 if check_finite && !all_finite(&locals) {
                     let _ = failure.set(EngineError::NonFiniteCarry { chunk: c });
@@ -442,7 +459,7 @@ impl<T: Element> ParallelRunner<T> {
                 // we waited on carries that will never be published.
                 let Some(g) = timed(&mut tally.lookback, || {
                     resolve_global(
-                        &self.table,
+                        &self.plan,
                         &slots,
                         c - 1,
                         m,
@@ -450,13 +467,14 @@ impl<T: Element> ParallelRunner<T> {
                         &hops,
                         &spins,
                         &max_depth,
+                        &resets,
                         abort,
                     )
                 }) else {
                     aborts.fetch_add(1, Ordering::Relaxed);
                     break;
                 };
-                timed(&mut tally.correct, || self.table.correct_chunk(chunk, &g));
+                timed(&mut tally.correct, || self.plan.correct_chunk(chunk, &g));
                 let globals = carries_of(chunk, k);
                 if check_finite && !all_finite(&globals) {
                     let _ = failure.set(EngineError::NonFiniteCarry { chunk: c });
@@ -488,6 +506,11 @@ impl<T: Element> ParallelRunner<T> {
             solve_nanos: clocks.solve.load(Ordering::Relaxed),
             lookback_nanos: clocks.lookback.load(Ordering::Relaxed),
             correct_nanos: clocks.correct.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hit as u64,
+            plan_cache_misses: !self.plan_cache_hit as u64,
+            plan_kind: self.plan.kind(),
+            correction_taps: self.plan.correction_taps() as u64,
+            carry_resets: resets.load(Ordering::Relaxed),
         })
     }
 
@@ -529,7 +552,7 @@ impl<T: Element> ParallelRunner<T> {
                 });
                 #[cfg(feature = "fault-inject")]
                 crate::fault::check(crate::fault::FaultSite::Solve, _worker, c, Some(abort));
-                timed(&mut tally.solve, || self.solve.solve_in_place(chunk));
+                timed(&mut tally.solve, || self.plan.solve().solve_in_place(chunk));
             }
             tally.flush(&clocks);
         })
@@ -541,8 +564,9 @@ impl<T: Element> ParallelRunner<T> {
         // contract uniform across strategies.
         let chain_start = Instant::now();
         let chain = catch_unwind(AssertUnwindSafe(
-            || -> Result<(Vec<Vec<T>>, u64), EngineError> {
+            || -> Result<(Vec<Vec<T>>, u64, u64), EngineError> {
                 let mut hops = 0u64;
+                let mut resets = 0u64;
                 let mut globals: Vec<Vec<T>> = Vec::with_capacity(num_chunks);
                 globals.push(carries_of(&data[..m.min(n)], k));
                 for c in 1..num_chunks {
@@ -557,16 +581,25 @@ impl<T: Element> ParallelRunner<T> {
                     if check_finite && !all_finite(&locals) {
                         return Err(EngineError::NonFiniteCarry { chunk: c });
                     }
-                    globals.push(
-                        self.table
-                            .fixup_carries(&globals[c - 1], &locals, end - start),
-                    );
-                    hops += 1;
+                    // When chunk `c`'s correction cannot reach its own
+                    // carries (truncated plan, long enough chunk), its
+                    // globals equal its locals — the chain resets for free.
+                    if self.plan.resets_carries(end - start) {
+                        resets += 1;
+                        globals.push(locals);
+                    } else {
+                        globals.push(self.plan.fixup_carries(
+                            &globals[c - 1],
+                            &locals,
+                            end - start,
+                        ));
+                        hops += 1;
+                    }
                 }
-                Ok((globals, hops))
+                Ok((globals, hops, resets))
             },
         ));
-        let (globals, hops) = match chain {
+        let (globals, hops, carry_resets) = match chain {
             Ok(Ok(v)) => v,
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
@@ -593,7 +626,7 @@ impl<T: Element> ParallelRunner<T> {
                 // SAFETY: unique tickets make the chunks disjoint.
                 let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), len) };
                 timed(&mut tally.correct, || {
-                    self.table.correct_chunk(chunk, &globals[c - 1])
+                    self.plan.correct_chunk(chunk, &globals[c - 1])
                 });
             }
             tally.flush(&clocks);
@@ -613,6 +646,11 @@ impl<T: Element> ParallelRunner<T> {
             solve_nanos: clocks.solve.load(Ordering::Relaxed),
             lookback_nanos,
             correct_nanos: clocks.correct.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hit as u64,
+            plan_cache_misses: !self.plan_cache_hit as u64,
+            plan_kind: self.plan.kind(),
+            correction_taps: self.plan.correction_taps() as u64,
+            carry_resets,
         })
     }
 }
@@ -632,12 +670,17 @@ pub(crate) use plr_core::blocked::fir_in_place;
 /// to the nearest chunk with published globals (spinning on chunk 0's if
 /// necessary), then fixes forward through published local carries.
 ///
+/// When the plan's correction cannot reach chunk `j`'s own carries (a
+/// decay-truncated plan whose effective factors die out before the chunk's
+/// last `k` elements), chunk `j`'s globals equal its locals — the look-back
+/// chain resets there and the walk collapses to a single wait.
+///
 /// Returns `None` when the run was aborted while waiting on carries that
 /// will never be published (a dead worker claimed the chunk that owned
 /// them) — the caller must stop processing its chunk.
 #[allow(clippy::too_many_arguments)]
 fn resolve_global<T: Element>(
-    table: &CorrectionTable<T>,
+    plan: &CorrectionPlan<T>,
     slots: &[Slot<T>],
     j: usize,
     m: usize,
@@ -645,8 +688,16 @@ fn resolve_global<T: Element>(
     hops: &AtomicU64,
     spins: &AtomicU64,
     max_depth: &AtomicU64,
+    resets: &AtomicU64,
     abort: &AbortSignal,
 ) -> Option<Vec<T>> {
+    let len_j = m.min(n - j * m);
+    if j > 0 && plan.resets_carries(len_j) {
+        let locals = wait_for(&slots[j].local, spins, abort)?;
+        resets.fetch_add(1, Ordering::Relaxed);
+        max_depth.fetch_max(1, Ordering::Relaxed);
+        return Some(locals.clone());
+    }
     // Find the deepest published globals at or before j.
     let mut start = j;
     loop {
@@ -671,7 +722,7 @@ fn resolve_global<T: Element>(
     for (h, slot) in slots.iter().enumerate().take(j + 1).skip(start + 1) {
         let locals = wait_for(&slot.local, spins, abort)?;
         let chunk_len = m.min(n - h * m);
-        g = table.fixup_carries(&g, locals, chunk_len);
+        g = plan.fixup_carries(&g, locals, chunk_len);
         hops.fetch_add(1, Ordering::Relaxed);
     }
     Some(g)

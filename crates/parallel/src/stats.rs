@@ -1,5 +1,7 @@
 //! Runtime statistics reported by the parallel runner and worker pool.
 
+use plr_core::plan::PlanKind;
+
 /// Cumulative run-outcome counters for one [`WorkerPool`], reported by
 /// [`WorkerPool::counters`]: how many runs it executed and how many of
 /// them ended in each failure class. Monotonic over the pool's lifetime
@@ -83,6 +85,22 @@ pub struct RunStats {
     /// Wall time spent applying n-nacci corrections, summed across
     /// workers (nanoseconds).
     pub correct_nanos: u64,
+    /// `1` when the runner's correction plan was served from the shared
+    /// plan cache, `0` when it was built fresh. Aggregates sum over rows.
+    pub plan_cache_hits: u64,
+    /// Complement of [`plan_cache_hits`](RunStats::plan_cache_hits).
+    pub plan_cache_misses: u64,
+    /// Dominant correction strategy the plan selected (`Unplanned` when no
+    /// plan was consulted, e.g. a default-constructed stats value).
+    pub plan_kind: PlanKind,
+    /// Elements the plan touches when correcting one full-size chunk — the
+    /// chunk size for dense plans, the decayed prefix length for truncated
+    /// ones. Aggregates keep the maximum.
+    pub correction_taps: u64,
+    /// Look-back hops short-circuited because the predecessor chunk's tail
+    /// factors are exactly zero (its global carries equal its locals), so
+    /// the carry chain reset instead of walking back.
+    pub carry_resets: u64,
 }
 
 impl RunStats {
@@ -129,6 +147,15 @@ impl RunStats {
         self.solve_nanos += other.solve_nanos;
         self.lookback_nanos += other.lookback_nanos;
         self.correct_nanos += other.correct_nanos;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        if self.plan_kind == PlanKind::Unplanned {
+            self.plan_kind = other.plan_kind;
+        } else if other.plan_kind != PlanKind::Unplanned && other.plan_kind != self.plan_kind {
+            self.plan_kind = PlanKind::Mixed;
+        }
+        self.correction_taps = self.correction_taps.max(other.correction_taps);
+        self.carry_resets += other.carry_resets;
     }
 }
 
@@ -195,5 +222,35 @@ mod tests {
         assert_eq!(a.fir_nanos, 1);
         assert_eq!(a.aborts, 2);
         assert_eq!(a.workers_recovered, 1);
+    }
+
+    #[test]
+    fn absorb_plan_fields() {
+        let mut a = RunStats {
+            plan_cache_hits: 1,
+            correction_taps: 100,
+            carry_resets: 2,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            plan_cache_misses: 1,
+            plan_kind: PlanKind::Truncated,
+            correction_taps: 400,
+            carry_resets: 3,
+            ..RunStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.plan_cache_hits, 1);
+        assert_eq!(a.plan_cache_misses, 1);
+        assert_eq!(a.plan_kind, PlanKind::Truncated);
+        assert_eq!(a.correction_taps, 400);
+        assert_eq!(a.carry_resets, 5);
+        // Disagreeing kinds collapse to Mixed.
+        let c = RunStats {
+            plan_kind: PlanKind::Dense,
+            ..RunStats::default()
+        };
+        a.absorb(&c);
+        assert_eq!(a.plan_kind, PlanKind::Mixed);
     }
 }

@@ -178,7 +178,15 @@ impl<T: Element> RowStream<T> {
                 closed: false,
                 dead: None,
                 first_error: None,
-                stats: RunStats::default(),
+                // One plan consult backs the whole stream; seed the
+                // aggregate with its outcome rather than recounting it on
+                // every row.
+                stats: RunStats {
+                    plan_cache_hits: task.cache_hit() as u64,
+                    plan_cache_misses: !task.cache_hit() as u64,
+                    plan_kind: task.plan_kind(),
+                    ..RunStats::default()
+                },
                 next_row: 0,
             }),
             ready: Condvar::new(),
@@ -495,6 +503,7 @@ fn process_one<T: Element>(
                     threads: 1,
                     fir_nanos,
                     solve_nanos,
+                    plan_kind: task.plan_kind(),
                     ..RunStats::default()
                 }),
                 Some(AbortReason::Cancelled) => Err(EngineError::Cancelled),

@@ -47,7 +47,7 @@ pub use plr_core as core;
 pub use plr_parallel as parallel;
 pub use plr_sim as sim;
 
-pub use plr_core::{Element, Engine, Signature};
+pub use plr_core::{CorrectionPlan, Element, Engine, PlanKind, PlanMode, Signature};
 pub use plr_parallel::{
     BatchRunner, CancelToken, ParallelRunner, RowHandle, RowStream, RunControl, RunHandle,
     RunnerConfig, Strategy,
