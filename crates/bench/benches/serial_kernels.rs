@@ -1,11 +1,15 @@
-//! Scalar vs register-blocked serial solve kernels.
+//! Scalar vs register-blocked vs explicit-SIMD serial solve kernels.
 //!
 //! The scalar feedback loop carries a per-element dependency (each output
 //! feeds the next multiply-add), so its throughput is capped by the
 //! multiply-add latency chain regardless of how wide the machine is. The
 //! blocked kernel's local solution is dependency-free inside each
 //! [`BLOCK`]-element block, leaving only a once-per-block carry
-//! dependency — this bench quantifies what that buys per order and size.
+//! dependency — and the explicit SIMD kernels hand that independent work
+//! to the vector unit directly, with no reliance on `target-cpu=native`
+//! autovectorization. This bench quantifies what each layer buys per
+//! order and size; for i64 it additionally pins the AVX2 half-width
+//! multiply emulation so the AVX-512 `vpmullq` advantage is visible.
 //!
 //! Orders 1–4 use the cascaded low-pass feedback families from the
 //! paper's evaluation (stable, so values stay in range however many
@@ -15,6 +19,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use plr_core::blocked::BlockedKernel;
 use plr_core::serial;
+use plr_core::simd::{best_isa, Isa, SimdKernel};
 use std::hint::black_box;
 
 /// Stable feedback vectors: 1–4 cascaded `(1 : 0.8)` stages.
@@ -79,6 +84,18 @@ fn bench_solve_kernels(c: &mut Criterion) {
                     BatchSize::LargeInput,
                 );
             });
+            if let Some(simd) = SimdKernel::preferred(feedback) {
+                g.bench_function(format!("simd_{:?}", simd.isa()).to_lowercase(), |b| {
+                    b.iter_batched(
+                        || input.clone(),
+                        |mut buf| {
+                            simd.solve_in_place(black_box(&mut buf));
+                            buf
+                        },
+                        BatchSize::LargeInput,
+                    );
+                });
+            }
             g.finish();
         }
     }
@@ -127,6 +144,31 @@ fn bench_solve_kernels_int(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+    // Every explicit integer ISA, so the AVX2 multiply emulation and the
+    // AVX-512 `vpmullq` path are measured side by side where present.
+    for isa in [Isa::Portable, Isa::Avx2, Isa::Avx512] {
+        let Some(simd) = SimdKernel::try_new_with(feedback, isa) else {
+            continue;
+        };
+        let label = if best_isa::<i64>() == Some(isa) {
+            format!("simd_{isa:?}_best").to_lowercase()
+        } else {
+            format!("simd_{isa:?}").to_lowercase()
+        };
+        let mut check = input.clone();
+        simd.solve_in_place(&mut check);
+        assert_eq!(scalar_out, check, "{isa:?} i64 kernel must agree exactly");
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || input.clone(),
+                |mut buf| {
+                    simd.solve_in_place(black_box(&mut buf));
+                    buf
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
     g.finish();
 }
 

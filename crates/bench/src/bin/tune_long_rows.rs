@@ -12,10 +12,17 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p plr-bench --bin tune_long_rows
+//! cargo run --release -p plr-bench --bin tune_long_rows [-- --kernel <tier>]
 //! ```
+//!
+//! `--kernel scalar|blocked|simd|auto` pins the serial solve kernel for
+//! the whole sweep (same knob as the `PLR_KERNEL` env var), so the
+//! dispatch band can be re-tuned per kernel tier: the SIMD solve shifts
+//! the per-chunk fixed-cost balance exactly the way the blocked kernels
+//! did when these constants were last revisited.
 
 use plr_core::signature::Signature;
+use plr_core::{set_kernel_override, KernelTier};
 use plr_parallel::{ParallelRunner, RunnerConfig};
 use std::hint::black_box;
 use std::time::Instant;
@@ -81,7 +88,40 @@ where
     }
 }
 
+/// Parses `--kernel <tier>` (or `--kernel=<tier>`) from the argument
+/// list; anything else is rejected with a usage message.
+fn parse_kernel_arg() -> Option<KernelTier> {
+    let mut args = std::env::args().skip(1);
+    let mut tier = None;
+    while let Some(arg) = args.next() {
+        let value = if arg == "--kernel" {
+            args.next().unwrap_or_else(|| usage("missing tier"))
+        } else if let Some(v) = arg.strip_prefix("--kernel=") {
+            v.to_string()
+        } else {
+            usage(&format!("unknown argument {arg:?}"));
+        };
+        tier = Some(match value.as_str() {
+            "scalar" => KernelTier::Scalar,
+            "blocked" => KernelTier::Blocked,
+            "simd" => KernelTier::Simd,
+            "auto" => KernelTier::Auto,
+            other => usage(&format!("unknown kernel tier {other:?}")),
+        });
+    }
+    tier
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("{problem}\nusage: tune_long_rows [--kernel scalar|blocked|simd|auto]");
+    std::process::exit(2);
+}
+
 fn main() {
+    if let Some(tier) = parse_kernel_arg() {
+        set_kernel_override(Some(tier));
+        println!("(kernel tier forced: {tier:?})");
+    }
     let widths = [1 << 18, 1 << 20, 1 << 22];
     let threads = [1usize, 2, 4];
     sweep::<i64>("order-2 prefix sum, i64", "1:2,-1", &widths, &threads);

@@ -39,8 +39,10 @@
 //! specializations for small tap counts.
 
 use crate::element::Element;
-use crate::nacci::{impulse_response, CorrectionTable};
+use crate::kernel::{self, KernelKind, KernelTier};
+use crate::nacci::{carries_of, impulse_response, CorrectionTable};
 use crate::serial;
+use crate::simd::{self, SimdKernel};
 
 /// Elements per register block (`U` in the design notes).
 ///
@@ -118,6 +120,21 @@ impl<T: Element> BlockedKernel<T> {
         self.feedback.len()
     }
 
+    /// The feedback vector this kernel solves.
+    pub(crate) fn feedback(&self) -> &[T] {
+        &self.feedback
+    }
+
+    /// The precomputed impulse-response prefix `h[0..BLOCK]`.
+    pub(crate) fn impulse(&self) -> &[T; BLOCK] {
+        &self.impulse
+    }
+
+    /// The precomputed carry-factor rows (`factors[r][i]`, `k` rows).
+    pub(crate) fn factors(&self) -> &[[T; BLOCK]] {
+        &self.factors
+    }
+
     /// Solves `y[i] = t[i] + Σ b-j·y[i-j]` in place with zero history,
     /// matching [`serial::recursive_in_place`].
     pub fn solve_in_place(&self, data: &mut [T]) {
@@ -149,8 +166,9 @@ impl<T: Element> BlockedKernel<T> {
     }
 
     /// One block: triangular-FIR local solution, then carry application.
+    /// (Shared with the portable tier of [`crate::simd`].)
     #[inline]
-    fn solve_block(&self, block: &mut [T; BLOCK], carries: &[T; MAX_BLOCKED_ORDER]) {
+    pub(crate) fn solve_block(&self, block: &mut [T; BLOCK], carries: &[T; MAX_BLOCKED_ORDER]) {
         let t = *block;
         // h[0] = 1: every input contributes itself; start from a copy and
         // add the j ≥ 1 impulse taps. Each j-pass is dependency-free.
@@ -171,19 +189,50 @@ impl<T: Element> BlockedKernel<T> {
     }
 }
 
-/// The solve-kernel dispatch the executors embed: blocked where the
-/// register-blocked form applies, scalar reference loop everywhere else.
+/// Elements per cancellation-poll slice of
+/// [`SolveKernel::solve_in_place_sliced`]: a multiple of every kernel's
+/// block size (so slicing never changes which elements share a block),
+/// large enough that the per-slice poll and history hand-off are noise,
+/// small enough that cancel-to-return latency stays in the tens of
+/// microseconds even mid-kernel.
+pub const SOLVE_SLICE: usize = 8192;
+
+/// Outcome of a [`SolveKernel::solve_in_place_sliced`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlicedSolve {
+    /// `false` when the poll callback stopped the solve early (the data
+    /// is left with a solved prefix and untouched remainder).
+    pub completed: bool,
+    /// Slices processed (at most `⌈len / SOLVE_SLICE⌉`).
+    pub slices: u64,
+}
+
+/// The solve-kernel dispatch the executors embed: explicit SIMD where
+/// the CPU and element type support it, register-blocked where only the
+/// blocked form applies, scalar reference loop everywhere else. The
+/// effective [`KernelTier`] (the `PLR_KERNEL` environment variable or
+/// its programmatic override — see [`crate::kernel`]) can force a tier.
 ///
 /// # Examples
 ///
 /// ```
 /// use plr_core::blocked::SolveKernel;
+/// use plr_core::kernel::{KernelKind, KernelTier};
 ///
-/// assert!(SolveKernel::select(&[1.6f64, -0.64]).is_blocked());
-/// assert!(!SolveKernel::select(&[0.1f64; 5]).is_blocked()); // order > 4
+/// let fb = [1.6f64, -0.64];
+/// // Auto dispatch never leaves low-order floats on the scalar loop.
+/// assert!(!SolveKernel::select_with_tier(&fb, KernelTier::Auto).is_scalar());
+/// // Order > 4 always falls back to the scalar loop.
+/// assert!(SolveKernel::select_with_tier(&[0.1f64; 5], KernelTier::Auto).is_scalar());
+/// // Forced tiers pin the choice regardless of the CPU.
+/// let forced = SolveKernel::select_with_tier(&fb, KernelTier::Blocked);
+/// assert_eq!(forced.kind(), KernelKind::Blocked);
 /// ```
 #[derive(Debug, Clone)]
 pub enum SolveKernel<T> {
+    /// Explicit SIMD kernel (orders `1..=`[`MAX_BLOCKED_ORDER`], builtin
+    /// scalar types, dispatched on the detected ISA).
+    Simd(SimdKernel<T>),
     /// Register-blocked kernel (orders `1..=`[`MAX_BLOCKED_ORDER`],
     /// blockable element types).
     Blocked(BlockedKernel<T>),
@@ -194,20 +243,50 @@ pub enum SolveKernel<T> {
 }
 
 impl<T: Element> SolveKernel<T> {
-    /// Picks the kernel for a feedback vector: blocked for floating-point
-    /// elements of order `1..=`[`MAX_BLOCKED_ORDER`], scalar otherwise.
+    /// Picks the kernel for a feedback vector under the process-wide
+    /// [`kernel::tier`]. With the default [`KernelTier::Auto`]:
     ///
-    /// Integers keep the scalar loop even though the blocked form is exact
-    /// for them: the blocked local solution spends `BLOCK/2` multiplies
-    /// per element, and wide wrapping-integer multiplies don't vectorize
-    /// profitably (the `serial_kernels` bench measures the i64 blocked
-    /// kernel ~25% *slower* than the scalar chain, vs ~3x *faster* for
-    /// `f64`, whose multiply-add chains are latency-bound).
+    /// * orders `1..=`[`MAX_BLOCKED_ORDER`] of the four builtin scalar
+    ///   types get the explicit SIMD kernel when a hardware vector ISA
+    ///   is detected (`i64` only from AVX-512 up: `vpmullq` exists
+    ///   there, while the AVX2 half-width multiply emulation measured
+    ///   below the scalar chain — see [`crate::simd::best_isa`]);
+    /// * floats *and* integers fall back to the autovectorizable blocked
+    ///   kernel otherwise — the historical ~25% integer blocking
+    ///   regression is gone now that the blocked tables feed the
+    ///   transposed-convolution form, and blocked i64 measures at or
+    ///   above the scalar chain even on a plain SSE2 build;
+    /// * high orders, order zero, and exotic elements keep the scalar
+    ///   reference loop.
     pub fn select(feedback: &[T]) -> Self {
-        let profitable = T::IS_FLOAT;
-        match BlockedKernel::try_new(feedback).filter(|_| profitable) {
-            Some(kernel) => SolveKernel::Blocked(kernel),
+        Self::select_with_tier(feedback, kernel::tier())
+    }
+
+    /// [`SolveKernel::select`] with an explicit tier (differential tests
+    /// and benches). Forced tiers degrade gracefully: `simd` falls back
+    /// to blocked-then-scalar where no explicit kernel exists, `blocked`
+    /// to scalar.
+    pub fn select_with_tier(feedback: &[T], tier: KernelTier) -> Self {
+        let blocked_or_scalar = |feedback: &[T]| match BlockedKernel::try_new(feedback) {
+            Some(k) => SolveKernel::Blocked(k),
             None => SolveKernel::Scalar(feedback.to_vec()),
+        };
+        match tier {
+            KernelTier::Scalar => SolveKernel::Scalar(feedback.to_vec()),
+            KernelTier::Blocked => blocked_or_scalar(feedback),
+            KernelTier::Simd => match SimdKernel::try_new(feedback) {
+                Some(k) => SolveKernel::Simd(k),
+                None => blocked_or_scalar(feedback),
+            },
+            KernelTier::Auto => {
+                if let Some(k) = SimdKernel::preferred(feedback) {
+                    return SolveKernel::Simd(k);
+                }
+                match BlockedKernel::try_new(feedback) {
+                    Some(kernel) => SolveKernel::Blocked(kernel),
+                    None => SolveKernel::Scalar(feedback.to_vec()),
+                }
+            }
         }
     }
 
@@ -216,9 +295,28 @@ impl<T: Element> SolveKernel<T> {
         matches!(self, SolveKernel::Blocked(_))
     }
 
+    /// `true` when the scalar reference loop was selected.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, SolveKernel::Scalar(_))
+    }
+
+    /// Which kernel this dispatch runs, as reported in run statistics.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            SolveKernel::Simd(k) => match k.isa() {
+                simd::Isa::Portable => KernelKind::SimdPortable,
+                simd::Isa::Avx2 => KernelKind::SimdAvx2,
+                simd::Isa::Avx512 => KernelKind::SimdAvx512,
+            },
+            SolveKernel::Blocked(_) => KernelKind::Blocked,
+            SolveKernel::Scalar(_) => KernelKind::Scalar,
+        }
+    }
+
     /// The feedback vector this kernel solves.
     pub fn feedback(&self) -> &[T] {
         match self {
+            SolveKernel::Simd(k) => k.feedback(),
             SolveKernel::Blocked(k) => &k.feedback,
             SolveKernel::Scalar(fb) => fb,
         }
@@ -227,6 +325,7 @@ impl<T: Element> SolveKernel<T> {
     /// Solves the pure-feedback recurrence in place with zero history.
     pub fn solve_in_place(&self, data: &mut [T]) {
         match self {
+            SolveKernel::Simd(k) => k.solve_in_place(data),
             SolveKernel::Blocked(k) => k.solve_in_place(data),
             SolveKernel::Scalar(fb) => serial::recursive_in_place(fb, data),
         }
@@ -236,8 +335,59 @@ impl<T: Element> SolveKernel<T> {
     /// the value just before `data[0]`; missing entries are zero).
     pub fn solve_in_place_with_history(&self, history: &[T], data: &mut [T]) {
         match self {
+            SolveKernel::Simd(k) => k.solve_in_place_with_history(history, data),
             SolveKernel::Blocked(k) => k.solve_in_place_with_history(history, data),
             SolveKernel::Scalar(fb) => serial::recursive_in_place_with_history(fb, history, data),
+        }
+    }
+
+    /// Like [`SolveKernel::solve_in_place`], but in [`SOLVE_SLICE`]-sized
+    /// slices with `keep_going` polled before each slice after the first,
+    /// so a cancellation (or deadline) signal reaches a long single-chunk
+    /// solve mid-kernel instead of after it.
+    ///
+    /// Slicing is exact: [`SOLVE_SLICE`] is a multiple of every kernel's
+    /// block size and the inter-slice history hand-off reads the same
+    /// values the unsliced kernel carries in registers, so the output is
+    /// bit-identical to the unsliced solve for every tier.
+    ///
+    /// On an early stop the slices processed so far hold their final
+    /// values and the rest of `data` is untouched.
+    pub fn solve_in_place_sliced(
+        &self,
+        data: &mut [T],
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> SlicedSolve {
+        let k = self.feedback().len();
+        let n = data.len();
+        // Degenerate cases run unsliced: short data, no feedback, or an
+        // order so high a slice could not even hold the history hand-off.
+        if n <= SOLVE_SLICE || k == 0 || k >= SOLVE_SLICE {
+            self.solve_in_place(data);
+            return SlicedSolve {
+                completed: true,
+                slices: 1,
+            };
+        }
+        let mut slices = 0u64;
+        let mut start = 0usize;
+        while start < n {
+            if start > 0 && !keep_going() {
+                return SlicedSolve {
+                    completed: false,
+                    slices,
+                };
+            }
+            let end = (start + SOLVE_SLICE).min(n);
+            let (prev, rest) = data.split_at_mut(start);
+            let history = carries_of(prev, k);
+            self.solve_in_place_with_history(&history, &mut rest[..end - start]);
+            slices += 1;
+            start = end;
+        }
+        SlicedSolve {
+            completed: true,
+            slices,
         }
     }
 }
@@ -264,13 +414,17 @@ pub fn fir_in_place<T: Element>(fir: &[T], prev: &[T], start: usize, chunk: &mut
     let head = (p - 1).min(chunk.len());
     // Steady state first: it reads only chunk[i - j] for j < p ≤ i + 1,
     // all untouched original inputs at this point in the backward walk.
+    // The explicit-SIMD kernel takes the top of the steady region in
+    // descending vector windows (same read-before-overwrite argument at
+    // vector granularity); the scalar loop finishes what remains.
+    let lo = chunk.len() - simd::fir_steady_in_place(fir, chunk, head);
     match p {
-        1 => fir_steady_rev::<T, 1>(fir, chunk, head),
-        2 => fir_steady_rev::<T, 2>(fir, chunk, head),
-        3 => fir_steady_rev::<T, 3>(fir, chunk, head),
-        4 => fir_steady_rev::<T, 4>(fir, chunk, head),
+        1 => fir_steady_rev::<T, 1>(fir, &mut chunk[..lo], head),
+        2 => fir_steady_rev::<T, 2>(fir, &mut chunk[..lo], head),
+        3 => fir_steady_rev::<T, 3>(fir, &mut chunk[..lo], head),
+        4 => fir_steady_rev::<T, 4>(fir, &mut chunk[..lo], head),
         _ => {
-            for i in (head..chunk.len()).rev() {
+            for i in (head..lo).rev() {
                 let mut acc = fir[0].mul(chunk[i]);
                 for (j, &a) in fir.iter().enumerate().skip(1) {
                     acc = acc.add(a.mul(chunk[i - j]));
@@ -375,20 +529,134 @@ mod tests {
 
     #[test]
     fn dispatch_by_order_and_element() {
-        assert!(SolveKernel::select(&[0.8f32]).is_blocked());
-        assert!(SolveKernel::select(&[1.6f64, -0.64, 0.1, -0.2]).is_blocked());
+        // Tier pinned to Auto: this test is about the *default* policy
+        // and must hold even when CI forces `PLR_KERNEL` for the suite.
+        let auto = |fb: &[f64]| SolveKernel::select_with_tier(fb, KernelTier::Auto);
+        // Floats in range never degrade to the scalar loop: SIMD where a
+        // vector ISA is detected, blocked otherwise.
+        assert!(!SolveKernel::select_with_tier(&[0.8f32], KernelTier::Auto).is_scalar());
+        assert!(!auto(&[1.6f64, -0.64, 0.1, -0.2]).is_scalar());
         // Order above the cap and order zero fall back.
-        assert!(!SolveKernel::select(&[0.1f64; MAX_BLOCKED_ORDER + 1]).is_blocked());
-        assert!(!SolveKernel::select(&[] as &[f64]).is_blocked());
-        // Integers are exact under blocking (BlockedKernel works) but the
-        // scalar chain wins on wide wrapping multiplies, so selection
-        // keeps them scalar.
+        assert!(auto(&[0.1f64; MAX_BLOCKED_ORDER + 1]).is_scalar());
+        assert!(auto(&[]).is_scalar());
+        // Integers ride the blocked tables too now: with a vector ISA
+        // they go SIMD (i64 only from AVX-512, where `vpmullq` exists),
+        // otherwise the blocked form — at or above the scalar chain
+        // since the transposed-convolution rework.
         assert!(BlockedKernel::try_new(&[1i32, 2, 3, 4]).is_some());
-        assert!(!SolveKernel::select(&[1i32, 2, 3, 4]).is_blocked());
+        let int_kernel = SolveKernel::select_with_tier(&[1i32, 2, 3, 4], KernelTier::Auto);
+        assert!(!int_kernel.is_scalar());
+        assert!(matches!(
+            int_kernel.kind(),
+            KernelKind::Blocked | KernelKind::SimdAvx2 | KernelKind::SimdAvx512
+        ));
+        let i64_kernel = SolveKernel::select_with_tier(&[2i64, -1], KernelTier::Auto);
+        assert!(!i64_kernel.is_scalar());
+        assert!(matches!(
+            i64_kernel.kind(),
+            KernelKind::Blocked | KernelKind::SimdAvx512
+        ));
         // Exotic elements (max-plus semiring) opt out of blocking
-        // entirely via `Element::BLOCKABLE`.
+        // entirely via `Element::BLOCKABLE` — on every tier.
         assert!(BlockedKernel::try_new(&[MaxPlus::new(1.0)]).is_none());
-        assert!(!SolveKernel::select(&[MaxPlus::new(1.0)]).is_blocked());
+        for tier in [
+            KernelTier::Auto,
+            KernelTier::Scalar,
+            KernelTier::Blocked,
+            KernelTier::Simd,
+        ] {
+            assert!(SolveKernel::select_with_tier(&[MaxPlus::new(1.0)], tier).is_scalar());
+        }
+    }
+
+    #[test]
+    fn forced_tiers_pin_the_kernel() {
+        let fb = [1.6f64, -0.64];
+        assert_eq!(
+            SolveKernel::select_with_tier(&fb, KernelTier::Scalar).kind(),
+            KernelKind::Scalar
+        );
+        assert_eq!(
+            SolveKernel::select_with_tier(&fb, KernelTier::Blocked).kind(),
+            KernelKind::Blocked
+        );
+        // Forced simd always lands on *some* simd tier for builtin
+        // floats (portable when no vector ISA is detected).
+        assert!(matches!(
+            SolveKernel::select_with_tier(&fb, KernelTier::Simd).kind(),
+            KernelKind::SimdPortable | KernelKind::SimdAvx2 | KernelKind::SimdAvx512
+        ));
+        // ...and degrades to blocked for floats with no explicit kernel
+        // support only via order/type gates (order > 4 → scalar).
+        assert_eq!(
+            SolveKernel::select_with_tier(&[0.1f64; 5], KernelTier::Simd).kind(),
+            KernelKind::Scalar
+        );
+    }
+
+    #[test]
+    fn sliced_solve_is_bit_identical_and_polls() {
+        for fb in [vec![1i64], vec![2, -1], vec![3, -3, 1]] {
+            let kernel = SolveKernel::select(&fb);
+            let n = 3 * SOLVE_SLICE + 421;
+            let input: Vec<i64> = (0..n as i64).map(|i| (i * 37 % 23) - 11).collect();
+            let mut whole = input.clone();
+            kernel.solve_in_place(&mut whole);
+            let mut sliced = input.clone();
+            let mut polls = 0u64;
+            let out = kernel.solve_in_place_sliced(&mut sliced, &mut || {
+                polls += 1;
+                true
+            });
+            assert!(out.completed);
+            assert_eq!(out.slices, 4, "⌈n / SOLVE_SLICE⌉ slices");
+            assert_eq!(polls, 3, "polled before each slice after the first");
+            assert_eq!(sliced, whole, "{fb:?}");
+        }
+    }
+
+    #[test]
+    fn sliced_solve_floats_match_unsliced_exactly() {
+        // Slices are block-multiples and the history hand-off re-reads
+        // the same stored values, so even floats are bit-identical.
+        let kernel = SolveKernel::select(&[1.6f64, -0.64]);
+        let n = 2 * SOLVE_SLICE + 777;
+        let input: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64 * 0.3 - 3.0).collect();
+        let mut whole = input.clone();
+        kernel.solve_in_place(&mut whole);
+        let mut sliced = input.clone();
+        let out = kernel.solve_in_place_sliced(&mut sliced, &mut || true);
+        assert!(out.completed && out.slices == 3);
+        assert_eq!(sliced, whole);
+    }
+
+    #[test]
+    fn sliced_solve_stops_at_the_poll() {
+        let kernel = SolveKernel::select(&[2i64, -1]);
+        let n = 4 * SOLVE_SLICE;
+        let input: Vec<i64> = (0..n as i64).map(|i| i % 5 - 2).collect();
+        let mut data = input.clone();
+        let mut budget = 2; // allow two polls, fail the third
+        let out = kernel.solve_in_place_sliced(&mut data, &mut || {
+            budget -= 1;
+            budget >= 0
+        });
+        assert!(!out.completed);
+        assert_eq!(out.slices, 3, "three slices done before the failed poll");
+        // The solved prefix is final, the remainder untouched input.
+        let mut expect = input.clone();
+        kernel.solve_in_place(&mut expect);
+        assert_eq!(data[..3 * SOLVE_SLICE], expect[..3 * SOLVE_SLICE]);
+        assert_eq!(data[3 * SOLVE_SLICE..], input[3 * SOLVE_SLICE..]);
+    }
+
+    #[test]
+    fn sliced_solve_short_data_skips_polling() {
+        let kernel = SolveKernel::select(&[1i64, 1]);
+        let mut data: Vec<i64> = (0..100).map(|i| i % 3).collect();
+        let out = kernel.solve_in_place_sliced(&mut data, &mut || panic!("must not poll"));
+        assert!(out.completed);
+        assert_eq!(out.slices, 1);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! * [`blocked`] — register-blocked serial kernels: the carry-correction
 //!   trick applied at register-block granularity ("level 0" of the
 //!   hierarchy), breaking the per-element dependency for orders ≤ 4;
+//! * [`simd`] — explicit `core::arch` vector kernels for the blocked
+//!   solve, the FIR map and the correction folds, dispatched at runtime
+//!   on the detected ISA (no rebuild flags needed);
+//! * [`kernel`] — the kernel-tier knob (`PLR_KERNEL` env/override)
+//!   shared by every executor;
 //! * [`phase1`] / [`phase2`] — hierarchical doubling merge and chunked
 //!   carry propagation (sequential and decoupled-look-back forms);
 //! * [`engine`] — the end-to-end two-phase executor;
@@ -69,6 +74,7 @@ pub mod element;
 pub mod engine;
 pub mod error;
 pub mod filters;
+pub mod kernel;
 pub mod nacci;
 pub mod phase1;
 pub mod phase2;
@@ -79,6 +85,7 @@ pub mod response;
 pub mod segmented;
 pub mod serial;
 pub mod signature;
+pub mod simd;
 pub mod stability;
 pub mod stream;
 pub mod tropical;
@@ -86,5 +93,6 @@ pub mod validate;
 
 pub use element::Element;
 pub use engine::Engine;
+pub use kernel::{set_kernel_override, KernelKind, KernelTier};
 pub use plan::{CorrectionPlan, PlanKind, PlanMode};
 pub use signature::Signature;

@@ -40,8 +40,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::analysis::{classify, FactorPattern};
 use crate::blocked::SolveKernel;
 use crate::element::Element;
+use crate::kernel::{self, KernelTier};
 use crate::nacci::{carries_of, CorrectionTable};
 use crate::signature::Signature;
+use crate::simd;
 use crate::stability::{self, StabilityReport};
 
 /// How close to the unit circle a spectral radius may be before the plan
@@ -402,15 +404,21 @@ impl<T: Element> CorrectionPlan<T> {
                 FactorPattern::DecaysAfter { decay_len } => {
                     let lim = (*decay_len).min(chunk.len());
                     let list = &self.table.list(r)[..lim];
-                    for (v, &f) in chunk[..lim].iter_mut().zip(list) {
-                        *v = v.add(f.mul(carry));
+                    // Truncated tail: the vector fold when the tier and
+                    // CPU allow it, the scalar fold otherwise.
+                    if !simd::axpy_in_place(&mut chunk[..lim], list, carry) {
+                        for (v, &f) in chunk[..lim].iter_mut().zip(list) {
+                            *v = v.add(f.mul(carry));
+                        }
                     }
                 }
                 FactorPattern::Dense => {
                     let list = self.table.list(r);
                     debug_assert!(list.len() >= chunk.len());
-                    for (v, &f) in chunk.iter_mut().zip(list) {
-                        *v = v.add(f.mul(carry));
+                    if !simd::axpy_in_place(chunk, list, carry) {
+                        for (v, &f) in chunk.iter_mut().zip(list) {
+                            *v = v.add(f.mul(carry));
+                        }
                     }
                 }
             }
@@ -565,7 +573,10 @@ fn summarize<T: Element>(strategies: &[FactorPattern<T>], tail_zero: bool) -> Pl
 /// request knob that changes the built plan. The feedforward coefficients
 /// are part of the key even though they do not affect the factor table —
 /// the plan carries the FIR kernel, so two signatures differing only in
-/// feedforward must not share a plan.
+/// feedforward must not share a plan. The effective kernel tier is part
+/// of the key for the same reason: the plan bakes in the selected solve
+/// kernel, so flipping the `PLR_KERNEL` override must never serve a
+/// plan built under a different tier.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     type_id: TypeId,
@@ -575,6 +586,7 @@ struct PlanKey {
     flush: bool,
     full_table: bool,
     mode: PlanMode,
+    tier: KernelTier,
 }
 
 type CacheMap = HashMap<PlanKey, Arc<dyn Any + Send + Sync>>;
@@ -653,6 +665,7 @@ pub fn plan_for<T: Element>(
         flush: req.flush,
         full_table: req.full_table,
         mode: req.mode,
+        tier: kernel::tier(),
     };
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache

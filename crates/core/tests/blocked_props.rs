@@ -10,6 +10,7 @@
 
 use plr_core::blocked::{BlockedKernel, SolveKernel, BLOCK, MAX_BLOCKED_ORDER};
 use plr_core::serial;
+use plr_core::KernelTier;
 use proptest::prelude::*;
 
 /// Lengths exercising every block-boundary case around a random base:
@@ -96,9 +97,10 @@ proptest! {
         input in proptest::collection::vec(-9i64..9, 0..(6 * BLOCK)),
         history in proptest::collection::vec(-9i64..9, 0..4),
     ) {
-        // Selection keeps integers scalar for speed, so drive the blocked
-        // kernel directly: the rewrite must be exact in wrapping-integer
-        // arithmetic whenever it applies (orders 1..=MAX_BLOCKED_ORDER).
+        // Auto dispatch may pick SIMD over blocked for integers, so
+        // drive the blocked kernel directly: the rewrite must be exact
+        // in wrapping-integer arithmetic whenever it applies (orders
+        // 1..=MAX_BLOCKED_ORDER).
         prop_assume!(fb.len() <= MAX_BLOCKED_ORDER);
         let kernel = BlockedKernel::try_new(&fb).expect("low orders are blockable");
         let history = &history[..history.len().min(fb.len())];
@@ -118,7 +120,11 @@ proptest! {
         history in proptest::collection::vec(-4.0f64..4.0, 0..8),
     ) {
         let kernel = SolveKernel::select(&fb);
-        prop_assert_eq!(kernel.is_blocked(), fb.len() <= MAX_BLOCKED_ORDER);
+        // Low orders leave the scalar loop under Auto (blocked or SIMD,
+        // per CPU) — asserted tier-explicitly so the forced-tier CI legs
+        // (`PLR_KERNEL=scalar` et al.) still run this suite unchanged.
+        let auto = SolveKernel::select_with_tier(&fb, KernelTier::Auto);
+        prop_assert_eq!(!auto.is_scalar(), fb.len() <= MAX_BLOCKED_ORDER);
         let history = &history[..history.len().min(fb.len())];
         for n in boundary_lengths(input.len()) {
             let n = n.min(input.len());
@@ -137,7 +143,8 @@ proptest! {
         let fb: Vec<f32> = fb64.iter().map(|&v| v as f32).collect();
         let input: Vec<f32> = input64.iter().map(|&v| v as f32).collect();
         let kernel = SolveKernel::select(&fb);
-        prop_assert_eq!(kernel.is_blocked(), fb.len() <= MAX_BLOCKED_ORDER);
+        let auto = SolveKernel::select_with_tier(&fb, KernelTier::Auto);
+        prop_assert_eq!(!auto.is_scalar(), fb.len() <= MAX_BLOCKED_ORDER);
         for n in boundary_lengths(input.len()) {
             let n = n.min(input.len());
             let mut got = input[..n].to_vec();

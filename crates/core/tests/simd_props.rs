@@ -1,0 +1,345 @@
+//! Differential property tests for the explicit SIMD kernel layer.
+//!
+//! Every kernel tier the runtime can dispatch to — forced scalar, forced
+//! blocked, and an explicit [`SimdKernel`] on *each* ISA the machine
+//! reports (always including [`Isa::Portable`]) — must agree on the same
+//! inputs: bit-exactly for the wrapping integers (including the AVX2
+//! half-width i64 multiply emulation and the AVX-512 `vpmullq` path, both
+//! exercised here whenever the CPU has them), and within reassociation
+//! tolerance for floats (the vector kernels contract multiply-add chains
+//! into FMAs, so results differ from the scalar loop by rounding only).
+//!
+//! The same treatment covers the two steady-state helpers the executors
+//! lean on: the FIR map tail ([`fir_steady_with`]) and the correction
+//! fold ([`axpy_with`]).
+//!
+//! These tests construct kernels through the explicit `*_with` entry
+//! points rather than the process-global `PLR_KERNEL` override, so they
+//! are safe under the parallel test harness.
+
+use plr_core::blocked::{SolveKernel, BLOCK, MAX_BLOCKED_ORDER};
+use plr_core::element::Element;
+use plr_core::kernel::KernelTier;
+use plr_core::serial;
+use plr_core::simd::{available_isas, axpy_with, fir_steady_with, SimdKernel, MAX_FIR_TAPS};
+use proptest::prelude::*;
+
+/// Lengths exercising every vector-block boundary around a random base.
+fn boundary_lengths(base: usize) -> [usize; 7] {
+    let edge = (base / BLOCK + 1) * BLOCK;
+    [0, 1, BLOCK - 1, BLOCK, BLOCK + 1, edge + 1, base]
+}
+
+/// Integer feedback of order 1..=MAX_BLOCKED_ORDER so every tier
+/// (including the SIMD kernels, which only cover blockable orders) has a
+/// fast path to disagree with.
+fn int_feedback() -> impl Strategy<Value = Vec<i64>> {
+    let nonzero = prop_oneof![-3i64..=-1, 1i64..=3];
+    (
+        proptest::collection::vec(-3i64..=3, 0..MAX_BLOCKED_ORDER),
+        nonzero,
+    )
+        .prop_map(|(mut fb, last)| {
+            fb.push(last);
+            fb
+        })
+}
+
+/// Stable float feedback of order 1..=MAX_BLOCKED_ORDER (poles inside
+/// (-0.8, 0.8) keep outputs bounded so the ULP comparison is meaningful).
+fn stable_float_feedback() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-0.8f64..0.8, 1..MAX_BLOCKED_ORDER + 1).prop_filter_map(
+        "nonzero poles",
+        |poles| {
+            if poles.iter().any(|p| p.abs() < 1e-2) {
+                return None;
+            }
+            let mut c = vec![1.0f64];
+            for &p in &poles {
+                let mut next = vec![0.0; c.len() + 1];
+                for (i, &ci) in c.iter().enumerate() {
+                    next[i] += ci * -p;
+                    next[i + 1] += ci;
+                }
+                c = next;
+            }
+            c.reverse();
+            Some(c[1..].iter().map(|&v| -v).collect())
+        },
+    )
+}
+
+fn scalar_ref<T: Element>(fb: &[T], history: &[T], input: &[T]) -> Vec<T> {
+    let mut out = input.to_vec();
+    serial::recursive_in_place_with_history(fb, history, &mut out);
+    out
+}
+
+/// Every solver the dispatcher can hand out for this feedback: the three
+/// forced tiers plus one explicit SIMD kernel per available ISA.
+fn all_solvers<T: Element>(fb: &[T]) -> Vec<(String, SolveKernel<T>)> {
+    let mut out = vec![
+        (
+            "tier=scalar".to_string(),
+            SolveKernel::select_with_tier(fb, KernelTier::Scalar),
+        ),
+        (
+            "tier=blocked".to_string(),
+            SolveKernel::select_with_tier(fb, KernelTier::Blocked),
+        ),
+        (
+            "tier=simd".to_string(),
+            SolveKernel::select_with_tier(fb, KernelTier::Simd),
+        ),
+        (
+            "tier=auto".to_string(),
+            SolveKernel::select_with_tier(fb, KernelTier::Auto),
+        ),
+    ];
+    for isa in available_isas::<T>() {
+        if let Some(k) = SimdKernel::try_new_with(fb, isa) {
+            out.push((format!("isa={isa:?}"), SolveKernel::Simd(k)));
+        }
+    }
+    out
+}
+
+/// ULP-scaled closeness: reassociation and FMA contraction move each
+/// output by a few ULP of the largest value in play.
+fn assert_close(expect: &[f64], got: &[f64], ulps: f64, ctx: &str) -> Result<(), TestCaseError> {
+    let scale = expect.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    for (i, (a, b)) in expect.iter().zip(got).enumerate() {
+        prop_assert!(
+            (a - b).abs() <= ulps * f64::EPSILON * scale,
+            "{ctx}: index {i}: {a} vs {b} (scale {scale})"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_tier_and_isa_is_bit_exact_for_i64(
+        fb in int_feedback(),
+        input in proptest::collection::vec(-9i64..9, 0..(6 * BLOCK)),
+        history in proptest::collection::vec(-9i64..9, 0..MAX_BLOCKED_ORDER),
+    ) {
+        let history = &history[..history.len().min(fb.len())];
+        for n in boundary_lengths(input.len()) {
+            let n = n.min(input.len());
+            let expect = scalar_ref(&fb, history, &input[..n]);
+            for (name, kernel) in all_solvers(&fb) {
+                let mut got = input[..n].to_vec();
+                kernel.solve_in_place_with_history(history, &mut got);
+                prop_assert_eq!(&got, &expect,
+                    "{} fb={:?} history={:?} n={}", name, &fb, history, n);
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_and_isa_is_bit_exact_for_i32(
+        fb64 in int_feedback(),
+        input64 in proptest::collection::vec(-9i64..9, 0..(6 * BLOCK)),
+        history64 in proptest::collection::vec(-9i64..9, 0..MAX_BLOCKED_ORDER),
+    ) {
+        let fb: Vec<i32> = fb64.iter().map(|&v| v as i32).collect();
+        let input: Vec<i32> = input64.iter().map(|&v| v as i32).collect();
+        let history: Vec<i32> = history64.iter().map(|&v| v as i32).collect();
+        let history = &history[..history.len().min(fb.len())];
+        for n in boundary_lengths(input.len()) {
+            let n = n.min(input.len());
+            let expect = scalar_ref(&fb, history, &input[..n]);
+            for (name, kernel) in all_solvers(&fb) {
+                let mut got = input[..n].to_vec();
+                kernel.solve_in_place_with_history(history, &mut got);
+                prop_assert_eq!(&got, &expect,
+                    "{} fb={:?} history={:?} n={}", name, &fb, history, n);
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_and_isa_matches_scalar_for_f64(
+        fb in stable_float_feedback(),
+        input in proptest::collection::vec(-4.0f64..4.0, 0..(6 * BLOCK)),
+        history in proptest::collection::vec(-4.0f64..4.0, 0..MAX_BLOCKED_ORDER),
+    ) {
+        let history = &history[..history.len().min(fb.len())];
+        for n in boundary_lengths(input.len()) {
+            let n = n.min(input.len());
+            let expect = scalar_ref(&fb, history, &input[..n]);
+            for (name, kernel) in all_solvers(&fb) {
+                let mut got = input[..n].to_vec();
+                kernel.solve_in_place_with_history(history, &mut got);
+                assert_close(&expect, &got, 4096.0, &format!("{name} fb={fb:?} n={n}"))?;
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_and_isa_matches_scalar_for_f32(
+        fb64 in stable_float_feedback(),
+        input64 in proptest::collection::vec(-4.0f64..4.0, 0..(6 * BLOCK)),
+    ) {
+        let fb: Vec<f32> = fb64.iter().map(|&v| v as f32).collect();
+        let input: Vec<f32> = input64.iter().map(|&v| v as f32).collect();
+        for n in boundary_lengths(input.len()) {
+            let n = n.min(input.len());
+            let expect = scalar_ref(&fb, &[], &input[..n]);
+            let scale = expect.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+            for (name, kernel) in all_solvers(&fb) {
+                let mut got = input[..n].to_vec();
+                kernel.solve_in_place(&mut got);
+                for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() <= 4096.0 * f32::EPSILON * scale,
+                        "{} fb={:?} n={} index {}: {} vs {}", name, &fb, n, i, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restart_with_history_agrees_across_isas(
+        fb in int_feedback(),
+        input in proptest::collection::vec(-9i64..9, (2 * BLOCK)..(5 * BLOCK)),
+        split_seed in 1usize..1000,
+    ) {
+        // Chunked executors restart the kernel mid-stream through explicit
+        // history; the split run must be bit-identical to the one-shot run
+        // on every ISA.
+        let split = split_seed % (input.len() - 1) + 1;
+        let whole = scalar_ref(&fb, &[], &input);
+        for (name, kernel) in all_solvers(&fb) {
+            let (left, right) = input.split_at(split);
+            let mut l = left.to_vec();
+            kernel.solve_in_place(&mut l);
+            let history: Vec<i64> = l.iter().rev().take(fb.len()).copied().collect();
+            let mut r = right.to_vec();
+            kernel.solve_in_place_with_history(&history, &mut r);
+            l.extend(r);
+            prop_assert_eq!(&l, &whole, "{} fb={:?} split={}", name, &fb, split);
+        }
+    }
+
+    #[test]
+    fn fir_steady_kernels_match_scalar(
+        fir64 in proptest::collection::vec(-3i64..=3, 1..MAX_FIR_TAPS + 1),
+        input in proptest::collection::vec(-9i64..9, 0..(6 * BLOCK)),
+    ) {
+        // The vector FIR takes some suffix of the chunk (whole vectors
+        // only); whatever it claims must match the scalar convolution on
+        // that suffix, with the prefix untouched.
+        let fir: Vec<i64> = fir64;
+        let head = fir.len() - 1;
+        for n in boundary_lengths(input.len()) {
+            let n = n.min(input.len());
+            let input = &input[..n];
+            let mut expect = input.to_vec();
+            for i in (head..n).rev() {
+                let mut acc = 0i64;
+                for (j, &c) in fir.iter().enumerate() {
+                    acc = acc.wrapping_add(c.wrapping_mul(input[i - j]));
+                }
+                expect[i] = acc;
+            }
+            for isa in available_isas::<i64>() {
+                let mut got = input.to_vec();
+                let done = fir_steady_with(isa, &fir, &mut got, head);
+                prop_assert!(done <= n.saturating_sub(head), "{isa:?}: did too much");
+                prop_assert_eq!(&got[..n - done], &input[..n - done],
+                    "{:?} fir={:?} n={}: prefix touched", isa, &fir, n);
+                prop_assert_eq!(&got[n - done..], &expect[n - done..],
+                    "{:?} fir={:?} n={} done={}", isa, &fir, n, done);
+            }
+        }
+    }
+
+    #[test]
+    fn fir_steady_kernels_match_scalar_f64(
+        fir in proptest::collection::vec(-1.5f64..1.5, 1..MAX_FIR_TAPS + 1),
+        input in proptest::collection::vec(-4.0f64..4.0, 0..(6 * BLOCK)),
+    ) {
+        let head = fir.len() - 1;
+        for n in boundary_lengths(input.len()) {
+            let n = n.min(input.len());
+            let input = &input[..n];
+            let mut expect = input.to_vec();
+            for i in (head..n).rev() {
+                let mut acc = 0.0f64;
+                for (j, &c) in fir.iter().enumerate() {
+                    acc += c * input[i - j];
+                }
+                expect[i] = acc;
+            }
+            for isa in available_isas::<f64>() {
+                let mut got = input.to_vec();
+                let done = fir_steady_with(isa, &fir, &mut got, head);
+                prop_assert!(done <= n.saturating_sub(head), "{isa:?}: did too much");
+                assert_close(&expect[n - done..], &got[n - done..], 64.0,
+                    &format!("{isa:?} fir={fir:?} n={n} done={done}"))?;
+                prop_assert_eq!(&got[..n - done], &input[..n - done],
+                    "{:?} fir={:?} n={}: prefix touched", isa, &fir, n);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_kernels_match_scalar(
+        list in proptest::collection::vec(-9i64..9, 0..(6 * BLOCK)),
+        dst in proptest::collection::vec(-9i64..9, 0..(6 * BLOCK)),
+        carry in -9i64..9,
+    ) {
+        let lim = list.len().min(dst.len());
+        let mut expect = dst.clone();
+        for (d, &f) in expect[..lim].iter_mut().zip(&list) {
+            *d = d.wrapping_add(f.wrapping_mul(carry));
+        }
+        for isa in available_isas::<i64>() {
+            let mut got = dst.clone();
+            if axpy_with(isa, &mut got[..lim], &list, carry) {
+                prop_assert_eq!(&got[..lim], &expect[..lim], "{:?} lim={}", isa, lim);
+                prop_assert_eq!(&got[lim..], &dst[lim..], "{:?}: tail touched", isa);
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_kernels_match_scalar_f64(
+        list in proptest::collection::vec(-4.0f64..4.0, 0..(6 * BLOCK)),
+        dst in proptest::collection::vec(-4.0f64..4.0, 0..(6 * BLOCK)),
+        carry in -4.0f64..4.0,
+    ) {
+        let lim = list.len().min(dst.len());
+        let mut expect = dst.clone();
+        for (d, &f) in expect[..lim].iter_mut().zip(&list) {
+            *d += f * carry;
+        }
+        for isa in available_isas::<f64>() {
+            let mut got = dst.clone();
+            if axpy_with(isa, &mut got[..lim], &list, carry) {
+                assert_close(&expect[..lim], &got[..lim], 64.0, &format!("{isa:?} lim={lim}"))?;
+                prop_assert_eq!(&got[lim..], &dst[lim..], "{:?}: tail touched", isa);
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_simd_tier_reports_a_simd_kind() {
+    use plr_core::kernel::KernelKind;
+    let fb = [2i64, -1];
+    let kernel = SolveKernel::select_with_tier(&fb, KernelTier::Simd);
+    assert!(
+        matches!(
+            kernel.kind(),
+            KernelKind::SimdPortable | KernelKind::SimdAvx2 | KernelKind::SimdAvx512
+        ),
+        "forced SIMD must land on a SIMD kernel (got {:?})",
+        kernel.kind()
+    );
+}

@@ -21,6 +21,7 @@ use crate::stats::RunStats;
 use crate::stream::RowStream;
 use plr_core::element::Element;
 use plr_core::error::EngineError;
+use plr_core::kernel::KernelKind;
 use plr_core::plan::{self, CorrectionPlan, PlanKind, PlanRequest};
 use plr_core::signature::Signature;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,7 +56,11 @@ pub(crate) struct RowTask<T> {
 }
 
 impl<T: Element> RowTask<T> {
-    /// Solves one row in place, returning `(fir_nanos, solve_nanos)`.
+    /// Solves one row in place, returning `(fir_nanos, solve_nanos,
+    /// solve_slices)`. The local solve is time-sliced against `abort`, so
+    /// a cancel or deadline lands mid-row instead of after it; on an
+    /// abort the row is left partially solved and the caller's
+    /// reason-derived resolution reports the outcome.
     ///
     /// The worker/row indices feed the fault harness's `Solve` site (the
     /// same site the blocking path consults); they are unused otherwise.
@@ -64,8 +69,8 @@ impl<T: Element> RowTask<T> {
         row: &mut [T],
         _worker: usize,
         _index: usize,
-        _abort: Option<&AbortSignal>,
-    ) -> (u64, u64) {
+        abort: Option<&AbortSignal>,
+    ) -> (u64, u64, u64) {
         let mut fir_ns = 0u64;
         if !self.pure {
             let start = Instant::now();
@@ -73,16 +78,25 @@ impl<T: Element> RowTask<T> {
             fir_ns = start.elapsed().as_nanos() as u64;
         }
         #[cfg(feature = "fault-inject")]
-        crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, _abort);
+        crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, abort);
         let start = Instant::now();
-        self.plan.solve().solve_in_place(row);
-        (fir_ns, start.elapsed().as_nanos() as u64)
+        let solved = self
+            .plan
+            .solve()
+            .solve_in_place_sliced(row, &mut || abort.is_none_or(|a| !a.is_aborted()));
+        (fir_ns, start.elapsed().as_nanos() as u64, solved.slices)
     }
 
     /// Strategy summary reported in per-row stats ([`PlanKind::Unplanned`]
     /// for whole-row plans, which never correct).
     pub(crate) fn plan_kind(&self) -> PlanKind {
         self.plan.kind()
+    }
+
+    /// The serial solve kernel the task's plan dispatches to (reported in
+    /// per-row and aggregate stats).
+    pub(crate) fn kernel_kind(&self) -> KernelKind {
+        self.plan.solve().kind()
     }
 
     /// Whether the task's plan was served from the shared cache.
@@ -243,12 +257,13 @@ impl<T: Element> BatchRunner<T> {
         let task = &self.task;
         let fir_nanos = AtomicU64::new(0);
         let solve_nanos = AtomicU64::new(0);
+        let solve_slices = AtomicU64::new(0);
         let aborts = AtomicU64::new(0);
         let recovered_before = pool.recovered_workers();
         let tickets = Tickets::new(rows);
         let base = SendPtr::new(data.as_mut_ptr());
         pool.run_ctl(&ctl, |worker, abort| {
-            let (mut fir_ns, mut solve_ns) = (0u64, 0u64);
+            let (mut fir_ns, mut solve_ns, mut slices) = (0u64, 0u64, 0u64);
             while let Some(r) = tickets.claim() {
                 if abort.is_aborted() {
                     aborts.fetch_add(1, Ordering::Relaxed);
@@ -258,12 +273,14 @@ impl<T: Element> BatchRunner<T> {
                 // outlives the blocking `pool.run` call.
                 let row =
                     unsafe { std::slice::from_raw_parts_mut(base.ptr().add(r * width), width) };
-                let (f, s) = task.apply(row, worker, r, Some(abort));
+                let (f, s, sl) = task.apply(row, worker, r, Some(abort));
                 fir_ns += f;
                 solve_ns += s;
+                slices += sl;
             }
             fir_nanos.fetch_add(fir_ns, Ordering::Relaxed);
             solve_nanos.fetch_add(solve_ns, Ordering::Relaxed);
+            solve_slices.fetch_add(slices, Ordering::Relaxed);
         })
         .map_err(RunError::into_engine_error)?;
         Ok(RunStats {
@@ -277,6 +294,8 @@ impl<T: Element> BatchRunner<T> {
             plan_cache_hits: self.task.cache_hit() as u64,
             plan_cache_misses: !self.task.cache_hit() as u64,
             plan_kind: self.task.plan_kind(),
+            kernel: self.task.kernel_kind(),
+            solve_slices: solve_slices.load(Ordering::Relaxed),
             ..RunStats::default()
         })
     }

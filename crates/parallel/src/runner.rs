@@ -138,23 +138,26 @@ impl<T> Slot<T> {
     }
 }
 
-/// Atomic accumulators for the per-phase wall times in [`RunStats`].
+/// Atomic accumulators for the per-phase wall times in [`RunStats`],
+/// plus the local-solve slice count (the abort-granularity metric).
 #[derive(Default)]
 struct PhaseClocks {
     fir: AtomicU64,
     solve: AtomicU64,
     lookback: AtomicU64,
     correct: AtomicU64,
+    slices: AtomicU64,
 }
 
-/// Per-worker nanosecond tallies, flushed to the shared clocks once per
-/// job to keep atomic traffic off the per-chunk path.
+/// Per-worker tallies, flushed to the shared clocks once per job to keep
+/// atomic traffic off the per-chunk path.
 #[derive(Default)]
 struct PhaseTally {
     fir: u64,
     solve: u64,
     lookback: u64,
     correct: u64,
+    slices: u64,
 }
 
 impl PhaseTally {
@@ -163,6 +166,7 @@ impl PhaseTally {
         clocks.solve.fetch_add(self.solve, Ordering::Relaxed);
         clocks.lookback.fetch_add(self.lookback, Ordering::Relaxed);
         clocks.correct.fetch_add(self.correct, Ordering::Relaxed);
+        clocks.slices.fetch_add(self.slices, Ordering::Relaxed);
     }
 }
 
@@ -332,6 +336,7 @@ impl<T: Element> ParallelRunner<T> {
                 plan_cache_misses: !self.plan_cache_hit as u64,
                 plan_kind: self.plan.kind(),
                 correction_taps: self.plan.correction_taps() as u64,
+                kernel: self.plan.solve().kind(),
                 ..RunStats::default()
             });
         }
@@ -431,8 +436,18 @@ impl<T: Element> ParallelRunner<T> {
                 });
                 #[cfg(feature = "fault-inject")]
                 crate::fault::check(crate::fault::FaultSite::Solve, _worker, c, Some(abort));
-                // Local solve, then publish local carries.
-                timed(&mut tally.solve, || self.plan.solve().solve_in_place(chunk));
+                // Local solve (time-sliced so a cancel or deadline lands
+                // mid-chunk, not after it), then publish local carries.
+                let solved = timed(&mut tally.solve, || {
+                    self.plan
+                        .solve()
+                        .solve_in_place_sliced(chunk, &mut || !abort.is_aborted())
+                });
+                tally.slices += solved.slices;
+                if !solved.completed {
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 let locals = carries_of(chunk, k);
                 if check_finite && !all_finite(&locals) {
                     let _ = failure.set(EngineError::NonFiniteCarry { chunk: c });
@@ -511,6 +526,8 @@ impl<T: Element> ParallelRunner<T> {
             plan_kind: self.plan.kind(),
             correction_taps: self.plan.correction_taps() as u64,
             carry_resets: resets.load(Ordering::Relaxed),
+            kernel: self.plan.solve().kind(),
+            solve_slices: clocks.slices.load(Ordering::Relaxed),
         })
     }
 
@@ -552,7 +569,16 @@ impl<T: Element> ParallelRunner<T> {
                 });
                 #[cfg(feature = "fault-inject")]
                 crate::fault::check(crate::fault::FaultSite::Solve, _worker, c, Some(abort));
-                timed(&mut tally.solve, || self.plan.solve().solve_in_place(chunk));
+                let solved = timed(&mut tally.solve, || {
+                    self.plan
+                        .solve()
+                        .solve_in_place_sliced(chunk, &mut || !abort.is_aborted())
+                });
+                tally.slices += solved.slices;
+                if !solved.completed {
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
             }
             tally.flush(&clocks);
         })
@@ -651,6 +677,8 @@ impl<T: Element> ParallelRunner<T> {
             plan_kind: self.plan.kind(),
             correction_taps: self.plan.correction_taps() as u64,
             carry_resets,
+            kernel: self.plan.solve().kind(),
+            solve_slices: clocks.slices.load(Ordering::Relaxed),
         })
     }
 }

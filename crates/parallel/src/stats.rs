@@ -1,5 +1,6 @@
 //! Runtime statistics reported by the parallel runner and worker pool.
 
+use plr_core::kernel::KernelKind;
 use plr_core::plan::PlanKind;
 
 /// Cumulative run-outcome counters for one [`WorkerPool`], reported by
@@ -101,6 +102,16 @@ pub struct RunStats {
     /// factors are exactly zero (its global carries equal its locals), so
     /// the carry chain reset instead of walking back.
     pub carry_resets: u64,
+    /// The serial solve kernel the run dispatched to (`Unknown` when no
+    /// solve ran, e.g. a default-constructed stats value; `Mixed` in
+    /// aggregates whose sub-runs disagreed — possible when the kernel
+    /// override changed between rows).
+    pub kernel: KernelKind,
+    /// Local-solve time slices executed: chunks short enough to solve in
+    /// one go count one slice; longer chunks split into abort-polled
+    /// slices of [`plr_core::blocked::SOLVE_SLICE`] elements and count one
+    /// per slice. Aggregates sum over rows.
+    pub solve_slices: u64,
 }
 
 impl RunStats {
@@ -156,6 +167,12 @@ impl RunStats {
         }
         self.correction_taps = self.correction_taps.max(other.correction_taps);
         self.carry_resets += other.carry_resets;
+        if self.kernel == KernelKind::Unknown {
+            self.kernel = other.kernel;
+        } else if other.kernel != KernelKind::Unknown && other.kernel != self.kernel {
+            self.kernel = KernelKind::Mixed;
+        }
+        self.solve_slices += other.solve_slices;
     }
 }
 
@@ -252,5 +269,30 @@ mod tests {
         };
         a.absorb(&c);
         assert_eq!(a.plan_kind, PlanKind::Mixed);
+    }
+
+    #[test]
+    fn absorb_kernel_fields() {
+        let mut a = RunStats {
+            solve_slices: 2,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            kernel: KernelKind::SimdAvx2,
+            solve_slices: 3,
+            ..RunStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.kernel, KernelKind::SimdAvx2);
+        assert_eq!(a.solve_slices, 5);
+        // Agreement keeps the kind; disagreement collapses to Mixed.
+        a.absorb(&b);
+        assert_eq!(a.kernel, KernelKind::SimdAvx2);
+        let c = RunStats {
+            kernel: KernelKind::Scalar,
+            ..RunStats::default()
+        };
+        a.absorb(&c);
+        assert_eq!(a.kernel, KernelKind::Mixed);
     }
 }

@@ -185,6 +185,7 @@ impl<T: Element> RowStream<T> {
                     plan_cache_hits: task.cache_hit() as u64,
                     plan_cache_misses: !task.cache_hit() as u64,
                     plan_kind: task.plan_kind(),
+                    kernel: task.kernel_kind(),
                     ..RunStats::default()
                 },
                 next_row: 0,
@@ -493,7 +494,7 @@ fn process_one<T: Element>(
     drop(row_att);
     drop(run_att);
     match outcome {
-        Ok((fir_nanos, solve_nanos)) => {
+        Ok((fir_nanos, solve_nanos, solve_slices)) => {
             let result = match abort.reason() {
                 // A bare WorkerFault is job-owned elsewhere; nothing trips
                 // it on a per-row signal, so treat it as clean.
@@ -504,6 +505,8 @@ fn process_one<T: Element>(
                     fir_nanos,
                     solve_nanos,
                     plan_kind: task.plan_kind(),
+                    kernel: task.kernel_kind(),
+                    solve_slices,
                     ..RunStats::default()
                 }),
                 Some(AbortReason::Cancelled) => Err(EngineError::Cancelled),
