@@ -153,6 +153,55 @@ pub enum EngineError {
         /// The wall-clock budget that was exceeded.
         deadline: core::time::Duration,
     },
+    /// The service core rejected the submission *at admission* because the
+    /// estimated queue delay already exceeds the row's remaining deadline
+    /// budget (or the shard's backlog bound): admitting the row would only
+    /// wedge the queue and miss the deadline anyway.
+    ///
+    /// Retryable — back off (see `plr_parallel::retry`) and resubmit; the
+    /// hint is the service's estimate of when capacity frees up.
+    Overloaded {
+        /// Suggested minimum wait before resubmitting.
+        retry_after_hint: core::time::Duration,
+    },
+    /// The submission was rejected because the tenant's token-bucket quota
+    /// is exhausted.
+    ///
+    /// Retryable — the hint is when the bucket accrues the next token, so
+    /// a well-behaved client that waits at least this long will usually be
+    /// admitted (subject to load shedding).
+    QuotaExceeded {
+        /// Time until the tenant's bucket accrues enough budget for one
+        /// more row.
+        retry_after_hint: core::time::Duration,
+    },
+}
+
+impl EngineError {
+    /// Whether the failure is *transient by contract*: resubmitting the
+    /// same work after a backoff can succeed without any change on the
+    /// caller's side. True exactly for the admission-control rejections
+    /// ([`Overloaded`](Self::Overloaded) and
+    /// [`QuotaExceeded`](Self::QuotaExceeded)); every other variant either
+    /// reports a configuration problem (same inputs will fail again) or a
+    /// caller-initiated abort (retrying would override the caller's own
+    /// cancel/deadline decision).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Overloaded { .. } | EngineError::QuotaExceeded { .. }
+        )
+    }
+
+    /// The suggested minimum backoff before a retry, when the error
+    /// carries one (the admission-control rejections do).
+    pub fn retry_after_hint(&self) -> Option<core::time::Duration> {
+        match self {
+            EngineError::Overloaded { retry_after_hint }
+            | EngineError::QuotaExceeded { retry_after_hint } => Some(*retry_after_hint),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -181,6 +230,18 @@ impl fmt::Display for EngineError {
             }
             EngineError::DeadlineExceeded { deadline } => {
                 write!(f, "run exceeded its deadline of {deadline:?}")
+            }
+            EngineError::Overloaded { retry_after_hint } => {
+                write!(
+                    f,
+                    "service overloaded, rejected at admission (retry after {retry_after_hint:?})"
+                )
+            }
+            EngineError::QuotaExceeded { retry_after_hint } => {
+                write!(
+                    f,
+                    "tenant quota exhausted (retry after {retry_after_hint:?})"
+                )
             }
         }
     }
@@ -243,6 +304,45 @@ mod tests {
         };
         assert!(e.to_string().contains("deadline"), "{e}");
         assert!(e.to_string().contains("250"), "{e}");
+        let e = EngineError::Overloaded {
+            retry_after_hint: core::time::Duration::from_millis(7),
+        };
+        assert!(e.to_string().contains("overloaded"), "{e}");
+        assert!(e.to_string().contains("7"), "{e}");
+        let e = EngineError::QuotaExceeded {
+            retry_after_hint: core::time::Duration::from_millis(9),
+        };
+        assert!(e.to_string().contains("quota"), "{e}");
+    }
+
+    #[test]
+    fn retryability_is_exactly_the_admission_rejections() {
+        let hint = core::time::Duration::from_millis(5);
+        let overloaded = EngineError::Overloaded {
+            retry_after_hint: hint,
+        };
+        let quota = EngineError::QuotaExceeded {
+            retry_after_hint: hint,
+        };
+        assert!(overloaded.is_retryable());
+        assert!(quota.is_retryable());
+        assert_eq!(overloaded.retry_after_hint(), Some(hint));
+        assert_eq!(quota.retry_after_hint(), Some(hint));
+        for err in [
+            EngineError::Cancelled,
+            EngineError::InvalidChunkSize { chunk_size: 0 },
+            EngineError::NonFiniteCarry { chunk: 1 },
+            EngineError::WorkerPanicked {
+                worker: 0,
+                payload: "x".into(),
+            },
+            EngineError::DeadlineExceeded {
+                deadline: core::time::Duration::from_secs(1),
+            },
+        ] {
+            assert!(!err.is_retryable(), "{err}");
+            assert_eq!(err.retry_after_hint(), None, "{err}");
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ struct CachedInner<T> {
 /// [`RowStream`] dispatch rows through literally the same code — a
 /// streamed row cannot drift from its blocking counterpart.
 #[derive(Debug, Clone)]
-pub(crate) struct RowTask<T> {
+pub struct RowTask<T> {
     /// The whole-row plan (chunk size 0): the FIR coefficients and the
     /// register-blocked local-solve kernel, shared through the plan cache.
     plan: Arc<CorrectionPlan<T>>,
@@ -56,6 +56,22 @@ pub(crate) struct RowTask<T> {
 }
 
 impl<T: Element> RowTask<T> {
+    /// Builds the per-row work unit for `signature`: a whole-row
+    /// (chunk-size-0) plan served through the shared plan cache. Public so
+    /// external row executors — notably the service core's shard workers —
+    /// run rows through literally the same code path as
+    /// [`BatchRunner::run_rows`] and [`RowStream`](crate::stream::RowStream).
+    ///
+    /// [`BatchRunner::run_rows`]: crate::batch::BatchRunner::run_rows
+    pub fn new(signature: &Signature<T>) -> Self {
+        let (plan, cache_hit) = plan::plan_for(signature, PlanRequest::new::<T>(0));
+        RowTask {
+            plan,
+            cache_hit,
+            pure: signature.is_pure_feedback(),
+        }
+    }
+
     /// Solves one row in place, returning `(fir_nanos, solve_nanos,
     /// solve_slices)`. The local solve is time-sliced against `abort`, so
     /// a cancel or deadline lands mid-row instead of after it; on an
@@ -64,7 +80,7 @@ impl<T: Element> RowTask<T> {
     ///
     /// The worker/row indices feed the fault harness's `Solve` site (the
     /// same site the blocking path consults); they are unused otherwise.
-    pub(crate) fn apply(
+    pub fn apply(
         &self,
         row: &mut [T],
         _worker: usize,
@@ -89,18 +105,18 @@ impl<T: Element> RowTask<T> {
 
     /// Strategy summary reported in per-row stats ([`PlanKind::Unplanned`]
     /// for whole-row plans, which never correct).
-    pub(crate) fn plan_kind(&self) -> PlanKind {
+    pub fn plan_kind(&self) -> PlanKind {
         self.plan.kind()
     }
 
     /// The serial solve kernel the task's plan dispatches to (reported in
     /// per-row and aggregate stats).
-    pub(crate) fn kernel_kind(&self) -> KernelKind {
+    pub fn kernel_kind(&self) -> KernelKind {
         self.plan.solve().kind()
     }
 
     /// Whether the task's plan was served from the shared cache.
-    pub(crate) fn cache_hit(&self) -> bool {
+    pub fn cache_hit(&self) -> bool {
         self.cache_hit
     }
 }
@@ -124,15 +140,10 @@ impl<T: Element> BatchRunner<T> {
         // A chunk-size-0 plan: whole-row dispatch never corrects, so the
         // plan only supplies the FIR and local-solve kernels (shared with
         // every other consumer of this signature through the cache).
-        let (plan, cache_hit) = plan::plan_for(&signature, PlanRequest::new::<T>(0));
-        let pure = signature.is_pure_feedback();
+        let task = RowTask::new(&signature);
         BatchRunner {
             signature,
-            task: RowTask {
-                plan,
-                cache_hit,
-                pure,
-            },
+            task,
             threads,
             pool: OnceLock::new(),
             inner: Mutex::new(None),

@@ -122,15 +122,17 @@ pub mod batch;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod pool;
+pub mod retry;
 pub mod runner;
 pub mod stats;
 pub mod stream;
 
-pub use batch::BatchRunner;
+pub use batch::{BatchRunner, RowTask};
 pub use pool::{
-    resolve_threads, AbortReason, AbortSignal, CancelToken, RunControl, RunError, RunHandle,
-    WorkerPanic, WorkerPool,
+    resolve_threads, AbortReason, AbortSignal, CancelAttachment, CancelToken, RunControl, RunError,
+    RunHandle, WatchGuard, WorkerPanic, WorkerPool,
 };
+pub use retry::{retry_with_backoff, Backoff, RetryOutcome};
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
 pub use stats::{PoolCounters, RunStats};
-pub use stream::{block_on, RowFuture, RowHandle, RowStream, RunFuture};
+pub use stream::{block_on, PushError, RowFuture, RowHandle, RowStream, RunFuture};

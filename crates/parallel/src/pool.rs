@@ -274,9 +274,10 @@ impl CancelToken {
     /// Links a run's abort signal to this token for the run's duration.
     /// The returned guard unlinks on drop. A token cancelled concurrently
     /// with the attach still trips the signal (flag checked after
-    /// publication). Crate-visible so the streaming layer can link
-    /// per-row tokens to per-row abort signals the same way.
-    pub(crate) fn attach(&self, abort: &Arc<AbortSignal>) -> CancelAttachment<'_> {
+    /// publication). Public so external drain loops (the streaming layer
+    /// in this crate, the service core's shard workers) can link per-row
+    /// tokens to per-row abort signals the same way the pool does.
+    pub fn attach(&self, abort: &Arc<AbortSignal>) -> CancelAttachment<'_> {
         {
             let mut watchers = lock_recover(&self.inner.watchers);
             watchers.retain(|w| w.strong_count() > 0);
@@ -293,7 +294,7 @@ impl CancelToken {
 }
 
 /// Unlinks a run's abort signal from its [`CancelToken`] on drop.
-pub(crate) struct CancelAttachment<'a> {
+pub struct CancelAttachment<'a> {
     token: &'a CancelToken,
     abort: Weak<AbortSignal>,
 }
@@ -342,6 +343,17 @@ impl RunControl {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
+    /// The cancel token this control observes, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The resolved deadline, if any: `(absolute instant, original
+    /// budget)`.
+    pub fn deadline(&self) -> Option<(Instant, Duration)> {
+        self.deadline
+    }
+
     /// Fails fast when the control is already cancelled or past its
     /// deadline; used by the pool before starting a run and by multi-pass
     /// runners between (and inside) passes.
@@ -369,7 +381,10 @@ pub struct WorkerPanic {
 }
 
 impl WorkerPanic {
-    pub(crate) fn from_payload(worker: usize, payload: &(dyn Any + Send)) -> Self {
+    /// Builds a `WorkerPanic` from a caught panic payload (used by every
+    /// layer that wraps job execution in `catch_unwind`, including the
+    /// service core's shard workers).
+    pub fn from_payload(worker: usize, payload: &(dyn Any + Send)) -> Self {
         let payload = if payload.is::<WorkerExit>() {
             "worker exited (injected thread death)".to_string()
         } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -570,7 +585,7 @@ fn watchdog_loop(shared: &WatchdogShared) {
 }
 
 /// Disarms the watchdog for a completed run (or streamed row) on drop.
-pub(crate) struct WatchGuard<'a> {
+pub struct WatchGuard<'a> {
     watchdog: &'a WatchdogShared,
     id: u64,
 }
@@ -633,6 +648,10 @@ pub struct WorkerPool {
     driver: Arc<DriverShared>,
     /// Lazily spawned on the first [`submit`](Self::submit).
     driver_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Test hook ([`new_degraded`](Self::new_degraded)): while set, `heal`
+    /// still reaps dead workers but does not respawn missing slots, so the
+    /// zero-worker serial path stays observable across submissions.
+    inhibit_respawn: AtomicBool,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -703,7 +722,34 @@ impl WorkerPool {
                 cv: Condvar::new(),
             }),
             driver_thread: Mutex::new(None),
+            inhibit_respawn: AtomicBool::new(false),
         }
+    }
+
+    /// Test-only constructor simulating total spawn failure at
+    /// construction: a pool of nominal width `width` with **zero** live
+    /// spawned workers, exactly the state [`new`](Self::new) leaves behind
+    /// when every `thread::spawn` fails. Runs degrade to the
+    /// caller-as-worker-0 serial path until a later submission's heal pass
+    /// respawns the missing workers.
+    #[doc(hidden)]
+    pub fn new_degraded(width: usize) -> Self {
+        let width = width.max(1);
+        let pool = Self::new(1);
+        // Record the missing workers as never-spawned slots so `heal` can
+        // retry them, mirroring the spawn-failure bookkeeping in `new`.
+        lock_recover(&pool.workers)
+            .handles
+            .extend((1..width).map(|_| None));
+        pool.inhibit_respawn.store(true, Ordering::Relaxed);
+        pool
+    }
+
+    /// Lifts the [`new_degraded`](Self::new_degraded) respawn inhibition:
+    /// the next submission's heal pass retries the missing workers.
+    #[doc(hidden)]
+    pub fn allow_respawn(&self) {
+        self.inhibit_respawn.store(false, Ordering::Relaxed);
     }
 
     /// Effective worker count, including the thread that calls
@@ -758,6 +804,9 @@ impl WorkerPool {
                 let _ = handle.join();
             }
         }
+        if self.inhibit_respawn.load(Ordering::Relaxed) {
+            return;
+        }
         for (i, slot) in workers.handles.iter_mut().enumerate() {
             if slot.is_none() {
                 if let Ok(handle) = spawn_worker(&self.shared, i + 1) {
@@ -792,13 +841,10 @@ impl WorkerPool {
 
     /// Puts a run — or one streamed row — under deadline watch; the guard
     /// disarms on drop. Any number of watches may be armed concurrently
-    /// (the streaming layer arms one per in-flight row with a deadline).
+    /// (the streaming layer and the service core's shards arm one per
+    /// in-flight row with a deadline).
     /// `None` when the watchdog thread could not be spawned.
-    pub(crate) fn watchdog_arm(
-        &self,
-        at: Instant,
-        abort: &Arc<AbortSignal>,
-    ) -> Option<WatchGuard<'_>> {
+    pub fn watchdog_arm(&self, at: Instant, abort: &Arc<AbortSignal>) -> Option<WatchGuard<'_>> {
         if !self.ensure_watchdog() {
             return None;
         }
@@ -1045,8 +1091,17 @@ impl Drop for WorkerPool {
             state.shutdown = true;
             self.driver.cv.notify_all();
         }
+        // The last `Arc<WorkerPool>` can be dropped from a thread the
+        // pool itself owns — e.g. a completion callback running on the
+        // driver thread releasing the final clone. Joining the current
+        // thread would deadlock (and panics in std), so such threads are
+        // detached instead: they observe `shutdown` and exit on their
+        // own right after this drop returns.
+        let me = std::thread::current().id();
         if let Some(handle) = lock_recover(&self.driver_thread).take() {
-            let _ = handle.join();
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
         }
         {
             let mut state = lock_recover(&self.watchdog.state);
@@ -1054,7 +1109,9 @@ impl Drop for WorkerPool {
             self.watchdog.cv.notify_all();
         }
         if let Some(handle) = lock_recover(&self.watchdog_thread).take() {
-            let _ = handle.join();
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
         }
         {
             let mut state = lock_recover(&self.shared.state);
@@ -1063,7 +1120,9 @@ impl Drop for WorkerPool {
         }
         let mut workers = lock_recover(&self.workers);
         for handle in workers.handles.iter_mut().filter_map(Option::take) {
-            let _ = handle.join();
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
         }
     }
 }

@@ -1,0 +1,327 @@
+//! Decorrelated-jitter backoff for retryable admission rejections.
+//!
+//! The service core rejects work *at admission* when a tenant's quota is
+//! exhausted or the shard backlog would blow the row's deadline
+//! ([`EngineError::QuotaExceeded`] / [`EngineError::Overloaded`], both
+//! [`EngineError::is_retryable`]). A client that immediately resubmits
+//! turns one rejection into a retry storm; a client that sleeps a fixed
+//! interval synchronizes with every other fixed-interval client. The
+//! standard fix is *decorrelated jitter* (`sleep = uniform(base,
+//! prev * 3)`, capped): successive delays grow geometrically in
+//! expectation but are randomized against each other, so retries from
+//! many rejected clients spread out instead of arriving in waves.
+//!
+//! [`Backoff`] is that policy as a small deterministic state machine — no
+//! RNG dependency (a seeded xorshift), no clock dependency (it returns
+//! durations, the caller sleeps), so retry schedules are unit-testable.
+//! [`retry_with_backoff`] is the convenience loop: call, inspect, sleep,
+//! bounded by an attempt budget.
+//!
+//! [`EngineError::QuotaExceeded`]: plr_core::error::EngineError::QuotaExceeded
+//! [`EngineError::Overloaded`]: plr_core::error::EngineError::Overloaded
+//! [`EngineError::is_retryable`]: plr_core::error::EngineError::is_retryable
+
+use plr_core::error::EngineError;
+use std::time::Duration;
+
+/// Decorrelated-jitter backoff state (see the [module docs](self)).
+///
+/// Every delay drawn by [`next_delay`](Self::next_delay) lies in
+/// `[base, cap]`; the sequence starts at `base` and random-walks upward
+/// (each draw is uniform in `[base, 3 × previous]`, clamped to `cap`), so
+/// a long rejection streak converges to sleeping about `cap` per attempt
+/// without two clients ever locking step.
+///
+/// ```
+/// use plr_parallel::retry::Backoff;
+/// use std::time::Duration;
+///
+/// let mut backoff = Backoff::new(Duration::from_millis(2), Duration::from_millis(250));
+/// let first = backoff.next_delay();
+/// assert!(first >= Duration::from_millis(2) && first <= Duration::from_millis(250));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff whose delays are confined to `[base, cap]` (both clamped
+    /// to at least one microsecond so degenerate configs cannot spin),
+    /// seeded from the state's address for cheap run-to-run decorrelation.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        let base = base.max(Duration::from_micros(1));
+        Self::with_seed(base, cap.max(base), 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Like [`new`](Self::new) with an explicit RNG seed — deterministic
+    /// schedules for tests.
+    pub fn with_seed(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_micros(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            rng: seed | 1,
+        }
+    }
+
+    /// The configured floor.
+    pub fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// The configured ceiling.
+    pub fn cap(&self) -> Duration {
+        self.cap
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: tiny, seedable, plenty for jitter.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Draws the next delay: uniform in `[base, 3 × previous]`, clamped to
+    /// `[base, cap]`. Never returns zero.
+    pub fn next_delay(&mut self) -> Duration {
+        let base_ns = self.base.as_nanos() as u64;
+        let cap_ns = self.cap.as_nanos() as u64;
+        let upper = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .clamp(base_ns, cap_ns);
+        let span = upper - base_ns;
+        let ns = if span == 0 {
+            base_ns
+        } else {
+            base_ns + self.next_u64() % (span + 1)
+        };
+        self.prev = Duration::from_nanos(ns);
+        self.prev
+    }
+
+    /// Resets the walk back to `base` (call after a success so the next
+    /// rejection streak starts cheap again).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+/// Outcome of [`retry_with_backoff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryOutcome<T> {
+    /// The operation succeeded within the attempt budget.
+    Ok(T),
+    /// Every attempt failed with a retryable error; the last one is
+    /// returned together with the total time slept across backoffs.
+    Exhausted {
+        /// The final retryable rejection.
+        last: EngineError,
+        /// Total backoff slept over all attempts.
+        slept: Duration,
+        /// Attempts made (equals the configured budget).
+        attempts: u32,
+    },
+    /// An attempt failed with a non-retryable error; retrying stopped
+    /// immediately.
+    Fatal(EngineError),
+}
+
+impl<T> RetryOutcome<T> {
+    /// Collapses back to a plain `Result`, folding both failure arms into
+    /// their `EngineError`.
+    pub fn into_result(self) -> Result<T, EngineError> {
+        match self {
+            RetryOutcome::Ok(v) => Ok(v),
+            RetryOutcome::Exhausted { last, .. } => Err(last),
+            RetryOutcome::Fatal(e) => Err(e),
+        }
+    }
+}
+
+/// Calls `op` up to `attempts` times, sleeping a jittered backoff between
+/// retryable failures ([`EngineError::is_retryable`]); a rejection that
+/// carries a [`retry_after_hint`](EngineError::retry_after_hint) raises
+/// the sleep to at least that hint. Non-retryable errors end the loop
+/// immediately ([`RetryOutcome::Fatal`]) — retrying a cancelled or
+/// misconfigured call would never help.
+///
+/// The total sleep is bounded by `attempts × max(cap, hint)`, so a retry
+/// budget is also a wall-clock budget.
+pub fn retry_with_backoff<T>(
+    attempts: u32,
+    backoff: &mut Backoff,
+    mut op: impl FnMut() -> Result<T, EngineError>,
+) -> RetryOutcome<T> {
+    let mut slept = Duration::ZERO;
+    let mut made = 0;
+    loop {
+        made += 1;
+        match op() {
+            Ok(v) => return RetryOutcome::Ok(v),
+            Err(e) if !e.is_retryable() => return RetryOutcome::Fatal(e),
+            Err(e) => {
+                if made >= attempts.max(1) {
+                    return RetryOutcome::Exhausted {
+                        last: e,
+                        slept,
+                        attempts: made,
+                    };
+                }
+                let delay = backoff
+                    .next_delay()
+                    .max(e.retry_after_hint().unwrap_or(Duration::ZERO));
+                slept += delay;
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overloaded(ms: u64) -> EngineError {
+        EngineError::Overloaded {
+            retry_after_hint: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn delays_stay_inside_the_configured_band() {
+        let base = Duration::from_micros(100);
+        let cap = Duration::from_millis(5);
+        let mut b = Backoff::with_seed(base, cap, 42);
+        for _ in 0..10_000 {
+            let d = b.next_delay();
+            assert!(
+                d >= base && d <= cap,
+                "delay {d:?} escaped [{base:?}, {cap:?}]"
+            );
+        }
+    }
+
+    #[test]
+    fn delays_grow_then_saturate_at_the_cap() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(64);
+        let mut b = Backoff::with_seed(base, cap, 7);
+        // After enough draws the walk's upper bound is the cap itself:
+        // expected delay ~ (base + cap) / 2, and no draw exceeds cap.
+        let tail: Vec<Duration> = (0..200).map(|_| b.next_delay()).collect();
+        let late_mean: Duration = tail[100..].iter().sum::<Duration>() / 100;
+        assert!(late_mean > base * 4, "walk never grew: {late_mean:?}");
+        assert!(tail.iter().all(|d| *d <= cap));
+    }
+
+    #[test]
+    fn reset_returns_the_walk_to_base() {
+        let base = Duration::from_millis(1);
+        let mut b = Backoff::with_seed(base, Duration::from_secs(1), 3);
+        for _ in 0..50 {
+            b.next_delay();
+        }
+        b.reset();
+        // First post-reset draw is uniform in [base, 3*base].
+        assert!(b.next_delay() <= base * 3);
+    }
+
+    #[test]
+    fn zero_durations_are_clamped_to_nonzero() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO);
+        assert!(b.next_delay() > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mk = || Backoff::with_seed(Duration::from_micros(10), Duration::from_millis(2), 99);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..100 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_rejections() {
+        let mut backoff =
+            Backoff::with_seed(Duration::from_micros(10), Duration::from_micros(50), 1);
+        let mut calls = 0;
+        let out = retry_with_backoff(10, &mut backoff, || {
+            calls += 1;
+            if calls < 4 {
+                Err(overloaded(0))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, RetryOutcome::Ok(4));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_reports_the_last_error() {
+        let mut backoff =
+            Backoff::with_seed(Duration::from_micros(10), Duration::from_micros(40), 5);
+        let mut calls = 0u32;
+        let start = std::time::Instant::now();
+        let out = retry_with_backoff::<()>(5, &mut backoff, || {
+            calls += 1;
+            Err(overloaded(0))
+        });
+        assert_eq!(calls, 5, "exactly the budgeted attempts are made");
+        match out {
+            RetryOutcome::Exhausted {
+                last,
+                slept,
+                attempts,
+            } => {
+                assert!(matches!(last, EngineError::Overloaded { .. }));
+                assert_eq!(attempts, 5);
+                // 4 sleeps, each capped at 40 µs: the total slept (and
+                // hence the wall-clock lower bound) is tightly bounded.
+                assert!(slept <= Duration::from_micros(4 * 40));
+                assert!(start.elapsed() < Duration::from_secs(1));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_retryable_errors_stop_immediately() {
+        let mut backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(1));
+        let mut calls = 0;
+        let out = retry_with_backoff::<()>(10, &mut backoff, || {
+            calls += 1;
+            Err(EngineError::Cancelled)
+        });
+        assert_eq!(calls, 1);
+        assert!(matches!(out, RetryOutcome::Fatal(EngineError::Cancelled)));
+        assert!(matches!(
+            RetryOutcome::<()>::Fatal(EngineError::Cancelled).into_result(),
+            Err(EngineError::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn retry_after_hint_raises_the_sleep_floor() {
+        let mut backoff = Backoff::with_seed(Duration::from_micros(1), Duration::from_micros(2), 9);
+        let mut calls = 0;
+        let start = std::time::Instant::now();
+        let _ = retry_with_backoff::<()>(3, &mut backoff, || {
+            calls += 1;
+            Err(overloaded(2)) // 2 ms hint dominates the µs-scale backoff
+        });
+        assert!(
+            start.elapsed() >= Duration::from_millis(4),
+            "two sleeps of >= 2 ms each must have happened"
+        );
+        assert_eq!(calls, 3);
+    }
+}

@@ -842,6 +842,46 @@ mod tests {
         }
     }
 
+    /// Regression test for `WorkerPool::new` graceful degradation: if
+    /// *every* worker spawn fails (simulated by `new_degraded`), runs must
+    /// still complete correctly on the caller-as-worker-0 serial path and
+    /// report the effective width of 1 — and once spawning works again,
+    /// the next submission's heal pass must restore the full pool.
+    #[test]
+    fn zero_spawned_workers_degrades_to_correct_serial_run() {
+        let sig: Signature<i64> = "1:2,-1".parse().unwrap();
+        let input: Vec<i64> = (0..50_000).map(|i| (i % 17) as i64 - 8).collect();
+        let expect = serial::run(&sig, &input);
+
+        let pool = Arc::new(WorkerPool::new_degraded(4));
+        assert_eq!(pool.width(), 1, "no spawned workers must survive");
+        let runner = ParallelRunner::with_config_and_pool(
+            sig,
+            RunnerConfig {
+                chunk_size: 1 << 10,
+                threads: 4,
+                ..Default::default()
+            },
+            Arc::clone(&pool),
+        )
+        .unwrap();
+
+        let mut data = input.clone();
+        let stats = runner.run_in_place(&mut data).unwrap();
+        assert_eq!(data, expect, "serial fallback must still be correct");
+        assert_eq!(stats.threads, 1, "effective width is the caller alone");
+        assert_eq!(pool.width(), 1, "inhibited heal must not respawn");
+
+        // Spawning works again: the next submission heals back to full
+        // width and the run is still correct.
+        pool.allow_respawn();
+        let mut data = input.clone();
+        let stats = runner.run_in_place(&mut data).unwrap();
+        assert_eq!(data, expect);
+        assert_eq!(stats.threads, 4, "heal must restore the full pool");
+        assert!(pool.recovered_workers() >= 3);
+    }
+
     #[test]
     fn check_finite_flags_divergent_float_runs() {
         // y_i = 2·y_{i-1} + x_i diverges; f32 overflows to +inf inside the

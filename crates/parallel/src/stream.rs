@@ -85,6 +85,31 @@ thread_local! {
     static INLINE_LAUNCH: Cell<bool> = const { Cell::new(false) };
 }
 
+/// A non-blocking or bounded-wait push found the backpressure window
+/// still full — the `WouldBlock` verdict of [`RowStream::try_push_row`] /
+/// [`RowStream::push_row_timeout`]. Carries the row buffer back to the
+/// caller untouched, so shedding or retrying costs no copy.
+#[derive(Debug)]
+pub struct PushError<T> {
+    /// The row buffer handed back, exactly as submitted.
+    pub data: Vec<T>,
+}
+
+impl<T> PushError<T> {
+    /// Recovers the row buffer for a retry or for shedding bookkeeping.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T> std::fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream backpressure window full (would block)")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PushError<T> {}
+
 /// One pushed row waiting in the stream's queue.
 struct QueuedRow<T> {
     index: usize,
@@ -273,36 +298,117 @@ impl<T: Element> RowStream<T> {
     /// Note the deadline clock starts when [`RunControl::with_deadline`]
     /// is called — time spent blocked on the window counts against it.
     pub fn push_row_ctl(&self, data: Vec<T>, ctl: RunControl) -> RowHandle<T> {
+        match self.push_row_bounded(data, ctl, None) {
+            Ok(handle) => handle,
+            // Unreachable: an unbounded wait never reports WouldBlock.
+            Err(e) => unreachable!("blocking push returned {e}"),
+        }
+    }
+
+    /// Non-blocking [`push_row`](Self::push_row): enqueues only if the
+    /// backpressure window has space *right now*, otherwise hands the
+    /// buffer straight back as [`PushError`] without waiting. This is the
+    /// admission-controller entry point — a caller that must never wedge
+    /// on a saturated stream probes with this and converts the verdict
+    /// into its own shed/retry decision.
+    ///
+    /// Closed and dead streams are not `WouldBlock`: exactly like
+    /// [`push_row`](Self::push_row), those return an already-resolved
+    /// handle (the stream's state is final, so there is nothing to wait
+    /// for).
+    pub fn try_push_row(&self, data: Vec<T>) -> Result<RowHandle<T>, PushError<T>> {
+        self.push_row_bounded(data, RunControl::new(), Some(Duration::ZERO))
+    }
+
+    /// [`try_push_row`](Self::try_push_row) with a per-row [`RunControl`]
+    /// (cancel token and/or deadline for the row once admitted).
+    pub fn try_push_row_ctl(
+        &self,
+        data: Vec<T>,
+        ctl: RunControl,
+    ) -> Result<RowHandle<T>, PushError<T>> {
+        self.push_row_bounded(data, ctl, Some(Duration::ZERO))
+    }
+
+    /// Bounded-wait [`push_row`](Self::push_row): blocks on the window for
+    /// at most `timeout`, then hands the buffer back as [`PushError`] if
+    /// space never opened. `Duration::ZERO` is equivalent to
+    /// [`try_push_row`](Self::try_push_row).
+    pub fn push_row_timeout(
+        &self,
+        data: Vec<T>,
+        timeout: Duration,
+    ) -> Result<RowHandle<T>, PushError<T>> {
+        self.push_row_bounded(data, RunControl::new(), Some(timeout))
+    }
+
+    /// [`push_row_timeout`](Self::push_row_timeout) with a per-row
+    /// [`RunControl`].
+    pub fn push_row_timeout_ctl(
+        &self,
+        data: Vec<T>,
+        ctl: RunControl,
+        timeout: Duration,
+    ) -> Result<RowHandle<T>, PushError<T>> {
+        self.push_row_bounded(data, ctl, Some(timeout))
+    }
+
+    /// The one push implementation: waits on the window forever
+    /// (`budget: None`), not at all (`Some(ZERO)`), or up to a timeout.
+    fn push_row_bounded(
+        &self,
+        data: Vec<T>,
+        ctl: RunControl,
+        budget: Option<Duration>,
+    ) -> Result<RowHandle<T>, PushError<T>> {
         let cancel = ctl.cancel.clone().unwrap_or_default();
         let ctl = RunControl {
             cancel: Some(cancel.clone()),
             deadline: ctl.deadline,
         };
+        let deadline = budget.map(|b| Instant::now() + b);
         let inner = Arc::new(RowInner::new());
         let mut state = lock_recover(&self.shared.state);
         loop {
             if state.closed {
                 drop(state);
-                return RowHandle::resolved(
+                return Ok(RowHandle::resolved(
                     inner,
                     cancel,
                     usize::MAX,
                     data,
                     EngineError::Cancelled,
-                );
+                ));
             }
             if let Some(err) = state.dead.clone() {
                 drop(state);
-                return RowHandle::resolved(inner, cancel, usize::MAX, data, err);
+                return Ok(RowHandle::resolved(inner, cancel, usize::MAX, data, err));
             }
             if state.in_flight < self.shared.window {
                 break;
             }
-            state = self
-                .shared
-                .space
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            match deadline {
+                None => {
+                    state = self
+                        .shared
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        drop(state);
+                        return Err(PushError { data });
+                    }
+                    state = self
+                        .shared
+                        .space
+                        .wait_timeout(state, at - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
         }
         let index = state.next_row;
         state.next_row += 1;
@@ -315,12 +421,12 @@ impl<T: Element> RowStream<T> {
         });
         drop(state);
         self.shared.ready.notify_one();
-        RowHandle {
+        Ok(RowHandle {
             inner,
             cancel,
             index,
             detached: false,
-        }
+        })
     }
 
     /// Aborts the whole stream (idempotent): every queued or in-flight
@@ -1064,6 +1170,65 @@ mod tests {
             assert!(stream.in_flight() <= 2, "window must bound in-flight rows");
         }
         stream.finish().unwrap();
+    }
+
+    #[test]
+    fn try_push_row_would_block_hands_the_buffer_back() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let runner = BatchRunner::new(sig, 2);
+        let stream = runner.stream_with_window(1);
+        // A multi-millisecond row holds the window full while we probe.
+        let first = stream.push_row(vec![1; 2_000_000]);
+        let marker: Vec<i64> = vec![7; 8];
+        match stream.try_push_row(marker.clone()) {
+            Err(e) => {
+                assert!(e.to_string().contains("would block"), "{e}");
+                assert_eq!(e.into_data(), marker, "buffer must come back untouched");
+            }
+            Ok(handle) => {
+                // The first row won the race and finished already; the
+                // probe was admitted instead of blocking — also correct.
+                handle.join().1.unwrap();
+            }
+        }
+        first.join().1.unwrap();
+        stream.finish().unwrap();
+    }
+
+    #[test]
+    fn push_row_timeout_admits_once_space_frees() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let runner = BatchRunner::new(sig, 2);
+        let stream = runner.stream_with_window(1);
+        let first = stream.push_row(vec![1; 1_000_000]);
+        // Generous budget: the bounded wait must ride out the first row
+        // and then admit, never report WouldBlock here.
+        let handle = stream
+            .push_row_timeout(vec![2; 64], Duration::from_secs(60))
+            .expect("space frees within the budget");
+        let (data, stats) = handle.join();
+        stats.unwrap();
+        assert_eq!(data[0], 2);
+        assert_eq!(data[63], 2 * 64);
+        first.join().1.unwrap();
+        stream.finish().unwrap();
+    }
+
+    #[test]
+    fn try_push_on_closed_stream_resolves_instead_of_would_block() {
+        let sig: Signature<i64> = "1:1".parse().unwrap();
+        let runner = BatchRunner::new(sig, 2);
+        let stream = runner.stream_with_window(1);
+        stream.close();
+        // Closed is a *final* verdict, not backpressure: the push must
+        // succeed with an already-resolved handle, exactly like push_row.
+        let handle = stream
+            .try_push_row(vec![3; 16])
+            .expect("closed stream must not report WouldBlock");
+        assert!(handle.is_finished());
+        let (data, result) = handle.join();
+        assert_eq!(data, vec![3; 16], "buffer untouched on a closed stream");
+        assert!(matches!(result, Err(EngineError::Cancelled)));
     }
 
     #[test]

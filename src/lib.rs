@@ -13,7 +13,11 @@
 //!   source + an executable kernel plan;
 //! * [`baselines`] (`plr-baselines`) — the paper's comparison codes
 //!   (memcpy, CUB-like, SAM-like, Blelloch Scan, Alg3-like, Rec-like);
-//! * [`parallel`] (`plr-parallel`) — a real multithreaded CPU runtime.
+//! * [`parallel`] (`plr-parallel`) — a real multithreaded CPU runtime;
+//! * [`service`] (`plr-service`) — a multi-tenant service core over that
+//!   runtime: sharded worker pools behind admission control, per-tenant
+//!   token-bucket quotas, weighted fair queueing, and admission-time
+//!   load shedding under overload.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub use plr_baselines as baselines;
 pub use plr_codegen as codegen;
 pub use plr_core as core;
 pub use plr_parallel as parallel;
+pub use plr_service as service;
 pub use plr_sim as sim;
 
 pub use plr_core::{CorrectionPlan, Element, Engine, PlanKind, PlanMode, Signature};
@@ -52,3 +57,4 @@ pub use plr_parallel::{
     BatchRunner, CancelToken, ParallelRunner, RowHandle, RowStream, RunControl, RunHandle,
     RunnerConfig, Strategy,
 };
+pub use plr_service::{ServiceConfig, ServiceCore, SubmitOptions, TenantSpec};
