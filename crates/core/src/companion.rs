@@ -105,6 +105,48 @@ impl<T: Element> Matrix<T> {
         result
     }
 
+    /// Builds a matrix from row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `data.len() != k·k`.
+    pub fn from_parts(k: usize, data: Vec<T>) -> Self {
+        assert!(k > 0, "matrices must be at least 1×1");
+        assert_eq!(data.len(), k * k, "row-major data must hold k·k entries");
+        Matrix { k, data }
+    }
+
+    /// Left-multiplies by the companion matrix of `feedback` in place:
+    /// `self ← C(feedback) · self`.
+    ///
+    /// This is the incremental step that composes a chunk's per-element
+    /// transition matrices in the time-varying lowering: `C` has a dense
+    /// row 0 and a subdiagonal of ones, so the product is one `k`-tap
+    /// combination of rows (the new row 0) followed by shifting every row
+    /// down a slot — `O(k²)` instead of the dense `O(k³)` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feedback.len() != self.dim()`.
+    pub fn companion_push(&mut self, feedback: &[T]) {
+        let k = self.k;
+        assert_eq!(feedback.len(), k, "dimension mismatch");
+        let mut top = vec![T::zero(); k];
+        for (j, slot) in top.iter_mut().enumerate() {
+            let mut acc = T::zero();
+            for (r, &a) in feedback.iter().enumerate() {
+                if a.is_zero() {
+                    continue;
+                }
+                acc = acc.add(a.mul(self.data[r * k + j]));
+            }
+            *slot = acc;
+        }
+        // Shift rows 0..k-1 down by one, then install the new row 0.
+        self.data.copy_within(0..k * (k - 1), k);
+        self.data[..k].copy_from_slice(&top);
+    }
+
     /// Matrix-vector product.
     ///
     /// # Panics
@@ -199,6 +241,24 @@ mod tests {
         let p = c.pow(10);
         // C^10 [0][0] = Fib(11) with Fib(1)=1: 89.
         assert_eq!(p.get(0, 0), 89);
+    }
+
+    #[test]
+    fn companion_push_matches_dense_product() {
+        // Pushing a sequence of companions one at a time equals the dense
+        // left-product of the same sequence, for orders 1..=4.
+        for k in 1..=4usize {
+            let rows: Vec<Vec<i64>> = (0..10)
+                .map(|i| (0..k).map(|j| ((i * 3 + j * 5) % 7) as i64 - 3).collect())
+                .collect();
+            let mut incremental = Matrix::identity(k);
+            let mut dense = Matrix::identity(k);
+            for row in &rows {
+                incremental.companion_push(row);
+                dense = Matrix::companion(row).mul(&dense);
+                assert_eq!(incremental, dense, "order {k}");
+            }
+        }
     }
 
     #[test]

@@ -111,6 +111,17 @@ pub enum EngineError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The input length does not match the length an executor is bound to.
+    ///
+    /// Time-varying signatures carry one coefficient row per element, so a
+    /// [`VaryingSignature`](crate::varying::VaryingSignature) of length `n`
+    /// can only be applied to inputs of exactly `n` elements.
+    LengthMismatch {
+        /// The length the executor was built for.
+        expected: usize,
+        /// The length of the input actually supplied.
+        got: usize,
+    },
     /// A worker thread (or the calling thread acting as worker 0) panicked
     /// while executing a parallel run.
     ///
@@ -219,6 +230,12 @@ impl fmt::Display for EngineError {
             EngineError::UnsupportedSignature { reason } => {
                 write!(f, "unsupported signature: {reason}")
             }
+            EngineError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input of {got} elements does not match the bound length {expected}"
+                )
+            }
             EngineError::WorkerPanicked { worker, payload } => {
                 write!(f, "worker {worker} panicked: {payload}")
             }
@@ -297,6 +314,12 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = EngineError::NonFiniteCarry { chunk: 7 };
         assert!(e.to_string().contains("chunk 7"));
+        let e = EngineError::LengthMismatch {
+            expected: 8,
+            got: 6,
+        };
+        assert!(e.to_string().contains('8'), "{e}");
+        assert!(e.to_string().contains('6'), "{e}");
         let e = EngineError::Cancelled;
         assert!(e.to_string().contains("cancelled"));
         let e = EngineError::DeadlineExceeded {

@@ -90,9 +90,11 @@ pub mod stability;
 pub mod stream;
 pub mod tropical;
 pub mod validate;
+pub mod varying;
 
 pub use element::Element;
 pub use engine::Engine;
 pub use kernel::{set_kernel_override, KernelKind, KernelTier};
 pub use plan::{CorrectionPlan, PlanKind, PlanMode};
 pub use signature::Signature;
+pub use varying::{AffineMap, VaryingEngine, VaryingPlan, VaryingSignature};

@@ -91,6 +91,11 @@ pub enum PlanKind {
     Truncated,
     /// Lists landed on different strategies.
     Mixed,
+    /// The time-varying lowering ran: carries are per-chunk transition
+    /// matrices composed from per-element companions, not factor lists
+    /// (see [`crate::varying`]). No correction plan — and no plan cache
+    /// entry — is involved.
+    MatrixCarry,
 }
 
 /// What a plan is being built for.

@@ -24,6 +24,7 @@ use plr_core::error::EngineError;
 use plr_core::kernel::KernelKind;
 use plr_core::plan::{self, CorrectionPlan, PlanKind, PlanRequest};
 use plr_core::signature::Signature;
+use plr_core::varying::VaryingPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -43,16 +44,31 @@ struct CachedInner<T> {
 ///
 /// Extracted from `run_whole_rows` so `BatchRunner::run_rows` and
 /// [`RowStream`] dispatch rows through literally the same code — a
-/// streamed row cannot drift from its blocking counterpart.
+/// streamed row cannot drift from its blocking counterpart. The same
+/// dispatch carries time-varying rows ([`RowTask::varying`]), so varying
+/// workloads inherit the batch and stream layers' cancel / deadline /
+/// fault semantics without a parallel code path.
 #[derive(Debug, Clone)]
 pub struct RowTask<T> {
-    /// The whole-row plan (chunk size 0): the FIR coefficients and the
-    /// register-blocked local-solve kernel, shared through the plan cache.
-    plan: Arc<CorrectionPlan<T>>,
-    /// Whether the plan came from the shared cache (reported in stats).
-    cache_hit: bool,
-    /// Pure-feedback signatures have no FIR map stage at all.
-    pure: bool,
+    inner: TaskInner<T>,
+}
+
+#[derive(Debug, Clone)]
+enum TaskInner<T> {
+    /// Constant coefficients: a whole-row (chunk-size-0) correction plan
+    /// served through the shared plan cache.
+    Constant {
+        plan: Arc<CorrectionPlan<T>>,
+        /// Whether the plan came from the shared cache (reported in stats).
+        cache_hit: bool,
+        /// Pure-feedback signatures have no FIR map stage at all.
+        pure: bool,
+    },
+    /// Per-element coefficients: the matrix-carry chunk plan, solved as a
+    /// fused sequential sweep within the row (rows are independent, so
+    /// each starts from real — zero — history and needs no correction).
+    /// Never consults the constant path's correction-plan cache.
+    Varying { plan: Arc<VaryingPlan<T>> },
 }
 
 impl<T: Element> RowTask<T> {
@@ -66,9 +82,22 @@ impl<T: Element> RowTask<T> {
     pub fn new(signature: &Signature<T>) -> Self {
         let (plan, cache_hit) = plan::plan_for(signature, PlanRequest::new::<T>(0));
         RowTask {
-            plan,
-            cache_hit,
-            pure: signature.is_pure_feedback(),
+            inner: TaskInner::Constant {
+                plan,
+                cache_hit,
+                pure: signature.is_pure_feedback(),
+            },
+        }
+    }
+
+    /// Builds the per-row work unit for a time-varying signature. Every
+    /// row must have exactly the plan's bound length — the coefficients
+    /// are positional — and a row of any other length panics (surfacing
+    /// as [`EngineError::WorkerPanicked`] for that row through the usual
+    /// unwind guards).
+    pub fn varying(plan: Arc<VaryingPlan<T>>) -> Self {
+        RowTask {
+            inner: TaskInner::Varying { plan },
         }
     }
 
@@ -87,37 +116,101 @@ impl<T: Element> RowTask<T> {
         _index: usize,
         abort: Option<&AbortSignal>,
     ) -> (u64, u64, u64) {
-        let mut fir_ns = 0u64;
-        if !self.pure {
-            let start = Instant::now();
-            fir_in_place(self.plan.fir(), &[], 0, row);
-            fir_ns = start.elapsed().as_nanos() as u64;
+        match &self.inner {
+            TaskInner::Constant { plan, pure, .. } => {
+                let mut fir_ns = 0u64;
+                if !pure {
+                    let start = Instant::now();
+                    fir_in_place(plan.fir(), &[], 0, row);
+                    fir_ns = start.elapsed().as_nanos() as u64;
+                }
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, abort);
+                let start = Instant::now();
+                let solved = plan
+                    .solve()
+                    .solve_in_place_sliced(row, &mut || abort.is_none_or(|a| !a.is_aborted()));
+                (fir_ns, start.elapsed().as_nanos() as u64, solved.slices)
+            }
+            TaskInner::Varying { plan } => {
+                assert_eq!(
+                    row.len(),
+                    plan.len(),
+                    "varying row length must match the signature's bound length"
+                );
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, abort);
+                let start = Instant::now();
+                // Fused sequential sweep over the plan's chunks: each
+                // continues from the previous chunk's real state, reusing
+                // constant-row kernels where the plan selected them.
+                let m = plan.chunk_size();
+                let mut state = vec![T::zero(); plan.order()];
+                let mut slices = 0u64;
+                for c in 0..plan.num_chunks() {
+                    let s = c * m;
+                    let chunk = &mut row[s..(s + m).min(plan.len())];
+                    let out = plan.solve_chunk(c, Some(&state), chunk, &mut || {
+                        abort.is_none_or(|a| !a.is_aborted())
+                    });
+                    slices += out.slices;
+                    if !out.completed {
+                        break;
+                    }
+                    state = out.state;
+                }
+                (0, start.elapsed().as_nanos() as u64, slices)
+            }
         }
-        #[cfg(feature = "fault-inject")]
-        crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, abort);
-        let start = Instant::now();
-        let solved = self
-            .plan
-            .solve()
-            .solve_in_place_sliced(row, &mut || abort.is_none_or(|a| !a.is_aborted()));
-        (fir_ns, start.elapsed().as_nanos() as u64, solved.slices)
     }
 
     /// Strategy summary reported in per-row stats ([`PlanKind::Unplanned`]
-    /// for whole-row plans, which never correct).
+    /// for whole-row constant plans, which never correct;
+    /// [`PlanKind::MatrixCarry`] for varying rows).
     pub fn plan_kind(&self) -> PlanKind {
-        self.plan.kind()
+        match &self.inner {
+            TaskInner::Constant { plan, .. } => plan.kind(),
+            TaskInner::Varying { .. } => PlanKind::MatrixCarry,
+        }
     }
 
     /// The serial solve kernel the task's plan dispatches to (reported in
-    /// per-row and aggregate stats).
+    /// per-row and aggregate stats). Varying tasks report the per-chunk
+    /// summary: [`KernelKind::Mixed`] when constant-row kernel chunks and
+    /// varying scalar chunks both occur in a row.
     pub fn kernel_kind(&self) -> KernelKind {
-        self.plan.solve().kind()
+        match &self.inner {
+            TaskInner::Constant { plan, .. } => plan.solve().kind(),
+            TaskInner::Varying { plan } => plan.aggregate_kernel_kind(),
+        }
     }
 
-    /// Whether the task's plan was served from the shared cache.
+    /// Whether the task's plan was served from the shared cache (always
+    /// `false` for varying tasks, which have no cache to hit).
     pub fn cache_hit(&self) -> bool {
-        self.cache_hit
+        match &self.inner {
+            TaskInner::Constant { cache_hit, .. } => *cache_hit,
+            TaskInner::Varying { .. } => false,
+        }
+    }
+
+    /// Plan-cache hits to report for this task: `1`/`0` for constant
+    /// tasks; `0` for varying tasks, which never consult the cache.
+    pub fn plan_cache_hits(&self) -> u64 {
+        match &self.inner {
+            TaskInner::Constant { cache_hit, .. } => *cache_hit as u64,
+            TaskInner::Varying { .. } => 0,
+        }
+    }
+
+    /// Plan-cache misses to report for this task: the complement of
+    /// [`RowTask::plan_cache_hits`] for constant tasks; `0` for varying
+    /// tasks, which never consult (or populate) the cache.
+    pub fn plan_cache_misses(&self) -> u64 {
+        match &self.inner {
+            TaskInner::Constant { cache_hit, .. } => !*cache_hit as u64,
+            TaskInner::Varying { .. } => 0,
+        }
     }
 }
 
@@ -302,8 +395,8 @@ impl<T: Element> BatchRunner<T> {
             workers_recovered: pool.recovered_workers() - recovered_before,
             fir_nanos: fir_nanos.load(Ordering::Relaxed),
             solve_nanos: solve_nanos.load(Ordering::Relaxed),
-            plan_cache_hits: self.task.cache_hit() as u64,
-            plan_cache_misses: !self.task.cache_hit() as u64,
+            plan_cache_hits: self.task.plan_cache_hits(),
+            plan_cache_misses: self.task.plan_cache_misses(),
             plan_kind: self.task.plan_kind(),
             kernel: self.task.kernel_kind(),
             solve_slices: solve_slices.load(Ordering::Relaxed),

@@ -126,6 +126,7 @@ pub mod retry;
 pub mod runner;
 pub mod stats;
 pub mod stream;
+pub mod varying;
 
 pub use batch::{BatchRunner, RowTask};
 pub use pool::{
@@ -136,3 +137,4 @@ pub use retry::{retry_with_backoff, Backoff, RetryOutcome};
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
 pub use stats::{PoolCounters, RunStats};
 pub use stream::{block_on, PushError, RowFuture, RowHandle, RowStream, RunFuture};
+pub use varying::VaryingRunner;

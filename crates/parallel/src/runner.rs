@@ -124,13 +124,13 @@ pub struct ParallelRunner<T> {
 }
 
 /// Per-chunk carry slots, published lock-free through [`OnceLock`].
-struct Slot<T> {
-    local: OnceLock<Vec<T>>,
-    global: OnceLock<Vec<T>>,
+pub(crate) struct Slot<T> {
+    pub(crate) local: OnceLock<Vec<T>>,
+    pub(crate) global: OnceLock<Vec<T>>,
 }
 
 impl<T> Slot<T> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Slot {
             local: OnceLock::new(),
             global: OnceLock::new(),
@@ -141,27 +141,27 @@ impl<T> Slot<T> {
 /// Atomic accumulators for the per-phase wall times in [`RunStats`],
 /// plus the local-solve slice count (the abort-granularity metric).
 #[derive(Default)]
-struct PhaseClocks {
-    fir: AtomicU64,
-    solve: AtomicU64,
-    lookback: AtomicU64,
-    correct: AtomicU64,
-    slices: AtomicU64,
+pub(crate) struct PhaseClocks {
+    pub(crate) fir: AtomicU64,
+    pub(crate) solve: AtomicU64,
+    pub(crate) lookback: AtomicU64,
+    pub(crate) correct: AtomicU64,
+    pub(crate) slices: AtomicU64,
 }
 
 /// Per-worker tallies, flushed to the shared clocks once per job to keep
 /// atomic traffic off the per-chunk path.
 #[derive(Default)]
-struct PhaseTally {
-    fir: u64,
-    solve: u64,
-    lookback: u64,
-    correct: u64,
-    slices: u64,
+pub(crate) struct PhaseTally {
+    pub(crate) fir: u64,
+    pub(crate) solve: u64,
+    pub(crate) lookback: u64,
+    pub(crate) correct: u64,
+    pub(crate) slices: u64,
 }
 
 impl PhaseTally {
-    fn flush(&self, clocks: &PhaseClocks) {
+    pub(crate) fn flush(&self, clocks: &PhaseClocks) {
         clocks.fir.fetch_add(self.fir, Ordering::Relaxed);
         clocks.solve.fetch_add(self.solve, Ordering::Relaxed);
         clocks.lookback.fetch_add(self.lookback, Ordering::Relaxed);
@@ -171,7 +171,7 @@ impl PhaseTally {
 }
 
 /// Times one closure, adding the elapsed nanoseconds to `slot`.
-fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
+pub(crate) fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
     let start = Instant::now();
     let out = f();
     *slot += start.elapsed().as_nanos() as u64;
@@ -524,6 +524,7 @@ impl<T: Element> ParallelRunner<T> {
             plan_cache_hits: self.plan_cache_hit as u64,
             plan_cache_misses: !self.plan_cache_hit as u64,
             plan_kind: self.plan.kind(),
+            fused_chunks: 0,
             correction_taps: self.plan.correction_taps() as u64,
             carry_resets: resets.load(Ordering::Relaxed),
             kernel: self.plan.solve().kind(),
@@ -675,6 +676,7 @@ impl<T: Element> ParallelRunner<T> {
             plan_cache_hits: self.plan_cache_hit as u64,
             plan_cache_misses: !self.plan_cache_hit as u64,
             plan_kind: self.plan.kind(),
+            fused_chunks: 0,
             correction_taps: self.plan.correction_taps() as u64,
             carry_resets,
             kernel: self.plan.solve().kind(),
@@ -685,7 +687,7 @@ impl<T: Element> ParallelRunner<T> {
 
 /// Whether every carry in the slice widens to a finite `f64` (always true
 /// for integer elements).
-fn all_finite<T: Element>(carries: &[T]) -> bool {
+pub(crate) fn all_finite<T: Element>(carries: &[T]) -> bool {
     carries.iter().all(|&c| c.to_f64().is_finite())
 }
 
@@ -759,7 +761,7 @@ fn resolve_global<T: Element>(
 /// Spins (with yields) until a carry set is published, or `None` once the
 /// run is aborted. The abort flag is polled only on the yield slots (every
 /// 64th iteration), keeping the fast path a pure `spin_loop`.
-fn wait_for<'a, T>(
+pub(crate) fn wait_for<'a, T>(
     cell: &'a OnceLock<Vec<T>>,
     spins: &AtomicU64,
     abort: &AbortSignal,

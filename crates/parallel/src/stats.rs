@@ -112,6 +112,13 @@ pub struct RunStats {
     /// slices of [`plr_core::blocked::SOLVE_SLICE`] elements and count one
     /// per slice. Aggregates sum over rows.
     pub solve_slices: u64,
+    /// Chunks the time-varying look-back pipeline solved *fused*: the
+    /// predecessor's global state was already published at claim time, so
+    /// the chunk continued from real history — serial-equal work, no
+    /// local solve, no matrix carry, no correction pass. Chunk 0 always
+    /// counts (its history is the zero state). Zero for constant-path
+    /// runs and for the two-pass strategy, which never fuses.
+    pub fused_chunks: u64,
 }
 
 impl RunStats {
@@ -173,6 +180,7 @@ impl RunStats {
             self.kernel = KernelKind::Mixed;
         }
         self.solve_slices += other.solve_slices;
+        self.fused_chunks += other.fused_chunks;
     }
 }
 
@@ -285,6 +293,13 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.kernel, KernelKind::SimdAvx2);
         assert_eq!(a.solve_slices, 5);
+        let d = RunStats {
+            fused_chunks: 4,
+            ..RunStats::default()
+        };
+        a.absorb(&d);
+        a.absorb(&d);
+        assert_eq!(a.fused_chunks, 8);
         // Agreement keeps the kind; disagreement collapses to Mixed.
         a.absorb(&b);
         assert_eq!(a.kernel, KernelKind::SimdAvx2);

@@ -207,8 +207,8 @@ impl<T: Element> RowStream<T> {
                 // aggregate with its outcome rather than recounting it on
                 // every row.
                 stats: RunStats {
-                    plan_cache_hits: task.cache_hit() as u64,
-                    plan_cache_misses: !task.cache_hit() as u64,
+                    plan_cache_hits: task.plan_cache_hits(),
+                    plan_cache_misses: task.plan_cache_misses(),
                     plan_kind: task.plan_kind(),
                     kernel: task.kernel_kind(),
                     ..RunStats::default()

@@ -14,6 +14,12 @@
 //! - **No shrinking.** A failing case reports its assertion message (which
 //!   includes the relevant values) but is not minimized.
 //! - **No failure persistence.** `*.proptest-regressions` files are ignored.
+//! - **`PROPTEST_CASES` is a floor, not just a default.** The real crate's
+//!   env var only replaces the default config; here it raises every suite's
+//!   case count to at least the given value (pinned counts below it are
+//!   bumped up, larger pinned counts win). This is what a long-soak CI job
+//!   wants: one knob that deepens all suites without editing each
+//!   `proptest_config` line.
 //! - **Deterministic seeding.** The RNG is seeded from the test's module
 //!   path and name, so runs are reproducible without a seed file.
 //! - **String strategies** support only the small regex subset the
@@ -36,6 +42,19 @@ pub mod test_runner {
         /// A configuration running `cases` successful cases.
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+
+        /// The case count after applying the `PROPTEST_CASES` env floor:
+        /// `max(self.cases, $PROPTEST_CASES)`. Unset, empty, or unparsable
+        /// values leave the configured count untouched.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => match v.trim().parse::<u32>() {
+                    Ok(floor) => self.cases.max(floor),
+                    Err(_) => self.cases,
+                },
+                Err(_) => self.cases,
+            }
         }
     }
 
@@ -484,6 +503,7 @@ macro_rules! __proptest_impl {
         #[test]
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.resolved_cases();
             let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                 module_path!(), "::", stringify!($name)
             ));
@@ -491,7 +511,7 @@ macro_rules! __proptest_impl {
             $(let $arg = $strat;)*
             let mut accepted = 0u32;
             let mut rejected = 0u32;
-            while accepted < config.cases {
+            while accepted < cases {
                 $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)*
                 let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                     $body
@@ -501,7 +521,7 @@ macro_rules! __proptest_impl {
                     Ok(()) => accepted += 1,
                     Err($crate::test_runner::TestCaseError::Reject(why)) => {
                         rejected += 1;
-                        if rejected > config.cases.saturating_mul(256) {
+                        if rejected > cases.saturating_mul(256) {
                             panic!("too many rejected cases ({rejected}): {why}");
                         }
                     }
@@ -509,7 +529,7 @@ macro_rules! __proptest_impl {
                         panic!(
                             "proptest case {}/{} failed: {}",
                             accepted + 1,
-                            config.cases,
+                            cases,
                             msg
                         );
                     }
