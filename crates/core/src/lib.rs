@@ -96,5 +96,6 @@ pub use element::Element;
 pub use engine::Engine;
 pub use kernel::{set_kernel_override, KernelKind, KernelTier};
 pub use plan::{CorrectionPlan, PlanKind, PlanMode};
+pub use segmented::{SegmentedPlan, Segments};
 pub use signature::Signature;
 pub use varying::{AffineMap, VaryingEngine, VaryingPlan, VaryingSignature};

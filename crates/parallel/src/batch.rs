@@ -23,6 +23,7 @@ use plr_core::element::Element;
 use plr_core::error::EngineError;
 use plr_core::kernel::KernelKind;
 use plr_core::plan::{self, CorrectionPlan, PlanKind, PlanRequest};
+use plr_core::segmented::SegmentedPlan;
 use plr_core::signature::Signature;
 use plr_core::varying::VaryingPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,6 +70,13 @@ enum TaskInner<T> {
     /// each starts from real — zero — history and needs no correction).
     /// Never consults the constant path's correction-plan cache.
     Varying { plan: Arc<VaryingPlan<T>> },
+    /// Segmented rows: one signature with history resets at segment
+    /// starts. Each segment solves as its own sequence (rows are
+    /// independent and each segment restarts from zero history, so no
+    /// correction is ever needed). Like varying tasks, the boundary map
+    /// is not part of the constant plan cache's key, so segmented tasks
+    /// never consult (or populate) that cache.
+    Segmented { plan: Arc<SegmentedPlan<T>> },
 }
 
 impl<T: Element> RowTask<T> {
@@ -98,6 +106,17 @@ impl<T: Element> RowTask<T> {
     pub fn varying(plan: Arc<VaryingPlan<T>>) -> Self {
         RowTask {
             inner: TaskInner::Varying { plan },
+        }
+    }
+
+    /// Builds the per-row work unit for a segmented workload. Every row
+    /// must have exactly the plan's bound length — the segment boundaries
+    /// are positional — and a row of any other length panics (surfacing
+    /// as [`EngineError::WorkerPanicked`] for that row through the usual
+    /// unwind guards).
+    pub fn segmented(plan: Arc<SegmentedPlan<T>>) -> Self {
+        RowTask {
+            inner: TaskInner::Segmented { plan },
         }
     }
 
@@ -161,6 +180,27 @@ impl<T: Element> RowTask<T> {
                 }
                 (0, start.elapsed().as_nanos() as u64, slices)
             }
+            TaskInner::Segmented { plan } => {
+                assert_eq!(
+                    row.len(),
+                    plan.len(),
+                    "segmented row length must match the plan's bound length"
+                );
+                let mut fir_ns = 0u64;
+                if !plan.is_pure_feedback() {
+                    let start = Instant::now();
+                    plan.fir_row_in_place(row);
+                    fir_ns = start.elapsed().as_nanos() as u64;
+                }
+                #[cfg(feature = "fault-inject")]
+                crate::fault::check(crate::fault::FaultSite::Solve, _worker, _index, abort);
+                let start = Instant::now();
+                // Each segment solves from zero (real) history — whole-row
+                // dispatch needs no correction, segmented or not.
+                let solved =
+                    plan.solve_row_in_place(row, &mut || abort.is_none_or(|a| !a.is_aborted()));
+                (fir_ns, start.elapsed().as_nanos() as u64, solved.slices)
+            }
         }
     }
 
@@ -171,6 +211,7 @@ impl<T: Element> RowTask<T> {
         match &self.inner {
             TaskInner::Constant { plan, .. } => plan.kind(),
             TaskInner::Varying { .. } => PlanKind::MatrixCarry,
+            TaskInner::Segmented { plan } => plan.correction().kind(),
         }
     }
 
@@ -182,6 +223,7 @@ impl<T: Element> RowTask<T> {
         match &self.inner {
             TaskInner::Constant { plan, .. } => plan.solve().kind(),
             TaskInner::Varying { plan } => plan.aggregate_kernel_kind(),
+            TaskInner::Segmented { plan } => plan.correction().solve().kind(),
         }
     }
 
@@ -190,7 +232,7 @@ impl<T: Element> RowTask<T> {
     pub fn cache_hit(&self) -> bool {
         match &self.inner {
             TaskInner::Constant { cache_hit, .. } => *cache_hit,
-            TaskInner::Varying { .. } => false,
+            TaskInner::Varying { .. } | TaskInner::Segmented { .. } => false,
         }
     }
 
@@ -199,7 +241,7 @@ impl<T: Element> RowTask<T> {
     pub fn plan_cache_hits(&self) -> u64 {
         match &self.inner {
             TaskInner::Constant { cache_hit, .. } => *cache_hit as u64,
-            TaskInner::Varying { .. } => 0,
+            TaskInner::Varying { .. } | TaskInner::Segmented { .. } => 0,
         }
     }
 
@@ -209,7 +251,7 @@ impl<T: Element> RowTask<T> {
     pub fn plan_cache_misses(&self) -> u64 {
         match &self.inner {
             TaskInner::Constant { cache_hit, .. } => !*cache_hit as u64,
-            TaskInner::Varying { .. } => 0,
+            TaskInner::Varying { .. } | TaskInner::Segmented { .. } => 0,
         }
     }
 }

@@ -124,6 +124,7 @@ pub mod fault;
 pub mod pool;
 pub mod retry;
 pub mod runner;
+pub mod segmented;
 pub mod stats;
 pub mod stream;
 pub mod varying;
@@ -135,6 +136,7 @@ pub use pool::{
 };
 pub use retry::{retry_with_backoff, Backoff, RetryOutcome};
 pub use runner::{ParallelRunner, RunnerConfig, Strategy};
+pub use segmented::SegmentedRunner;
 pub use stats::{PoolCounters, RunStats};
 pub use stream::{block_on, PushError, RowFuture, RowHandle, RowStream, RunFuture};
 pub use varying::VaryingRunner;

@@ -529,6 +529,8 @@ impl<T: Element> ParallelRunner<T> {
             carry_resets: resets.load(Ordering::Relaxed),
             kernel: self.plan.solve().kind(),
             solve_slices: clocks.slices.load(Ordering::Relaxed),
+            reset_chunks: 0,
+            skipped_chunks: 0,
         })
     }
 
@@ -681,6 +683,8 @@ impl<T: Element> ParallelRunner<T> {
             carry_resets,
             kernel: self.plan.solve().kind(),
             solve_slices: clocks.slices.load(Ordering::Relaxed),
+            reset_chunks: 0,
+            skipped_chunks: 0,
         })
     }
 }

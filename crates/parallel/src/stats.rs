@@ -119,6 +119,17 @@ pub struct RunStats {
     /// counts (its history is the zero state). Zero for constant-path
     /// runs and for the two-pass strategy, which never fuses.
     pub fused_chunks: u64,
+    /// Chunks of a segmented run that contained at least one segment
+    /// boundary (their tail past the last in-chunk reset was globally
+    /// final straight off the local solve, and look-back from later
+    /// chunks terminated at them). Zero for unsegmented runs.
+    pub reset_chunks: u64,
+    /// Chunks whose post-FIR input was entirely zero and whose local
+    /// solve was therefore skipped on the sparse fast path — their output
+    /// is the correction pass alone, and their carries reduce to the
+    /// factor-power fix-up of zero locals. Zero when the sparse path is
+    /// disabled or never matched.
+    pub skipped_chunks: u64,
 }
 
 impl RunStats {
@@ -181,6 +192,8 @@ impl RunStats {
         }
         self.solve_slices += other.solve_slices;
         self.fused_chunks += other.fused_chunks;
+        self.reset_chunks += other.reset_chunks;
+        self.skipped_chunks += other.skipped_chunks;
     }
 }
 

@@ -53,9 +53,11 @@ pub use plr_service as service;
 pub use plr_sim as sim;
 
 pub use plr_core::varying::VaryingSignature;
-pub use plr_core::{CorrectionPlan, Element, Engine, PlanKind, PlanMode, Signature};
+pub use plr_core::{
+    CorrectionPlan, Element, Engine, PlanKind, PlanMode, SegmentedPlan, Segments, Signature,
+};
 pub use plr_parallel::{
     BatchRunner, CancelToken, ParallelRunner, RowHandle, RowStream, RunControl, RunHandle,
-    RunnerConfig, Strategy, VaryingRunner,
+    RunnerConfig, SegmentedRunner, Strategy, VaryingRunner,
 };
 pub use plr_service::{ServiceConfig, ServiceCore, SubmitOptions, TenantSpec};
